@@ -1,0 +1,229 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 4), the MLFRR measurement, and the design-choice
+   ablations; `micro` additionally runs Bechamel microbenchmarks of the
+   simulator's hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full scale
+     dune exec bench/main.exe -- --quick      # everything, reduced scale
+     dune exec bench/main.exe -- table1 fig3  # a subset
+     dune exec bench/main.exe -- micro        # Bechamel microbenchmarks *)
+
+open Lrp_experiments
+
+let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Paper experiments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_table1 () = Table1.print (Table1.run ~quick:!quick ())
+
+let bench_fig3 () = Fig3.print (Fig3.run ~quick:!quick ())
+
+let bench_mlfrr () =
+  Fig3.print_mlfrr
+    (List.map
+       (fun sys -> (sys, Fig3.mlfrr ~quick:!quick sys))
+       [ Common.Bsd; Common.Soft_lrp; Common.Ni_lrp ])
+
+let bench_fig4 () = Fig4.print (Fig4.run ~quick:!quick ())
+
+let bench_table2 () = Table2.print (Table2.run ~quick:!quick ())
+
+let bench_fig5 () = Fig5.print (Fig5.run ~quick:!quick ())
+
+let bench_ablate_discard () = Ablations.print_discard (Ablations.discard ())
+
+let bench_ablate_accounting () =
+  Ablations.print_accounting (Ablations.accounting ())
+
+let bench_ablate_demux () = Ablations.print_demux_cost (Ablations.demux_cost ())
+
+(* Extension (paper section 3.5): an IP gateway under transit flood. *)
+let bench_gateway () =
+  let open Lrp_engine in
+  let open Lrp_net in
+  let open Lrp_kernel in
+  let open Lrp_workload in
+  Common.print_title
+    "Extension: IP gateway under transit flood (section 3.5)";
+  Printf.printf "  %-14s %12s %12s %16s\n" "rate (pkts/s)" "BSD fwd/s"
+    "LRP fwd/s" "LRP local share";
+  List.iter
+    (fun rate ->
+      let run arch =
+        let engine = Engine.create () in
+        let net_a = Fabric.create engine () in
+        let net_b = Fabric.create engine () in
+        let cfg = Kernel.default_config arch in
+        let gw_cfg = { cfg with Kernel.forwarding = true } in
+        let client =
+          Kernel.create engine net_a ~name:"client"
+            ~ip:(Packet.ip_of_quad 10 0 0 10) cfg
+        in
+        let gw =
+          Kernel.create engine net_a ~name:"gw"
+            ~ip:(Packet.ip_of_quad 10 0 0 1) gw_cfg
+        in
+        ignore
+          (Kernel.add_interface gw net_b ~ip:(Packet.ip_of_quad 10 0 1 1) ());
+        let server =
+          Kernel.create engine net_b ~name:"server"
+            ~ip:(Packet.ip_of_quad 10 0 1 20) cfg
+        in
+        Fabric.set_default_gateway net_a ~ip:(Packet.ip_of_quad 10 0 0 1);
+        Fabric.set_default_gateway net_b ~ip:(Packet.ip_of_quad 10 0 1 1);
+        let app = Spinner.start (Kernel.cpu gw) ~nice:0 ~name:"local-app" () in
+        ignore (Blast.start_sink server ~port:9000 ());
+        ignore
+          (Blast.start_source engine (Kernel.nic client)
+             ~src:(Kernel.ip_address client)
+             ~dst:(Kernel.ip_address server, 9000)
+             ~rate ~size:14 ~until:(Time.sec 1.) ());
+        Engine.run engine ~until:(Time.sec 1.);
+        (float_of_int (Kernel.stats gw).Kernel.forwarded,
+         app.Lrp_sim.Proc.cpu_time /. Time.sec 1.)
+      in
+      let bsd_fwd, _ = run Kernel.Bsd in
+      let lrp_fwd, lrp_share = run Kernel.Soft_lrp in
+      Printf.printf "  %-14.0f %12.0f %12.0f %15.1f%%\n" rate bsd_fwd lrp_fwd
+        (100. *. lrp_share))
+    [ 2_000.; 8_000.; 14_000.; 20_000. ];
+  Printf.printf
+    "\n  BSD forwards at softint priority (and livelocks, taking local\n\
+    \  processes with it); LRP's forwarding daemon shares the CPU like any\n\
+    \  process.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the hot paths                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Lrp_engine in
+  let open Lrp_net in
+  let open Lrp_proto in
+  let pkt =
+    Packet.udp ~src:(Packet.ip_of_quad 10 0 0 1)
+      ~dst:(Packet.ip_of_quad 10 0 0 2) ~src_port:1234 ~dst_port:80
+      (Payload.synthetic 14)
+  in
+  let bytes = Codec.encode pkt in
+  let chan = Lrp_core.Channel.create ~limit:64 ~name:"bench" () in
+  let heap = Eheap.create () in
+  let rng = Rng.create 1 in
+  let sched = Lrp_sched.Sched.create () in
+  let threads =
+    List.init 8 (fun i ->
+        let th =
+          Lrp_sched.Sched.add_thread sched ~name:(Printf.sprintf "t%d" i) ()
+        in
+        Lrp_sched.Sched.make_runnable sched ~now:0. th;
+        th)
+  in
+  let tab = Lrp_core.Chantab.create () in
+  Lrp_core.Chantab.add_udp tab ~port:80
+    (Lrp_core.Channel.create ~name:"u80" ());
+  [ Test.make ~name:"demux/flow_of_packet (hot path)"
+      (Staged.stage (fun () -> ignore (Demux.flow_of_packet pkt)));
+    Test.make ~name:"demux/flow_of_bytes (NI firmware form)"
+      (Staged.stage (fun () -> ignore (Demux.flow_of_bytes bytes)));
+    Test.make ~name:"chantab/resolve"
+      (Staged.stage
+         (let flow = Demux.flow_of_packet pkt in
+          fun () -> ignore (Lrp_core.Chantab.resolve tab flow)));
+    Test.make ~name:"codec/encode"
+      (Staged.stage (fun () -> ignore (Codec.encode pkt)));
+    Test.make ~name:"codec/decode"
+      (Staged.stage (fun () -> ignore (Codec.decode bytes)));
+    Test.make ~name:"channel/enqueue+dequeue"
+      (Staged.stage (fun () ->
+           ignore (Lrp_core.Channel.enqueue chan pkt);
+           ignore (Lrp_core.Channel.dequeue chan)));
+    Test.make ~name:"eheap/add+pop"
+      (Staged.stage (fun () ->
+           Eheap.add heap ~key:(Rng.uniform rng) ();
+           ignore (Eheap.pop heap)));
+    Test.make ~name:"sched/pick (8 runnable)"
+      (Staged.stage (fun () -> ignore (Lrp_sched.Sched.pick sched)));
+    Test.make ~name:"sched/charge_tick"
+      (Staged.stage
+         (let th = List.hd threads in
+          fun () -> Lrp_sched.Sched.charge_tick sched th));
+    Test.make ~name:"rng/bits64"
+      (Staged.stage (fun () -> ignore (Rng.bits64 rng))) ]
+
+let bench_micro () =
+  let open Bechamel in
+  Common.print_title "Microbenchmarks (Bechamel, ns per run)";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analysed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-44s %10.1f ns\n" name ns
+          | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
+        analysed)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all_benches =
+  [ ("table1", bench_table1); ("fig3", bench_fig3); ("mlfrr", bench_mlfrr);
+    ("fig4", bench_fig4); ("table2", bench_table2); ("fig5", bench_fig5);
+    ("ablate-discard", bench_ablate_discard);
+    ("ablate-accounting", bench_ablate_accounting);
+    ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);
+    ("micro", bench_micro) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> List.map fst all_benches
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n all_benches) then begin
+              Printf.eprintf "unknown bench %S; available: %s\n" n
+                (String.concat ", " (List.map fst all_benches));
+              exit 1
+            end)
+          names;
+        names
+  in
+  Printf.printf
+    "LRP (OSDI'96) reproduction — regenerating the paper's evaluation%s\n"
+    (if !quick then " (quick mode)" else "");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let f = List.assoc name all_benches in
+      let s = Unix.gettimeofday () in
+      f ();
+      Printf.printf "  [%s finished in %.1fs wall time]\n" name
+        (Unix.gettimeofday () -. s))
+    selected;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,165 @@
+(* Command-line front end: run any of the paper's experiments, or a single
+   parameterised scenario, from the shell.
+
+     lrp_sim table1|fig3|fig4|table2|fig5|mlfrr [--quick]
+     lrp_sim blast --arch soft-lrp --rate 12000 --duration 2
+     lrp_sim ablations
+     lrp_sim gateway --arch bsd --rate 20000 *)
+
+open Cmdliner
+open Lrp_experiments
+open Lrp_engine
+open Lrp_net
+open Lrp_kernel
+open Lrp_workload
+
+let quick =
+  let doc = "Shrink workloads for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let arch_conv =
+  let parse = function
+    | "bsd" -> Ok Kernel.Bsd
+    | "soft-lrp" -> Ok Kernel.Soft_lrp
+    | "ni-lrp" -> Ok Kernel.Ni_lrp
+    | "early-demux" -> Ok Kernel.Early_demux
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Kernel.arch_name a) in
+  Arg.conv (parse, print)
+
+let arch =
+  let doc = "Kernel architecture: bsd, soft-lrp, ni-lrp or early-demux." in
+  Arg.(value & opt arch_conv Kernel.Soft_lrp & info [ "arch" ] ~doc)
+
+let rate =
+  let doc = "Offered load, packets per second." in
+  Arg.(value & opt float 10_000. & info [ "rate" ] ~doc)
+
+let duration =
+  let doc = "Run length, simulated seconds." in
+  Arg.(value & opt float 1. & info [ "duration" ] ~doc)
+
+(* --- paper experiments ------------------------------------------------- *)
+
+let experiment name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick)
+
+let table1_cmd =
+  experiment "table1" "Latency/throughput microbenchmarks (Table 1)"
+    (fun quick -> Table1.print (Table1.run ~quick ()))
+
+let fig3_cmd =
+  experiment "fig3" "Throughput vs offered load (Figure 3)" (fun quick ->
+      Fig3.print (Fig3.run ~quick ()))
+
+let mlfrr_cmd =
+  experiment "mlfrr" "Maximum loss-free receive rate" (fun quick ->
+      Fig3.print_mlfrr
+        (List.map
+           (fun sys -> (sys, Fig3.mlfrr ~quick sys))
+           [ Common.Bsd; Common.Soft_lrp; Common.Ni_lrp ]))
+
+let fig4_cmd =
+  experiment "fig4" "Latency with concurrent load (Figure 4)" (fun quick ->
+      Fig4.print (Fig4.run ~quick ()))
+
+let table2_cmd =
+  experiment "table2" "Synthetic RPC server workload (Table 2)" (fun quick ->
+      Table2.print (Table2.run ~quick ()))
+
+let fig5_cmd =
+  experiment "fig5" "HTTP throughput under SYN flood (Figure 5)" (fun quick ->
+      Fig5.print (Fig5.run ~quick ()))
+
+let ablations_cmd =
+  let run () =
+    Ablations.print_discard (Ablations.discard ());
+    Ablations.print_accounting (Ablations.accounting ());
+    Ablations.print_demux_cost (Ablations.demux_cost ())
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablations")
+    Term.(const run $ const ())
+
+(* --- parameterised one-off scenarios ----------------------------------- *)
+
+let blast_cmd =
+  let run arch rate duration =
+    let cfg = Kernel.default_config arch in
+    let w, client, server = World.pair ~cfg () in
+    let sink = Blast.start_sink server ~port:9000 () in
+    let src =
+      Blast.start_source (World.engine w) (Kernel.nic client)
+        ~src:(Kernel.ip_address client)
+        ~dst:(Kernel.ip_address server, 9000)
+        ~rate ~size:14 ~until:(Time.sec duration) ()
+    in
+    World.run w ~until:(Time.sec duration);
+    let st = Kernel.stats server in
+    let cpu = Kernel.cpu server in
+    Printf.printf "%s: offered %.0f pkts/s for %.1fs\n" (Kernel.arch_name arch)
+      rate duration;
+    Printf.printf "  sent %d, delivered %d (%.0f pkts/s)\n" src.Blast.sent
+      sink.Blast.received
+      (float_of_int sink.Blast.received /. duration);
+    Printf.printf "  early discards %d, ipq drops %d, demux drops %d\n"
+      (Kernel.early_discards server) st.Kernel.ipq_drops st.Kernel.demux_drops;
+    Printf.printf
+      "  server CPU: %.1f%% hardintr, %.1f%% softintr, %.1f%% user, %d switches\n"
+      (100. *. Lrp_sim.Cpu.time_hard cpu /. Time.sec duration)
+      (100. *. Lrp_sim.Cpu.time_soft cpu /. Time.sec duration)
+      (100. *. Lrp_sim.Cpu.time_user cpu /. Time.sec duration)
+      (Lrp_sim.Cpu.context_switches cpu)
+  in
+  Cmd.v
+    (Cmd.info "blast" ~doc:"One UDP overload point with full CPU breakdown")
+    Term.(const run $ arch $ rate $ duration)
+
+let gateway_cmd =
+  let run arch rate duration =
+    let engine = Engine.create () in
+    let net_a = Fabric.create engine () in
+    let net_b = Fabric.create engine () in
+    let cfg = Kernel.default_config arch in
+    let gw_cfg = { cfg with Kernel.forwarding = true } in
+    let client =
+      Kernel.create engine net_a ~name:"client"
+        ~ip:(Lrp_net.Packet.ip_of_quad 10 0 0 10) cfg
+    in
+    let gw =
+      Kernel.create engine net_a ~name:"gw"
+        ~ip:(Lrp_net.Packet.ip_of_quad 10 0 0 1) gw_cfg
+    in
+    ignore
+      (Kernel.add_interface gw net_b ~ip:(Lrp_net.Packet.ip_of_quad 10 0 1 1) ());
+    let server =
+      Kernel.create engine net_b ~name:"server"
+        ~ip:(Lrp_net.Packet.ip_of_quad 10 0 1 20) cfg
+    in
+    Fabric.set_default_gateway net_a ~ip:(Lrp_net.Packet.ip_of_quad 10 0 0 1);
+    Fabric.set_default_gateway net_b ~ip:(Lrp_net.Packet.ip_of_quad 10 0 1 1);
+    let sink = Blast.start_sink server ~port:9000 () in
+    ignore
+      (Blast.start_source engine (Kernel.nic client)
+         ~src:(Kernel.ip_address client)
+         ~dst:(Kernel.ip_address server, 9000)
+         ~rate ~size:14 ~until:(Time.sec duration) ());
+    Engine.run engine ~until:(Time.sec duration);
+    Printf.printf "%s gateway: %.0f pkts/s transit for %.1fs\n"
+      (Kernel.arch_name arch) rate duration;
+    Printf.printf "  forwarded %d, delivered end-to-end %d\n"
+      (Kernel.stats gw).Kernel.forwarded sink.Blast.received
+  in
+  Cmd.v (Cmd.info "gateway" ~doc:"Transit flood through an IP gateway")
+    Term.(const run $ arch $ rate $ duration)
+
+let main () =
+  let info = Cmd.info "lrp_sim" ~doc:"LRP (OSDI'96) reproduction harness" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ table1_cmd; fig3_cmd; mlfrr_cmd; fig4_cmd; table2_cmd; fig5_cmd;
+            ablations_cmd; blast_cmd; gateway_cmd ]))
+
+let () = main ()

@@ -1,0 +1,108 @@
+(** NI channels (paper section 3.1).
+
+    An NI channel is the queue shared between the network interface and the
+    rest of the kernel.  Each socket gets its own channel; all received
+    traffic for the socket flows through it.  The channel is where LRP's two
+    load-control mechanisms live:
+
+    - {b early packet discard}: once the queue is full, further packets for
+      this socket are silently dropped by the NI (or the interrupt handler,
+      for soft demux) before any host resources are invested;
+    - {b feedback}: because receiver protocol processing runs at the
+      receiving application's priority, a receiver that cannot keep up stops
+      draining its channel, and the overload is shed at the NI without
+      affecting any other socket.
+
+    [processing_enabled] implements the listening-socket rule of section
+    3.4: protocol processing is disabled for listeners whose backlog is
+    exceeded, causing further SYNs to die here, cheaply.
+
+    [intr_requested] is the interrupt-suppression flag of section 3.3: the
+    NI raises a host interrupt only when the queue transitions from empty to
+    non-empty and a receiver asked to be notified. *)
+
+open Lrp_net
+
+type t = {
+  id : int;
+  chan_name : string;
+  queue : Packet.t Queue.t;
+  limit : int;
+  mutable intr_requested : bool;
+  mutable processing_enabled : bool;
+  (* statistics *)
+  mutable enqueued : int;
+  mutable discarded : int;        (* early discards: queue full *)
+  mutable discarded_disabled : int; (* discards due to disabled processing *)
+}
+
+let id_counter = ref 0
+
+let create ?(limit = 32) ~name () =
+  incr id_counter;
+  { id = !id_counter; chan_name = name; queue = Queue.create (); limit;
+    intr_requested = false; processing_enabled = true; enqueued = 0;
+    discarded = 0; discarded_disabled = 0 }
+
+let name t = t.chan_name
+let id t = t.id
+
+type enqueue_result =
+  | Queued of [ `Was_empty | `Was_nonempty ]
+  | Discarded
+
+(* [enqueue t pkt] is what the NI does on packet arrival: early discard when
+   the queue is full or processing is disabled, FIFO append otherwise. *)
+let enqueue t pkt =
+  if not t.processing_enabled then begin
+    t.discarded_disabled <- t.discarded_disabled + 1;
+    Discarded
+  end
+  else if Queue.length t.queue >= t.limit then begin
+    t.discarded <- t.discarded + 1;
+    Discarded
+  end
+  else begin
+    let was_empty = Queue.is_empty t.queue in
+    Queue.add pkt t.queue;
+    t.enqueued <- t.enqueued + 1;
+    Queued (if was_empty then `Was_empty else `Was_nonempty)
+  end
+
+let dequeue t = Queue.take_opt t.queue
+
+let peek t = Queue.peek_opt t.queue
+
+let length t = Queue.length t.queue
+
+let is_empty t = Queue.is_empty t.queue
+
+(* Remove queued packets matching [pred]; used by IP reassembly to fish
+   missing fragments out of the special fragment channel. *)
+let extract t pred =
+  let keep = Queue.create () in
+  let out = ref [] in
+  Queue.iter (fun p -> if pred p then out := p :: !out else Queue.add p keep) t.queue;
+  Queue.clear t.queue;
+  Queue.transfer keep t.queue;
+  List.rev !out
+
+let request_interrupt t = t.intr_requested <- true
+
+let clear_interrupt_request t = t.intr_requested <- false
+
+let interrupt_requested t = t.intr_requested
+
+let enable_processing t = t.processing_enabled <- true
+
+let disable_processing t = t.processing_enabled <- false
+
+let processing_enabled t = t.processing_enabled
+
+let enqueued t = t.enqueued
+let discarded t = t.discarded
+let discarded_disabled t = t.discarded_disabled
+
+let pp fmt t =
+  Fmt.pf fmt "chan %s#%d [%d/%d] in=%d drop=%d" t.chan_name t.id
+    (Queue.length t.queue) t.limit t.enqueued (t.discarded + t.discarded_disabled)

@@ -1,0 +1,82 @@
+(** Channel table: maps a demultiplexed {!Lrp_proto.Demux.flow} to the NI
+    channel that should receive the packet.
+
+    Resolution rules (mirroring the PCB rules, executed by the NI / the
+    interrupt handler):
+
+    - UDP: the channel of the socket bound to the destination port;
+    - TCP: the connection's own channel (created when the connection —
+      even an embryonic one — comes into existence), falling back to the
+      listening socket's channel for connection-establishment requests;
+    - non-first IP fragments: a dedicated fragment channel that the IP
+      reassembly code checks when it is missing pieces (section 3.2);
+    - ICMP and other non-endpoint protocols: the proxy daemon's channel
+      (section 3.5). *)
+
+open Lrp_net
+open Lrp_proto
+
+type t = {
+  udp : (int, Channel.t) Hashtbl.t;                         (* local port *)
+  tcp_exact : (Packet.ip * int * int, Channel.t) Hashtbl.t; (* src, sport, dport *)
+  tcp_listen : (int, Channel.t) Hashtbl.t;
+  frag : Channel.t;
+  icmp : Channel.t;
+  fwd : Channel.t;  (* IP-forwarding daemon's channel (section 3.5) *)
+  mutable unmatched : int;
+}
+
+let create ?(frag_limit = 64) ?(icmp_limit = 32) ?(fwd_limit = 64) () =
+  { udp = Hashtbl.create 64; tcp_exact = Hashtbl.create 256;
+    tcp_listen = Hashtbl.create 16;
+    frag = Channel.create ~limit:frag_limit ~name:"frag" ();
+    icmp = Channel.create ~limit:icmp_limit ~name:"icmp" ();
+    fwd = Channel.create ~limit:fwd_limit ~name:"ipfwd" ();
+    unmatched = 0 }
+
+let frag_channel t = t.frag
+let icmp_channel t = t.icmp
+let fwd_channel t = t.fwd
+
+let add_udp t ~port ch =
+  if Hashtbl.mem t.udp port then invalid_arg "Chantab.add_udp: port in use";
+  Hashtbl.replace t.udp port ch
+
+let remove_udp t ~port = Hashtbl.remove t.udp port
+
+let add_tcp t ~src ~src_port ~dst_port ch =
+  Hashtbl.replace t.tcp_exact (src, src_port, dst_port) ch
+
+let remove_tcp t ~src ~src_port ~dst_port =
+  Hashtbl.remove t.tcp_exact (src, src_port, dst_port)
+
+let add_tcp_listen t ~port ch =
+  if Hashtbl.mem t.tcp_listen port then
+    invalid_arg "Chantab.add_tcp_listen: port in use";
+  Hashtbl.replace t.tcp_listen port ch
+
+let remove_tcp_listen t ~port = Hashtbl.remove t.tcp_listen port
+
+(* [resolve t flow] finds the destination channel, or [None] when no
+   endpoint matches (the packet is then dropped — with zero host investment
+   under NI demux). *)
+let resolve t flow =
+  let result =
+    match (flow : Demux.flow) with
+    | Demux.Udp_flow { dst_port; _ } -> Hashtbl.find_opt t.udp dst_port
+    | Demux.Tcp_flow { src; src_port; dst_port; syn_only } ->
+        (match Hashtbl.find_opt t.tcp_exact (src, src_port, dst_port) with
+         | Some ch -> Some ch
+         | None ->
+             if syn_only then Hashtbl.find_opt t.tcp_listen dst_port else None)
+    | Demux.Frag_flow _ -> Some t.frag
+    | Demux.Icmp_flow -> Some t.icmp
+    | Demux.Other_flow _ -> None
+  in
+  if Option.is_none result then t.unmatched <- t.unmatched + 1;
+  result
+
+let unmatched t = t.unmatched
+
+let udp_channel_count t = Hashtbl.length t.udp
+let tcp_channel_count t = Hashtbl.length t.tcp_exact

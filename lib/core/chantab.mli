@@ -1,0 +1,43 @@
+(** Channel table: maps a demultiplexed {!Lrp_proto.Demux.flow} to the NI
+    channel that should receive the packet.
+
+    Resolution rules (mirroring the PCB rules, executed by the NI / the
+    interrupt handler):
+
+    - UDP: the channel of the socket bound to the destination port;
+    - TCP: the connection's own channel (created when the connection —
+      even an embryonic one — comes into existence), falling back to the
+      listening socket's channel for connection-establishment requests;
+    - non-first IP fragments: a dedicated fragment channel that the IP
+      reassembly code checks when it is missing pieces (section 3.2);
+    - ICMP and other non-endpoint protocols: the proxy daemon's channel
+      (section 3.5). *)
+
+type t = {
+  udp : (int, Channel.t) Hashtbl.t;
+  tcp_exact : (Lrp_net.Packet.ip * int * int, Channel.t) Hashtbl.t;
+  tcp_listen : (int, Channel.t) Hashtbl.t;
+  frag : Channel.t;
+  icmp : Channel.t;
+  fwd : Channel.t;
+  mutable unmatched : int;
+}
+val create :
+  ?frag_limit:int -> ?icmp_limit:int -> ?fwd_limit:int -> unit -> t
+val frag_channel : t -> Channel.t
+val icmp_channel : t -> Channel.t
+val fwd_channel : t -> Channel.t
+val add_udp : t -> port:int -> Channel.t -> unit
+val remove_udp : t -> port:int -> unit
+val add_tcp :
+  t ->
+  src:Lrp_net.Packet.ip ->
+  src_port:int -> dst_port:int -> Channel.t -> unit
+val remove_tcp :
+  t -> src:Lrp_net.Packet.ip -> src_port:int -> dst_port:int -> unit
+val add_tcp_listen : t -> port:int -> Channel.t -> unit
+val remove_tcp_listen : t -> port:int -> unit
+val resolve : t -> Lrp_proto.Demux.flow -> Channel.t option
+val unmatched : t -> int
+val udp_channel_count : t -> int
+val tcp_channel_count : t -> int

@@ -1,0 +1,25 @@
+(** Min-heap of timestamped entries with stable FIFO tie-breaking.
+
+    The event queue of the simulator.  Entries inserted with equal keys pop
+    in insertion order, which keeps simulations deterministic when many
+    events share a timestamp. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> 'a -> unit
+(** [add t ~key v] inserts [v] with priority [key]. *)
+
+val min_key : 'a t -> float option
+(** Smallest key currently in the heap, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key (FIFO among equal
+    keys). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,69 @@
+type event = { mutable live : bool; fn : unit -> unit }
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Eheap.t;
+  root_rng : Rng.t;
+  mutable live_count : int;
+  mutable executed : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero; queue = Eheap.create (); root_rng = Rng.create seed;
+    live_count = 0; executed = 0 }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule t ~at fn =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%.3f is before now=%.3f" at t.clock);
+  let ev = { live = true; fn } in
+  Eheap.add t.queue ~key:at ev;
+  t.live_count <- t.live_count + 1;
+  ev
+
+let schedule_after t ~delay fn = schedule t ~at:(t.clock +. delay) fn
+
+let cancel t ev =
+  if ev.live then begin
+    ev.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let is_pending _t ev = ev.live
+
+let pending_events t = t.live_count
+
+let events_executed t = t.executed
+
+let step t =
+  match Eheap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+      if ev.live then begin
+        ev.live <- false;
+        t.live_count <- t.live_count - 1;
+        t.clock <- at;
+        t.executed <- t.executed + 1;
+        ev.fn ()
+      end;
+      true
+
+let run_while t pred ~until =
+  let rec loop () =
+    if pred () then
+      match Eheap.min_key t.queue with
+      | Some key when key <= until ->
+          ignore (step t);
+          loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  if t.clock < until then t.clock <- until
+
+let run t ~until = run_while t (fun () -> true) ~until

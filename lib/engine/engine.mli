@@ -1,0 +1,55 @@
+(** Discrete-event simulation engine.
+
+    An engine owns the virtual clock and the pending-event queue.  Events are
+    thunks executed at their scheduled virtual time; an event may schedule or
+    cancel further events.  Time never goes backwards: scheduling in the past
+    is an error. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event, for cancellation.  Cancellation is lazy:
+    the slot stays in the queue but the thunk will not run. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with clock at zero and an empty queue.  [seed] initialises
+    the engine's root RNG (default 42). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG.  Long-lived components should [Rng.split] their
+    own stream off it at setup time. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] at virtual time [at].
+    @raise Invalid_argument if [at] is before [now t]. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f]. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event.  Cancelling an already-run or already-cancelled
+    event is a no-op. *)
+
+val is_pending : t -> handle -> bool
+
+val pending_events : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val events_executed : t -> int
+(** Total events executed so far (for performance reporting). *)
+
+val run : t -> until:Time.t -> unit
+(** Execute events in timestamp order until the queue is exhausted or the
+    next event lies beyond [until].  The clock is left at the time of the
+    last executed event, or at [until] if that is later. *)
+
+val run_while : t -> (unit -> bool) -> until:Time.t -> unit
+(** Like [run] but also stops (after the current event) once the predicate
+    turns false. *)
+
+val step : t -> bool
+(** Execute the single next event.  Returns [false] if the queue was
+    empty. *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator.
+
+    A self-contained SplitMix64 implementation.  Every stochastic decision in
+    the simulator draws from an explicit [Rng.t] so that simulation runs are
+    reproducible from a seed, independent of the OCaml stdlib [Random]
+    state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream from [t], advancing
+    [t].  Used to give each traffic source its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** [uniform t] is a uniform float in [\[0, 1)]. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution.  Used for
+    Poisson inter-arrival times in traffic generators. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

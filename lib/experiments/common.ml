@@ -1,0 +1,52 @@
+(** Shared pieces of the experiment harnesses. *)
+
+open Lrp_kernel
+
+(* The systems the paper compares.  "SunOS + Fore driver" is the BSD
+   architecture with the vendor driver's (slower) cost profile. *)
+type system = Sunos_fore | Bsd | Ni_lrp | Soft_lrp | Early_demux
+
+let system_name = function
+  | Sunos_fore -> "SunOS/Fore"
+  | Bsd -> "4.4BSD"
+  | Ni_lrp -> "NI-LRP"
+  | Soft_lrp -> "SOFT-LRP"
+  | Early_demux -> "Early-Demux"
+
+let config_of_system ?(tune = fun (c : Kernel.config) -> c) sys =
+  let cfg =
+    match sys with
+    | Sunos_fore -> Kernel.default_config ~costs:Cost.sunos_fore Kernel.Bsd
+    | Bsd -> Kernel.default_config Kernel.Bsd
+    | Ni_lrp -> Kernel.default_config Kernel.Ni_lrp
+    | Soft_lrp -> Kernel.default_config Kernel.Soft_lrp
+    | Early_demux -> Kernel.default_config Kernel.Early_demux
+  in
+  tune cfg
+
+let table1_systems = [ Sunos_fore; Bsd; Ni_lrp; Soft_lrp ]
+let fig3_systems = [ Bsd; Ni_lrp; Soft_lrp; Early_demux ]
+let fig4_systems = [ Bsd; Soft_lrp; Ni_lrp ]
+let table2_systems = [ Bsd; Soft_lrp; Ni_lrp ]
+let fig5_systems = [ Bsd; Soft_lrp ]
+
+(* --- plain-text rendering -------------------------------------------- *)
+
+let hr width = String.make width '-'
+
+let print_title title =
+  Printf.printf "\n%s\n%s\n" title (hr (String.length title))
+
+let print_row fmt = Printf.printf fmt
+
+(* Render an ASCII series plot: one line per x value, a bar whose length is
+   proportional to y. *)
+let print_series ~xlabel ~ylabel ~ymax rows =
+  Printf.printf "  %-12s %-10s\n" xlabel ylabel;
+  List.iter
+    (fun (x, y) ->
+      let bar_len =
+        if ymax <= 0. then 0 else int_of_float (y /. ymax *. 50.)
+      in
+      Printf.printf "  %-12.0f %-10.0f %s\n" x y (String.make (max 0 bar_len) '#'))
+    rows

@@ -1,0 +1,18 @@
+(** Shared pieces of the experiment harnesses. *)
+
+type system = Sunos_fore | Bsd | Ni_lrp | Soft_lrp | Early_demux
+val system_name : system -> string
+val config_of_system :
+  ?tune:(Lrp_kernel.Kernel.config -> Lrp_kernel.Kernel.config) ->
+  system -> Lrp_kernel.Kernel.config
+val table1_systems : system list
+val fig3_systems : system list
+val fig4_systems : system list
+val table2_systems : system list
+val fig5_systems : system list
+val hr : int -> string
+val print_title : string -> unit
+val print_row : ('a, out_channel, unit) format -> 'a
+val print_series :
+  xlabel:string ->
+  ylabel:string -> ymax:float -> (float * float) list -> unit

@@ -1,0 +1,28 @@
+(** Figure 5: HTTP server throughput under a SYN flood.
+
+    Eight closed-loop HTTP clients saturate an NCSA-style process-per-
+    request HTTP server while a third machine floods a dummy port on the
+    server with TCP connection-establishment requests from spoofed
+    addresses.  TIME_WAIT is shortened to 500 ms, as in the paper, to keep
+    the PCB tables out of the picture.
+
+    Paper shapes: BSD's HTTP throughput collapses steeply, entering
+    livelock near 10,000 SYN/s (softint SYN processing starves the server
+    processes; beyond ~6,400 SYN/s the shared IP queue also drops real HTTP
+    traffic).  SOFT-LRP declines only with the demultiplexing overhead and
+    still serves ~50 % of its maximum at 20,000 SYN/s; dummy SYNs die
+    cheaply on the (backlog-disabled) listen channel and never cost HTTP
+    traffic a packet. *)
+
+type point = {
+  syn_rate : float;
+  http_per_sec : float;
+  failed : int;
+  syn_discards : int;
+}
+type row = { system : Common.system; points : point list; }
+val measure :
+  Common.system -> syn_rate:float -> duration:float -> point
+val default_rates : float list
+val run : ?quick:bool -> ?rates:float list -> unit -> row list
+val print : row list -> unit

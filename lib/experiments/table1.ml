@@ -1,0 +1,82 @@
+(** Table 1: baseline round-trip latency and throughput.
+
+    Demonstrates that LRP's overload robustness costs nothing at low load:
+    RTT and UDP/TCP throughput are on par with 4.4BSD, and the SunOS/Fore
+    profile trails on latency and UDP bandwidth.
+
+    Paper values (SunOS/Fore, 4.4BSD, NI-LRP, SOFT-LRP):
+    RTT 1006/855/840/864 us; UDP 64/82/92/86 Mbit/s; TCP 63/69/67/66. *)
+
+open Lrp_engine
+open Lrp_kernel
+open Lrp_workload
+
+type row = {
+  system : Common.system;
+  rtt_us : float;
+  udp_mbps : float;
+  tcp_mbps : float;
+}
+
+let measure_rtt sys ~rounds =
+  let cfg = Common.config_of_system sys in
+  let w, client, server = World.pair ~cfg () in
+  ignore (Pingpong.start_server server ~port:7);
+  let cl =
+    Pingpong.start_client client ~dst:(Kernel.ip_address server, 7) ~rounds ()
+  in
+  World.run w ~until:(Time.sec 60.);
+  Lrp_stats.Stats.Samples.mean cl.Pingpong.rtts
+
+let measure_udp sys ~total =
+  let cfg = Common.config_of_system sys in
+  let w, client, server = World.pair ~cfg () in
+  let r =
+    Udp_window.run w ~sender:client ~receiver:server ~port:5002 ~total
+      ~until:(Time.sec 60.) ()
+  in
+  Udp_window.mbps r
+
+let measure_tcp sys ~total =
+  let cfg = Common.config_of_system sys in
+  let w, client, server = World.pair ~cfg () in
+  let r =
+    Tcp_bulk.run w ~sender:client ~receiver:server ~port:5003 ~total
+      ~until:(Time.sec 120.) ()
+  in
+  Tcp_bulk.mbps r
+
+(* [run ()] measures all three microbenchmarks for each system.  [quick]
+   shrinks the workload for use in the test suite. *)
+let run ?(quick = false) () =
+  let rounds = if quick then 200 else 10_000 in
+  let udp_total = if quick then 400 else 3_000 in
+  let tcp_total = if quick then 2_000_000 else 24 * 1024 * 1024 in
+  List.map
+    (fun sys ->
+      { system = sys;
+        rtt_us = measure_rtt sys ~rounds;
+        udp_mbps = measure_udp sys ~total:udp_total;
+        tcp_mbps = measure_tcp sys ~total:tcp_total })
+    Common.table1_systems
+
+let paper =
+  [ (Common.Sunos_fore, (1006., 64., 63.)); (Common.Bsd, (855., 82., 69.));
+    (Common.Ni_lrp, (840., 92., 67.)); (Common.Soft_lrp, (864., 86., 66.)) ]
+
+let print rows =
+  Common.print_title
+    "Table 1: Throughput and Latency (measured | paper)";
+  Printf.printf "  %-12s %22s %22s %22s\n" "System" "RTT (us)"
+    "UDP (Mbit/s)" "TCP (Mbit/s)";
+  List.iter
+    (fun r ->
+      let p_rtt, p_udp, p_tcp =
+        match List.assoc_opt r.system paper with
+        | Some v -> v
+        | None -> (nan, nan, nan)
+      in
+      Printf.printf "  %-12s %12.0f | %6.0f %12.1f | %6.1f %12.1f | %6.1f\n"
+        (Common.system_name r.system) r.rtt_us p_rtt r.udp_mbps p_udp
+        r.tcp_mbps p_tcp)
+    rows

@@ -1,0 +1,25 @@
+(** Table 2: synthetic RPC server workload.
+
+    Measures throughput and fairness without overload: a memory-bound
+    worker (11.5 s of CPU) completes alongside two RPC server processes
+    driven at their maximal rate.  Paper results: the worker finishes in
+    49.7/38.7/34.6 s (Fast case, BSD/SOFT-LRP/NI-LRP) while the RPC rate is
+    equal or better under LRP; the worker's CPU share is 23-26 % under BSD
+    versus 29-33 % (near the ideal 1/3) under LRP, showing BSD's
+    mis-accounting penalises the compute-bound process. *)
+
+type row = {
+  system : Common.system;
+  cls : Lrp_workload.Rpc.cls;
+  worker_elapsed_s : float;
+  rpcs_per_sec : float;
+  worker_share : float;
+}
+val measure :
+  Common.system ->
+  Lrp_workload.Rpc.cls -> worker_cpu:float -> row
+val run : ?quick:bool -> unit -> row list
+val paper :
+  ((Lrp_workload.Rpc.cls * Common.system) * (float * float))
+  list
+val print : row list -> unit

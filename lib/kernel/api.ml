@@ -1,0 +1,501 @@
+(** Socket system calls.
+
+    Every function here runs in simulated process context (inside a
+    {!Lrp_sim.Proc} coroutine) and charges CPU through {!Lrp_sim.Proc.compute}.
+    This is where the architectural difference on the receive path is most
+    visible:
+
+    - under BSD / Early-Demux, [recvfrom] finds fully-processed datagrams on
+      the socket queue (deposited by software interrupts) and merely copies
+      them out;
+    - under LRP, [recvfrom] takes {e raw packets} off the socket's NI
+      channel and performs IP and UDP processing right here, in the
+      receiving process's context, at its priority, charged to it —
+      the "lazy receiver processing" the paper is named after
+      (section 3.3). *)
+
+open Lrp_sim
+open Lrp_net
+open Lrp_proto
+open Lrp_core
+
+type dgram = Socket.udp_datagram = {
+  dg_payload : Payload.t;
+  dg_from : Packet.ip * int;
+}
+
+exception Socket_closed
+
+let c (k : Kernel.t) = Kernel.costs k
+
+(* Number of IP fragments a datagram of [bytes] payload needs. *)
+let frag_count (k : Kernel.t) ~header ~bytes =
+  let mtu = (Kernel.config k).Kernel.mtu in
+  let total = Packet.ip_header_bytes + header + bytes in
+  if total <= mtu then 1
+  else
+    let cap = (mtu - Packet.ip_header_bytes) / 8 * 8 in
+    (header + bytes + cap - 1) / cap
+
+(* ------------------------------------------------------------------ *)
+(* Socket lifecycle                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let socket_dgram k =
+  ignore k;
+  Socket.create ~udp_rcv_limit:(Kernel.config k).Kernel.udp_rcv_limit
+    Socket.Dgram
+
+let socket_stream k =
+  ignore k;
+  Socket.create Socket.Stream
+
+(* [bind k sock ~owner ~port] binds a datagram socket to a local port.
+   Under LRP this also creates the socket's NI channel (section 3.1). *)
+let bind k (sock : Socket.t) ~owner ~port =
+  if sock.Socket.kind <> Socket.Dgram then
+    invalid_arg "Api.bind: datagram sockets only";
+  if Hashtbl.mem k.Kernel.udp_ports port then invalid_arg "Api.bind: port in use";
+  if Hashtbl.mem k.Kernel.mcast_members port then
+    invalid_arg "Api.bind: port in use by a multicast group";
+  sock.Socket.port <- Some port;
+  sock.Socket.owner <- owner;
+  Hashtbl.replace k.Kernel.udp_ports port sock;
+  if Kernel.lrp_mode k then begin
+    let ch =
+      Channel.create ~limit:(Kernel.config k).Kernel.channel_limit
+        ~name:(Printf.sprintf "udp:%d" port) ()
+    in
+    Chantab.add_udp (Kernel.chantab k) ~port ch;
+    Hashtbl.replace k.Kernel.chan_sock (Channel.id ch) sock;
+    sock.Socket.chan <- Some ch;
+    k.Kernel.all_channels <- ch :: k.Kernel.all_channels;
+    k.Kernel.udp_channels <- ch :: k.Kernel.udp_channels
+  end
+
+let bind_ephemeral k sock ~owner =
+  let port = Kernel.fresh_port k in
+  bind k sock ~owner ~port;
+  port
+
+(* [join_group k sock ~owner ~group ~port] subscribes a datagram socket to
+   a multicast group.  All members of the group share a single NI channel
+   (paper section 3.1); the first joiner creates it. *)
+let join_group k (sock : Socket.t) ~owner ~group ~port =
+  if not (Packet.is_multicast_addr group) then
+    invalid_arg "Api.join_group: not a multicast address";
+  if sock.Socket.kind <> Socket.Dgram then
+    invalid_arg "Api.join_group: datagram sockets only";
+  if Hashtbl.mem k.Kernel.udp_ports port then
+    invalid_arg "Api.join_group: port bound by a unicast socket";
+  sock.Socket.port <- Some port;
+  sock.Socket.owner <- owner;
+  let members =
+    match Hashtbl.find_opt k.Kernel.mcast_members port with
+    | Some m -> m
+    | None ->
+        let m = ref [] in
+        Hashtbl.replace k.Kernel.mcast_members port m;
+        if Kernel.lrp_mode k then begin
+          (* One shared channel for the whole group. *)
+          let ch =
+            Channel.create ~limit:(Kernel.config k).Kernel.channel_limit
+              ~name:(Printf.sprintf "udp-mcast:%d" port) ()
+          in
+          Chantab.add_udp (Kernel.chantab k) ~port ch;
+          k.Kernel.all_channels <- ch :: k.Kernel.all_channels;
+          k.Kernel.udp_channels <- ch :: k.Kernel.udp_channels
+        end;
+        m
+  in
+  members := sock :: !members;
+  (* Members read raw packets from the shared channel. *)
+  if Kernel.lrp_mode k then begin
+    match Chantab.resolve (Kernel.chantab k)
+            (Lrp_proto.Demux.Udp_flow { src = 0; src_port = 0; dst_port = port })
+    with
+    | Some ch -> sock.Socket.chan <- Some ch
+    | None -> ()
+  end
+
+let leave_group k (sock : Socket.t) ~port =
+  match Hashtbl.find_opt k.Kernel.mcast_members port with
+  | None -> ()
+  | Some members ->
+      members := List.filter (fun s -> s.Socket.id <> sock.Socket.id) !members;
+      sock.Socket.chan <- None;
+      if !members = [] then begin
+        Hashtbl.remove k.Kernel.mcast_members port;
+        if Kernel.lrp_mode k then begin
+          Chantab.remove_udp (Kernel.chantab k) ~port;
+          k.Kernel.udp_channels <-
+            List.filter
+              (fun ch -> Channel.name ch <> Printf.sprintf "udp-mcast:%d" port)
+              k.Kernel.udp_channels
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* UDP send                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sendto k ~(self : Proc.t) (sock : Socket.t) ~dst:(dip, dport) payload =
+  if sock.Socket.closed then raise Socket_closed;
+  let sport =
+    match sock.Socket.port with
+    | Some p -> p
+    | None -> bind_ephemeral k sock ~owner:(Some self)
+  in
+  let len = Payload.length payload in
+  let frags = frag_count k ~header:Packet.udp_header_bytes ~bytes:len in
+  Proc.compute
+    ((c k).Cost.syscall
+     +. ((c k).Cost.copy_per_byte *. float_of_int len)
+     +. Kernel.udp_send_cost k ~frags);
+  let pkt =
+    Packet.udp ~src:(Kernel.ip_address k) ~dst:dip ~src_port:sport
+      ~dst_port:dport payload
+  in
+  sock.Socket.stats.Socket.tx_packets <- sock.Socket.stats.Socket.tx_packets + 1;
+  Kernel.ip_output k pkt
+
+let send_dgram k ~self sock payload =
+  match sock.Socket.remote with
+  | Some dst -> sendto k ~self sock ~dst payload
+  | None -> invalid_arg "Api.send_dgram: socket has no default destination"
+
+let udp_connect _k (sock : Socket.t) ~remote = sock.Socket.remote <- Some remote
+
+(* ------------------------------------------------------------------ *)
+(* UDP receive                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pop_ready k (sock : Socket.t) =
+  match Queue.take_opt sock.Socket.udp_rcv with
+  | None -> None
+  | Some dg ->
+      let len = Payload.length dg.Socket.dg_payload in
+      let dequeue_cost =
+        (* BSD dequeues from the socket buffer, walking and freeing the
+           mbuf chain; LRP's ready queue is a plain channel-style queue. *)
+        if Kernel.lrp_mode k then (c k).Cost.sockq
+        else (c k).Cost.sockbuf_op +. (c k).Cost.mbuf_free
+      in
+      Proc.compute
+        (dequeue_cost +. ((c k).Cost.copy_per_byte *. float_of_int len));
+      Kernel.free_rx_mbufs k
+        (len + Packet.ip_header_bytes + Packet.udp_header_bytes);
+      sock.Socket.stats.Socket.rx_delivered <-
+        sock.Socket.stats.Socket.rx_delivered + 1;
+      Some dg
+
+(* [recvfrom k ~self sock] blocks until a datagram is available and returns
+   it.  Under LRP, performs the protocol processing lazily here. *)
+let recvfrom k ~(self : Proc.t) (sock : Socket.t) =
+  ignore self;
+  if sock.Socket.kind <> Socket.Dgram then
+    invalid_arg "Api.recvfrom: datagram sockets only";
+  Proc.compute (c k).Cost.syscall;
+  let rec loop () =
+    if sock.Socket.closed then raise Socket_closed;
+    match pop_ready k sock with
+    | Some dg -> dg
+    | None ->
+        (match sock.Socket.chan with
+         | Some ch when Kernel.lrp_mode k ->
+             (* LRP: take a raw packet off the NI channel and process it
+                now, in our own context. *)
+             (match Channel.dequeue ch with
+              | Some pkt ->
+                  let completed =
+                    Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+                  in
+                  List.iter (Kernel.deliver_udp_ready k) completed;
+                  loop ()
+              | None ->
+                  Channel.request_interrupt ch;
+                  Proc.block sock.Socket.recv_wait;
+                  loop ())
+         | Some _ | None ->
+             Proc.block sock.Socket.recv_wait;
+             loop ())
+  in
+  loop ()
+
+(* [recvfrom_timeout k ~self sock ~timeout] is [recvfrom] with a deadline:
+   [None] if no datagram arrived in time. *)
+let recvfrom_timeout k ~(self : Proc.t) (sock : Socket.t) ~timeout =
+  ignore self;
+  Proc.compute (c k).Cost.syscall;
+  let engine = Kernel.engine k in
+  let deadline = Lrp_engine.Engine.now engine +. timeout in
+  let expired = ref false in
+  let timer =
+    Lrp_engine.Engine.schedule engine ~at:deadline (fun () ->
+        expired := true;
+        Kernel.wake_all k sock.Socket.recv_wait)
+  in
+  let finish v =
+    Lrp_engine.Engine.cancel engine timer;
+    v
+  in
+  let rec loop () =
+    if sock.Socket.closed then finish None
+    else
+      match pop_ready k sock with
+      | Some dg -> finish (Some dg)
+      | None ->
+          if !expired then finish None
+          else
+            (match sock.Socket.chan with
+             | Some ch when Kernel.lrp_mode k ->
+                 (match Lrp_core.Channel.dequeue ch with
+                  | Some pkt ->
+                      let completed =
+                        Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+                      in
+                      List.iter (Kernel.deliver_udp_ready k) completed;
+                      loop ()
+                  | None ->
+                      Lrp_core.Channel.request_interrupt ch;
+                      Proc.block sock.Socket.recv_wait;
+                      loop ())
+             | Some _ | None ->
+                 Proc.block sock.Socket.recv_wait;
+                 loop ())
+  in
+  loop ()
+
+(* Non-blocking variant: [None] when nothing is available right now. *)
+let try_recvfrom k ~(self : Proc.t) (sock : Socket.t) =
+  ignore self;
+  Proc.compute (c k).Cost.syscall;
+  let rec drain_chan () =
+    match sock.Socket.chan with
+    | Some ch when Kernel.lrp_mode k ->
+        (match Channel.dequeue ch with
+         | Some pkt ->
+             let completed =
+               Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+             in
+             List.iter (Kernel.deliver_udp_ready k) completed;
+             (match pop_ready k sock with
+              | Some dg -> Some dg
+              | None -> drain_chan ())
+         | None -> None)
+    | Some _ | None -> None
+  in
+  match pop_ready k sock with Some dg -> Some dg | None -> drain_chan ()
+
+(* ------------------------------------------------------------------ *)
+(* TCP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_listen k ~(self : Proc.t) (sock : Socket.t) ~port ~backlog =
+  if sock.Socket.kind <> Socket.Stream then
+    invalid_arg "Api.tcp_listen: stream sockets only";
+  if Hashtbl.mem k.Kernel.tcp_listeners port then
+    invalid_arg "Api.tcp_listen: port in use";
+  Proc.compute (c k).Cost.syscall;
+  let cfg = Kernel.config k in
+  let listener =
+    Tcp.create_listener (Kernel.tcp_env_exn k) ~local_ip:(Kernel.ip_address k)
+      ~local_port:port ~sndq_limit:cfg.Kernel.sock_buf
+      ~rcv_buf_limit:cfg.Kernel.sock_buf ~backlog ()
+  in
+  sock.Socket.port <- Some port;
+  sock.Socket.tcp <- Some listener;
+  sock.Socket.owner <- Some self;
+  Hashtbl.replace k.Kernel.tcp_listeners port listener;
+  Hashtbl.replace k.Kernel.conn_sock listener.Tcp.id sock;
+  Hashtbl.replace k.Kernel.conn_owner listener.Tcp.id self;
+  if Kernel.lrp_mode k then begin
+    let ch =
+      Channel.create ~limit:cfg.Kernel.channel_limit
+        ~name:(Printf.sprintf "tcp-listen:%d" port) ()
+    in
+    Chantab.add_tcp_listen (Kernel.chantab k) ~port ch;
+    Hashtbl.replace k.Kernel.chan_conn (Channel.id ch) listener;
+    Hashtbl.replace k.Kernel.conn_chan listener.Tcp.id ch;
+    k.Kernel.all_channels <- ch :: k.Kernel.all_channels
+  end
+
+let listener_exn (sock : Socket.t) =
+  match sock.Socket.tcp with
+  | Some conn when Tcp.state conn = Tcp.Listen -> conn
+  | Some _ | None -> invalid_arg "not a listening socket"
+
+let conn_exn (sock : Socket.t) =
+  match sock.Socket.tcp with
+  | Some conn -> conn
+  | None -> invalid_arg "not a connected stream socket"
+
+(* [tcp_accept k ~self sock] blocks until an established connection is
+   available and returns a fresh socket for it, owned by [self]. *)
+let tcp_accept k ~(self : Proc.t) (sock : Socket.t) =
+  let listener = listener_exn sock in
+  Proc.compute (c k).Cost.syscall;
+  let rec loop () =
+    if sock.Socket.closed then raise Socket_closed;
+    match Tcp.accept_pop listener with
+    | Some conn ->
+        Kernel.update_listen_gate k listener;
+        Proc.compute (c k).Cost.sockq;
+        let ns = Socket.create Socket.Stream in
+        ns.Socket.port <- sock.Socket.port;
+        ns.Socket.remote <- conn.Tcp.remote;
+        ns.Socket.tcp <- Some conn;
+        ns.Socket.owner <- Some self;
+        Hashtbl.replace k.Kernel.conn_sock conn.Tcp.id ns;
+        Hashtbl.replace k.Kernel.conn_owner conn.Tcp.id self;
+        ns
+    | None ->
+        Proc.block sock.Socket.accept_wait;
+        loop ()
+  in
+  loop ()
+
+(* [tcp_connect k ~self sock ~remote] performs an active open and blocks
+   until established or failed. *)
+let tcp_connect k ~(self : Proc.t) (sock : Socket.t) ~remote =
+  if sock.Socket.kind <> Socket.Stream then
+    invalid_arg "Api.tcp_connect: stream sockets only";
+  let cfg = Kernel.config k in
+  let local_port = Kernel.fresh_port k in
+  Proc.compute ((c k).Cost.syscall +. Kernel.seg_out_cost k);
+  let conn =
+    Tcp.create_active (Kernel.tcp_env_exn k) ~local_ip:(Kernel.ip_address k)
+      ~local_port ~remote ~sndq_limit:cfg.Kernel.sock_buf
+      ~rcv_buf_limit:cfg.Kernel.sock_buf ()
+  in
+  sock.Socket.port <- Some local_port;
+  sock.Socket.remote <- Some remote;
+  sock.Socket.tcp <- Some conn;
+  sock.Socket.owner <- Some self;
+  Hashtbl.replace k.Kernel.conn_sock conn.Tcp.id sock;
+  Kernel.register_conn k conn ~owner:(Some self);
+  let rec wait () =
+    match Tcp.state conn with
+    | Tcp.Established -> `Ok
+    | Tcp.Closed -> `Refused
+    | Tcp.Syn_sent | Tcp.Syn_received | Tcp.Listen | Tcp.Fin_wait_1
+    | Tcp.Fin_wait_2 | Tcp.Close_wait | Tcp.Last_ack | Tcp.Closing
+    | Tcp.Time_wait ->
+        Proc.block sock.Socket.send_wait;
+        wait ()
+  in
+  wait ()
+
+(* [tcp_send k ~self sock payload] queues the whole payload, blocking as the
+   send buffer fills.  Returns [`Closed] if the connection dies first. *)
+let tcp_send k ~(self : Proc.t) (sock : Socket.t) payload =
+  ignore self;
+  let conn = conn_exn sock in
+  Proc.compute (c k).Cost.syscall;
+  let rec push payload =
+    let before = conn.Tcp.segs_sent in
+    match Tcp.send conn payload with
+    | `Sent n ->
+        let emitted = conn.Tcp.segs_sent - before in
+        Proc.compute
+          (((c k).Cost.copy_per_byte *. float_of_int n)
+           +. (float_of_int emitted *. Kernel.seg_out_cost k));
+        let len = Payload.length payload in
+        if n < len then push (Payload.sub payload n (len - n)) else `Ok
+    | `Full ->
+        Proc.block sock.Socket.send_wait;
+        push payload
+    | `Closed -> `Closed
+  in
+  push payload
+
+(* [tcp_recv k ~self sock ~max] blocks for data; [`Eof] at end of stream. *)
+let tcp_recv k ~(self : Proc.t) (sock : Socket.t) ~max =
+  ignore self;
+  let conn = conn_exn sock in
+  Proc.compute (c k).Cost.syscall;
+  let rec loop () =
+    let before = conn.Tcp.segs_sent in
+    match Tcp.recv conn ~max with
+    | `Data payload ->
+        let emitted = conn.Tcp.segs_sent - before in
+        Proc.compute
+          ((c k).Cost.sockq
+           +. ((c k).Cost.copy_per_byte
+               *. float_of_int (Payload.length payload))
+           +. (float_of_int emitted *. Kernel.seg_out_cost k));
+        `Data payload
+    | `Eof -> `Eof
+    | `Wait ->
+        Proc.block sock.Socket.recv_wait;
+        loop ()
+  in
+  loop ()
+
+(* Hand a connected socket to another process (e.g. an HTTP server child
+   after fork): future APP work is charged to the new owner. *)
+let set_owner k (sock : Socket.t) ~(owner : Proc.t) =
+  sock.Socket.owner <- Some owner;
+  match sock.Socket.tcp with
+  | Some conn -> Hashtbl.replace k.Kernel.conn_owner conn.Tcp.id owner
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Close                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let close k ~(self : Proc.t) (sock : Socket.t) =
+  ignore self;
+  if not sock.Socket.closed then begin
+    Proc.compute (c k).Cost.syscall;
+    sock.Socket.closed <- true;
+    (match sock.Socket.kind with
+     | Socket.Dgram ->
+         (match sock.Socket.port with
+          | Some port ->
+              Hashtbl.remove k.Kernel.udp_ports port;
+              if Kernel.lrp_mode k then begin
+                (match sock.Socket.chan with
+                 | Some ch ->
+                     Chantab.remove_udp (Kernel.chantab k) ~port;
+                     Hashtbl.remove k.Kernel.chan_sock (Channel.id ch);
+                     Kernel.drop_channel k (Channel.id ch);
+                     k.Kernel.udp_channels <-
+                       List.filter
+                         (fun c -> Channel.id c <> Channel.id ch)
+                         k.Kernel.udp_channels
+                 | None -> ())
+              end
+          | None -> ())
+     | Socket.Stream ->
+         (match sock.Socket.tcp with
+          | Some conn ->
+              if Tcp.state conn = Tcp.Listen then begin
+                (match sock.Socket.port with
+                 | Some port ->
+                     Hashtbl.remove k.Kernel.tcp_listeners port;
+                     if Kernel.lrp_mode k then begin
+                       Chantab.remove_tcp_listen (Kernel.chantab k) ~port;
+                       match Hashtbl.find_opt k.Kernel.conn_chan conn.Tcp.id with
+                       | Some ch ->
+                           Hashtbl.remove k.Kernel.chan_conn (Channel.id ch);
+                           Hashtbl.remove k.Kernel.conn_chan conn.Tcp.id;
+                           Kernel.drop_channel k (Channel.id ch)
+                       | None -> ()
+                     end
+                 | None -> ());
+                Tcp.close conn
+              end
+              else begin
+                let before = conn.Tcp.segs_sent in
+                Tcp.close conn;
+                let emitted = conn.Tcp.segs_sent - before in
+                if emitted > 0 then
+                  Proc.compute
+                    (float_of_int emitted *. Kernel.seg_out_cost k)
+              end
+          | None -> ()));
+    Kernel.wake_all k sock.Socket.recv_wait;
+    Kernel.wake_all k sock.Socket.send_wait;
+    Kernel.wake_all k sock.Socket.accept_wait
+  end

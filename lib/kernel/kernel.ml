@@ -1,0 +1,1106 @@
+(** Simulated host kernel, parameterised by network-subsystem architecture.
+
+    One [Kernel.t] per host.  It owns the CPU, the NIC, the protocol state
+    (PCBs, reassembly, TCP connections) and implements the four receive
+    architectures the paper compares:
+
+    - {b Bsd}: eager interrupt-driven processing.  The hardware interrupt
+      stores the packet and appends it to the shared IP queue; a software
+      interrupt performs IP + transport processing and deposits data on the
+      socket queue; the application finally copies it out in a receive
+      system call (section 2.1).
+    - {b Soft_lrp}: LRP with demultiplexing in the interrupt handler: the
+      hardware interrupt classifies the packet onto its NI channel (early
+      discard if full); all protocol processing happens lazily in the
+      receiver's context or in an APP thread charged to the receiver.
+    - {b Ni_lrp}: like [Soft_lrp], but classification and discard happen on
+      the network interface itself at zero host cost; the host is
+      interrupted only when a blocked receiver must be woken.
+    - {b Early_demux}: the control experiment of section 4.2 — early
+      demultiplexing and early discard like SOFT-LRP, but protocol
+      processing stays eager in software-interrupt context like BSD.
+
+    All architectures share the same protocol code ({!Lrp_proto.Tcp},
+    {!Lrp_proto.Ip}) and the same cost table, exactly as the paper's kernels
+    shared the 4.4BSD networking code.  Syscall-level behaviour (the socket
+    API) lives in {!Api}. *)
+
+open Lrp_engine
+open Lrp_sim
+open Lrp_net
+open Lrp_proto
+open Lrp_core
+
+type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux
+
+let arch_name = function
+  | Bsd -> "4.4BSD"
+  | Soft_lrp -> "SOFT-LRP"
+  | Ni_lrp -> "NI-LRP"
+  | Early_demux -> "Early-Demux"
+
+let is_lrp = function Soft_lrp | Ni_lrp -> true | Bsd | Early_demux -> false
+
+type config = {
+  arch : arch;
+  costs : Cost.t;
+  mtu : int;
+  ip_queue_limit : int;       (* BSD shared IP queue, packets *)
+  channel_limit : int;        (* LRP per-channel queue, packets *)
+  udp_rcv_limit : int;        (* socket queue, datagrams *)
+  mbuf_capacity : int;
+  mss : int;
+  sock_buf : int;             (* TCP send/receive buffer, bytes *)
+  time_wait : float;
+  initial_rto : float;
+  max_syn_retries : int;
+  udp_helper : bool;          (* LRP minimal-priority protocol thread *)
+  forwarding : bool;          (* act as an IP gateway (section 3.5) *)
+  fwd_nice : int;             (* priority of the LRP forwarding daemon *)
+  fair_app_accounting : bool;
+      (* charge APP-thread CPU to the owning process (section 3.4); turning
+         this off is the accounting ablation: the APP thread is scheduled
+         and charged as an independent thread, BSD-style *)
+}
+
+let default_config ?(costs = Cost.default) arch =
+  { arch; costs; mtu = 9180 (* ATM AAL5 *); ip_queue_limit = 50;
+    channel_limit = 32; udp_rcv_limit = 32; mbuf_capacity = 4096;
+    mss = 9140; sock_buf = 32 * 1024; time_wait = Lrp_engine.Time.sec 30.;
+    initial_rto = Lrp_engine.Time.sec 1.5; max_syn_retries = 4;
+    udp_helper = true; forwarding = false; fwd_nice = 0;
+    fair_app_accounting = true }
+
+type kstats = {
+  mutable rx_frames : int;          (* frames seen by the receive path *)
+  mutable ipq_drops : int;          (* BSD shared IP queue overflow *)
+  mutable mbuf_drops : int;
+  mutable no_port_drops : int;      (* no endpoint (BSD, after processing) *)
+  mutable demux_drops : int;        (* no endpoint (LRP, at demux time) *)
+  mutable edemux_early_drops : int; (* Early-Demux interrupt-time discards *)
+  mutable udp_delivered : int;      (* datagrams deposited for applications *)
+  mutable rx_wrong_peer : int;      (* dropped by connected-UDP filtering *)
+  mutable forwarded : int;          (* packets forwarded to another network *)
+  mutable fwd_drops : int;          (* not ours and not forwarding *)
+  mutable rsts_sent : int;
+}
+
+type job = Jchan of Channel.t | Jtimer of (unit -> unit)
+
+type app = {
+  app_owner : Proc.t;
+  jobs : job Queue.t;
+  app_wq : Proc.waitq;
+  mutable app_proc : Proc.t option;
+  chan_pending : (int, unit) Hashtbl.t;  (* channel ids with a queued job *)
+}
+
+type t = {
+  kname : string;
+  engine : Engine.t;
+  cpu : Cpu.t;
+  nic : Nic.t;  (* primary interface *)
+  mutable interfaces : (Packet.ip * int * Nic.t) list;
+      (* (address, prefix length, nic); multi-homed gateways have several *)
+  cfg : config;
+  c : Cost.t;
+  ip_addr : Packet.ip;
+  (* --- BSD path state --- *)
+  mutable ipq_len : int;
+  mbufs : Mbuf.t;
+  (* --- endpoint tables --- *)
+  udp_ports : (int, Socket.t) Hashtbl.t;
+  tcp_conns : (Packet.ip * int * int, Tcp.conn) Hashtbl.t; (* src,sport,dport *)
+  tcp_listeners : (int, Tcp.conn) Hashtbl.t;
+  conn_sock : (int, Socket.t) Hashtbl.t;   (* conn id -> socket *)
+  conn_owner : (int, Proc.t) Hashtbl.t;    (* conn id -> owning process *)
+  (* --- LRP state --- *)
+  chantab : Chantab.t;
+  chan_sock : (int, Socket.t) Hashtbl.t;   (* channel id -> socket (UDP) *)
+  mcast_members : (int, Socket.t list ref) Hashtbl.t;
+      (* multicast port -> member sockets; all share one NI channel
+         (section 3.1) *)
+  chan_conn : (int, Tcp.conn) Hashtbl.t;   (* channel id -> connection *)
+  conn_chan : (int, Channel.t) Hashtbl.t;  (* connection id -> its channel *)
+  mutable all_channels : Channel.t list;
+  apps : (int, app) Hashtbl.t;             (* owner pid -> APP thread *)
+  helper_wq : Proc.waitq;
+  mutable helper_proc : Proc.t option;
+  fwd_wq : Proc.waitq;
+  mutable fwd_proc : Proc.t option;
+  mutable udp_channels : Channel.t list;   (* scanned by the helper *)
+  (* --- shared protocol state --- *)
+  reasm : Ip.Reasm.t;
+  mutable tcp_env : Tcp.env option;
+  mutable eph_port : int;
+  stats : kstats;
+}
+
+let name t = t.kname
+let cpu t = t.cpu
+let engine t = t.engine
+let nic t = t.nic
+let config t = t.cfg
+let costs t = t.c
+let stats t = t.stats
+let arch t = t.cfg.arch
+let ip_address t = t.ip_addr
+let chantab t = t.chantab
+let mbufs t = t.mbufs
+let channels t = t.all_channels
+let lrp_mode t = is_lrp t.cfg.arch
+let now t = Engine.now t.engine
+
+(* Is [addr] one of this host's own addresses? *)
+let is_local_addr t addr =
+  List.exists (fun (ip, _, _) -> ip = addr) t.interfaces
+
+(* Longest-prefix-match routing across this host's interfaces; the primary
+   interface is the default route. *)
+let route t dst =
+  let matches (ip, masklen, _) =
+    masklen > 0 && ip lsr (32 - masklen) = dst lsr (32 - masklen)
+  in
+  let best =
+    List.fold_left
+      (fun acc ((_, masklen, _) as entry) ->
+        if matches entry then
+          match acc with
+          | Some (_, best_len, _) when best_len >= masklen -> acc
+          | Some _ | None -> Some entry
+        else acc)
+      None t.interfaces
+  in
+  match best with Some (_, _, nic) -> nic | None -> t.nic
+
+(* Forget a deallocated channel (reporting list). *)
+let drop_channel t chid =
+  t.all_channels <-
+    List.filter (fun ch -> Channel.id ch <> chid) t.all_channels
+
+let early_discards t =
+  List.fold_left
+    (fun acc ch -> acc + Channel.discarded ch + Channel.discarded_disabled ch)
+    0 t.all_channels
+
+let debug_trace = ref false
+
+let trc t fmt =
+  if !debug_trace then
+    Printf.printf ("[%.1f %s] " ^^ fmt ^^ "\n") (Engine.now t.engine) t.kname
+  else Printf.ifprintf stdout fmt
+
+let tcp_env_exn t =
+  match t.tcp_env with Some e -> e | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Output path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand a datagram to IP output: fragment to the MTU and enqueue on the
+   interface.  Pure state manipulation; CPU cost is charged by the caller
+   (process context for sends; interrupt/APP context for protocol-generated
+   segments). *)
+let ip_output t pkt =
+  let nic = route t (Packet.dst pkt) in
+  let frags = Ip.fragment pkt ~mtu:t.cfg.mtu in
+  List.iter (fun f -> ignore (Nic.transmit nic f)) frags
+
+(* Per-segment transmit cost (protocol output + driver). *)
+let seg_out_cost t = t.c.Cost.tcp_out +. t.c.Cost.ip_out +. t.c.Cost.driver_tx
+
+(* Free a packet's mbufs.  LRP receive paths never allocate from the mbuf
+   pool (packets live in NI channel buffers), so the free is conditional on
+   the architecture that allocated. *)
+let free_rx_mbufs t bytes =
+  match t.cfg.arch with
+  | Bsd | Early_demux -> Mbuf.free t.mbufs ~bytes
+  | Soft_lrp | Ni_lrp -> ()
+
+(* Cost of sending one UDP datagram from process context (excluding the
+   per-byte copy, which the API adds). *)
+let udp_send_cost t ~frags =
+  t.c.Cost.udp_out +. (float_of_int frags *. (t.c.Cost.ip_out +. t.c.Cost.driver_tx))
+
+(* ------------------------------------------------------------------ *)
+(* Wakeup helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let wake_all t wq = ignore (Cpu.wakeup_all t.cpu wq)
+let wake_one t wq = ignore (Cpu.wakeup_one t.cpu wq)
+
+let sock_of_conn t conn = Hashtbl.find_opt t.conn_sock conn.Tcp.id
+
+(* LRP gates the listening socket's channel on the backlog: once exceeded,
+   protocol processing is disabled and further SYNs die cheaply at the NI
+   channel (section 3.4). *)
+let update_listen_gate t (listener : Tcp.conn) =
+  if lrp_mode t then
+    match Hashtbl.find_opt t.conn_chan listener.Tcp.id with
+    | None -> ()
+    | Some ch ->
+        let load =
+          listener.Tcp.syn_pending + Queue.length listener.Tcp.accept_queue
+        in
+        if load >= listener.Tcp.backlog then Channel.disable_processing ch
+        else Channel.enable_processing ch
+
+(* ------------------------------------------------------------------ *)
+(* APP threads: asynchronous protocol processing for TCP (section 3.4)  *)
+(* ------------------------------------------------------------------ *)
+
+let rec app_loop t app =
+  match Queue.take_opt app.jobs with
+  | Some job ->
+      (match job with
+       | Jchan ch ->
+           Hashtbl.remove app.chan_pending (Channel.id ch);
+           trc t "app %s: drain chan %d (len=%d)" app.app_owner.Proc.name
+             (Channel.id ch) (Channel.length ch);
+           drain_tcp_channel t ch
+       | Jtimer f ->
+           Proc.compute (t.c.Cost.lazy_locality *. t.c.Cost.tcp_in);
+           f ());
+      app_loop t app
+  | None ->
+      if app.app_owner.Proc.exited then
+        (* The APP thread dies with its process. *)
+        Hashtbl.remove t.apps app.app_owner.Proc.pid
+      else begin
+        trc t "app %s: block" app.app_owner.Proc.name;
+        Proc.block app.app_wq;
+        app_loop t app
+      end
+
+and drain_tcp_channel t ch =
+  match Channel.dequeue ch with
+  | None -> ()
+  | Some pkt ->
+      Proc.compute
+        ((match t.cfg.arch with
+          | Ni_lrp -> t.c.Cost.ni_channel_access
+          | Bsd | Soft_lrp | Early_demux -> 0.)
+         +. (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)));
+      (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
+       | None -> () (* connection vanished: discard *)
+       | Some conn ->
+           tcp_deliver t conn pkt ~ctx:`Proc;
+           if Tcp.state conn = Tcp.Listen then update_listen_gate t conn);
+      drain_tcp_channel t ch
+
+(* Deliver a (non-fragment) TCP segment to its connection, charging for any
+   extra segments the state machine emitted beyond the one emission already
+   included in [tcp_in]. *)
+and tcp_deliver t conn pkt ~ctx =
+  let before = conn.Tcp.segs_sent in
+  Tcp.input conn pkt;
+  let extra = conn.Tcp.segs_sent - before - 1 in
+  if extra > 0 then begin
+    let cost = float_of_int extra *. seg_out_cost t in
+    match ctx with
+    | `Proc -> Proc.compute (t.c.Cost.lazy_locality *. cost)
+    | `Soft -> Cpu.post_soft t.cpu ~label:"tcp-tx" ~cost (fun () -> ())
+  end
+
+and app_for t (owner : Proc.t) =
+  match Hashtbl.find_opt t.apps owner.Proc.pid with
+  | Some app -> app
+  | None ->
+      let app =
+        { app_owner = owner; jobs = Queue.create ();
+          app_wq = Proc.waitq (Printf.sprintf "app.%s" owner.Proc.name);
+          app_proc = None; chan_pending = Hashtbl.create 8 }
+      in
+      Hashtbl.replace t.apps owner.Proc.pid app;
+      let proc =
+        Cpu.spawn t.cpu ~name:(Printf.sprintf "app-%s" owner.Proc.name)
+          (fun _self -> app_loop t app)
+      in
+      (* Scheduled at the owner's priority; CPU usage charged to the owner
+         (paper section 3.4).  The accounting ablation skips this. *)
+      if t.cfg.fair_app_accounting then
+        Cpu.set_account t.cpu proc ~owner:(Some owner);
+      app.app_proc <- Some proc;
+      app
+
+(* Orphaned connections (the owning process exited with the connection
+   still draining — a normal close-behind-exit) have no APP thread left, so
+   their protocol processing falls back to software-interrupt level, as in
+   the paper's prototype where a kernel process owns TCP processing. *)
+let rec orphan_drain t ch () =
+  match Channel.dequeue ch with
+  | None -> ()
+  | Some pkt ->
+      (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
+       | Some conn -> tcp_deliver t conn pkt ~ctx:`Soft
+       | None -> ());
+      if not (Channel.is_empty ch) then
+        Cpu.post_soft t.cpu ~label:"tcp-orphan"
+          ~cost:(t.c.Cost.soft_dispatch
+                 +. (t.c.Cost.eager_penalty *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)))
+          (orphan_drain t ch)
+
+let app_post_chan t conn ch =
+  let fallback () =
+    Cpu.post_soft t.cpu ~label:"tcp-orphan"
+      ~cost:(t.c.Cost.soft_dispatch
+             +. (t.c.Cost.eager_penalty *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)))
+      (orphan_drain t ch)
+  in
+  match Hashtbl.find_opt t.conn_owner conn.Tcp.id with
+  | None -> fallback ()
+  | Some owner ->
+      if owner.Proc.exited then fallback ()
+      else begin
+        let app = app_for t owner in
+        if not (Hashtbl.mem app.chan_pending (Channel.id ch)) then begin
+          Hashtbl.replace app.chan_pending (Channel.id ch) ();
+          Queue.add (Jchan ch) app.jobs;
+          trc t "post chan %d job for %s" (Channel.id ch) owner.Proc.name
+        end;
+        wake_one t app.app_wq
+      end
+
+let app_post_timer t conn f =
+  match Hashtbl.find_opt t.conn_owner conn.Tcp.id with
+  | Some owner when not owner.Proc.exited ->
+      let app = app_for t owner in
+      Queue.add (Jtimer f) app.jobs;
+      wake_one t app.app_wq
+  | Some _ | None ->
+      (* Orphaned connection (e.g. TIME_WAIT after exit): fall back to
+         software-interrupt context so it still makes progress. *)
+      Cpu.post_soft t.cpu ~label:"tcp-timer"
+        ~cost:(t.c.Cost.soft_dispatch +. t.c.Cost.tcp_in) (fun () -> f ())
+
+(* ------------------------------------------------------------------ *)
+(* Connection registration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let register_conn t conn ~owner =
+  match conn.Tcp.remote with
+  | None -> invalid_arg "register_conn: no remote"
+  | Some (rip, rport) ->
+      Hashtbl.replace t.tcp_conns (rip, rport, conn.Tcp.local_port) conn;
+      (match owner with
+       | Some o -> Hashtbl.replace t.conn_owner conn.Tcp.id o
+       | None -> ());
+      if lrp_mode t then begin
+        let ch =
+          Channel.create ~limit:t.cfg.channel_limit
+            ~name:(Printf.sprintf "tcp:%d<-%d" conn.Tcp.local_port rport) ()
+        in
+        Chantab.add_tcp t.chantab ~src:rip ~src_port:rport
+          ~dst_port:conn.Tcp.local_port ch;
+        Hashtbl.replace t.chan_conn (Channel.id ch) conn;
+        Hashtbl.replace t.conn_chan conn.Tcp.id ch;
+        t.all_channels <- ch :: t.all_channels
+      end
+
+let deregister_conn t conn =
+  match conn.Tcp.remote with
+  | None -> ()
+  | Some (rip, rport) ->
+      (match Hashtbl.find_opt t.tcp_conns (rip, rport, conn.Tcp.local_port) with
+       | Some c when c.Tcp.id = conn.Tcp.id ->
+           Hashtbl.remove t.tcp_conns (rip, rport, conn.Tcp.local_port)
+       | Some _ | None -> ());
+      if lrp_mode t then begin
+        Chantab.remove_tcp t.chantab ~src:rip ~src_port:rport
+          ~dst_port:conn.Tcp.local_port;
+        let stale =
+          Hashtbl.fold
+            (fun chid c acc -> if c.Tcp.id = conn.Tcp.id then chid :: acc else acc)
+            t.chan_conn []
+        in
+        List.iter (Hashtbl.remove t.chan_conn) stale;
+        List.iter (drop_channel t) stale;
+        Hashtbl.remove t.conn_chan conn.Tcp.id
+      end
+
+(* ------------------------------------------------------------------ *)
+(* TCP environment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_tcp_env t =
+  { Tcp.now = (fun () -> Engine.now t.engine);
+    emit = (fun pkt -> ip_output t pkt);
+    start_timer =
+      (fun conn delay cb ->
+        let tm = { Tcp.cancelled = false } in
+        ignore
+          (Engine.schedule_after t.engine ~delay (fun () ->
+               if not tm.Tcp.cancelled then
+                 match t.cfg.arch with
+                 | Bsd | Early_demux ->
+                     Cpu.post_soft t.cpu ~label:"tcp-timer"
+                       ~cost:(t.c.Cost.soft_dispatch
+                              +. (t.c.Cost.eager_penalty *. t.c.Cost.tcp_in))
+                       (fun () -> if not tm.Tcp.cancelled then cb ())
+                 | Soft_lrp | Ni_lrp ->
+                     app_post_timer t conn (fun () ->
+                         if not tm.Tcp.cancelled then cb ())));
+        tm);
+    on_readable =
+      (fun conn ->
+        match sock_of_conn t conn with
+        | Some s -> wake_all t s.Socket.recv_wait
+        | None -> ());
+    on_writable =
+      (fun conn ->
+        match sock_of_conn t conn with
+        | Some s -> wake_all t s.Socket.send_wait
+        | None -> ());
+    on_established =
+      (fun conn ->
+        match sock_of_conn t conn with
+        | Some s ->
+            wake_all t s.Socket.send_wait;
+            wake_all t s.Socket.recv_wait
+        | None -> ());
+    on_accept_ready =
+      (fun listener _child ->
+        match sock_of_conn t listener with
+        | Some s -> wake_all t s.Socket.accept_wait
+        | None -> ());
+    on_syn_received =
+      (fun listener child ->
+        let owner = Hashtbl.find_opt t.conn_owner listener.Tcp.id in
+        register_conn t child ~owner);
+    on_connect_failed =
+      (fun conn ->
+        match sock_of_conn t conn with
+        | Some s ->
+            wake_all t s.Socket.send_wait;
+            wake_all t s.Socket.recv_wait
+        | None -> ());
+    on_reset =
+      (fun conn ->
+        match sock_of_conn t conn with
+        | Some s ->
+            wake_all t s.Socket.send_wait;
+            wake_all t s.Socket.recv_wait;
+            wake_all t s.Socket.accept_wait
+        | None -> ());
+    on_time_wait =
+      (fun conn ->
+        (* NI-LRP deallocates the channel on entry to TIME_WAIT so that NI
+           channel slots scale to busy servers (section 4.2). *)
+        if t.cfg.arch = Ni_lrp then
+          match conn.Tcp.remote with
+          | Some (rip, rport) ->
+              Chantab.remove_tcp t.chantab ~src:rip ~src_port:rport
+                ~dst_port:conn.Tcp.local_port;
+              let stale =
+                Hashtbl.fold
+                  (fun chid c acc ->
+                    if c.Tcp.id = conn.Tcp.id then chid :: acc else acc)
+                  t.chan_conn []
+              in
+              List.iter (Hashtbl.remove t.chan_conn) stale;
+              List.iter (drop_channel t) stale
+          | None -> ());
+    on_closed =
+      (fun conn ->
+        deregister_conn t conn;
+        Hashtbl.remove t.conn_owner conn.Tcp.id;
+        match sock_of_conn t conn with
+        | Some s ->
+            wake_all t s.Socket.send_wait;
+            wake_all t s.Socket.recv_wait
+        | None -> ());
+    mss = t.cfg.mss;
+    time_wait_duration = t.cfg.time_wait;
+    initial_rto = t.cfg.initial_rto;
+    max_syn_retries = t.cfg.max_syn_retries }
+
+(* ------------------------------------------------------------------ *)
+(* Shared delivery helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let datagram_of (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Udp (u, payload) ->
+      { Socket.dg_payload = payload;
+        dg_from = (pkt.Packet.ip.Packet.src, u.Packet.usrc_port) }
+  | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ ->
+      invalid_arg "datagram_of: not a UDP datagram"
+
+(* Deposit a fully-processed UDP datagram on its socket queue and wake a
+   receiver.  Shared by the BSD softint path, the Early-Demux softint path
+   and the LRP helper thread. *)
+(* Connected-UDP semantics: a socket with a default peer only accepts
+   datagrams from that peer. *)
+let peer_accepts t (sock : Socket.t) (dg : Socket.udp_datagram) =
+  match sock.Socket.remote with
+  | Some peer when peer <> dg.Socket.dg_from ->
+      t.stats.rx_wrong_peer <- t.stats.rx_wrong_peer + 1;
+      false
+  | Some _ | None -> true
+
+let deposit_and_wake t sock dg =
+  if peer_accepts t sock dg then
+    if Socket.deposit_udp sock dg then begin
+      t.stats.udp_delivered <- t.stats.udp_delivered + 1;
+      wake_one t sock.Socket.recv_wait
+    end
+
+let deliver_udp_ready t (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Udp (u, _) ->
+      if Packet.is_multicast pkt then begin
+        (* One copy per member socket of the group (section 3.1).  Under
+           the mbuf-based kernels the original chain is released and a
+           duplicate is allocated per deposited copy, so each receiver's
+           copyout frees exactly one chain. *)
+        free_rx_mbufs t (Packet.wire_bytes pkt);
+        match Hashtbl.find_opt t.mcast_members u.Packet.udst_port with
+        | None -> t.stats.no_port_drops <- t.stats.no_port_drops + 1
+        | Some members ->
+            List.iter
+              (fun sock ->
+                let dg = datagram_of pkt in
+                if peer_accepts t sock dg then begin
+                  let dup_ok =
+                    match t.cfg.arch with
+                    | Bsd | Early_demux ->
+                        Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)
+                    | Soft_lrp | Ni_lrp -> true
+                  in
+                  if dup_ok then begin
+                    if Socket.deposit_udp sock dg then begin
+                      t.stats.udp_delivered <- t.stats.udp_delivered + 1;
+                      wake_one t sock.Socket.recv_wait
+                    end
+                    else free_rx_mbufs t (Packet.wire_bytes pkt)
+                  end
+                  else t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
+                end)
+              !members
+      end
+      else
+        (match Hashtbl.find_opt t.udp_ports u.Packet.udst_port with
+         | None ->
+             t.stats.no_port_drops <- t.stats.no_port_drops + 1;
+             free_rx_mbufs t (Packet.wire_bytes pkt)
+         | Some sock ->
+             let dg = datagram_of pkt in
+             if not (peer_accepts t sock dg) then
+               free_rx_mbufs t (Packet.wire_bytes pkt)
+             else if Socket.deposit_udp sock dg then begin
+               t.stats.udp_delivered <- t.stats.udp_delivered + 1;
+               wake_one t sock.Socket.recv_wait
+             end
+             else
+               (* Socket queue overflow: the BSD drop point. *)
+               free_rx_mbufs t (Packet.wire_bytes pkt))
+  | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ -> ()
+
+let icmp_reply t (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Icmp (Packet.Echo_request, payload) ->
+      ip_output t
+        (Packet.icmp ~src:t.ip_addr ~dst:pkt.Packet.ip.Packet.src
+           Packet.Echo_reply payload)
+  | Packet.Icmp _ | Packet.Udp _ | Packet.Tcp _ | Packet.Fragment _ -> ()
+
+let deliver_tcp t (pkt : Packet.t) ~ctx =
+  match Packet.ports pkt with
+  | None -> ()
+  | Some (sport, dport) ->
+      (match Hashtbl.find_opt t.tcp_conns (pkt.Packet.ip.Packet.src, sport, dport) with
+       | Some conn -> tcp_deliver t conn pkt ~ctx
+       | None ->
+           (match Hashtbl.find_opt t.tcp_listeners dport with
+            | Some listener -> tcp_deliver t listener pkt ~ctx
+            | None ->
+                t.stats.rsts_sent <- t.stats.rsts_sent + 1;
+                Tcp.send_rst_for pkt ~emit:(fun p -> ip_output t p)))
+
+(* Transport-level processing of a complete (reassembled) datagram; runs in
+   softint context under BSD / Early-Demux. *)
+let bsd_transport_input t (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Udp _ -> deliver_udp_ready t pkt
+  | Packet.Tcp _ ->
+      free_rx_mbufs t (Packet.wire_bytes pkt);
+      deliver_tcp t pkt ~ctx:`Soft
+  | Packet.Icmp _ ->
+      free_rx_mbufs t (Packet.wire_bytes pkt);
+      icmp_reply t pkt
+  | Packet.Fragment _ -> assert false
+
+(* Cost of eager transport processing for a complete datagram. *)
+let transport_cost t (pkt : Packet.t) ~skip_pcb =
+  let pcb = if skip_pcb then 0. else t.c.Cost.pcb_lookup in
+  let base =
+    match pkt.Packet.body with
+    | Packet.Udp _ -> t.c.Cost.udp_in +. pcb
+    | Packet.Tcp _ -> t.c.Cost.tcp_in +. pcb
+    | Packet.Icmp _ -> t.c.Cost.udp_in
+    | Packet.Fragment _ -> 0.
+  in
+  t.c.Cost.eager_penalty *. base
+
+(* ------------------------------------------------------------------ *)
+(* BSD receive path                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bsd_soft_cost t (pkt : Packet.t) =
+  if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
+  then
+    (* Transit packet: IP forwarding (or discard) in softint context. *)
+    t.c.Cost.soft_dispatch +. t.c.Cost.ipq_op
+    +. (t.c.Cost.eager_penalty *. (t.c.Cost.ip_in +. t.c.Cost.ip_forward))
+  else
+  let frag_extra =
+    if Packet.is_fragment pkt then t.c.Cost.eager_penalty *. t.c.Cost.reasm_per_frag
+    else 0.
+  in
+  let transport =
+    if Packet.is_fragment pkt then 0.
+    else transport_cost t pkt ~skip_pcb:false
+  in
+  t.c.Cost.soft_dispatch +. t.c.Cost.ipq_op
+  +. (t.c.Cost.eager_penalty *. t.c.Cost.ip_in)
+  +. frag_extra +. transport +. t.c.Cost.sockbuf_append
+
+let bsd_softnet t pkt () =
+  t.ipq_len <- t.ipq_len - 1;
+  if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
+  then begin
+    free_rx_mbufs t (Packet.wire_bytes pkt);
+    if t.cfg.forwarding then begin
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      ip_output t pkt
+    end
+    else t.stats.fwd_drops <- t.stats.fwd_drops + 1
+  end
+  else
+  match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+  | None -> () (* incomplete datagram; fragments wait in the reassembler *)
+  | Some whole ->
+      if Packet.is_fragment pkt then
+        (* Completion discovered while processing a fragment: the transport
+           processing is a separate softint activation. *)
+        Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
+          ~cost:(transport_cost t whole ~skip_pcb:false)
+          (fun () -> bsd_transport_input t whole)
+      else bsd_transport_input t whole
+
+let bsd_driver_rx t pkt () =
+  if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then
+    t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
+  else if t.ipq_len >= t.cfg.ip_queue_limit then begin
+    (* The shared IP queue is full: the drop point that couples unrelated
+       sockets under BSD (section 2.2). *)
+    t.stats.ipq_drops <- t.stats.ipq_drops + 1;
+    Mbuf.free t.mbufs ~bytes:(Packet.wire_bytes pkt)
+  end
+  else begin
+    t.ipq_len <- t.ipq_len + 1;
+    Cpu.post_soft t.cpu ~label:"softnet" ~cost:(bsd_soft_cost t pkt)
+      (bsd_softnet t pkt)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* LRP receive path (shared by SOFT-LRP and NI-LRP)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Wake a consumer from NI context.  Under soft demux we are already in a
+   hardware interrupt, so the wake is immediate; under NI demux the NI must
+   raise a (cheap) host interrupt to do it. *)
+let ni_wake t f =
+  match t.cfg.arch with
+  | Ni_lrp -> Cpu.post_hard t.cpu ~label:"ni-intr" ~cost:t.c.Cost.ni_wakeup_intr f
+  | Soft_lrp | Bsd | Early_demux -> f ()
+
+let lrp_classify_rx t pkt =
+  if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
+  then begin
+    (* Transit packet: demultiplexed straight onto the IP-forwarding
+       daemon's channel (section 3.5), or discarded if this host is not a
+       gateway. *)
+    if t.cfg.forwarding then
+      match Channel.enqueue (Chantab.fwd_channel t.chantab) pkt with
+      | Channel.Queued `Was_empty -> ni_wake t (fun () -> wake_one t t.fwd_wq)
+      | Channel.Queued `Was_nonempty | Channel.Discarded -> ()
+    else t.stats.fwd_drops <- t.stats.fwd_drops + 1
+  end
+  else
+  let flow = Demux.flow_of_packet pkt in
+  match Chantab.resolve t.chantab flow with
+  | None ->
+      (match flow with
+       | Demux.Tcp_flow _ ->
+           (* No endpoint: the protocol-proxy daemon answers with an RST on
+              its own time (section 3.5). *)
+           (match Channel.enqueue (Chantab.icmp_channel t.chantab) pkt with
+            | Channel.Queued `Was_empty when t.cfg.udp_helper ->
+                ni_wake t (fun () -> wake_one t t.helper_wq)
+            | Channel.Queued _ | Channel.Discarded -> ())
+       | Demux.Udp_flow _ | Demux.Frag_flow _ | Demux.Icmp_flow
+       | Demux.Other_flow _ ->
+           t.stats.demux_drops <- t.stats.demux_drops + 1)
+  | Some ch ->
+      (match Channel.enqueue ch pkt with
+       | Channel.Discarded -> () (* early packet discard, counted per channel *)
+       | Channel.Queued transition ->
+           (match flow with
+            | Demux.Udp_flow { dst_port = dst_port_of_flow; _ } ->
+                if Channel.interrupt_requested ch then begin
+                  Channel.clear_interrupt_request ch;
+                  match Hashtbl.find_opt t.mcast_members dst_port_of_flow with
+                  | Some members ->
+                      ni_wake t (fun () ->
+                          List.iter
+                            (fun (m : Socket.t) ->
+                              wake_one t m.Socket.recv_wait)
+                            !members)
+                  | None ->
+                      (match Hashtbl.find_opt t.chan_sock (Channel.id ch) with
+                       | Some sock ->
+                           ni_wake t (fun () ->
+                               wake_one t sock.Socket.recv_wait)
+                       | None -> ())
+                end
+                else if t.cfg.udp_helper && transition = `Was_empty then
+                  (* Nobody is waiting: let the minimal-priority protocol
+                     thread pick it up if the CPU is otherwise idle
+                     (section 3.3). *)
+                  ni_wake t (fun () -> wake_one t t.helper_wq)
+            | Demux.Tcp_flow _ ->
+                trc t "rx tcp chan %d len=%d trans=%s" (Channel.id ch)
+                  (Channel.length ch)
+                  (match transition with `Was_empty -> "empty" | `Was_nonempty -> "ne");
+                (* The APP thread drains until empty, so only the
+                   empty-to-non-empty transition needs a notification —
+                   under NI demux that keeps host interrupts rare. *)
+                if transition = `Was_empty then
+                  (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
+                   | Some conn -> ni_wake t (fun () -> app_post_chan t conn ch)
+                   | None -> trc t "rx tcp chan %d: NO CONN" (Channel.id ch))
+            | Demux.Frag_flow _ ->
+                (* Fragments needing reassembly: the helper integrates them
+                   if no receiver does it lazily first. *)
+                if t.cfg.udp_helper && transition = `Was_empty then
+                  ni_wake t (fun () -> wake_one t t.helper_wq)
+            | Demux.Icmp_flow ->
+                if t.cfg.udp_helper && transition = `Was_empty then
+                  ni_wake t (fun () -> wake_one t t.helper_wq)
+            | Demux.Other_flow _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Early-Demux receive path                                             *)
+(* ------------------------------------------------------------------ *)
+
+let edemux_rx t pkt () =
+  if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
+  then begin
+    if t.cfg.forwarding then
+      Cpu.post_soft t.cpu ~label:"ip-forward"
+        ~cost:(t.c.Cost.soft_dispatch
+               +. (t.c.Cost.eager_penalty
+                   *. (t.c.Cost.ip_in +. t.c.Cost.ip_forward)))
+        (fun () ->
+          t.stats.forwarded <- t.stats.forwarded + 1;
+          ip_output t pkt)
+    else t.stats.fwd_drops <- t.stats.fwd_drops + 1
+  end
+  else
+  let flow = Demux.flow_of_packet pkt in
+  let drop () = t.stats.edemux_early_drops <- t.stats.edemux_early_drops + 1 in
+  let eager_process ~skip_pcb =
+    let frag_extra =
+      if Packet.is_fragment pkt then
+        t.c.Cost.eager_penalty *. t.c.Cost.reasm_per_frag
+      else 0.
+    in
+    let transport =
+      if Packet.is_fragment pkt then 0. else transport_cost t pkt ~skip_pcb
+    in
+    let cost =
+      t.c.Cost.soft_dispatch
+      +. (t.c.Cost.eager_penalty *. t.c.Cost.ip_in)
+      +. frag_extra +. transport +. t.c.Cost.sockbuf_append
+    in
+    if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then
+      t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
+    else
+      Cpu.post_soft t.cpu ~label:"softnet" ~cost (fun () ->
+          match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+          | None -> ()
+          | Some whole ->
+              if Packet.is_fragment pkt then
+                Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
+                  ~cost:(transport_cost t whole ~skip_pcb)
+                  (fun () -> bsd_transport_input t whole)
+              else bsd_transport_input t whole)
+  in
+  match flow with
+  | Demux.Udp_flow { dst_port; _ } ->
+      (match Hashtbl.find_opt t.udp_ports dst_port with
+       | None -> drop ()
+       | Some sock ->
+           (* Early discard on a full receiver queue — but processing stays
+              eager. *)
+           if Queue.length sock.Socket.udp_rcv >= sock.Socket.udp_rcv_limit
+           then drop ()
+           else eager_process ~skip_pcb:true)
+  | Demux.Tcp_flow { src; src_port; dst_port; syn_only } ->
+      (match Hashtbl.find_opt t.tcp_conns (src, src_port, dst_port) with
+       | Some conn ->
+           if conn.Tcp.rcvq_bytes >= conn.Tcp.rcv_buf_limit then drop ()
+           else eager_process ~skip_pcb:true
+       | None ->
+           if syn_only then
+             match Hashtbl.find_opt t.tcp_listeners dst_port with
+             | Some l ->
+                 if l.Tcp.syn_pending + Queue.length l.Tcp.accept_queue
+                    >= l.Tcp.backlog
+                 then drop ()
+                 else eager_process ~skip_pcb:true
+             | None ->
+                 (* No endpoint: process eagerly so TCP answers with an
+                    RST, as the BSD code this kernel is derived from does. *)
+                 eager_process ~skip_pcb:true
+           else eager_process ~skip_pcb:true)
+  | Demux.Frag_flow _ -> eager_process ~skip_pcb:true
+  | Demux.Icmp_flow -> eager_process ~skip_pcb:true
+  | Demux.Other_flow _ -> drop ()
+
+(* ------------------------------------------------------------------ *)
+(* NIC receive dispatch                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rx_dispatch t pkt =
+  t.stats.rx_frames <- t.stats.rx_frames + 1;
+  match t.cfg.arch with
+  | Bsd ->
+      Cpu.post_hard t.cpu ~label:"rx-intr"
+        ~cost:(t.c.Cost.hard_rx +. t.c.Cost.ipq_op)
+        (bsd_driver_rx t pkt)
+  | Soft_lrp ->
+      (* Soft demux: classification runs in the hardware interrupt. *)
+      Cpu.post_hard t.cpu ~label:"rx-demux"
+        ~cost:(t.c.Cost.hard_rx +. t.c.Cost.demux)
+        (fun () -> lrp_classify_rx t pkt)
+  | Ni_lrp ->
+      (* NI demux: classification runs on the interface's embedded
+         processor — zero host CPU. *)
+      lrp_classify_rx t pkt
+  | Early_demux ->
+      Cpu.post_hard t.cpu ~label:"rx-demux"
+        ~cost:(t.c.Cost.hard_rx +. t.c.Cost.demux)
+        (edemux_rx t pkt)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy UDP protocol processing (LRP receive path, section 3.3)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull any queued fragments for pending reassemblies out of the special
+   fragment channel and integrate them.  Completions are delivered to their
+   socket queues.  Runs in process context; the caller charges per-fragment
+   cost through [charge]. *)
+let drain_frag_channel t ~charge =
+  let frag_ch = Chantab.frag_channel t.chantab in
+  let frags = Channel.extract frag_ch (fun _ -> true) in
+  List.fold_left
+    (fun completed pkt ->
+      charge (t.c.Cost.reasm_per_frag +. t.c.Cost.ip_in);
+      match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+      | None -> completed
+      | Some whole -> whole :: completed)
+    [] frags
+
+(* Process one raw packet taken from a UDP channel, in the current process
+   context.  Returns completed datagrams (usually one; fragments may
+   complete zero or several including via the fragment channel). *)
+let lrp_process_udp_raw t ~charge pkt =
+  (* Channel buffer management, plus the NI-memory access under NI
+     demux. *)
+  charge
+    (t.c.Cost.sockq
+     +. (match t.cfg.arch with
+         | Ni_lrp -> t.c.Cost.ni_channel_access
+         | Bsd | Soft_lrp | Early_demux -> 0.));
+  charge
+    (t.c.Cost.lazy_locality
+     *. (t.c.Cost.ip_in
+         +. if Packet.is_fragment pkt then t.c.Cost.reasm_per_frag else 0.));
+  match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+  | Some whole ->
+      charge (t.c.Cost.lazy_locality *. t.c.Cost.udp_in);
+      [ whole ]
+  | None ->
+      (* Missing fragments: check the special fragment channel
+         (section 3.2). *)
+      let completed = drain_frag_channel t ~charge in
+      List.iter (fun _ -> charge (t.c.Cost.lazy_locality *. t.c.Cost.udp_in)) completed;
+      completed
+
+(* ------------------------------------------------------------------ *)
+(* LRP helper thread (minimal priority, section 3.3)                    *)
+(* ------------------------------------------------------------------ *)
+
+let helper_loop t =
+  let charge = Proc.compute in
+  let rec pass () =
+    let worked = ref false in
+    (* Integrate any stray fragments. *)
+    (match drain_frag_channel t ~charge with
+     | [] -> ()
+     | completed ->
+         worked := true;
+         List.iter
+           (fun whole ->
+             charge (t.c.Cost.lazy_locality *. t.c.Cost.udp_in);
+             deliver_udp_ready t whole)
+           completed);
+    (* Process one packet from each backlogged UDP channel — but only while
+       the destination socket queue has room.  A full socket queue means the
+       receiver is not keeping up, and leaving packets in the channel is
+       what lets it fill and shed further load at the NI instead of burning
+       host CPU on datagrams that would be dropped anyway. *)
+    List.iter
+      (fun ch ->
+        let room =
+          match Hashtbl.find_opt t.chan_sock (Channel.id ch) with
+          | Some sock ->
+              Queue.length sock.Socket.udp_rcv < sock.Socket.udp_rcv_limit
+          | None -> false
+        in
+        if room then
+          match Channel.dequeue ch with
+          | None -> ()
+          | Some pkt ->
+              worked := true;
+              let completed = lrp_process_udp_raw t ~charge pkt in
+              List.iter (deliver_udp_ready t) completed)
+      t.udp_channels;
+    (* Protocol-proxy daemon duties: ICMP echo and RSTs for TCP segments
+       with no endpoint (section 3.5). *)
+    (match Channel.dequeue (Chantab.icmp_channel t.chantab) with
+     | Some pkt ->
+         worked := true;
+         charge (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.udp_in));
+         (match pkt.Packet.body with
+          | Packet.Tcp _ ->
+              t.stats.rsts_sent <- t.stats.rsts_sent + 1;
+              Tcp.send_rst_for pkt ~emit:(fun p -> ip_output t p)
+          | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ ->
+              (match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+               | Some whole -> icmp_reply t whole
+               | None -> ()))
+     | None -> ());
+    if !worked then pass ()
+    else begin
+      Proc.block t.helper_wq;
+      pass ()
+    end
+  in
+  pass ()
+
+(* ------------------------------------------------------------------ *)
+(* IP-forwarding daemon (section 3.5)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A proxy daemon owns the forwarding channel: transit packets are charged
+   to it, and its scheduling priority bounds the resources the host spends
+   on forwarding. *)
+let fwd_daemon_loop t =
+  let ch = Chantab.fwd_channel t.chantab in
+  let rec loop () =
+    match Channel.dequeue ch with
+    | Some pkt ->
+        Proc.compute
+          (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.ip_forward));
+        t.stats.forwarded <- t.stats.forwarded + 1;
+        ip_output t pkt;
+        loop ()
+    | None ->
+        Proc.block t.fwd_wq;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create engine fabric ~name ~ip cfg =
+  let cpu =
+    Cpu.create engine ~ctx_switch_cost:cfg.costs.Cost.ctx_switch ~name ()
+  in
+  let nic = Fabric.make_nic fabric ~name:(name ^ ".nic") ~ip () in
+  let t =
+    { kname = name; engine; cpu; nic; cfg; c = cfg.costs; ip_addr = ip;
+      ipq_len = 0; mbufs = Mbuf.create ~capacity:cfg.mbuf_capacity ();
+      interfaces = [];
+      udp_ports = Hashtbl.create 64; tcp_conns = Hashtbl.create 256;
+      tcp_listeners = Hashtbl.create 16; conn_sock = Hashtbl.create 256;
+      conn_owner = Hashtbl.create 256; chantab = Chantab.create ();
+      chan_sock = Hashtbl.create 64; mcast_members = Hashtbl.create 8;
+      chan_conn = Hashtbl.create 256;
+      conn_chan = Hashtbl.create 256;
+      all_channels = []; apps = Hashtbl.create 16;
+      helper_wq = Proc.waitq (name ^ ".udp-helper"); helper_proc = None;
+      fwd_wq = Proc.waitq (name ^ ".ipfwdd"); fwd_proc = None;
+      udp_channels = []; reasm = Ip.Reasm.create ();
+      tcp_env = None; eph_port = 20_000;
+      stats =
+        { rx_frames = 0; ipq_drops = 0; mbuf_drops = 0; no_port_drops = 0;
+          demux_drops = 0; edemux_early_drops = 0; udp_delivered = 0;
+          rx_wrong_peer = 0; forwarded = 0; fwd_drops = 0; rsts_sent = 0 } }
+  in
+  t.interfaces <- [ (ip, 24, nic) ];
+  t.tcp_env <- Some (make_tcp_env t);
+  t.all_channels <-
+    [ Chantab.frag_channel t.chantab; Chantab.icmp_channel t.chantab;
+      Chantab.fwd_channel t.chantab ];
+  Nic.set_rx_handler nic (fun pkt -> rx_dispatch t pkt);
+  (* Periodic reassembly pruning (ip_slowtimo). *)
+  let rec slowtimo () =
+    ignore (Ip.Reasm.prune t.reasm ~now:(now t));
+    ignore (Engine.schedule_after engine ~delay:(Time.sec 5.) slowtimo)
+  in
+  ignore (Engine.schedule_after engine ~delay:(Time.sec 5.) slowtimo);
+  if lrp_mode t && cfg.udp_helper then begin
+    let p =
+      Cpu.spawn cpu ~nice:20 ~name:(name ^ ".udp-helper") (fun _self ->
+          helper_loop t)
+    in
+    t.helper_proc <- Some p
+  end;
+  if lrp_mode t && cfg.forwarding then begin
+    let p =
+      Cpu.spawn cpu ~nice:cfg.fwd_nice ~name:(name ^ ".ipfwdd") (fun _self ->
+          fwd_daemon_loop t)
+    in
+    t.fwd_proc <- Some p
+  end;
+  t
+
+(* Allocate an ephemeral port. *)
+let fresh_port t =
+  let rec try_port () =
+    t.eph_port <- (if t.eph_port >= 65_000 then 20_000 else t.eph_port + 1);
+    if Hashtbl.mem t.udp_ports t.eph_port
+       || Hashtbl.mem t.tcp_listeners t.eph_port
+    then try_port ()
+    else t.eph_port
+  in
+  try_port ()
+
+
+(* [add_interface t fabric ~ip ~masklen] attaches an additional interface
+   (multi-homed gateway).  The same receive architecture runs on every
+   interface. *)
+let add_interface t fabric ~ip ?(masklen = 24) () =
+  let nic =
+    Fabric.make_nic fabric ~name:(Printf.sprintf "%s.nic%d" t.kname
+                                    (List.length t.interfaces)) ~ip ()
+  in
+  Nic.set_rx_handler nic (fun pkt -> rx_dispatch t pkt);
+  t.interfaces <- t.interfaces @ [ (ip, masklen, nic) ];
+  nic

@@ -1,0 +1,189 @@
+(** Simulated host kernel, parameterised by network-subsystem architecture.
+
+    One [Kernel.t] per host.  It owns the CPU, the NIC, the protocol state
+    (PCBs, reassembly, TCP connections) and implements the four receive
+    architectures the paper compares:
+
+    - {b Bsd}: eager interrupt-driven processing.  The hardware interrupt
+      stores the packet and appends it to the shared IP queue; a software
+      interrupt performs IP + transport processing and deposits data on the
+      socket queue; the application finally copies it out in a receive
+      system call (section 2.1).
+    - {b Soft_lrp}: LRP with demultiplexing in the interrupt handler: the
+      hardware interrupt classifies the packet onto its NI channel (early
+      discard if full); all protocol processing happens lazily in the
+      receiver's context or in an APP thread charged to the receiver.
+    - {b Ni_lrp}: like [Soft_lrp], but classification and discard happen on
+      the network interface itself at zero host cost; the host is
+      interrupted only when a blocked receiver must be woken.
+    - {b Early_demux}: the control experiment of section 4.2 — early
+      demultiplexing and early discard like SOFT-LRP, but protocol
+      processing stays eager in software-interrupt context like BSD.
+
+    All architectures share the same protocol code ({!Lrp_proto.Tcp},
+    {!Lrp_proto.Ip}) and the same cost table, exactly as the paper's kernels
+    shared the 4.4BSD networking code.  Syscall-level behaviour (the socket
+    API) lives in {!Api}. *)
+
+type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux
+(** The four receive architectures of the paper's evaluation. *)
+
+val arch_name : arch -> string
+val is_lrp : arch -> bool
+type config = {
+  arch : arch;
+  costs : Cost.t;
+  mtu : int;
+  ip_queue_limit : int;
+  channel_limit : int;
+  udp_rcv_limit : int;
+  mbuf_capacity : int;
+  mss : int;
+  sock_buf : int;
+  time_wait : float;
+  initial_rto : float;
+  max_syn_retries : int;
+  udp_helper : bool;
+  forwarding : bool;
+  fwd_nice : int;
+  fair_app_accounting : bool;
+}
+val default_config : ?costs:Cost.t -> arch -> config
+(** The paper's testbed defaults: ATM MTU 9180, 32-packet channels,
+    32 kB socket buffers, the UDP helper on, forwarding off. *)
+
+type kstats = {
+  mutable rx_frames : int;
+  mutable ipq_drops : int;
+  mutable mbuf_drops : int;
+  mutable no_port_drops : int;
+  mutable demux_drops : int;
+  mutable edemux_early_drops : int;
+  mutable udp_delivered : int;
+  mutable rx_wrong_peer : int;
+  mutable forwarded : int;
+  mutable fwd_drops : int;
+  mutable rsts_sent : int;
+}
+type job = Jchan of Lrp_core.Channel.t | Jtimer of (unit -> unit)
+type app = {
+  app_owner : Lrp_sim.Proc.t;
+  jobs : job Queue.t;
+  app_wq : Lrp_sim.Proc.waitq;
+  mutable app_proc : Lrp_sim.Proc.t option;
+  chan_pending : (int, unit) Hashtbl.t;
+}
+type t = {
+  kname : string;
+  engine : Lrp_engine.Engine.t;
+  cpu : Lrp_sim.Cpu.t;
+  nic : Lrp_net.Nic.t;
+  mutable interfaces : (Lrp_net.Packet.ip * int * Lrp_net.Nic.t) list;
+  cfg : config;
+  c : Cost.t;
+  ip_addr : Lrp_net.Packet.ip;
+  mutable ipq_len : int;
+  mbufs : Lrp_net.Mbuf.t;
+  udp_ports : (int, Socket.t) Hashtbl.t;
+  tcp_conns : (Lrp_net.Packet.ip * int * int, Lrp_proto.Tcp.conn) Hashtbl.t;
+  tcp_listeners : (int, Lrp_proto.Tcp.conn) Hashtbl.t;
+  conn_sock : (int, Socket.t) Hashtbl.t;
+  conn_owner : (int, Lrp_sim.Proc.t) Hashtbl.t;
+  chantab : Lrp_core.Chantab.t;
+  chan_sock : (int, Socket.t) Hashtbl.t;
+  mcast_members : (int, Socket.t list ref) Hashtbl.t;
+  chan_conn : (int, Lrp_proto.Tcp.conn) Hashtbl.t;
+  conn_chan : (int, Lrp_core.Channel.t) Hashtbl.t;
+  mutable all_channels : Lrp_core.Channel.t list;
+  apps : (int, app) Hashtbl.t;
+  helper_wq : Lrp_sim.Proc.waitq;
+  mutable helper_proc : Lrp_sim.Proc.t option;
+  fwd_wq : Lrp_sim.Proc.waitq;
+  mutable fwd_proc : Lrp_sim.Proc.t option;
+  mutable udp_channels : Lrp_core.Channel.t list;
+  reasm : Lrp_proto.Ip.Reasm.t;
+  mutable tcp_env : Lrp_proto.Tcp.env option;
+  mutable eph_port : int;
+  stats : kstats;
+}
+val name : t -> string
+val cpu : t -> Lrp_sim.Cpu.t
+val engine : t -> Lrp_engine.Engine.t
+val nic : t -> Lrp_net.Nic.t
+val config : t -> config
+val costs : t -> Cost.t
+val stats : t -> kstats
+val arch : t -> arch
+val ip_address : t -> Lrp_net.Packet.ip
+val chantab : t -> Lrp_core.Chantab.t
+val mbufs : t -> Lrp_net.Mbuf.t
+val channels : t -> Lrp_core.Channel.t list
+val lrp_mode : t -> bool
+val now : t -> Lrp_engine.Time.t
+val is_local_addr : t -> Lrp_net.Packet.ip -> bool
+val route : t -> int -> Lrp_net.Nic.t
+val drop_channel : t -> int -> unit
+(** Forget a deallocated channel by id (bookkeeping for the reporting
+    list). *)
+
+val early_discards : t -> int
+val debug_trace : bool ref
+(** When set, kernel-internal events (channel enqueues, APP scheduling)
+    are printed with timestamps — a lightweight tracer for debugging
+    scenarios. *)
+
+val trc : t -> ('a, out_channel, unit, unit, unit, unit) format6 -> 'a
+val tcp_env_exn : t -> Lrp_proto.Tcp.env
+val ip_output : t -> Lrp_net.Packet.t -> unit
+val seg_out_cost : t -> float
+val free_rx_mbufs : t -> int -> unit
+val udp_send_cost : t -> frags:int -> float
+val wake_all : t -> Lrp_sim.Proc.waitq -> unit
+val wake_one : t -> Lrp_sim.Proc.waitq -> unit
+val sock_of_conn : t -> Lrp_proto.Tcp.conn -> Socket.t option
+val update_listen_gate : t -> Lrp_proto.Tcp.conn -> unit
+val app_loop : t -> app -> unit
+val drain_tcp_channel : t -> Lrp_core.Channel.t -> unit
+val tcp_deliver :
+  t ->
+  Lrp_proto.Tcp.conn ->
+  Lrp_net.Packet.t -> ctx:[< `Proc | `Soft > `Proc ] -> unit
+val app_for : t -> Lrp_sim.Proc.t -> app
+val orphan_drain : t -> Lrp_core.Channel.t -> unit -> unit
+val app_post_chan : t -> Lrp_proto.Tcp.conn -> Lrp_core.Channel.t -> unit
+val app_post_timer : t -> Lrp_proto.Tcp.conn -> (unit -> unit) -> unit
+val register_conn :
+  t -> Lrp_proto.Tcp.conn -> owner:Lrp_sim.Proc.t option -> unit
+val deregister_conn : t -> Lrp_proto.Tcp.conn -> unit
+val make_tcp_env : t -> Lrp_proto.Tcp.env
+val datagram_of : Lrp_net.Packet.t -> Socket.udp_datagram
+val peer_accepts :
+  t -> Socket.t -> Socket.udp_datagram -> bool
+val deposit_and_wake :
+  t -> Socket.t -> Socket.udp_datagram -> unit
+val deliver_udp_ready : t -> Lrp_net.Packet.t -> unit
+val icmp_reply : t -> Lrp_net.Packet.t -> unit
+val deliver_tcp :
+  t -> Lrp_net.Packet.t -> ctx:[< `Proc | `Soft > `Proc ] -> unit
+val bsd_transport_input : t -> Lrp_net.Packet.t -> unit
+val transport_cost : t -> Lrp_net.Packet.t -> skip_pcb:bool -> float
+val bsd_soft_cost : t -> Lrp_net.Packet.t -> float
+val bsd_softnet : t -> Lrp_net.Packet.t -> unit -> unit
+val bsd_driver_rx : t -> Lrp_net.Packet.t -> unit -> unit
+val ni_wake : t -> (unit -> unit) -> unit
+val lrp_classify_rx : t -> Lrp_net.Packet.t -> unit
+val edemux_rx : t -> Lrp_net.Packet.t -> unit -> unit
+val rx_dispatch : t -> Lrp_net.Packet.t -> unit
+val drain_frag_channel : t -> charge:(float -> unit) -> Lrp_net.Packet.t list
+val lrp_process_udp_raw :
+  t -> charge:(float -> unit) -> Lrp_net.Packet.t -> Lrp_net.Packet.t list
+val helper_loop : t -> 'a
+val fwd_daemon_loop : t -> 'a
+val create :
+  Lrp_engine.Engine.t ->
+  Lrp_net.Fabric.t -> name:string -> ip:Lrp_net.Packet.ip -> config -> t
+val fresh_port : t -> int
+val add_interface :
+  t ->
+  Lrp_net.Fabric.t ->
+  ip:Lrp_net.Packet.ip -> ?masklen:int -> unit -> Lrp_net.Nic.t

@@ -1,0 +1,77 @@
+(** Socket objects.
+
+    Pure state: behaviour lives in {!Kernel} and {!Api}.  A socket's receive
+    plumbing depends on the architecture:
+
+    - under BSD and Early-Demux, [udp_rcv] holds fully-processed datagrams
+      put there by software-interrupt protocol processing;
+    - under LRP, raw packets sit in the socket's NI [chan] until a receiver
+      processes them lazily; [udp_rcv] then only holds datagrams processed
+      on its behalf by the minimal-priority helper thread (section 3.3);
+    - TCP sockets delegate stream state to their {!Lrp_proto.Tcp.conn};
+      reassembled stream data lives in the connection's receive buffer. *)
+
+open Lrp_net
+open Lrp_sim
+
+type kind = Dgram | Stream
+
+type udp_datagram = { dg_payload : Payload.t; dg_from : Packet.ip * int }
+
+type stats = {
+  mutable rx_delivered : int;   (* datagrams handed to the application *)
+  mutable rx_sockq_drops : int; (* datagrams dropped at a full socket queue *)
+  mutable tx_packets : int;
+}
+
+type t = {
+  id : int;
+  kind : kind;
+  mutable port : int option;
+  mutable remote : (Packet.ip * int) option;  (* connected-UDP peer *)
+  udp_rcv : udp_datagram Queue.t;
+  udp_rcv_limit : int;  (* socket-queue limit, in datagrams *)
+  recv_wait : Proc.waitq;
+  send_wait : Proc.waitq;
+  accept_wait : Proc.waitq;
+  mutable chan : Lrp_core.Channel.t option;  (* LRP architectures *)
+  mutable tcp : Lrp_proto.Tcp.conn option;
+  mutable owner : Proc.t option;
+  mutable closed : bool;
+  stats : stats;
+}
+
+let counter = ref 0
+
+let create ?(udp_rcv_limit = 64) kind =
+  incr counter;
+  let id = !counter in
+  { id; kind; port = None; remote = None; udp_rcv = Queue.create ();
+    udp_rcv_limit;
+    recv_wait = Proc.waitq (Printf.sprintf "sock%d.recv" id);
+    send_wait = Proc.waitq (Printf.sprintf "sock%d.send" id);
+    accept_wait = Proc.waitq (Printf.sprintf "sock%d.accept" id);
+    chan = None; tcp = None; owner = None; closed = false;
+    stats = { rx_delivered = 0; rx_sockq_drops = 0; tx_packets = 0 } }
+
+let port_exn t =
+  match t.port with
+  | Some p -> p
+  | None -> invalid_arg "socket is not bound"
+
+(* Deposit a ready datagram in the socket queue (BSD softint path or the
+   LRP helper thread).  Returns [false] and counts a drop when full. *)
+let deposit_udp t dg =
+  if Queue.length t.udp_rcv >= t.udp_rcv_limit then begin
+    t.stats.rx_sockq_drops <- t.stats.rx_sockq_drops + 1;
+    false
+  end
+  else begin
+    Queue.add dg t.udp_rcv;
+    true
+  end
+
+let pp fmt t =
+  Fmt.pf fmt "sock%d(%s%s)" t.id
+    (match t.kind with Dgram -> "udp" | Stream -> "tcp")
+    (match t.port with Some p -> Printf.sprintf ":%d" p | None -> "")

@@ -1,0 +1,44 @@
+(** Socket objects.
+
+    Pure state: behaviour lives in {!Kernel} and {!Api}.  A socket's receive
+    plumbing depends on the architecture:
+
+    - under BSD and Early-Demux, [udp_rcv] holds fully-processed datagrams
+      put there by software-interrupt protocol processing;
+    - under LRP, raw packets sit in the socket's NI [chan] until a receiver
+      processes them lazily; [udp_rcv] then only holds datagrams processed
+      on its behalf by the minimal-priority helper thread (section 3.3);
+    - TCP sockets delegate stream state to their {!Lrp_proto.Tcp.conn};
+      reassembled stream data lives in the connection's receive buffer. *)
+
+type kind = Dgram | Stream
+type udp_datagram = {
+  dg_payload : Lrp_net.Payload.t;
+  dg_from : Lrp_net.Packet.ip * int;
+}
+type stats = {
+  mutable rx_delivered : int;
+  mutable rx_sockq_drops : int;
+  mutable tx_packets : int;
+}
+type t = {
+  id : int;
+  kind : kind;
+  mutable port : int option;
+  mutable remote : (Lrp_net.Packet.ip * int) option;
+  udp_rcv : udp_datagram Queue.t;
+  udp_rcv_limit : int;
+  recv_wait : Lrp_sim.Proc.waitq;
+  send_wait : Lrp_sim.Proc.waitq;
+  accept_wait : Lrp_sim.Proc.waitq;
+  mutable chan : Lrp_core.Channel.t option;
+  mutable tcp : Lrp_proto.Tcp.conn option;
+  mutable owner : Lrp_sim.Proc.t option;
+  mutable closed : bool;
+  stats : stats;
+}
+val counter : int ref
+val create : ?udp_rcv_limit:int -> kind -> t
+val port_exn : t -> int
+val deposit_udp : t -> udp_datagram -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,210 @@
+(** Byte-level IPv4/UDP/TCP encoding.
+
+    This is the faithful wire format used by the byte-level demultiplexer
+    (paper section 3.2 requires a self-contained classifier that can run in
+    NI firmware or an interrupt handler) and by the codec round-trip tests.
+    The simulator's hot path passes structured {!Packet.t} values instead —
+    a property test asserts the two demultiplexer implementations agree.
+
+    Restrictions: fragments are encoded with the standard IPv4
+    offset/more-fragments machinery; TCP options are not modelled (the
+    header is a fixed 20 bytes). *)
+
+let ipproto_icmp = 1
+let ipproto_tcp = 6
+let ipproto_udp = 17
+
+(* Internet checksum (RFC 1071) over [len] bytes of [b] starting at [off]. *)
+let internet_checksum b ~off ~len =
+  let sum = ref 0 in
+  let i = ref off in
+  let last = off + len in
+  while !i + 1 < last do
+    sum := !sum + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let put16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let put32 b off v =
+  put16 b off ((v lsr 16) land 0xffff);
+  put16 b (off + 2) (v land 0xffff)
+
+let get16 b off =
+  (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+(* --- encode ----------------------------------------------------------- *)
+
+let encode_ip_header b ~proto ~ident ~frag_off ~more_frags ~ttl ~src ~dst
+    ~total_len =
+  Bytes.set b 0 (Char.chr 0x45) (* version 4, IHL 5 *);
+  Bytes.set b 1 '\000' (* TOS *);
+  put16 b 2 total_len;
+  put16 b 4 ident;
+  let fl = (if more_frags then 0x2000 else 0) lor ((frag_off / 8) land 0x1fff) in
+  put16 b 6 fl;
+  Bytes.set b 8 (Char.chr (ttl land 0xff));
+  Bytes.set b 9 (Char.chr proto);
+  put16 b 10 0 (* checksum placeholder *);
+  put32 b 12 src;
+  put32 b 16 dst;
+  put16 b 10 (internet_checksum b ~off:0 ~len:20)
+
+let rec encode (pkt : Packet.t) =
+  let open Packet in
+  let ih = pkt.ip in
+  match pkt.body with
+  | Udp (u, payload) ->
+      let plen = Payload.length payload in
+      let total = ip_header_bytes + udp_header_bytes + plen in
+      let b = Bytes.create total in
+      encode_ip_header b ~proto:ipproto_udp ~ident:ih.ident ~frag_off:0
+        ~more_frags:false ~ttl:ih.ttl ~src:ih.src ~dst:ih.dst ~total_len:total;
+      put16 b 20 u.usrc_port;
+      put16 b 22 u.udst_port;
+      put16 b 24 (udp_header_bytes + plen);
+      put16 b 26 0 (* UDP checksum: unused, as in the paper's tests *);
+      Bytes.blit (Payload.to_bytes payload) 0 b 28 plen;
+      b
+  | Tcp (h, payload) ->
+      let plen = Payload.length payload in
+      let total = ip_header_bytes + tcp_header_bytes + plen in
+      let b = Bytes.create total in
+      encode_ip_header b ~proto:ipproto_tcp ~ident:ih.ident ~frag_off:0
+        ~more_frags:false ~ttl:ih.ttl ~src:ih.src ~dst:ih.dst ~total_len:total;
+      put16 b 20 h.tsrc_port;
+      put16 b 22 h.tdst_port;
+      put32 b 24 (h.seq land 0xffffffff);
+      put32 b 28 (h.ack_no land 0xffffffff);
+      Bytes.set b 32 (Char.chr 0x50) (* data offset 5 words *);
+      let fl =
+        (if h.flags.fin then 0x01 else 0)
+        lor (if h.flags.syn then 0x02 else 0)
+        lor (if h.flags.rst then 0x04 else 0)
+        lor (if h.flags.psh then 0x08 else 0)
+        lor if h.flags.ack then 0x10 else 0
+      in
+      Bytes.set b 33 (Char.chr fl);
+      put16 b 34 h.window;
+      put16 b 36 0 (* checksum *);
+      put16 b 38 0 (* urgent *);
+      Bytes.blit (Payload.to_bytes payload) 0 b 40 plen;
+      put16 b 36 (internet_checksum b ~off:20 ~len:(tcp_header_bytes + plen));
+      b
+  | Icmp (kind, payload) ->
+      let plen = Payload.length payload in
+      let total = ip_header_bytes + 8 + plen in
+      let b = Bytes.create total in
+      encode_ip_header b ~proto:ipproto_icmp ~ident:ih.ident ~frag_off:0
+        ~more_frags:false ~ttl:ih.ttl ~src:ih.src ~dst:ih.dst ~total_len:total;
+      let ty =
+        match kind with
+        | Echo_request -> 8
+        | Echo_reply -> 0
+        | Dest_unreachable -> 3
+        | Ttl_exceeded -> 11
+      in
+      Bytes.set b 20 (Char.chr ty);
+      Bytes.fill b 21 7 '\000';
+      Bytes.blit (Payload.to_bytes payload) 0 b 28 plen;
+      b
+  | Fragment f ->
+      (* The fragment's [foff]/[flen] index the transport *payload*; on the
+         wire, IP fragment offsets index the IP payload, whose first bytes
+         are the transport header.  Fragment 0 therefore carries the
+         transport header plus its payload slice. *)
+      let whole_bytes = encode f.whole in
+      let th = Packet.transport_header_bytes f.whole in
+      let ip_payload_len = Bytes.length whole_bytes - ip_header_bytes in
+      let ioff = if f.foff = 0 then 0 else th + f.foff in
+      let ilen = if f.foff = 0 then th + f.flen else f.flen in
+      if ioff < 0 || ioff + ilen > ip_payload_len then
+        invalid_arg "Codec.encode: fragment out of range"
+      else begin
+        let total = ip_header_bytes + ilen in
+        let b = Bytes.create total in
+        let proto =
+          match f.whole.body with
+          | Udp _ -> ipproto_udp
+          | Tcp _ -> ipproto_tcp
+          | Icmp _ -> ipproto_icmp
+          | Fragment _ -> invalid_arg "Codec.encode: nested fragment"
+        in
+        encode_ip_header b ~proto ~ident:ih.ident ~frag_off:ioff
+          ~more_frags:(not f.last) ~ttl:ih.ttl ~src:ih.src ~dst:ih.dst
+          ~total_len:total;
+        Bytes.blit whole_bytes (ip_header_bytes + ioff) b ip_header_bytes ilen;
+        b
+      end
+
+(* --- decode ----------------------------------------------------------- *)
+
+type decoded = {
+  d_src : int;
+  d_dst : int;
+  d_proto : int;
+  d_ident : int;
+  d_frag_off : int;
+  d_more_frags : bool;
+  d_ttl : int;
+  d_src_port : int option;
+  d_dst_port : int option;
+  d_tcp_flags : Packet.tcp_flags option;
+  d_seq : int option;
+  d_ack : int option;
+  d_window : int option;
+  d_payload : Bytes.t;
+}
+
+exception Bad_packet of string
+
+let decode b =
+  if Bytes.length b < 20 then raise (Bad_packet "short IP header");
+  if Char.code (Bytes.get b 0) <> 0x45 then raise (Bad_packet "bad version/IHL");
+  if internet_checksum b ~off:0 ~len:20 <> 0 then
+    raise (Bad_packet "IP checksum");
+  let total_len = get16 b 2 in
+  if total_len > Bytes.length b then raise (Bad_packet "truncated datagram");
+  let ident = get16 b 4 in
+  let fl = get16 b 6 in
+  let more_frags = fl land 0x2000 <> 0 in
+  let frag_off = (fl land 0x1fff) * 8 in
+  let ttl = Char.code (Bytes.get b 8) in
+  let proto = Char.code (Bytes.get b 9) in
+  let src = get32 b 12 and dst = get32 b 16 in
+  let first = frag_off = 0 in
+  let base = 20 in
+  let mk ?src_port ?dst_port ?tcp_flags ?seq ?ack ?window payload_off =
+    { d_src = src; d_dst = dst; d_proto = proto; d_ident = ident;
+      d_frag_off = frag_off; d_more_frags = more_frags; d_ttl = ttl;
+      d_src_port = src_port; d_dst_port = dst_port; d_tcp_flags = tcp_flags;
+      d_seq = seq; d_ack = ack; d_window = window;
+      d_payload = Bytes.sub b payload_off (total_len - payload_off) }
+  in
+  if not first then mk base
+  else if proto = ipproto_udp then begin
+    if total_len < base + 8 then raise (Bad_packet "short UDP header");
+    mk ~src_port:(get16 b 20) ~dst_port:(get16 b 22) (base + 8)
+  end
+  else if proto = ipproto_tcp then begin
+    if total_len < base + 20 then raise (Bad_packet "short TCP header");
+    let fl = Char.code (Bytes.get b 33) in
+    let tcp_flags =
+      { Packet.fin = fl land 0x01 <> 0; syn = fl land 0x02 <> 0;
+        rst = fl land 0x04 <> 0; psh = fl land 0x08 <> 0;
+        ack = fl land 0x10 <> 0 }
+    in
+    mk ~src_port:(get16 b 20) ~dst_port:(get16 b 22) ~tcp_flags
+      ~seq:(get32 b 24) ~ack:(get32 b 28) ~window:(get16 b 34) (base + 20)
+  end
+  else if proto = ipproto_icmp then mk (base + 8)
+  else mk base

@@ -1,0 +1,52 @@
+(** Byte-level IPv4/UDP/TCP encoding.
+
+    This is the faithful wire format used by the byte-level demultiplexer
+    (paper section 3.2 requires a self-contained classifier that can run in
+    NI firmware or an interrupt handler) and by the codec round-trip tests.
+    The simulator's hot path passes structured {!Packet.t} values instead —
+    a property test asserts the two demultiplexer implementations agree.
+
+    Restrictions: fragments are encoded with the standard IPv4
+    offset/more-fragments machinery; TCP options are not modelled (the
+    header is a fixed 20 bytes). *)
+
+val ipproto_icmp : int
+val ipproto_tcp : int
+val ipproto_udp : int
+val internet_checksum : bytes -> off:int -> len:int -> int
+(** RFC 1071 checksum over [len] bytes at [off]; verifying a checksummed
+    region yields 0. *)
+
+val put16 : bytes -> int -> int -> unit
+val put32 : bytes -> int -> int -> unit
+val get16 : bytes -> int -> int
+val get32 : bytes -> int -> int
+val encode_ip_header :
+  bytes ->
+  proto:int ->
+  ident:int ->
+  frag_off:int ->
+  more_frags:bool -> ttl:int -> src:int -> dst:int -> total_len:int -> unit
+val encode : Packet.t -> bytes
+(** Wire-format encoding (IPv4 + UDP/TCP/ICMP, fragments included). *)
+
+type decoded = {
+  d_src : int;
+  d_dst : int;
+  d_proto : int;
+  d_ident : int;
+  d_frag_off : int;
+  d_more_frags : bool;
+  d_ttl : int;
+  d_src_port : int option;
+  d_dst_port : int option;
+  d_tcp_flags : Packet.tcp_flags option;
+  d_seq : int option;
+  d_ack : int option;
+  d_window : int option;
+  d_payload : Bytes.t;
+}
+exception Bad_packet of string
+val decode : bytes -> decoded
+(** Parse and verify a wire-format datagram.
+    @raise Bad_packet on malformed input. *)

@@ -1,0 +1,110 @@
+(** ATM-like switching fabric connecting the hosts' NICs.
+
+    A single output-buffered switch: a frame transmitted by a NIC reaches
+    the switch after the source link's propagation delay, waits for the
+    destination port to be free (per-port serialisation at link bandwidth),
+    and arrives at the destination NIC after the switch latency plus the
+    destination link's propagation delay.  Output ports have a bounded
+    amount of buffering; overruns drop frames, which is the
+    congestion-related loss the paper observed above 19,000 pkts/s on its
+    ATM network. *)
+
+open Lrp_engine
+
+type port = {
+  nic : Nic.t;
+  mutable busy_until : Time.t;
+  mutable rx_frames : int;
+  mutable drops : int;
+}
+
+type t = {
+  engine : Engine.t;
+  bandwidth : float;           (* bytes/us, per output port *)
+  prop_delay : float;          (* per link, us *)
+  switch_latency : float;      (* fixed forwarding latency, us *)
+  buffer_us : float;           (* max queueing backlog per port, us *)
+  ports : (Packet.ip, port) Hashtbl.t;
+  mutable total_drops : int;
+  mutable loss_rate : float;   (* random frame loss, for fault injection *)
+  mutable loss_rng : Rng.t;
+  mutable default_port : Packet.ip option;
+      (* where frames for off-link destinations go: the router's
+         attachment (a LAN's default gateway) *)
+}
+
+let create engine ?(bandwidth_mbps = 155.) ?(prop_delay = 5.)
+    ?(switch_latency = 10.) ?(buffer_us = 10_000.) () =
+  { engine; bandwidth = Nic.mbps_to_bytes_per_us bandwidth_mbps; prop_delay;
+    switch_latency; buffer_us; ports = Hashtbl.create 8; total_drops = 0;
+    loss_rate = 0.; loss_rng = Rng.split (Engine.rng engine);
+    default_port = None }
+
+let rec attach t nic =
+  let ip = Nic.ip nic in
+  if Hashtbl.mem t.ports ip then
+    invalid_arg "Fabric.attach: duplicate IP address";
+  let port = { nic; busy_until = Time.zero; rx_frames = 0; drops = 0 } in
+  Hashtbl.replace t.ports ip port;
+  Nic.set_deliver nic (fun pkt -> forward t pkt)
+
+and forward t pkt =
+  let now = Engine.now t.engine in
+  if t.loss_rate > 0. && Rng.uniform t.loss_rng < t.loss_rate then
+    (* Injected random loss (fault-injection tests). *)
+    t.total_drops <- t.total_drops + 1
+  else if Packet.is_multicast pkt then
+    (* Multicast: replicate to every port except the sender's. *)
+    Hashtbl.iter
+      (fun ip port ->
+        if ip <> Packet.src pkt then deliver_to t port pkt ~now)
+      t.ports
+  else
+  match Hashtbl.find_opt t.ports (Packet.dst pkt) with
+  | None ->
+      (* Off-link destination: hand the frame to the default gateway's
+         port if one is configured, else drop as a real switch would. *)
+      (match t.default_port with
+       | Some gw_ip ->
+           (match Hashtbl.find_opt t.ports gw_ip with
+            | Some port -> deliver_to t port pkt ~now
+            | None -> t.total_drops <- t.total_drops + 1)
+       | None -> t.total_drops <- t.total_drops + 1)
+  | Some port -> deliver_to t port pkt ~now
+
+and deliver_to t port pkt ~now =
+  let ser = float_of_int (Packet.wire_bytes pkt) /. t.bandwidth in
+  let start = Float.max now port.busy_until in
+  if start -. now > t.buffer_us then begin
+    (* Output buffer exhausted: congestion drop. *)
+    port.drops <- port.drops + 1;
+    t.total_drops <- t.total_drops + 1
+  end
+  else begin
+    let departure = start +. ser in
+    port.busy_until <- departure;
+    port.rx_frames <- port.rx_frames + 1;
+    let arrival = departure +. t.switch_latency +. t.prop_delay in
+    ignore
+      (Engine.schedule t.engine ~at:arrival (fun () -> Nic.receive port.nic pkt))
+  end
+
+let set_loss_rate t r = t.loss_rate <- r
+
+(* [set_default_gateway t ~ip] routes frames for unknown destinations to
+   the port attached as [ip] (a forwarding host). *)
+let set_default_gateway t ~ip =
+  if not (Hashtbl.mem t.ports ip) then
+    invalid_arg "Fabric.set_default_gateway: no such port";
+  t.default_port <- Some ip
+
+let drops t = t.total_drops
+
+let port_drops t ip =
+  match Hashtbl.find_opt t.ports ip with Some p -> p.drops | None -> 0
+
+(* Convenience: build a NIC and attach it in one step. *)
+let make_nic t ~name ~ip ?bandwidth_mbps ?cellify ?ifq_limit () =
+  let nic = Nic.create t.engine ~name ~ip ?bandwidth_mbps ?cellify ?ifq_limit () in
+  attach t nic;
+  nic

@@ -1,0 +1,60 @@
+(** ATM-like switching fabric connecting the hosts' NICs.
+
+    A single output-buffered switch: a frame transmitted by a NIC reaches
+    the switch after the source link's propagation delay, waits for the
+    destination port to be free (per-port serialisation at link bandwidth),
+    and arrives at the destination NIC after the switch latency plus the
+    destination link's propagation delay.  Output ports have a bounded
+    amount of buffering; overruns drop frames, which is the
+    congestion-related loss the paper observed above 19,000 pkts/s on its
+    ATM network. *)
+
+type port = {
+  nic : Nic.t;
+  mutable busy_until : Lrp_engine.Time.t;
+  mutable rx_frames : int;
+  mutable drops : int;
+}
+type t = {
+  engine : Lrp_engine.Engine.t;
+  bandwidth : float;
+  prop_delay : float;
+  switch_latency : float;
+  buffer_us : float;
+  ports : (Packet.ip, port) Hashtbl.t;
+  mutable total_drops : int;
+  mutable loss_rate : float;
+  mutable loss_rng : Lrp_engine.Rng.t;
+  mutable default_port : Packet.ip option;
+}
+(** Build the switch; per-port bandwidth defaults to 155 Mbit/s with a
+    bounded output buffer (overruns are congestion drops). *)
+
+val create :
+  Lrp_engine.Engine.t ->
+  ?bandwidth_mbps:float ->
+  ?prop_delay:float -> ?switch_latency:float -> ?buffer_us:float -> unit -> t
+val attach : t -> Nic.t -> unit
+(** Register a NIC's address on the switch and wire its transmit side.
+    @raise Invalid_argument on duplicate addresses. *)
+
+val forward : t -> Packet.t -> unit
+val deliver_to :
+  t -> port -> Packet.t -> now:Lrp_engine.Time.t -> unit
+val set_loss_rate : t -> float -> unit
+(** Random frame loss for fault-injection tests. *)
+
+val set_default_gateway : t -> ip:Packet.ip -> unit
+(** Route frames for off-link destinations to the port attached as [ip]
+    (a forwarding host).  @raise Invalid_argument if no such port. *)
+
+val drops : t -> int
+val port_drops : t -> Packet.ip -> int
+(** Build a NIC and [attach] it in one step. *)
+
+val make_nic :
+  t ->
+  name:string ->
+  ip:Packet.ip ->
+  ?bandwidth_mbps:float ->
+  ?cellify:bool -> ?ifq_limit:int -> unit -> Nic.t

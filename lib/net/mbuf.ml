@@ -1,0 +1,46 @@
+(** Mbuf pool model.
+
+    BSD stores packets in fixed-size mbufs drawn from a global pool; the
+    shared pool is one of the resources that traffic bursts for one socket
+    can exhaust to the detriment of others (paper section 2.2).  We model
+    the pool by counting: a packet of [n] bytes consumes
+    [ceil (n / mbuf_size)] mbufs (minimum 1) until it is freed. *)
+
+type t = {
+  capacity : int;
+  mbuf_size : int;
+  mutable in_use : int;
+  mutable peak : int;
+  mutable failures : int;  (* allocation attempts that found the pool empty *)
+}
+
+let create ?(mbuf_size = 128) ~capacity () =
+  if capacity <= 0 then invalid_arg "Mbuf.create: capacity must be positive";
+  { capacity; mbuf_size; in_use = 0; peak = 0; failures = 0 }
+
+let mbufs_for t bytes = max 1 ((bytes + t.mbuf_size - 1) / t.mbuf_size)
+
+(* [alloc t ~bytes] reserves mbufs for a packet.  Returns [false] (and
+   counts a failure) when the pool cannot cover the request. *)
+let alloc t ~bytes =
+  let n = mbufs_for t bytes in
+  if t.in_use + n > t.capacity then begin
+    t.failures <- t.failures + 1;
+    false
+  end
+  else begin
+    t.in_use <- t.in_use + n;
+    if t.in_use > t.peak then t.peak <- t.in_use;
+    true
+  end
+
+let free t ~bytes =
+  let n = mbufs_for t bytes in
+  if n > t.in_use then invalid_arg "Mbuf.free: more mbufs freed than in use";
+  t.in_use <- t.in_use - n
+
+let in_use t = t.in_use
+let peak t = t.peak
+let failures t = t.failures
+let capacity t = t.capacity
+let available t = t.capacity - t.in_use

@@ -1,0 +1,32 @@
+(** Mbuf pool model.
+
+    BSD stores packets in fixed-size mbufs drawn from a global pool; the
+    shared pool is one of the resources that traffic bursts for one socket
+    can exhaust to the detriment of others (paper section 2.2).  We model
+    the pool by counting: a packet of [n] bytes consumes
+    [ceil (n / mbuf_size)] mbufs (minimum 1) until it is freed. *)
+
+(** The pool; a packet of [n] bytes consumes [ceil (n / mbuf_size)]
+    mbufs (minimum 1) until freed. *)
+
+type t = {
+  capacity : int;
+  mbuf_size : int;
+  mutable in_use : int;
+  mutable peak : int;
+  mutable failures : int;
+}
+val create : ?mbuf_size:int -> capacity:int -> unit -> t
+val mbufs_for : t -> int -> int
+val alloc : t -> bytes:int -> bool
+(** Reserve mbufs for a packet; [false] (and a counted failure) when the
+    pool cannot cover the request. *)
+
+val free : t -> bytes:int -> unit
+(** Release a packet's mbufs.  @raise Invalid_argument on over-free. *)
+
+val in_use : t -> int
+val peak : t -> int
+val failures : t -> int
+val capacity : t -> int
+val available : t -> int

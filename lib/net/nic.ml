@@ -1,0 +1,103 @@
+(** Network interface model.
+
+    The NIC is deliberately thin: it owns the transmit queue ("interface
+    queue" in the paper's figures) and delivers received frames to a
+    receive handler installed by the kernel architecture.  The handler runs
+    in *NIC context* — an engine event with zero host-CPU cost.  What
+    happens next is the architectural difference the paper studies:
+
+    - BSD / Early-Demux / SOFT-LRP post hardware-interrupt work to the host
+      CPU from the handler;
+    - NI-LRP performs demultiplexing and early discard right in the handler
+      (modelling the adaptor's embedded i960 CPU) and only interrupts the
+      host when a receiver asked to be woken.
+
+    Transmission models the 155 Mbit/s ATM link: per-packet serialisation
+    delay with optional AAL5 cell quantisation, drained from a bounded
+    interface queue. *)
+
+open Lrp_engine
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_packets : int;
+  mutable tx_drops : int;  (* interface queue overflow *)
+}
+
+type t = {
+  nic_name : string;
+  engine : Engine.t;
+  ip : Packet.ip;
+  bandwidth : float;        (* bytes per microsecond *)
+  cellify : bool;           (* AAL5: pad to 48-byte cells, 53 on the wire *)
+  ifq_limit : int;
+  ifq : Packet.t Queue.t;
+  mutable tx_busy : bool;
+  mutable rx_handler : Packet.t -> unit;
+  mutable deliver : Packet.t -> unit;  (* wired to the fabric *)
+  stats : stats;
+}
+
+let mbps_to_bytes_per_us mbps = mbps *. 1e6 /. 8. /. 1e6
+
+let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
+    ?(ifq_limit = 64) () =
+  { nic_name = name; engine; ip;
+    bandwidth = mbps_to_bytes_per_us bandwidth_mbps; cellify; ifq_limit;
+    ifq = Queue.create (); tx_busy = false;
+    rx_handler = (fun _ -> ());
+    deliver = (fun _ -> ());
+    stats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; tx_drops = 0 } }
+
+let name t = t.nic_name
+let ip t = t.ip
+let stats t = t.stats
+
+let set_rx_handler t f = t.rx_handler <- f
+
+let set_deliver t f = t.deliver <- f
+
+(* Wire footprint of a datagram: AAL5 packs the PDU (plus an 8-byte
+   trailer) into 48-byte cells, each costing 53 bytes of line time. *)
+let wire_footprint t pkt =
+  let b = Packet.wire_bytes pkt in
+  if t.cellify then
+    let cells = (b + 8 + 47) / 48 in
+    cells * 53
+  else b
+
+let serialization_time t pkt = float_of_int (wire_footprint t pkt) /. t.bandwidth
+
+let rec drain t =
+  match Queue.take_opt t.ifq with
+  | None -> t.tx_busy <- false
+  | Some pkt ->
+      t.tx_busy <- true;
+      let d = serialization_time t pkt in
+      t.stats.tx_packets <- t.stats.tx_packets + 1;
+      t.stats.tx_bytes <- t.stats.tx_bytes + Packet.wire_bytes pkt;
+      ignore
+        (Engine.schedule_after t.engine ~delay:d (fun () ->
+             t.deliver pkt;
+             drain t))
+
+(* [transmit t pkt] is the driver's if_output: enqueue on the interface
+   queue and kick the transmitter.  Returns [false] on queue overflow. *)
+let transmit t pkt =
+  if Queue.length t.ifq >= t.ifq_limit then begin
+    t.stats.tx_drops <- t.stats.tx_drops + 1;
+    false
+  end
+  else begin
+    Queue.add pkt t.ifq;
+    if not t.tx_busy then drain t;
+    true
+  end
+
+let ifq_length t = Queue.length t.ifq
+
+(* Called by the fabric when a frame reaches this NIC. *)
+let receive t pkt =
+  t.stats.rx_packets <- t.stats.rx_packets + 1;
+  t.rx_handler pkt

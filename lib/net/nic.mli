@@ -1,0 +1,66 @@
+(** Network interface model.
+
+    The NIC is deliberately thin: it owns the transmit queue ("interface
+    queue" in the paper's figures) and delivers received frames to a
+    receive handler installed by the kernel architecture.  The handler runs
+    in *NIC context* — an engine event with zero host-CPU cost.  What
+    happens next is the architectural difference the paper studies:
+
+    - BSD / Early-Demux / SOFT-LRP post hardware-interrupt work to the host
+      CPU from the handler;
+    - NI-LRP performs demultiplexing and early discard right in the handler
+      (modelling the adaptor's embedded i960 CPU) and only interrupts the
+      host when a receiver asked to be woken.
+
+    Transmission models the 155 Mbit/s ATM link: per-packet serialisation
+    delay with optional AAL5 cell quantisation, drained from a bounded
+    interface queue. *)
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_packets : int;
+  mutable tx_drops : int;
+}
+type t = {
+  nic_name : string;
+  engine : Lrp_engine.Engine.t;
+  ip : Packet.ip;
+  bandwidth : float;
+  cellify : bool;
+  ifq_limit : int;
+  ifq : Packet.t Queue.t;
+  mutable tx_busy : bool;
+  mutable rx_handler : Packet.t -> unit;
+  mutable deliver : Packet.t -> unit;
+  stats : stats;
+}
+val mbps_to_bytes_per_us : float -> float
+(** Unit helper: link rate in Mbit/s to bytes per microsecond. *)
+
+val create :
+  Lrp_engine.Engine.t ->
+  name:string ->
+  ip:Packet.ip ->
+  ?bandwidth_mbps:float -> ?cellify:bool -> ?ifq_limit:int -> unit -> t
+val name : t -> string
+val ip : t -> Packet.ip
+val stats : t -> stats
+val set_rx_handler : t -> (Packet.t -> unit) -> unit
+(** Install the kernel's receive path.  The handler runs in NI context
+    (an engine event, zero host CPU); what it posts to the host CPU is the
+    architectural difference the paper studies. *)
+
+val set_deliver : t -> (Packet.t -> unit) -> unit
+val wire_footprint : t -> Packet.t -> int
+(** Line bytes for a datagram; with [cellify], AAL5 cell quantisation
+    (48 payload bytes per 53-byte cell). *)
+
+val serialization_time : t -> Packet.t -> float
+val drain : t -> unit
+val transmit : t -> Packet.t -> bool
+(** Driver if_output: enqueue on the interface queue and kick the
+    transmitter; [false] on queue overflow. *)
+
+val ifq_length : t -> int
+val receive : t -> Packet.t -> unit

@@ -1,0 +1,177 @@
+(** Packet representation.
+
+    Packets are structured records in the simulator's hot path; {!Codec}
+    provides the faithful byte-level encoding used by the wire-format tests
+    and the byte-level demultiplexer.  Header sizes follow IPv4/UDP/TCP so
+    that wire-time calculations are realistic. *)
+
+type ip = int
+(** IPv4 address as a non-negative int (printed dotted-quad). *)
+
+type port = int
+
+let pp_ip fmt (a : ip) =
+  Fmt.pf fmt "%d.%d.%d.%d"
+    ((a lsr 24) land 0xff) ((a lsr 16) land 0xff) ((a lsr 8) land 0xff)
+    (a land 0xff)
+
+let ip_of_quad a b c d =
+  if a lor b lor c lor d land (lnot 0xff) <> 0 then invalid_arg "ip_of_quad";
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+type tcp_flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+}
+
+let flags ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false)
+    ?(psh = false) () =
+  { syn; ack; fin; rst; psh }
+
+let pp_flags fmt f =
+  let s b c = if b then c else "" in
+  Fmt.pf fmt "%s%s%s%s%s" (s f.syn "S") (s f.ack "A") (s f.fin "F") (s f.rst "R")
+    (s f.psh "P")
+
+type udp_header = { usrc_port : port; udst_port : port }
+
+type tcp_header = {
+  tsrc_port : port;
+  tdst_port : port;
+  seq : int;
+  ack_no : int;
+  flags : tcp_flags;
+  window : int;
+}
+
+type icmp_kind = Echo_request | Echo_reply | Dest_unreachable | Ttl_exceeded
+
+type ip_header = {
+  src : ip;
+  dst : ip;
+  ident : int;       (* IP identification, for fragment reassembly *)
+  ttl : int;
+}
+
+type body =
+  | Udp of udp_header * Payload.t
+  | Tcp of tcp_header * Payload.t
+  | Icmp of icmp_kind * Payload.t
+  | Fragment of fragment
+      (** One piece of a fragmented IP datagram.  [whole] is the original
+          (unfragmented) packet so reassembly can reconstitute it; only the
+          first fragment ([foff = 0]) "contains" the transport header. *)
+
+and fragment = { whole : t; foff : int; flen : int; last : bool }
+
+and t = { ip : ip_header; body : body }
+
+let ip_header_bytes = 20
+let udp_header_bytes = 8
+let tcp_header_bytes = 20
+
+let rec transport_header_bytes t =
+  match t.body with
+  | Udp _ -> udp_header_bytes
+  | Tcp _ -> tcp_header_bytes
+  | Icmp _ -> 8
+  | Fragment f -> if f.foff = 0 then transport_header_bytes' f.whole.body else 0
+
+and transport_header_bytes' = function
+  | Udp _ -> udp_header_bytes
+  | Tcp _ -> tcp_header_bytes
+  | Icmp _ -> 8
+  | Fragment _ -> 0
+
+let payload_length t =
+  match t.body with
+  | Udp (_, p) | Tcp (_, p) | Icmp (_, p) -> Payload.length p
+  | Fragment f -> f.flen
+
+(* Total IP datagram bytes on the wire (header + transport header +
+   payload). *)
+let wire_bytes t =
+  match t.body with
+  | Udp (_, p) -> ip_header_bytes + udp_header_bytes + Payload.length p
+  | Tcp (_, p) -> ip_header_bytes + tcp_header_bytes + Payload.length p
+  | Icmp (_, p) -> ip_header_bytes + 8 + Payload.length p
+  | Fragment f -> ip_header_bytes + transport_header_bytes t + f.flen
+
+(* --- constructors ---------------------------------------------------- *)
+
+let ident_counter = ref 0
+
+let next_ident () =
+  incr ident_counter;
+  !ident_counter land 0xffff
+
+let udp ~src ~dst ~src_port ~dst_port payload =
+  { ip = { src; dst; ident = next_ident (); ttl = 64 };
+    body = Udp ({ usrc_port = src_port; udst_port = dst_port }, payload) }
+
+let tcp ~src ~dst ~src_port ~dst_port ~seq ~ack_no ~flags ~window payload =
+  { ip = { src; dst; ident = next_ident (); ttl = 64 };
+    body =
+      Tcp
+        ( { tsrc_port = src_port; tdst_port = dst_port; seq; ack_no; flags;
+            window },
+          payload ) }
+
+let icmp ~src ~dst kind payload =
+  { ip = { src; dst; ident = next_ident (); ttl = 64 }; body = Icmp (kind, payload) }
+
+(* --- accessors used by demux and protocol code ----------------------- *)
+
+let src t = t.ip.src
+let dst t = t.ip.dst
+
+(* Class-D (224.0.0.0/4) destination: delivered by the fabric to every
+   attached host. *)
+let is_multicast_addr (a : ip) = (a lsr 28) land 0xf = 0xe
+
+let is_multicast t = is_multicast_addr t.ip.dst
+
+let rec ports t =
+  match t.body with
+  | Udp (u, _) -> Some (u.usrc_port, u.udst_port)
+  | Tcp (h, _) -> Some (h.tsrc_port, h.tdst_port)
+  | Icmp _ -> None
+  | Fragment f -> if f.foff = 0 then ports' f.whole else None
+
+and ports' w =
+  match w.body with
+  | Udp (u, _) -> Some (u.usrc_port, u.udst_port)
+  | Tcp (h, _) -> Some (h.tsrc_port, h.tdst_port)
+  | Icmp _ | Fragment _ -> None
+
+let is_tcp t =
+  match t.body with
+  | Tcp _ -> true
+  | Fragment { whole = { body = Tcp _; _ }; _ } -> true
+  | Udp _ | Icmp _ | Fragment _ -> false
+
+let is_udp t =
+  match t.body with
+  | Udp _ -> true
+  | Fragment { whole = { body = Udp _; _ }; _ } -> true
+  | Tcp _ | Icmp _ | Fragment _ -> false
+
+let is_fragment t = match t.body with Fragment _ -> true | Udp _ | Tcp _ | Icmp _ -> false
+
+let pp fmt t =
+  match t.body with
+  | Udp (u, p) ->
+      Fmt.pf fmt "UDP %a:%d > %a:%d %a" pp_ip t.ip.src u.usrc_port pp_ip
+        t.ip.dst u.udst_port Payload.pp p
+  | Tcp (h, p) ->
+      Fmt.pf fmt "TCP %a:%d > %a:%d [%a] seq=%d ack=%d win=%d %a" pp_ip
+        t.ip.src h.tsrc_port pp_ip t.ip.dst h.tdst_port pp_flags h.flags h.seq
+        h.ack_no h.window Payload.pp p
+  | Icmp (_, p) -> Fmt.pf fmt "ICMP %a > %a %a" pp_ip t.ip.src pp_ip t.ip.dst Payload.pp p
+  | Fragment f ->
+      Fmt.pf fmt "FRAG id=%d off=%d len=%d%s of (%a)" t.ip.ident f.foff f.flen
+        (if f.last then " last" else "")
+        pp_ip t.ip.dst

@@ -1,0 +1,92 @@
+(** Packet representation.
+
+    Packets are structured records in the simulator's hot path; {!Codec}
+    provides the faithful byte-level encoding used by the wire-format tests
+    and the byte-level demultiplexer.  Header sizes follow IPv4/UDP/TCP so
+    that wire-time calculations are realistic. *)
+
+type ip = int
+(** IPv4 address as a non-negative int (printed dotted-quad). *)
+
+type port = int
+val pp_ip : Format.formatter -> ip -> unit
+val ip_of_quad : int -> int -> int -> int -> int
+(** [ip_of_quad a b c d] is the address [a.b.c.d].
+    @raise Invalid_argument on out-of-range octets. *)
+
+type tcp_flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+}
+val flags :
+  ?syn:bool ->
+  ?ack:bool -> ?fin:bool -> ?rst:bool -> ?psh:bool -> unit -> tcp_flags
+val pp_flags : Format.formatter -> tcp_flags -> unit
+type udp_header = { usrc_port : port; udst_port : port; }
+type tcp_header = {
+  tsrc_port : port;
+  tdst_port : port;
+  seq : int;
+  ack_no : int;
+  flags : tcp_flags;
+  window : int;
+}
+type icmp_kind = Echo_request | Echo_reply | Dest_unreachable | Ttl_exceeded
+type ip_header = { src : ip; dst : ip; ident : int; ttl : int; }
+type body =
+    Udp of udp_header * Payload.t
+  | Tcp of tcp_header * Payload.t
+  | Icmp of icmp_kind * Payload.t
+  | Fragment of fragment
+and fragment = { whole : t; foff : int; flen : int; last : bool; }
+and t = { ip : ip_header; body : body; }
+(** A packet.  [Fragment] carries a slice of [whole]'s payload; only the
+    first fragment ([foff = 0]) "contains" the transport header. *)
+
+val ip_header_bytes : int
+val udp_header_bytes : int
+val tcp_header_bytes : int
+val transport_header_bytes : t -> int
+(** Transport-header bytes this packet carries on the wire. *)
+
+val transport_header_bytes' : body -> int
+val payload_length : t -> int
+val wire_bytes : t -> int
+(** Total IP datagram size on the wire (IP header + transport header +
+    payload slice). *)
+
+val ident_counter : int ref
+val next_ident : unit -> int
+(** {1 Constructors} *)
+
+val udp :
+  src:ip ->
+  dst:ip -> src_port:port -> dst_port:port -> Payload.t -> t
+val tcp :
+  src:ip ->
+  dst:ip ->
+  src_port:port ->
+  dst_port:port ->
+  seq:int ->
+  ack_no:int -> flags:tcp_flags -> window:int -> Payload.t -> t
+val icmp : src:ip -> dst:ip -> icmp_kind -> Payload.t -> t
+(** {1 Accessors used by demultiplexing and protocol code} *)
+
+val src : t -> ip
+val dst : t -> ip
+val is_multicast_addr : ip -> bool
+(** Class-D (224.0.0.0/4) test. *)
+
+val is_multicast : t -> bool
+val ports : t -> (port * port) option
+(** [(src_port, dst_port)] when the packet carries (or is the first
+    fragment of) a transport header. *)
+
+val ports' : t -> (port * port) option
+val is_tcp : t -> bool
+val is_udp : t -> bool
+val is_fragment : t -> bool
+val pp : Format.formatter -> t -> unit

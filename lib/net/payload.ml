@@ -1,0 +1,70 @@
+(** Packet payloads.
+
+    Most simulated traffic only needs a length, but integrity tests (and the
+    TCP stream reassembly tests) want real bytes.  A payload is therefore
+    either synthetic (length + tag) or concrete bytes. *)
+
+type t =
+  | Synthetic of { len : int; tag : int }
+  | Bytes of Bytes.t
+
+let synthetic ?(tag = 0) len =
+  if len < 0 then invalid_arg "Payload.synthetic: negative length";
+  Synthetic { len; tag }
+
+let of_string s = Bytes (Bytes.of_string s)
+
+let of_bytes b = Bytes b
+
+let length = function
+  | Synthetic { len; _ } -> len
+  | Bytes b -> Bytes.length b
+
+let tag = function Synthetic { tag; _ } -> Some tag | Bytes _ -> None
+
+let to_bytes = function
+  | Synthetic { len; tag } ->
+      (* Deterministic fill so encode/decode round-trips are checkable. *)
+      Bytes.init len (fun i -> Char.chr ((tag + i) land 0xff))
+  | Bytes b -> b
+
+(* [sub t off len] is the slice used by IP fragmentation. *)
+let sub t off len =
+  match t with
+  | Synthetic { tag; len = total } ->
+      if off < 0 || len < 0 || off + len > total then
+        invalid_arg "Payload.sub: out of range";
+      Synthetic { len; tag = tag + off }
+  | Bytes b -> Bytes (Bytes.sub b off len)
+
+let equal a b =
+  match (a, b) with
+  | Synthetic x, Synthetic y -> x.len = y.len && x.tag = y.tag
+  | Bytes x, Bytes y -> Bytes.equal x y
+  | Synthetic _, Bytes _ | Bytes _, Synthetic _ ->
+      Bytes.equal (to_bytes a) (to_bytes b)
+
+let concat parts =
+  match parts with
+  | [ p ] -> p
+  | _ ->
+      (* Fragments of a synthetic payload with consecutive tags glue back
+         into a synthetic payload; anything else goes through bytes. *)
+      let rec synth_glue = function
+        | Synthetic { len; tag } :: (Synthetic { tag = tag'; _ } :: _ as rest)
+          when tag' = tag + len ->
+            (match synth_glue rest with
+             | Some total -> Some (len + total)
+             | None -> None)
+        | [ Synthetic { len; _ } ] -> Some len
+        | [] -> Some 0
+        | _ -> None
+      in
+      (match (parts, synth_glue parts) with
+       | Synthetic { tag; _ } :: _, Some total -> Synthetic { len = total; tag }
+       | _, _ -> Bytes (Bytes.concat Bytes.empty (List.map to_bytes parts)))
+
+let pp fmt t =
+  match t with
+  | Synthetic { len; tag } -> Fmt.pf fmt "#%d(%dB)" tag len
+  | Bytes b -> Fmt.pf fmt "bytes(%dB)" (Bytes.length b)

@@ -1,0 +1,27 @@
+(** Packet payloads.
+
+    Most simulated traffic only needs a length, but integrity tests (and the
+    TCP stream reassembly tests) want real bytes.  A payload is therefore
+    either synthetic (length + tag) or concrete bytes. *)
+
+type t = Synthetic of { len : int; tag : int; } | Bytes of Bytes.t
+(** Either a synthetic payload (length + tag; cheap, used by bulk traffic)
+    or concrete bytes (integrity tests).  The two views agree:
+    [to_bytes] of a synthetic payload is a deterministic fill. *)
+
+val synthetic : ?tag:int -> int -> t
+val of_string : string -> t
+val of_bytes : Bytes.t -> t
+val length : t -> int
+val tag : t -> int option
+val to_bytes : t -> Bytes.t
+val sub : t -> int -> int -> t
+(** [sub t off len] is the slice used by IP fragmentation and TCP
+    segmentation.  @raise Invalid_argument when out of range. *)
+
+val equal : t -> t -> bool
+val concat : t list -> t
+(** Reassemble slices; consecutive synthetic slices glue back without
+    materialising bytes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+(** Early packet demultiplexing (paper section 3.2).
+
+    The classifier extracts a {!flow} from a packet: everything the NI (or
+    the host interrupt handler, for soft demux) needs to find the
+    destination NI channel.  It is self-contained, non-blocking, performs no
+    allocation beyond the returned value, and handles every packet in the
+    TCP/IP family — including IP fragments, where a fragment that does not
+    carry the transport header cannot be demultiplexed and goes to a special
+    reassembly channel.
+
+    Two implementations are provided: [flow_of_packet] over the simulator's
+    structured packets (hot path) and [flow_of_bytes] over the wire format
+    produced by {!Lrp_net.Codec} (faithful to what NI firmware would run).
+    A property test asserts they agree. *)
+
+open Lrp_net
+
+type flow =
+  | Udp_flow of { src : Packet.ip; src_port : int; dst_port : int }
+  | Tcp_flow of { src : Packet.ip; src_port : int; dst_port : int;
+                  syn_only : bool }
+      (** [syn_only] marks a connection-establishment request (SYN without
+          ACK), which matches only listening sockets. *)
+  | Frag_flow of { src : Packet.ip; ident : int }
+      (** Non-first fragment: no transport header, cannot be demultiplexed
+          to an endpoint. *)
+  | Icmp_flow
+  | Other_flow of int  (* unknown IP protocol *)
+
+let pp_flow fmt = function
+  | Udp_flow { src; src_port; dst_port } ->
+      Fmt.pf fmt "udp %a:%d->:%d" Packet.pp_ip src src_port dst_port
+  | Tcp_flow { src; src_port; dst_port; syn_only } ->
+      Fmt.pf fmt "tcp%s %a:%d->:%d"
+        (if syn_only then "(syn)" else "")
+        Packet.pp_ip src src_port dst_port
+  | Frag_flow { src; ident } -> Fmt.pf fmt "frag %a id=%d" Packet.pp_ip src ident
+  | Icmp_flow -> Fmt.pf fmt "icmp"
+  | Other_flow p -> Fmt.pf fmt "proto %d" p
+
+let flow_of_packet (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Udp (u, _) ->
+      Udp_flow
+        { src = pkt.Packet.ip.Packet.src; src_port = u.Packet.usrc_port;
+          dst_port = u.Packet.udst_port }
+  | Packet.Tcp (h, _) ->
+      Tcp_flow
+        { src = pkt.Packet.ip.Packet.src; src_port = h.Packet.tsrc_port;
+          dst_port = h.Packet.tdst_port;
+          syn_only = h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack }
+  | Packet.Icmp _ -> Icmp_flow
+  | Packet.Fragment f ->
+      if f.Packet.foff <> 0 then
+        Frag_flow { src = pkt.Packet.ip.Packet.src; ident = pkt.Packet.ip.Packet.ident }
+      else begin
+        (* First fragment: the transport header is present, demultiplex as
+           the whole datagram would. *)
+        match f.Packet.whole.Packet.body with
+        | Packet.Udp (u, _) ->
+            Udp_flow
+              { src = pkt.Packet.ip.Packet.src; src_port = u.Packet.usrc_port;
+                dst_port = u.Packet.udst_port }
+        | Packet.Tcp (h, _) ->
+            Tcp_flow
+              { src = pkt.Packet.ip.Packet.src; src_port = h.Packet.tsrc_port;
+                dst_port = h.Packet.tdst_port;
+                syn_only =
+                  h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack }
+        | Packet.Icmp _ -> Icmp_flow
+        | Packet.Fragment _ -> Frag_flow { src = pkt.Packet.ip.Packet.src; ident = pkt.Packet.ip.Packet.ident }
+      end
+
+(* Byte-level classifier: mirrors what would run on the adaptor's embedded
+   CPU.  Raises nothing: malformed packets classify as [Other_flow]. *)
+let flow_of_bytes b =
+  let open Codec in
+  match decode b with
+  | exception Bad_packet _ -> Other_flow (-1)
+  | d ->
+      if d.d_frag_off <> 0 then Frag_flow { src = d.d_src; ident = d.d_ident }
+      else if d.d_proto = ipproto_udp then
+        (match (d.d_src_port, d.d_dst_port) with
+         | Some sp, Some dp -> Udp_flow { src = d.d_src; src_port = sp; dst_port = dp }
+         | _, _ -> Other_flow d.d_proto)
+      else if d.d_proto = ipproto_tcp then
+        (match (d.d_src_port, d.d_dst_port, d.d_tcp_flags) with
+         | Some sp, Some dp, Some fl ->
+             Tcp_flow
+               { src = d.d_src; src_port = sp; dst_port = dp;
+                 syn_only = fl.Packet.syn && not fl.Packet.ack }
+         | _, _, _ -> Other_flow d.d_proto)
+      else if d.d_proto = ipproto_icmp then Icmp_flow
+      else Other_flow d.d_proto
+
+let equal_flow (a : flow) (b : flow) = a = b

@@ -1,0 +1,33 @@
+(** Early packet demultiplexing (paper section 3.2).
+
+    The classifier extracts a {!flow} from a packet: everything the NI (or
+    the host interrupt handler, for soft demux) needs to find the
+    destination NI channel.  It is self-contained, non-blocking, performs no
+    allocation beyond the returned value, and handles every packet in the
+    TCP/IP family — including IP fragments, where a fragment that does not
+    carry the transport header cannot be demultiplexed and goes to a special
+    reassembly channel.
+
+    Two implementations are provided: [flow_of_packet] over the simulator's
+    structured packets (hot path) and [flow_of_bytes] over the wire format
+    produced by {!Lrp_net.Codec} (faithful to what NI firmware would run).
+    A property test asserts they agree. *)
+
+type flow =
+    Udp_flow of { src : Lrp_net.Packet.ip; src_port : int; dst_port : int; }
+  | Tcp_flow of { src : Lrp_net.Packet.ip; src_port : int; dst_port : int;
+      syn_only : bool;
+    }
+  | Frag_flow of { src : Lrp_net.Packet.ip; ident : int; }
+  | Icmp_flow
+  | Other_flow of int
+val pp_flow : Format.formatter -> flow -> unit
+val flow_of_packet : Lrp_net.Packet.t -> flow
+(** Structural classifier: the simulator's hot path. *)
+
+val flow_of_bytes : bytes -> flow
+(** Byte-level classifier over the wire format — what the adaptor's
+    embedded CPU would run.  Never raises: malformed input classifies as
+    [Other_flow]. *)
+
+val equal_flow : flow -> flow -> bool

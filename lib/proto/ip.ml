@@ -1,0 +1,114 @@
+(** IP fragmentation and reassembly. *)
+
+open Lrp_net
+
+(* [fragment pkt ~mtu] splits a datagram whose wire size exceeds [mtu] into
+   fragments.  Offsets are chosen so every on-the-wire fragment offset is a
+   multiple of 8, as IPv4 requires.  Returns [pkt] unchanged when it fits. *)
+let fragment (pkt : Packet.t) ~mtu =
+  if Packet.wire_bytes pkt <= mtu then [ pkt ]
+  else
+    match pkt.Packet.body with
+    | Packet.Fragment _ -> invalid_arg "Ip.fragment: already a fragment"
+    | Packet.Udp _ | Packet.Tcp _ | Packet.Icmp _ ->
+        let th = Packet.transport_header_bytes pkt in
+        let total = Packet.payload_length pkt in
+        (* Capacity of a fragment's IP payload, 8-byte aligned. *)
+        let cap = (mtu - Packet.ip_header_bytes) / 8 * 8 in
+        if cap <= th then invalid_arg "Ip.fragment: mtu too small";
+        (* First fragment carries the transport header. *)
+        let first_len = min total (cap - th) in
+        let rec rest off acc =
+          if off >= total then List.rev acc
+          else
+            let len = min cap (total - off) in
+            let last = off + len >= total in
+            let frag =
+              { Packet.ip = pkt.Packet.ip;
+                body = Packet.Fragment { whole = pkt; foff = off; flen = len; last } }
+            in
+            rest (off + len) (frag :: acc)
+        in
+        let first =
+          { Packet.ip = pkt.Packet.ip;
+            body =
+              Packet.Fragment
+                { whole = pkt; foff = 0; flen = first_len;
+                  last = first_len >= total } }
+        in
+        first :: rest first_len []
+
+(* --- reassembly ------------------------------------------------------- *)
+
+module Reasm = struct
+  type pending = {
+    whole : Packet.t;
+    mutable have : (int * int) list;  (* received (off, len) ranges *)
+    mutable total : int option;       (* payload length, once the last fragment is seen *)
+    mutable first_seen : float;       (* for timeout pruning *)
+  }
+
+  type t = {
+    table : (Packet.ip * int, pending) Hashtbl.t;  (* (src, ident) *)
+    timeout : float;
+    mutable completed : int;
+    mutable timed_out : int;
+  }
+
+  let create ?(timeout = 30_000_000. (* 30 s, BSD default *)) () =
+    { table = Hashtbl.create 32; timeout; completed = 0; timed_out = 0 }
+
+  let ranges_cover have total =
+    let sorted = List.sort compare have in
+    let rec go expect = function
+      | [] -> expect >= total
+      | (off, len) :: rest ->
+          if off > expect then false else go (max expect (off + len)) rest
+    in
+    go 0 sorted
+
+  (* [insert t ~now frag_pkt] records a fragment.  Returns [Some whole] when
+     the datagram is complete (and forgets it). *)
+  let insert t ~now (pkt : Packet.t) =
+    match pkt.Packet.body with
+    | Packet.Udp _ | Packet.Tcp _ | Packet.Icmp _ -> Some pkt
+    | Packet.Fragment f ->
+        let key = (pkt.Packet.ip.Packet.src, pkt.Packet.ip.Packet.ident) in
+        let p =
+          match Hashtbl.find_opt t.table key with
+          | Some p -> p
+          | None ->
+              let p =
+                { whole = f.Packet.whole; have = []; total = None;
+                  first_seen = now }
+              in
+              Hashtbl.replace t.table key p;
+              p
+        in
+        p.have <- (f.Packet.foff, f.Packet.flen) :: p.have;
+        if f.Packet.last then p.total <- Some (f.Packet.foff + f.Packet.flen);
+        (match p.total with
+         | Some total when ranges_cover p.have total ->
+             Hashtbl.remove t.table key;
+             t.completed <- t.completed + 1;
+             Some p.whole
+         | Some _ | None -> None)
+
+  (* Drop incomplete datagrams older than the timeout. *)
+  let prune t ~now =
+    let stale =
+      Hashtbl.fold
+        (fun key p acc -> if now -. p.first_seen > t.timeout then key :: acc else acc)
+        t.table []
+    in
+    List.iter
+      (fun key ->
+        Hashtbl.remove t.table key;
+        t.timed_out <- t.timed_out + 1)
+      stale;
+    List.length stale
+
+  let pending_count t = Hashtbl.length t.table
+  let completed t = t.completed
+  let timed_out t = t.timed_out
+end

@@ -1,0 +1,721 @@
+(** TCP state machine.
+
+    A from-scratch TCP sufficient for the paper's workloads: three-way
+    handshake with a bounded listen backlog (the SYN-flood experiment,
+    Figure 5, hinges on it), sliding-window flow control, slow start /
+    congestion avoidance / fast retransmit, RTO estimation with Karn's rule
+    and exponential backoff, FIN teardown and a configurable TIME_WAIT (the
+    paper sets it to 500 ms for the HTTP experiment).
+
+    The module is architecture-neutral: it consumes and produces packets and
+    side effects through an {!env} of callbacks, and never consumes
+    simulated CPU itself.  The *caller* charges protocol-processing cost in
+    whatever context it runs — BSD charges it at software-interrupt level,
+    LRP in the receiving process or its APP thread.  This split is exactly
+    what lets the same protocol code run under every architecture, mirroring
+    how the paper reused the 4.4BSD networking code in all kernels. *)
+
+open Lrp_net
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Closing
+  | Time_wait
+
+let state_name = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack -> "LAST_ACK"
+  | Closing -> "CLOSING"
+  | Time_wait -> "TIME_WAIT"
+
+type timer = { mutable cancelled : bool }
+
+type env = {
+  now : unit -> float;
+  emit : Packet.t -> unit;
+      (** transmit a segment (the caller routes it into IP output) *)
+  start_timer : conn -> float -> (unit -> unit) -> timer;
+      (** run a callback for the connection after a delay, in
+          protocol-processing context (the conn identifies whose APP thread
+          — and whose CPU account — the work belongs to under LRP) *)
+  on_readable : conn -> unit;     (** receive buffer has data or EOF *)
+  on_writable : conn -> unit;     (** send buffer gained space *)
+  on_established : conn -> unit;  (** active open completed *)
+  on_accept_ready : conn -> conn -> unit;  (** listener, new child ready *)
+  on_syn_received : conn -> conn -> unit;
+      (** listener created an embryonic child: the kernel registers it in
+          its PCB / channel tables so later segments demultiplex to it *)
+  on_connect_failed : conn -> unit;
+  on_reset : conn -> unit;
+  on_time_wait : conn -> unit;
+      (** entered TIME_WAIT: NI-LRP uses this to deallocate the NI channel
+          early so channels scale to many connections (section 4.2) *)
+  on_closed : conn -> unit;       (** connection fully gone; deregister *)
+  mss : int;
+  time_wait_duration : float;
+  initial_rto : float;
+  max_syn_retries : int;
+}
+
+and conn = {
+  env : env;
+  id : int;
+  local_ip : Packet.ip;
+  local_port : int;
+  mutable remote : (Packet.ip * int) option;
+  mutable state : state;
+  mutable meta : int;  (* opaque to TCP; the kernel stores a socket id *)
+  (* --- send side --- *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;          (* peer's advertised window *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable dup_acks : int;
+  mutable unacked : (int * Payload.t) list;  (* (seq, payload), oldest first *)
+  mutable unsent : Payload.t list;           (* app data not yet segmented *)
+  mutable unsent_bytes : int;
+  sndq_limit : int;
+  mutable fin_queued : bool;
+  mutable fin_seq : int;          (* sequence number the FIN occupies, -1 if unset *)
+  (* --- receive side --- *)
+  mutable rcv_nxt : int;
+  mutable ooo : (int * Payload.t) list;  (* out-of-order segments *)
+  mutable rcvq : Payload.t list;         (* in-order data for the app (reversed) *)
+  mutable rcvq_bytes : int;
+  rcv_buf_limit : int;
+  mutable fin_received : bool;
+  mutable last_advertised_wnd : int;
+  (* --- timers / rtt --- *)
+  mutable rtx_timer : timer option;
+  mutable persist_timer : timer option;
+  mutable srtt : float;           (* smoothed rtt, us; <0 = no sample yet *)
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable backoff : int;
+  mutable timing : (int * float) option;  (* (seq expected to ack, send time) *)
+  mutable syn_retries : int;
+  (* --- listener --- *)
+  backlog : int;
+  accept_queue : conn Queue.t;
+  mutable syn_pending : int;      (* embryonic children of this listener *)
+  mutable parent : conn option;   (* set on passive children *)
+  (* --- stats --- *)
+  mutable segs_sent : int;
+  mutable segs_rcvd : int;
+  mutable bytes_sent : int;
+  mutable bytes_rcvd : int;
+  mutable retransmits : int;
+  mutable syn_drops_backlog : int;
+}
+
+let conn_counter = ref 0
+
+let make_conn env ~local_ip ~local_port ?(sndq_limit = 32 * 1024)
+    ?(rcv_buf_limit = 32 * 1024) ?(backlog = 0) ~state () =
+  incr conn_counter;
+  { env; id = !conn_counter; local_ip; local_port; remote = None; state;
+    meta = -1;
+    snd_una = 0; snd_nxt = 0; snd_wnd = 0; cwnd = float_of_int env.mss;
+    ssthresh = 65_535.; dup_acks = 0; unacked = []; unsent = [];
+    unsent_bytes = 0; sndq_limit; fin_queued = false; fin_seq = -1;
+    rcv_nxt = 0; ooo = []; rcvq = []; rcvq_bytes = 0; rcv_buf_limit;
+    fin_received = false; last_advertised_wnd = rcv_buf_limit;
+    rtx_timer = None; persist_timer = None; srtt = -1.; rttvar = 0.;
+    rto = env.initial_rto; backoff = 0; timing = None; syn_retries = 0;
+    backlog; accept_queue = Queue.create (); syn_pending = 0; parent = None;
+    segs_sent = 0; segs_rcvd = 0; bytes_sent = 0; bytes_rcvd = 0;
+    retransmits = 0; syn_drops_backlog = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let advertised_window c = max 0 (c.rcv_buf_limit - c.rcvq_bytes)
+
+let remote_exn c =
+  match c.remote with
+  | Some r -> r
+  | None -> invalid_arg "Tcp: connection has no remote endpoint"
+
+let segment c ?(payload = Payload.synthetic 0) ~seq fl =
+  let rip, rport = remote_exn c in
+  c.segs_sent <- c.segs_sent + 1;
+  c.last_advertised_wnd <- advertised_window c;
+  Packet.tcp ~src:c.local_ip ~dst:rip ~src_port:c.local_port ~dst_port:rport
+    ~seq ~ack_no:c.rcv_nxt ~flags:fl ~window:(min 65_535 c.last_advertised_wnd)
+    payload
+
+let send_ack c = c.env.emit (segment c ~seq:c.snd_nxt (Packet.flags ~ack:true ()))
+
+let send_rst_for (pkt : Packet.t) ~emit =
+  (* Standalone RST in response to a segment for a nonexistent connection. *)
+  match pkt.Packet.body with
+  | Packet.Tcp (h, p) when not h.Packet.flags.Packet.rst ->
+      let seg_len =
+        Payload.length p
+        + (if h.Packet.flags.Packet.syn then 1 else 0)
+        + if h.Packet.flags.Packet.fin then 1 else 0
+      in
+      let rst =
+        Packet.tcp ~src:pkt.Packet.ip.Packet.dst ~dst:pkt.Packet.ip.Packet.src
+          ~src_port:h.Packet.tdst_port ~dst_port:h.Packet.tsrc_port
+          ~seq:(if h.Packet.flags.Packet.ack then h.Packet.ack_no else 0)
+          ~ack_no:(h.Packet.seq + seg_len)
+          ~flags:(Packet.flags ~rst:true ~ack:true ())
+          ~window:0 (Payload.synthetic 0)
+      in
+      emit rst
+  | Packet.Tcp _ | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ -> ()
+
+let stop_timer slot =
+  match slot with
+  | Some (t : timer) -> t.cancelled <- true
+  | None -> ()
+
+let in_flight c = c.snd_nxt - c.snd_una
+
+let send_window c = min c.snd_wnd (int_of_float c.cwnd)
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission timer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec arm_rtx c =
+  stop_timer c.rtx_timer;
+  let delay = c.rto *. float_of_int (1 lsl min c.backoff 6) in
+  c.rtx_timer <- Some (c.env.start_timer c delay (fun () -> on_rtx_timeout c))
+
+and disarm_rtx c =
+  stop_timer c.rtx_timer;
+  c.rtx_timer <- None
+
+and on_rtx_timeout c =
+  match c.state with
+  | Closed | Time_wait | Listen -> ()
+  | Syn_sent ->
+      if c.syn_retries >= c.env.max_syn_retries then begin
+        enter_closed c;
+        c.env.on_connect_failed c
+      end
+      else begin
+        c.syn_retries <- c.syn_retries + 1;
+        c.backoff <- c.backoff + 1;
+        c.retransmits <- c.retransmits + 1;
+        c.env.emit (segment c ~seq:(c.snd_una) (Packet.flags ~syn:true ()));
+        arm_rtx c
+      end
+  | Syn_received ->
+      if c.syn_retries >= c.env.max_syn_retries then begin
+        (* Give up on the embryonic connection. *)
+        (match c.parent with
+         | Some l -> l.syn_pending <- max 0 (l.syn_pending - 1)
+         | None -> ());
+        enter_closed c
+      end
+      else begin
+        c.syn_retries <- c.syn_retries + 1;
+        c.backoff <- c.backoff + 1;
+        c.retransmits <- c.retransmits + 1;
+        c.env.emit
+          (segment c ~seq:c.snd_una (Packet.flags ~syn:true ~ack:true ()));
+        arm_rtx c
+      end
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Last_ack | Closing ->
+      (* Timeout: collapse the congestion window, retransmit the oldest
+         outstanding segment, back off. *)
+      c.timing <- None (* Karn: do not sample retransmitted segments *);
+      c.ssthresh <- Float.max (float_of_int (2 * c.env.mss))
+          (float_of_int (in_flight c) /. 2.);
+      c.cwnd <- float_of_int c.env.mss;
+      c.dup_acks <- 0;
+      c.backoff <- c.backoff + 1;
+      retransmit_oldest c;
+      arm_rtx c
+
+and retransmit_oldest c =
+  match c.unacked with
+  | (seq, payload) :: _ ->
+      c.retransmits <- c.retransmits + 1;
+      let fl = Packet.flags ~ack:true () in
+      c.env.emit (segment c ~payload ~seq fl)
+  | [] ->
+      if c.fin_queued && c.fin_seq >= 0 && c.snd_una <= c.fin_seq then begin
+        c.retransmits <- c.retransmits + 1;
+        c.env.emit (segment c ~seq:c.fin_seq (Packet.flags ~fin:true ~ack:true ()))
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Output engine                                                        *)
+(* ------------------------------------------------------------------ *)
+
+and output c =
+  (* Send as much queued data as the windows permit, in MSS segments. *)
+  let progress = ref false in
+  let rec send_more () =
+    let wnd = send_window c in
+    let can = wnd - in_flight c in
+    if can > 0 && c.unsent_bytes > 0 then begin
+      let take = min (min can c.env.mss) c.unsent_bytes in
+      let payload = take_unsent c take in
+      let seq = c.snd_nxt in
+      c.unacked <- c.unacked @ [ (seq, payload) ];
+      c.snd_nxt <- c.snd_nxt + Payload.length payload;
+      c.bytes_sent <- c.bytes_sent + Payload.length payload;
+      if c.timing = None then
+        c.timing <- Some (seq + Payload.length payload, c.env.now ());
+      c.env.emit
+        (segment c ~payload ~seq (Packet.flags ~ack:true ~psh:true ()));
+      progress := true;
+      send_more ()
+    end
+  in
+  send_more ();
+  (* FIN rides after all data has been sent. *)
+  if c.fin_queued && c.unsent_bytes = 0 && c.fin_seq < 0 then begin
+    c.fin_seq <- c.snd_nxt;
+    c.snd_nxt <- c.snd_nxt + 1;
+    c.env.emit (segment c ~seq:c.fin_seq (Packet.flags ~fin:true ~ack:true ()));
+    progress := true
+  end;
+  if !progress then begin
+    c.backoff <- 0;
+    arm_rtx c
+  end;
+  (* Zero-window persist: make sure we eventually probe. *)
+  if c.unsent_bytes > 0 && send_window c <= 0 && in_flight c = 0
+     && c.persist_timer = None
+  then begin
+    let t =
+      c.env.start_timer c 5_000_000. (fun () ->
+          c.persist_timer <- None;
+          if c.unsent_bytes > 0 && send_window c <= 0 && in_flight c = 0 then begin
+            (* Probe with one byte. *)
+            let payload = take_unsent c 1 in
+            let seq = c.snd_nxt in
+            c.unacked <- c.unacked @ [ (seq, payload) ];
+            c.snd_nxt <- c.snd_nxt + 1;
+            c.env.emit (segment c ~payload ~seq (Packet.flags ~ack:true ()));
+            arm_rtx c
+          end)
+    in
+    c.persist_timer <- Some t
+  end
+
+and take_unsent c n =
+  (* Remove exactly [n] bytes from the head of the unsent queue. *)
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match c.unsent with
+      | [] -> invalid_arg "Tcp.take_unsent: not enough data"
+      | p :: rest ->
+          let len = Payload.length p in
+          if len <= n then begin
+            c.unsent <- rest;
+            go (n - len) (p :: acc)
+          end
+          else begin
+            let head = Payload.sub p 0 n in
+            c.unsent <- Payload.sub p n (len - n) :: rest;
+            go 0 (head :: acc)
+          end
+  in
+  let parts = go n [] in
+  c.unsent_bytes <- c.unsent_bytes - n;
+  Payload.concat parts
+
+(* ------------------------------------------------------------------ *)
+(* State transitions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+and enter_closed c =
+  disarm_rtx c;
+  stop_timer c.persist_timer;
+  c.persist_timer <- None;
+  if c.state <> Closed then begin
+    c.state <- Closed;
+    c.env.on_closed c
+  end
+
+and enter_time_wait c =
+  c.state <- Time_wait;
+  disarm_rtx c;
+  c.env.on_time_wait c;
+  ignore (c.env.start_timer c c.env.time_wait_duration (fun () ->
+      if c.state = Time_wait then enter_closed c))
+
+(* ------------------------------------------------------------------ *)
+(* RTT estimation (Jacobson/Karels; Karn handled via [timing=None])     *)
+(* ------------------------------------------------------------------ *)
+
+and rtt_sample c sample =
+  if c.srtt < 0. then begin
+    c.srtt <- sample;
+    c.rttvar <- sample /. 2.
+  end
+  else begin
+    let err = sample -. c.srtt in
+    c.srtt <- c.srtt +. (err /. 8.);
+    c.rttvar <- c.rttvar +. ((Float.abs err -. c.rttvar) /. 4.)
+  end;
+  c.rto <- Float.max 200_000. (c.srtt +. (4. *. c.rttvar))
+
+(* ------------------------------------------------------------------ *)
+(* Input                                                                *)
+(* ------------------------------------------------------------------ *)
+
+and process_ack c (h : Packet.tcp_header) =
+  let ack = h.Packet.ack_no in
+  c.snd_wnd <- h.Packet.window;
+  if ack > c.snd_una && ack <= c.snd_nxt then begin
+    (* New data acknowledged. *)
+    let acked = ack - c.snd_una in
+    c.snd_una <- ack;
+    c.dup_acks <- 0;
+    c.backoff <- 0;
+    (* RTT sample (Karn: only when the timed segment wasn't retransmitted). *)
+    (match c.timing with
+     | Some (seq, t0) when ack >= seq ->
+         rtt_sample c (c.env.now () -. t0);
+         c.timing <- None
+     | Some _ | None -> ());
+    (* Trim the retransmission queue. *)
+    let rec trim = function
+      | (seq, payload) :: rest when seq + Payload.length payload <= ack ->
+          trim rest
+      | (seq, payload) :: rest when seq < ack ->
+          (* Partial ack inside a segment: keep the unacked tail. *)
+          let keep = seq + Payload.length payload - ack in
+          let off = Payload.length payload - keep in
+          (ack, Payload.sub payload off keep) :: rest
+      | rest -> rest
+    in
+    c.unacked <- trim c.unacked;
+    (* Congestion window growth. *)
+    let fmss = float_of_int c.env.mss in
+    if c.cwnd < c.ssthresh then c.cwnd <- c.cwnd +. float_of_int acked
+    else c.cwnd <- c.cwnd +. (fmss *. fmss /. c.cwnd);
+    if c.unacked = [] && not (c.fin_queued && c.fin_seq >= 0 && ack <= c.fin_seq)
+    then disarm_rtx c
+    else arm_rtx c;
+    c.env.on_writable c
+  end
+  else if ack = c.snd_una && in_flight c > 0 then begin
+    c.dup_acks <- c.dup_acks + 1;
+    if c.dup_acks = 3 then begin
+      (* Fast retransmit / recovery (simplified: halve and resend). *)
+      c.ssthresh <- Float.max (float_of_int (2 * c.env.mss))
+          (float_of_int (in_flight c) /. 2.);
+      c.cwnd <- c.ssthresh;
+      c.timing <- None;
+      retransmit_oldest c
+    end
+  end
+
+and deliver_data c (h : Packet.tcp_header) payload =
+  let len = Payload.length payload in
+  if len = 0 then ()
+  else begin
+    let seq = h.Packet.seq in
+    if seq = c.rcv_nxt then begin
+      (* In-order: accept (respecting our buffer), then drain the
+         out-of-order list. *)
+      let room = advertised_window c in
+      let take = min len room in
+      if take > 0 then begin
+        let part = if take = len then payload else Payload.sub payload 0 take in
+        c.rcvq <- part :: c.rcvq;
+        c.rcvq_bytes <- c.rcvq_bytes + take;
+        c.bytes_rcvd <- c.bytes_rcvd + take;
+        c.rcv_nxt <- c.rcv_nxt + take
+      end;
+      let rec drain () =
+        match List.assoc_opt c.rcv_nxt c.ooo with
+        | Some p ->
+            c.ooo <- List.remove_assoc c.rcv_nxt c.ooo;
+            let room = advertised_window c in
+            let len = Payload.length p in
+            let take = min len room in
+            if take > 0 then begin
+              let part = if take = len then p else Payload.sub p 0 take in
+              c.rcvq <- part :: c.rcvq;
+              c.rcvq_bytes <- c.rcvq_bytes + take;
+              c.bytes_rcvd <- c.bytes_rcvd + take;
+              c.rcv_nxt <- c.rcv_nxt + take;
+              if take = len then drain ()
+            end
+        | None -> ()
+      in
+      drain ();
+      c.env.on_readable c
+    end
+    else if seq > c.rcv_nxt then begin
+      (* Out of order: stash (bounded by the receive buffer size). *)
+      if not (List.mem_assoc seq c.ooo)
+         && List.fold_left (fun a (_, p) -> a + Payload.length p) 0 c.ooo
+            < c.rcv_buf_limit
+      then c.ooo <- (seq, payload) :: c.ooo
+    end;
+    (* else: duplicate of already-received data; just re-ack *)
+    send_ack c
+  end
+
+and process_fin c (h : Packet.tcp_header) payload_len =
+  let fin_seq = h.Packet.seq + payload_len in
+  if fin_seq = c.rcv_nxt then begin
+    c.rcv_nxt <- c.rcv_nxt + 1;
+    c.fin_received <- true;
+    send_ack c;
+    (match c.state with
+     | Established ->
+         c.state <- Close_wait;
+         c.env.on_readable c (* EOF *)
+     | Fin_wait_1 ->
+         (* Our FIN not yet acked: simultaneous close. *)
+         c.state <- Closing
+     | Fin_wait_2 ->
+         c.env.on_readable c;
+         enter_time_wait c
+     | Syn_received | Listen | Syn_sent | Close_wait | Last_ack | Closing
+     | Time_wait | Closed -> ())
+  end
+  else send_ack c
+
+and established_input c (h : Packet.tcp_header) payload =
+  process_ack c h;
+  (* Post-ACK state transitions for our own FIN. *)
+  (match c.state with
+   | Fin_wait_1 when c.fin_seq >= 0 && c.snd_una > c.fin_seq ->
+       c.state <- Fin_wait_2
+   | Closing when c.fin_seq >= 0 && c.snd_una > c.fin_seq -> enter_time_wait c
+   | Last_ack when c.fin_seq >= 0 && c.snd_una > c.fin_seq -> enter_closed c
+   | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+   | Syn_received | Listen | Syn_sent | Time_wait | Closed -> ());
+  deliver_data c h payload;
+  if h.Packet.flags.Packet.fin then process_fin c h (Payload.length payload);
+  output c
+
+and input c (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ ->
+      invalid_arg "Tcp.input: not a TCP segment"
+  | Packet.Tcp (h, payload) ->
+      c.segs_rcvd <- c.segs_rcvd + 1;
+      if h.Packet.flags.Packet.rst then begin
+        match c.state with
+        | Closed | Listen | Time_wait -> ()
+        | Syn_sent | Syn_received | Established | Fin_wait_1 | Fin_wait_2
+        | Close_wait | Last_ack | Closing ->
+            (match c.parent with
+             | Some l when c.state = Syn_received ->
+                 l.syn_pending <- max 0 (l.syn_pending - 1)
+             | Some _ | None -> ());
+            disarm_rtx c;
+            c.state <- Closed;
+            c.env.on_reset c;
+            c.env.on_closed c
+      end
+      else
+        match c.state with
+        | Closed -> send_rst_for pkt ~emit:c.env.emit
+        | Listen -> listener_input c pkt h
+        | Syn_sent ->
+            if h.Packet.flags.Packet.syn && h.Packet.flags.Packet.ack
+               && h.Packet.ack_no = c.snd_nxt
+            then begin
+              c.snd_una <- h.Packet.ack_no;
+              c.rcv_nxt <- h.Packet.seq + 1;
+              c.snd_wnd <- h.Packet.window;
+              c.state <- Established;
+              disarm_rtx c;
+              (match c.timing with
+               | Some (_, t0) -> rtt_sample c (c.env.now () -. t0)
+               | None -> ());
+              c.timing <- None;
+              send_ack c;
+              c.env.on_established c;
+              output c
+            end
+            (* simultaneous open not modelled *)
+        | Syn_received ->
+            if h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack then
+              (* Duplicate SYN: re-send SYN-ACK. *)
+              c.env.emit
+                (segment c ~seq:c.snd_una (Packet.flags ~syn:true ~ack:true ()))
+            else if h.Packet.flags.Packet.ack && h.Packet.ack_no = c.snd_nxt
+            then begin
+              c.snd_una <- h.Packet.ack_no;
+              c.snd_wnd <- h.Packet.window;
+              c.state <- Established;
+              disarm_rtx c;
+              (match c.parent with
+               | Some l ->
+                   l.syn_pending <- max 0 (l.syn_pending - 1);
+                   Queue.add c l.accept_queue;
+                   c.env.on_accept_ready l c
+               | None -> ());
+              (* The ACK may carry data. *)
+              if Payload.length payload > 0 || h.Packet.flags.Packet.fin then
+                established_input c h payload
+            end
+        | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Last_ack
+        | Closing ->
+            if h.Packet.flags.Packet.syn then
+              (* Stray SYN on a synchronized connection: re-ack. *)
+              send_ack c
+            else established_input c h payload
+        | Time_wait ->
+            (* Re-ack (e.g. retransmitted FIN). *)
+            if h.Packet.flags.Packet.fin then send_ack c
+
+and listener_input l (pkt : Packet.t) (h : Packet.tcp_header) =
+  if h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack then begin
+    if l.syn_pending + Queue.length l.accept_queue >= l.backlog then
+      (* Backlog exceeded: BSD silently discards the SYN (after having paid
+         for its processing — the crux of Figure 5). *)
+      l.syn_drops_backlog <- l.syn_drops_backlog + 1
+    else begin
+      let c =
+        make_conn l.env ~local_ip:l.local_ip ~local_port:l.local_port
+          ~sndq_limit:l.sndq_limit ~rcv_buf_limit:l.rcv_buf_limit
+          ~state:Syn_received ()
+      in
+      c.remote <- Some (pkt.Packet.ip.Packet.src, h.Packet.tsrc_port);
+      c.parent <- Some l;
+      c.rcv_nxt <- h.Packet.seq + 1;
+      c.snd_wnd <- h.Packet.window;
+      c.snd_una <- 0;
+      c.snd_nxt <- 1 (* our SYN consumes sequence 0 *);
+      l.syn_pending <- l.syn_pending + 1;
+      l.env.on_syn_received l c;
+      c.env.emit (segment c ~seq:0 (Packet.flags ~syn:true ~ack:true ()));
+      arm_rtx c
+    end
+  end
+  (* Anything else arriving at a listener that isn't for an existing child:
+     ignore (the kernel demultiplexer sends RSTs for unknown segments). *)
+
+(* ------------------------------------------------------------------ *)
+(* API used by the socket layer                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create_listener env ~local_ip ~local_port ?sndq_limit ?rcv_buf_limit
+    ~backlog () =
+  make_conn env ~local_ip ~local_port ?sndq_limit ?rcv_buf_limit ~backlog
+    ~state:Listen ()
+
+let create_active env ~local_ip ~local_port ~remote ?sndq_limit
+    ?rcv_buf_limit () =
+  let c = make_conn env ~local_ip ~local_port ?sndq_limit ?rcv_buf_limit ~state:Syn_sent () in
+  c.remote <- Some remote;
+  c.snd_una <- 0;
+  c.snd_nxt <- 1;
+  c.timing <- Some (1, env.now ());
+  c.env.emit (segment c ~seq:0 (Packet.flags ~syn:true ()));
+  arm_rtx c;
+  c
+
+(* [send c payload] queues application data; returns the number of bytes
+   accepted (0 when the send buffer is full — the caller blocks). *)
+let send c payload =
+  match c.state with
+  | Established | Close_wait ->
+      let len = Payload.length payload in
+      let queued = c.unsent_bytes + (c.snd_nxt - c.snd_una) in
+      let room = c.sndq_limit - queued in
+      if room <= 0 then `Full
+      else begin
+        let take = min room len in
+        let part = if take = len then payload else Payload.sub payload 0 take in
+        c.unsent <- c.unsent @ [ part ];
+        c.unsent_bytes <- c.unsent_bytes + take;
+        output c;
+        `Sent take
+      end
+  | Closed | Listen | Syn_sent | Syn_received | Fin_wait_1 | Fin_wait_2
+  | Last_ack | Closing | Time_wait -> `Closed
+
+(* [recv c ~max] takes up to [max] buffered bytes. *)
+let recv c ~max:maxb =
+  if c.rcvq_bytes > 0 then begin
+    let chunks = List.rev c.rcvq in
+    let rec take acc got = function
+      | [] -> (List.rev acc, got, [])
+      | p :: rest ->
+          let len = Payload.length p in
+          if got + len <= maxb then take (p :: acc) (got + len) rest
+          else begin
+            let want = maxb - got in
+            if want = 0 then (List.rev acc, got, p :: rest)
+            else
+              ( List.rev (Payload.sub p 0 want :: acc), maxb,
+                Payload.sub p want (len - want) :: rest )
+          end
+    in
+    let taken, got, rest = take [] 0 chunks in
+    c.rcvq <- List.rev rest;
+    c.rcvq_bytes <- c.rcvq_bytes - got;
+    (* Window update: if our advertised window was closed (or nearly) and
+       has now re-opened by an MSS, tell the sender. *)
+    if advertised_window c - c.last_advertised_wnd >= c.env.mss then send_ack c;
+    `Data (Payload.concat taken)
+  end
+  else if c.fin_received then `Eof
+  else
+    match c.state with
+    | Closed | Time_wait | Last_ack | Closing -> `Eof
+    | Established | Listen | Syn_sent | Syn_received | Fin_wait_1 | Fin_wait_2
+    | Close_wait -> `Wait
+
+let close c =
+  match c.state with
+  | Established ->
+      c.state <- Fin_wait_1;
+      c.fin_queued <- true;
+      output c
+  | Close_wait ->
+      c.state <- Last_ack;
+      c.fin_queued <- true;
+      output c
+  | Syn_sent | Syn_received ->
+      (match c.parent with
+       | Some l when c.state = Syn_received ->
+           l.syn_pending <- max 0 (l.syn_pending - 1)
+       | Some _ | None -> ());
+      enter_closed c
+  | Listen -> enter_closed c
+  | Closed | Fin_wait_1 | Fin_wait_2 | Last_ack | Closing | Time_wait -> ()
+
+let abort c =
+  (match (c.state, c.remote) with
+   | (Established | Syn_received | Fin_wait_1 | Fin_wait_2 | Close_wait
+     | Closing | Last_ack), Some _ ->
+       c.env.emit (segment c ~seq:c.snd_nxt (Packet.flags ~rst:true ~ack:true ()))
+   | _, _ -> ());
+  enter_closed c
+
+let accept_pop l = Queue.take_opt l.accept_queue
+
+let accept_ready l = not (Queue.is_empty l.accept_queue)
+
+let sndq_room c = max 0 (c.sndq_limit - (c.unsent_bytes + (c.snd_nxt - c.snd_una)))
+
+let readable c = c.rcvq_bytes > 0 || c.fin_received || c.state = Closed
+
+let state c = c.state

@@ -1,0 +1,159 @@
+(** TCP state machine.
+
+    A from-scratch TCP sufficient for the paper's workloads: three-way
+    handshake with a bounded listen backlog (the SYN-flood experiment,
+    Figure 5, hinges on it), sliding-window flow control, slow start /
+    congestion avoidance / fast retransmit, RTO estimation with Karn's rule
+    and exponential backoff, FIN teardown and a configurable TIME_WAIT (the
+    paper sets it to 500 ms for the HTTP experiment).
+
+    The module is architecture-neutral: it consumes and produces packets and
+    side effects through an {!env} of callbacks, and never consumes
+    simulated CPU itself.  The *caller* charges protocol-processing cost in
+    whatever context it runs — BSD charges it at software-interrupt level,
+    LRP in the receiving process or its APP thread.  This split is exactly
+    what lets the same protocol code run under every architecture, mirroring
+    how the paper reused the 4.4BSD networking code in all kernels. *)
+
+type state =
+    Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Closing
+  | Time_wait
+type timer = { mutable cancelled : bool; }
+type env = {
+  now : unit -> float;
+  emit : Lrp_net.Packet.t -> unit;
+  start_timer : conn -> float -> (unit -> unit) -> timer;
+  on_readable : conn -> unit;
+  on_writable : conn -> unit;
+  on_established : conn -> unit;
+  on_accept_ready : conn -> conn -> unit;
+  on_syn_received : conn -> conn -> unit;
+  on_connect_failed : conn -> unit;
+  on_reset : conn -> unit;
+  on_time_wait : conn -> unit;
+  on_closed : conn -> unit;
+  mss : int;
+  time_wait_duration : float;
+  initial_rto : float;
+  max_syn_retries : int;
+}
+and conn = {
+  env : env;
+  id : int;
+  local_ip : Lrp_net.Packet.ip;
+  local_port : int;
+  mutable remote : (Lrp_net.Packet.ip * int) option;
+  mutable state : state;
+  mutable meta : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable dup_acks : int;
+  mutable unacked : (int * Lrp_net.Payload.t) list;
+  mutable unsent : Lrp_net.Payload.t list;
+  mutable unsent_bytes : int;
+  sndq_limit : int;
+  mutable fin_queued : bool;
+  mutable fin_seq : int;
+  mutable rcv_nxt : int;
+  mutable ooo : (int * Lrp_net.Payload.t) list;
+  mutable rcvq : Lrp_net.Payload.t list;
+  mutable rcvq_bytes : int;
+  rcv_buf_limit : int;
+  mutable fin_received : bool;
+  mutable last_advertised_wnd : int;
+  mutable rtx_timer : timer option;
+  mutable persist_timer : timer option;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable backoff : int;
+  mutable timing : (int * float) option;
+  mutable syn_retries : int;
+  backlog : int;
+  accept_queue : conn Queue.t;
+  mutable syn_pending : int;
+  mutable parent : conn option;
+  mutable segs_sent : int;
+  mutable segs_rcvd : int;
+  mutable bytes_sent : int;
+  mutable bytes_rcvd : int;
+  mutable retransmits : int;
+  mutable syn_drops_backlog : int;
+}
+
+val state_name : state -> string
+
+
+(** {1 Lifecycle} *)
+
+val create_listener :
+  env ->
+  local_ip:Lrp_net.Packet.ip ->
+  local_port:int ->
+  ?sndq_limit:int -> ?rcv_buf_limit:int -> backlog:int -> unit -> conn
+(** Passive open: a listening connection whose [backlog] bounds embryonic
+    plus accepted-but-unclaimed children. *)
+
+val create_active :
+  env ->
+  local_ip:Lrp_net.Packet.ip ->
+  local_port:int ->
+  remote:Lrp_net.Packet.ip * int ->
+  ?sndq_limit:int -> ?rcv_buf_limit:int -> unit -> conn
+(** Active open: emits the SYN and arms its retransmission timer. *)
+
+(** {1 Input} *)
+
+val input : conn -> Lrp_net.Packet.t -> unit
+(** Process one inbound segment for this connection (or listener).  May
+    emit segments, start timers and fire [env] callbacks.  Consumes no
+    simulated CPU itself — the caller charges the cost in its own
+    context (softint under BSD, APP thread or receive call under LRP).
+    @raise Invalid_argument on a non-TCP packet. *)
+
+val send_rst_for : Lrp_net.Packet.t -> emit:(Lrp_net.Packet.t -> unit) -> unit
+(** Standalone RST in response to a segment that matches no connection. *)
+
+(** {1 Application side} *)
+
+val send : conn -> Lrp_net.Payload.t -> [ `Closed | `Full | `Sent of int ]
+(** Queue application data.  [`Sent n] accepted [n] bytes (callers loop /
+    block on [`Full]); [`Closed] if the connection cannot accept data. *)
+
+val recv : conn -> max:int -> [ `Data of Lrp_net.Payload.t | `Eof | `Wait ]
+(** Take up to [max] buffered stream bytes.  Reading may emit a window
+    update when the receive window re-opens by an MSS. *)
+
+val close : conn -> unit
+(** Graceful close: queue a FIN after any pending data. *)
+
+val abort : conn -> unit
+(** Hard close: emit an RST and drop all state. *)
+
+val accept_pop : conn -> conn option
+(** Dequeue an established child from a listener's accept queue. *)
+
+val accept_ready : conn -> bool
+
+val sndq_room : conn -> int
+(** Free space in the send buffer. *)
+
+val readable : conn -> bool
+(** Data buffered, EOF pending, or connection gone. *)
+
+val state : conn -> state
+
+val advertised_window : conn -> int
+(** The receive window this end currently advertises. *)

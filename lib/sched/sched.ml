@@ -1,0 +1,162 @@
+open Lrp_engine
+
+let tick_interval = Time.ms 10.
+
+let decay_interval = Time.sec 1.
+
+let quantum_ticks = 10
+
+let priority_user = 50
+
+let priority_max = 127
+
+type state = Runnable | Sleeping | Exited
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable nice : int;
+  mutable p_cpu : float;
+  mutable priority : int;
+  mutable state : state;
+  mutable enqueue_seq : int;
+  mutable quantum : int;
+  mutable sleep_start : Time.t;
+  mutable account : thread option;
+  mutable ticks : int;
+}
+
+type t = {
+  mutable threads : thread list;
+  mutable next_tid : int;
+  mutable next_seq : int;
+  mutable loadavg : float;
+}
+
+let create () = { threads = []; next_tid = 1; next_seq = 0; loadavg = 0. }
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let recompute_priority th =
+  match th.account with
+  | Some owner ->
+      th.priority <-
+        clamp priority_user priority_max
+          (priority_user + (int_of_float owner.p_cpu / 4) + (2 * owner.nice))
+  | None ->
+      th.priority <-
+        clamp priority_user priority_max
+          (priority_user + (int_of_float th.p_cpu / 4) + (2 * th.nice))
+
+let add_thread t ?(nice = 0) ~name () =
+  let th =
+    { tid = t.next_tid; name; nice = clamp (-20) 20 nice; p_cpu = 0.;
+      priority = priority_user; state = Sleeping; enqueue_seq = 0; quantum = 0;
+      sleep_start = Time.zero; account = None; ticks = 0 }
+  in
+  t.next_tid <- t.next_tid + 1;
+  recompute_priority th;
+  t.threads <- th :: t.threads;
+  th
+
+let set_account th owner = th.account <- owner
+
+let name th = th.name
+let tid th = th.tid
+let nice th = th.nice
+let priority th = th.priority
+let p_cpu th = th.p_cpu
+let is_runnable th = th.state = Runnable
+let is_sleeping th = th.state = Sleeping
+let ticks_charged th = th.ticks
+
+let runnable_count t =
+  List.length (List.filter (fun th -> th.state = Runnable) t.threads)
+
+let decay_factor load = 2. *. load /. ((2. *. load) +. 1.)
+
+let make_runnable t ~now th =
+  match th.state with
+  | Runnable -> ()
+  | Exited -> invalid_arg "Sched.make_runnable: thread has exited"
+  | Sleeping ->
+      (* 4.3BSD updatepri(): decay p_cpu once per whole second slept, so a
+         thread that waits on I/O regains good priority. *)
+      let slept_sec = int_of_float (Time.to_sec (now -. th.sleep_start)) in
+      if slept_sec > 0 then begin
+        let f = decay_factor t.loadavg in
+        let rec apply n cpu = if n = 0 then cpu else apply (n - 1) (cpu *. f) in
+        th.p_cpu <- apply (min slept_sec 20) th.p_cpu
+      end;
+      recompute_priority th;
+      th.state <- Runnable;
+      th.enqueue_seq <- t.next_seq;
+      t.next_seq <- t.next_seq + 1;
+      th.quantum <- 0
+
+let sleep _t ~now th =
+  if th.state = Exited then invalid_arg "Sched.sleep: thread has exited";
+  th.state <- Sleeping;
+  th.sleep_start <- now
+
+let exit_thread t th =
+  th.state <- Exited;
+  t.threads <- List.filter (fun other -> other.tid <> th.tid) t.threads
+
+let better a b =
+  a.priority < b.priority || (a.priority = b.priority && a.enqueue_seq < b.enqueue_seq)
+
+let pick t =
+  let best acc th =
+    if th.state <> Runnable then acc
+    else
+      match acc with
+      | None -> Some th
+      | Some cur -> if better th cur then Some th else acc
+  in
+  List.fold_left best None t.threads
+
+let should_preempt t ~current =
+  match pick t with
+  | None -> false
+  | Some best -> best.tid <> current.tid && best.priority < current.priority
+
+let requeue t th =
+  th.enqueue_seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  th.quantum <- 0
+
+let charge_tick _t th =
+  let target = match th.account with Some owner -> owner | None -> th in
+  target.p_cpu <- Float.min 255. (target.p_cpu +. 1.);
+  target.ticks <- target.ticks + 1;
+  recompute_priority target;
+  recompute_priority th;
+  th.quantum <- th.quantum + 1
+
+let quantum_expired th = th.quantum >= quantum_ticks
+
+let reset_quantum th = th.quantum <- 0
+
+let decay t =
+  (* Smooth the instantaneous runnable count into a load average, then decay
+     every thread's usage, as 4.3BSD's schedcpu() does once per second. *)
+  let inst = float_of_int (runnable_count t) in
+  t.loadavg <- (0.8 *. t.loadavg) +. (0.2 *. inst);
+  let f = decay_factor t.loadavg in
+  let decay_thread th =
+    th.p_cpu <- (f *. th.p_cpu) +. float_of_int th.nice;
+    if th.p_cpu < 0. then th.p_cpu <- 0.;
+    recompute_priority th
+  in
+  List.iter decay_thread t.threads
+
+let load_average t = t.loadavg
+
+let pp_thread fmt th =
+  Fmt.pf fmt "%s(tid=%d pri=%d p_cpu=%.1f %s)" th.name th.tid th.priority
+    th.p_cpu
+    (match th.state with
+     | Runnable -> "run"
+     | Sleeping -> "sleep"
+     | Exited -> "exit")

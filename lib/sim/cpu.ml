@@ -1,0 +1,416 @@
+open Lrp_engine
+module Sched = Lrp_sched.Sched
+
+type work = { label : string; mutable left : float; action : unit -> unit }
+
+type who = Whard of work | Wsoft of work | Wuser of Proc.t
+
+type running = {
+  r_who : who;
+  mutable r_left : float;
+  mutable r_started : Time.t;
+  mutable r_ev : Engine.handle option;
+}
+
+type t = {
+  cpu_name : string;
+  engine : Engine.t;
+  sched : Sched.t;
+  ctx_switch_cost : float;
+  hardq : work Deque.t;
+  softq : work Deque.t;
+  procs : (int, Proc.t) Hashtbl.t;  (* keyed by scheduler tid *)
+  mutable next_pid : int;
+  mutable running : running option;
+  mutable cur : Proc.t option;      (* BSD curproc *)
+  mutable last_user : int;          (* pid last on CPU, for cache penalty *)
+  mutable in_dispatch : bool;
+  mutable redo : bool;
+  mutable force_resched : bool;
+  (* statistics *)
+  mutable t_hard : float;
+  mutable t_soft : float;
+  mutable t_user : float;
+  mutable n_ctx_switch : int;
+  mutable n_soft_dispatch : int;
+  mutable n_hard_dispatch : int;
+  created_at : Time.t;
+}
+
+let name t = t.cpu_name
+let engine t = t.engine
+let sched t = t.sched
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let charge t who elapsed =
+  if elapsed > 0. then
+    match who with
+    | Whard _ -> t.t_hard <- t.t_hard +. elapsed
+    | Wsoft _ -> t.t_soft <- t.t_soft +. elapsed
+    | Wuser p ->
+        t.t_user <- t.t_user +. elapsed;
+        p.Proc.cpu_time <- p.Proc.cpu_time +. elapsed;
+        p.Proc.last_on_cpu <- Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch machinery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let class_of = function Whard _ -> 2 | Wsoft _ -> 1 | Wuser _ -> 0
+
+let best_class t =
+  if not (Deque.is_empty t.hardq) then 2
+  else if not (Deque.is_empty t.softq) then 1
+  else match Sched.pick t.sched with Some _ -> 0 | None -> -1
+
+let stop_running t =
+  match t.running with
+  | None -> ()
+  | Some r ->
+      let now = Engine.now t.engine in
+      let elapsed = now -. r.r_started in
+      charge t r.r_who elapsed;
+      (match r.r_ev with Some ev -> Engine.cancel t.engine ev | None -> ());
+      let left = Float.max 0. (r.r_left -. elapsed) in
+      (match r.r_who with
+       | Whard w ->
+           w.left <- left;
+           Deque.push_front t.hardq w
+       | Wsoft w ->
+           w.left <- left;
+           Deque.push_front t.softq w
+       | Wuser p -> p.Proc.work_left <- left);
+      t.running <- None
+
+let rec segment_done t () =
+  let r = match t.running with Some r -> r | None -> assert false in
+  charge t r.r_who r.r_left;
+  r.r_ev <- None;
+  t.running <- None;
+  (match r.r_who with
+   | Whard w | Wsoft w -> w.action ()
+   | Wuser p ->
+       p.Proc.work_left <- 0.;
+       p.Proc.pending <- Proc.Resume;
+       run_instant t p)
+
+(* Run a process's host-side code until its next effect.  Instantaneous in
+   virtual time.  Must execute with [in_dispatch] set. *)
+and run_instant t (p : Proc.t) =
+  let step =
+    match p.Proc.pending with
+    | Proc.Start body ->
+        p.Proc.pending <- Proc.Blocked;
+        fun () -> Effect.Deep.match_with (fun () -> body p) () (handler t p)
+    | Proc.Resume ->
+        let k = match p.Proc.k with Some k -> k | None -> assert false in
+        p.Proc.k <- None;
+        p.Proc.pending <- Proc.Blocked;
+        fun () -> Effect.Deep.continue k ()
+    | Proc.Work | Proc.Blocked | Proc.Done -> assert false
+  in
+  step ();
+  match p.Proc.pending with
+  | Proc.Done -> reap t p
+  | Proc.Work | Proc.Blocked | Proc.Resume -> ()
+  | Proc.Start _ -> assert false
+
+and reap t (p : Proc.t) =
+  let now = Engine.now t.engine in
+  p.Proc.exited <- true;
+  p.Proc.exited_at <- now;
+  Sched.exit_thread t.sched p.Proc.thread;
+  Hashtbl.remove t.procs (Sched.tid p.Proc.thread);
+  (match t.cur with Some q when q.Proc.pid = p.Proc.pid -> t.cur <- None | _ -> ());
+  let waiters = p.Proc.exit_waiters.Proc.waiters in
+  p.Proc.exit_waiters.Proc.waiters <- [];
+  List.iter (fun (q : Proc.t) -> wake t q) waiters
+
+and wake t (q : Proc.t) =
+  if not q.Proc.exited then begin
+    q.Proc.pending <- Proc.Resume;
+    Sched.make_runnable t.sched ~now:(Engine.now t.engine) q.Proc.thread;
+    (* BSD preemption point: a wakeup may preempt a worse-priority curproc. *)
+    t.force_resched <- true;
+    t.redo <- true
+  end
+
+and handler : type r. t -> Proc.t -> (r, unit) Effect.Deep.handler =
+  fun t p ->
+  let open Effect.Deep in
+  {
+    retc = (fun _ -> p.Proc.pending <- Proc.Done);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Proc.Compute d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.Proc.k <- Some k;
+                p.Proc.work_left <- d;
+                p.Proc.pending <- Proc.Work)
+        | Proc.Block wq ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.Proc.k <- Some k;
+                p.Proc.pending <- Proc.Blocked;
+                wq.Proc.waiters <- wq.Proc.waiters @ [ p ];
+                Sched.sleep t.sched ~now:(Engine.now t.engine) p.Proc.thread)
+        | Proc.Sleep d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.Proc.k <- Some k;
+                p.Proc.pending <- Proc.Blocked;
+                Sched.sleep t.sched ~now:(Engine.now t.engine) p.Proc.thread;
+                ignore
+                  (Engine.schedule_after t.engine ~delay:d (fun () ->
+                       guarded t (fun () -> wake t p))))
+        | Proc.Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.Proc.k <- Some k;
+                p.Proc.pending <- Proc.Resume;
+                Sched.requeue t.sched p.Proc.thread;
+                t.force_resched <- true)
+        | _ -> None);
+  }
+
+and begin_timed t (p : Proc.t) =
+  let now = Engine.now t.engine in
+  if t.last_user <> p.Proc.pid then begin
+    (* Cache-reload penalty: eviction is proportional to how long other
+       work occupied the CPU, capped by this process's working set.  This
+       keeps the model from compounding reloads into a livelock when a
+       process is preempted mid-reload. *)
+    let absence = Float.max 0. (now -. p.Proc.last_on_cpu) in
+    let reload = Float.min p.Proc.working_set_us (0.5 *. absence) in
+    let overhead = t.ctx_switch_cost +. reload in
+    if overhead > 0. then begin
+      p.Proc.work_left <- p.Proc.work_left +. overhead;
+      p.Proc.overhead_time <- p.Proc.overhead_time +. overhead
+    end;
+    t.n_ctx_switch <- t.n_ctx_switch + 1;
+    t.last_user <- p.Proc.pid
+  end;
+  t.cur <- Some p;
+  let r = { r_who = Wuser p; r_left = p.Proc.work_left; r_started = now; r_ev = None } in
+  t.running <- Some r;
+  r.r_ev <- Some (Engine.schedule_after t.engine ~delay:r.r_left (fun () ->
+      guarded t (segment_done t)))
+
+and begin_work t who (w : work) =
+  let now = Engine.now t.engine in
+  (match who with
+   | `Hard -> t.n_hard_dispatch <- t.n_hard_dispatch + 1
+   | `Soft -> t.n_soft_dispatch <- t.n_soft_dispatch + 1);
+  let r_who = match who with `Hard -> Whard w | `Soft -> Wsoft w in
+  let r = { r_who; r_left = w.left; r_started = now; r_ev = None } in
+  t.running <- Some r;
+  if w.left <= 0. then begin
+    (* Zero-cost work completes immediately. *)
+    t.running <- None;
+    w.action ();
+    t.redo <- true
+  end
+  else
+    r.r_ev <- Some (Engine.schedule_after t.engine ~delay:w.left (fun () ->
+        guarded t (segment_done t)))
+
+and start_best t =
+  if not (Deque.is_empty t.hardq) then
+    match Deque.pop_front t.hardq with
+    | Some w -> begin_work t `Hard w
+    | None -> assert false
+  else if not (Deque.is_empty t.softq) then
+    match Deque.pop_front t.softq with
+    | Some w -> begin_work t `Soft w
+    | None -> assert false
+  else
+    match Sched.pick t.sched with
+    | None -> () (* idle *)
+    | Some th ->
+        (match Hashtbl.find_opt t.procs (Sched.tid th) with
+         | None -> assert false
+         | Some p ->
+             (match p.Proc.pending with
+              | Proc.Work -> begin_timed t p
+              | Proc.Start _ | Proc.Resume ->
+                  (* Host-side code is free in virtual time: run it now, then
+                     re-evaluate.  [last_user] is left alone so the switch
+                     penalty lands on the first timed segment. *)
+                  t.cur <- Some p;
+                  run_instant t p;
+                  t.redo <- true
+              | Proc.Blocked | Proc.Done -> assert false))
+
+and do_dispatch t =
+  (match t.running with
+   | None -> start_best t
+   | Some r ->
+       let b = best_class t in
+       let c = class_of r.r_who in
+       if b > c then begin
+         stop_running t;
+         start_best t
+       end
+       else if c = 0 && b = 0 then begin
+         (* User-user preemption only at BSD's preemption points (wakeup,
+            tick, yield), flagged via [force_resched] — not on every
+            dispatch event. *)
+         let p = match r.r_who with Wuser p -> p | Whard _ | Wsoft _ -> assert false in
+         if t.force_resched && Sched.should_preempt t.sched ~current:p.Proc.thread
+         then begin
+           stop_running t;
+           start_best t
+         end
+       end);
+  t.force_resched <- false
+
+(* All entry points funnel through [guarded]: mutations run immediately, and
+   a single non-reentrant dispatch loop then brings the CPU to a fixed
+   point. *)
+and guarded t f =
+  if t.in_dispatch then begin
+    f ();
+    t.redo <- true
+  end
+  else begin
+    t.in_dispatch <- true;
+    f ();
+    do_dispatch t;
+    while t.redo do
+      t.redo <- false;
+      do_dispatch t
+    done;
+    t.in_dispatch <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clock: scheduler tick (10 ms) and usage decay (1 s)                 *)
+(* ------------------------------------------------------------------ *)
+
+let charged_proc t =
+  match t.running with
+  | Some { r_who = Wuser p; _ } -> Some p
+  | Some { r_who = Whard _ | Wsoft _; _ } -> t.cur (* mis-accounting: the interrupted one *)
+  | None -> None
+
+let tick t =
+  guarded t (fun () ->
+      (match charged_proc t with
+       | Some p -> Sched.charge_tick t.sched p.Proc.thread
+       | None -> ());
+      (match t.running with
+       | Some { r_who = Wuser p; _ } when Sched.quantum_expired p.Proc.thread ->
+           Sched.requeue t.sched p.Proc.thread
+       | Some _ | None -> ());
+      (* Ticks are a BSD preemption point: priorities were just
+         recomputed. *)
+      t.force_resched <- true)
+
+let decay t = guarded t (fun () -> Sched.decay t.sched)
+
+let rec install_tick t =
+  ignore
+    (Engine.schedule_after t.engine ~delay:Sched.tick_interval (fun () ->
+         tick t;
+         install_tick t))
+
+let rec install_decay t =
+  ignore
+    (Engine.schedule_after t.engine ~delay:Sched.decay_interval (fun () ->
+         decay t;
+         install_decay t))
+
+let create engine ?(ctx_switch_cost = 0.) ?(start_clock = true) ~name () =
+  let t =
+    { cpu_name = name; engine; sched = Sched.create (); ctx_switch_cost;
+      hardq = Deque.create (); softq = Deque.create ();
+      procs = Hashtbl.create 17; next_pid = 1; running = None; cur = None;
+      last_user = -1; in_dispatch = false; redo = false; force_resched = false;
+      t_hard = 0.; t_soft = 0.; t_user = 0.; n_ctx_switch = 0;
+      n_soft_dispatch = 0; n_hard_dispatch = 0; created_at = Engine.now engine }
+  in
+  if start_clock then begin
+    install_tick t;
+    install_decay t
+  end;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spawn t ?(nice = 0) ?(working_set = 0.) ~name body =
+  let thread = Sched.add_thread t.sched ~nice ~name () in
+  let p : Proc.t =
+    { Proc.pid = t.next_pid; name; thread; working_set_us = working_set;
+      pending = Proc.Start body; work_left = 0.; k = None; exited = false;
+      cpu_time = 0.; overhead_time = 0.;
+      exit_waiters = Proc.waitq (name ^ ".exit");
+      started_at = Engine.now t.engine; exited_at = Time.zero;
+      last_on_cpu = Engine.now t.engine }
+  in
+  t.next_pid <- t.next_pid + 1;
+  Hashtbl.add t.procs (Sched.tid thread) p;
+  guarded t (fun () ->
+      Sched.make_runnable t.sched ~now:(Engine.now t.engine) thread);
+  p
+
+let join (p : Proc.t) = if not p.Proc.exited then Proc.block p.Proc.exit_waiters
+
+let wakeup_one t (wq : Proc.waitq) =
+  match wq.Proc.waiters with
+  | [] -> false
+  | p :: rest ->
+      wq.Proc.waiters <- rest;
+      guarded t (fun () -> wake t p);
+      true
+
+let wakeup_all t (wq : Proc.waitq) =
+  let ws = wq.Proc.waiters in
+  wq.Proc.waiters <- [];
+  guarded t (fun () -> List.iter (wake t) ws);
+  List.length ws
+
+let proc_count t = Hashtbl.length t.procs
+
+let post_hard t ?(label = "hardintr") ~cost action =
+  guarded t (fun () -> Deque.push_back t.hardq { label; left = cost; action })
+
+let post_soft t ?(label = "softintr") ~cost action =
+  guarded t (fun () -> Deque.push_back t.softq { label; left = cost; action })
+
+let set_account t (p : Proc.t) ~owner =
+  ignore t;
+  Sched.set_account p.Proc.thread
+    (Option.map (fun (o : Proc.t) -> o.Proc.thread) owner)
+
+let self_running t =
+  match t.running with Some { r_who = Wuser p; _ } -> Some p | Some _ | None -> None
+
+let curproc t = t.cur
+
+let hard_pending t = Deque.length t.hardq
+let soft_pending t = Deque.length t.softq
+let time_hard t = t.t_hard
+let time_soft t = t.t_soft
+let time_user t = t.t_user
+
+let time_idle t =
+  let elapsed = Engine.now t.engine -. t.created_at in
+  Float.max 0. (elapsed -. t.t_hard -. t.t_soft -. t.t_user)
+
+let context_switches t = t.n_ctx_switch
+let softirq_dispatches t = t.n_soft_dispatch
+let hardirq_dispatches t = t.n_hard_dispatch
+
+let utilization t =
+  let elapsed = Engine.now t.engine -. t.created_at in
+  if elapsed <= 0. then 0. else (t.t_hard +. t.t_soft +. t.t_user) /. elapsed
+
+let iter_procs t f = Hashtbl.iter (fun _ p -> f p) t.procs

@@ -1,0 +1,101 @@
+(** Single-CPU host execution model.
+
+    The CPU multiplexes three dispatch levels, highest first:
+
+    + hardware-interrupt work,
+    + software-interrupt work,
+    + user processes (chosen by the 4.3BSD scheduler in {!Lrp_sched.Sched}).
+
+    Hardware-interrupt work preempts everything; software interrupts preempt
+    user processes but not hardware interrupts; user processes preempt each
+    other according to scheduler priority.  Preempted work resumes where it
+    left off.  This is exactly the BSD structure that produces receiver
+    livelock: interrupt-level work can starve every process (paper
+    section 2.2).
+
+    Time accounting follows BSD: a 10 ms clock tick charges [p_cpu] to the
+    current process — and when the tick lands in interrupt context, to the
+    process that was interrupted, reproducing the paper's "inappropriate
+    resource accounting".  Exact (microsecond) per-context times are also
+    tracked for reporting.
+
+    Context-switch model: switching the CPU to a different user process costs
+    [ctx_switch_cost] plus the incoming process's [working_set_us]
+    (cache-reload penalty), charged to the incoming process. *)
+
+open Lrp_engine
+module Sched = Lrp_sched.Sched
+
+type t
+
+val create :
+  Engine.t -> ?ctx_switch_cost:float -> ?start_clock:bool -> name:string ->
+  unit -> t
+(** [create engine ~name ()] makes a CPU driven by [engine]'s clock.
+    [ctx_switch_cost] defaults to 0; [start_clock] (default true) installs
+    the periodic scheduler tick and decay events. *)
+
+val name : t -> string
+val engine : t -> Engine.t
+val sched : t -> Sched.t
+
+(** {1 Processes} *)
+
+val spawn :
+  t -> ?nice:int -> ?working_set:float -> name:string -> (Proc.t -> unit) ->
+  Proc.t
+(** Create a process and make it runnable now.  The body runs as a coroutine
+    performing {!Proc.compute} / {!Proc.block} effects. *)
+
+val join : Proc.t -> unit
+(** Block the calling process until [p] exits (process context only). *)
+
+val wakeup_one : t -> Proc.waitq -> bool
+(** Wake the longest-waiting process on the queue.  Returns [false] if the
+    queue was empty.  Callable from any context. *)
+
+val wakeup_all : t -> Proc.waitq -> int
+
+val proc_count : t -> int
+
+(** {1 Interrupt work} *)
+
+val post_hard : t -> ?label:string -> cost:float -> (unit -> unit) -> unit
+(** Enqueue hardware-interrupt work: after [cost] microseconds of CPU at
+    hardware-interrupt level, [action] runs (instantaneously).  The action
+    typically moves a packet between queues and posts further work. *)
+
+val post_soft : t -> ?label:string -> cost:float -> (unit -> unit) -> unit
+(** Enqueue software-interrupt work (BSD's softnet level). *)
+
+val set_account : t -> Proc.t -> owner:Proc.t option -> unit
+(** Redirect scheduler charging for a process (LRP's APP thread runs at its
+    owning process's priority and charges CPU to it). *)
+
+(** {1 Introspection / statistics} *)
+
+val self_running : t -> Proc.t option
+(** The user process currently executing, if any. *)
+
+val curproc : t -> Proc.t option
+(** BSD's [curproc]: the process whose context the CPU is in, which during
+    interrupt handling is the (possibly unrelated) interrupted process. *)
+
+val hard_pending : t -> int
+val soft_pending : t -> int
+
+val time_hard : t -> float
+(** Exact microseconds spent at hardware-interrupt level so far. *)
+
+val time_soft : t -> float
+val time_user : t -> float
+val time_idle : t -> float
+val context_switches : t -> int
+val softirq_dispatches : t -> int
+val hardirq_dispatches : t -> int
+
+val utilization : t -> float
+(** Fraction of elapsed time the CPU was not idle. *)
+
+val iter_procs : t -> (Proc.t -> unit) -> unit
+(** Iterate over live (not yet reaped) processes. *)

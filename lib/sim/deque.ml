@@ -1,0 +1,39 @@
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list;  (* reversed *)
+  mutable size : int;
+}
+
+let create () = { front = []; back = []; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let push_back t x =
+  t.back <- x :: t.back;
+  t.size <- t.size + 1
+
+let push_front t x =
+  t.front <- x :: t.front;
+  t.size <- t.size + 1
+
+let pop_front t =
+  match t.front with
+  | x :: rest ->
+      t.front <- rest;
+      t.size <- t.size - 1;
+      Some x
+  | [] ->
+      (match List.rev t.back with
+       | [] -> None
+       | x :: rest ->
+           t.front <- rest;
+           t.back <- [];
+           t.size <- t.size - 1;
+           Some x)
+
+let clear t =
+  t.front <- [];
+  t.back <- [];
+  t.size <- 0

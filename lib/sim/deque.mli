@@ -1,0 +1,13 @@
+(** Small FIFO deque (amortised O(1)) used for interrupt work queues, which
+    need "push the preempted item back at the front" in addition to normal
+    FIFO behaviour. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+val pop_front : 'a t -> 'a option
+val clear : 'a t -> unit

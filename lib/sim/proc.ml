@@ -1,0 +1,42 @@
+open Lrp_engine
+module Sched = Lrp_sched.Sched
+
+type t = {
+  pid : int;
+  name : string;
+  thread : Sched.thread;
+  working_set_us : float;
+  mutable pending : pending;
+  mutable work_left : float;
+  mutable k : (unit, unit) Effect.Deep.continuation option;
+  mutable exited : bool;
+  mutable cpu_time : float;
+  mutable overhead_time : float;
+  exit_waiters : waitq;
+  mutable started_at : Time.t;
+  mutable exited_at : Time.t;
+  mutable last_on_cpu : Time.t;
+}
+
+and pending = Start of (t -> unit) | Work | Resume | Blocked | Done
+
+and waitq = { wq_name : string; mutable waiters : t list }
+
+type _ Effect.t +=
+  | Compute : float -> unit Effect.t
+  | Block : waitq -> unit Effect.t
+  | Sleep : float -> unit Effect.t
+  | Yield : unit Effect.t
+
+let compute d = if d > 0. then Effect.perform (Compute d)
+
+let block wq = Effect.perform (Block wq)
+
+let sleep_for d = Effect.perform (Sleep d)
+
+let yield () = Effect.perform Yield
+
+let waitq wq_name = { wq_name; waiters = [] }
+
+let waitq_remove wq p =
+  wq.waiters <- List.filter (fun q -> q.pid <> p.pid) wq.waiters

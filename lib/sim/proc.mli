@@ -1,0 +1,76 @@
+(** Simulated processes.
+
+    A process is an OCaml function run as an effect-handled coroutine.  Host
+    OCaml execution is instantaneous in virtual time; simulated CPU
+    consumption happens only where the code performs {!compute}.  This makes
+    costs explicit: kernel code paths state how many microseconds of the
+    simulated CPU they burn, and the CPU model (see {!Cpu}) interleaves,
+    preempts and charges those segments.
+
+    The effects here are the complete interface between process code and the
+    CPU model:
+
+    - [compute d] — consume [d] microseconds of CPU, preemptibly;
+    - [block wq] — sleep until another party wakes the queue;
+    - [sleep_for d] — sleep for [d] microseconds of virtual time;
+    - [yield ()] — go to the back of the run queue without sleeping. *)
+
+open Lrp_engine
+
+type t = {
+  pid : int;
+  name : string;
+  thread : Lrp_sched.Sched.thread;
+  working_set_us : float;
+      (** Cache-reload penalty paid when this process is switched onto the
+          CPU after a different process ran (models the paper's
+          memory-locality effects, e.g. the Table-2 worker whose working set
+          covers 35 % of the L2 cache). *)
+  mutable pending : pending;
+  mutable work_left : float;
+  mutable k : (unit, unit) Effect.Deep.continuation option;
+  mutable exited : bool;
+  mutable cpu_time : float;  (** total simulated CPU consumed, microseconds *)
+  mutable overhead_time : float;
+      (** part of [cpu_time] that was context-switch / cache-reload
+          overhead rather than useful work *)
+  exit_waiters : waitq;
+  mutable started_at : Time.t;
+  mutable exited_at : Time.t;
+  mutable last_on_cpu : Time.t;
+      (** last instant this process occupied the CPU (for the cache-reload
+          model: eviction grows with absence) *)
+}
+
+and pending =
+  | Start of (t -> unit)  (** never dispatched yet *)
+  | Work                  (** owes [work_left] microseconds of CPU *)
+  | Resume                (** continuation ready to run instantly *)
+  | Blocked               (** waiting on a {!waitq} or timer *)
+  | Done                  (** body returned *)
+
+and waitq = { wq_name : string; mutable waiters : t list }
+
+type _ Effect.t +=
+  | Compute : float -> unit Effect.t
+  | Block : waitq -> unit Effect.t
+  | Sleep : float -> unit Effect.t
+  | Yield : unit Effect.t
+
+val compute : float -> unit
+(** [compute d] consumes [d] simulated microseconds of CPU (no-op when
+    [d <= 0]).  Must be called from process context. *)
+
+val block : waitq -> unit
+(** Sleep until {!Cpu.wakeup_one} or {!Cpu.wakeup_all} targets the queue. *)
+
+val sleep_for : float -> unit
+(** Sleep for a fixed amount of virtual time. *)
+
+val yield : unit -> unit
+
+val waitq : string -> waitq
+(** Fresh empty wait queue. *)
+
+val waitq_remove : waitq -> t -> unit
+(** Remove a specific process from a wait queue (used by timed waits). *)

@@ -1,0 +1,96 @@
+(** Measurement helpers for the experiment harnesses. *)
+
+(* --- streaming summary ------------------------------------------------ *)
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; sum = 0.; sumsq = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.sumsq <- t.sumsq +. (x *. x);
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  let minimum t = if t.n = 0 then 0. else t.min
+  let maximum t = if t.n = 0 then 0. else t.max
+
+  let stddev t =
+    if t.n < 2 then 0.
+    else
+      let m = mean t in
+      let v = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+      sqrt (Float.max 0. v)
+
+  let pp fmt t =
+    Fmt.pf fmt "n=%d mean=%.1f min=%.1f max=%.1f sd=%.1f" t.n (mean t)
+      (minimum t) (maximum t) (stddev t)
+end
+
+(* --- reservoir for percentiles ---------------------------------------- *)
+
+module Samples = struct
+  type t = { mutable xs : float list; mutable n : int }
+
+  let create () = { xs = []; n = 0 }
+
+  let add t x =
+    t.xs <- x :: t.xs;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let percentile t p =
+    if t.n = 0 then 0.
+    else begin
+      let a = Array.of_list t.xs in
+      Array.sort compare a;
+      let idx =
+        int_of_float (Float.round (p /. 100. *. float_of_int (Array.length a - 1)))
+      in
+      a.(max 0 (min (Array.length a - 1) idx))
+    end
+
+  let median t = percentile t 50.
+  let mean t = if t.n = 0 then 0. else List.fold_left ( +. ) 0. t.xs /. float_of_int t.n
+end
+
+(* --- rate meter: events per second over a window ----------------------- *)
+
+module Rate = struct
+  type t = {
+    mutable count : int;
+    mutable window_start : float;  (* us *)
+    mutable last_rate : float;     (* events per second *)
+  }
+
+  let create () = { count = 0; window_start = 0.; last_rate = 0. }
+
+  let mark t = t.count <- t.count + 1
+
+  (* [rate t ~now] finishes the current window and returns events/sec. *)
+  let rate t ~now =
+    let dt = (now -. t.window_start) /. 1e6 in
+    if dt > 0. then t.last_rate <- float_of_int t.count /. dt;
+    t.count <- 0;
+    t.window_start <- now;
+    t.last_rate
+
+  let total_since_reset t = t.count
+end
+
+(* --- unit helpers ------------------------------------------------------ *)
+
+let mbps ~bytes ~us = if us <= 0. then 0. else float_of_int bytes *. 8. /. us
+
+let pps ~packets ~us = if us <= 0. then 0. else float_of_int packets *. 1e6 /. us

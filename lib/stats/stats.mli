@@ -1,0 +1,52 @@
+(** Measurement helpers for the experiment harnesses. *)
+
+(** Streaming mean / min / max / stddev. *)
+
+module Summary :
+  sig
+    type t = {
+      mutable n : int;
+      mutable sum : float;
+      mutable sumsq : float;
+      mutable min : float;
+      mutable max : float;
+    }
+    val create : unit -> t
+    val add : t -> float -> unit
+    val count : t -> int
+    val mean : t -> float
+    val minimum : t -> float
+    val maximum : t -> float
+    val stddev : t -> float
+    val pp : Format.formatter -> t -> unit
+  end
+(** Sample store with percentiles (used for latency distributions). *)
+
+module Samples :
+  sig
+    type t = { mutable xs : float list; mutable n : int; }
+    val create : unit -> t
+    val add : t -> float -> unit
+    val count : t -> int
+    val percentile : t -> float -> float
+    val median : t -> float
+    val mean : t -> float
+  end
+(** Windowed event-rate meter. *)
+
+module Rate :
+  sig
+    type t = {
+      mutable count : int;
+      mutable window_start : float;
+      mutable last_rate : float;
+    }
+    val create : unit -> t
+    val mark : t -> unit
+    val rate : t -> now:float -> float
+    val total_since_reset : t -> int
+  end
+val mbps : bytes:int -> us:float -> float
+(** Megabits per second from a byte count over a duration. *)
+
+val pps : packets:int -> us:float -> float

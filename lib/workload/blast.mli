@@ -1,0 +1,24 @@
+(** Open-loop UDP traffic source and sink.
+
+    The source injects packets directly at the sender's NIC — the equivalent
+    of the paper's in-kernel packet source, needed because a user-process
+    sender would saturate its own CPU long before the interesting offered
+    rates (the paper notes using an in-kernel source for the same reason).
+
+    The sink is a real application process: a receive-and-discard loop over
+    the socket API, exactly like the paper's blast server. *)
+
+type source = { mutable sent : int; mutable stop_at : float; }
+val start_source :
+  Lrp_engine.Engine.t ->
+  Lrp_net.Nic.t ->
+  src:Lrp_net.Packet.ip ->
+  dst:Lrp_net.Packet.ip * Lrp_net.Packet.port ->
+  ?src_port:Lrp_net.Packet.port ->
+  rate:float -> size:int -> until:float -> unit -> source
+type sink = {
+  sock : Lrp_kernel.Socket.t;
+  mutable received : int;
+  mutable last_rx_at : float;
+}
+val start_sink : Lrp_kernel.Kernel.t -> ?nice:int -> port:int -> unit -> sink

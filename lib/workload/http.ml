@@ -1,0 +1,105 @@
+(** HTTP server and closed-loop clients (Figure 5).
+
+    Models NCSA httpd 1.5.1's process-per-request structure: the master
+    accepts a connection, forks a child, and the child reads the request,
+    does the filesystem/formatting work, writes the ~1300-byte document and
+    closes.  Eight closed-loop clients saturate the server, as in the
+    paper. *)
+
+open Lrp_engine
+open Lrp_sim
+open Lrp_net
+open Lrp_kernel
+
+type server_stats = {
+  mutable accepted : int;
+  mutable served : int;
+}
+
+(* [start_server kern ~port ()] spawns the httpd master process. *)
+let start_server kern ?(port = 80) ?(backlog = 5) ?(doc_bytes = 1300)
+    ?(service_us = 4_000.) ?(fork_us = 900.) () =
+  let st = { accepted = 0; served = 0 } in
+  ignore
+    (Cpu.spawn (Kernel.cpu kern) ~name:"httpd" (fun self ->
+         let lsock = Api.socket_stream kern in
+         Api.tcp_listen kern ~self lsock ~port ~backlog;
+         let rec accept_loop () =
+           let conn = Api.tcp_accept kern ~self lsock in
+           st.accepted <- st.accepted + 1;
+           (* fork() a child to serve the request. *)
+           Proc.compute fork_us;
+           let child =
+             Cpu.spawn (Kernel.cpu kern)
+               ~name:(Printf.sprintf "httpd-child%d" st.accepted)
+               ~working_set:50.
+               (fun child_self ->
+                 (match Api.tcp_recv kern ~self:child_self conn ~max:4096 with
+                  | `Data _request ->
+                      Proc.compute service_us;
+                      (match
+                         Api.tcp_send kern ~self:child_self conn
+                           (Payload.synthetic doc_bytes)
+                       with
+                       | `Ok -> st.served <- st.served + 1
+                       | `Closed -> ())
+                  | `Eof -> ());
+                 Api.close kern ~self:child_self conn)
+           in
+           Api.set_owner kern conn ~owner:child;
+           accept_loop ()
+         in
+         try accept_loop () with Api.Socket_closed -> ()));
+  st
+
+type client_stats = {
+  mutable completed : int;
+  mutable failed : int;
+  mutable bytes : int;
+}
+
+(* One closed-loop HTTP client: connect, request, read the document,
+   close, repeat. *)
+let start_client kern ~dst ?(request_bytes = 100) ?(doc_bytes = 1300)
+    ~id stats =
+  ignore
+    (Cpu.spawn (Kernel.cpu kern) ~name:(Printf.sprintf "http-client%d" id)
+       (fun self ->
+        let rec session () =
+          let sock = Api.socket_stream kern in
+          (match Api.tcp_connect kern ~self sock ~remote:dst with
+           | `Refused ->
+               stats.failed <- stats.failed + 1;
+               Api.close kern ~self sock;
+               (* Back off briefly before retrying, like a browser would. *)
+               Proc.sleep_for (Time.ms 100.)
+           | `Ok ->
+               (match
+                  Api.tcp_send kern ~self sock (Payload.synthetic request_bytes)
+                with
+                | `Closed -> stats.failed <- stats.failed + 1
+                | `Ok ->
+                    let rec read_doc got =
+                      if got >= doc_bytes then begin
+                        stats.completed <- stats.completed + 1;
+                        stats.bytes <- stats.bytes + got
+                      end
+                      else
+                        match Api.tcp_recv kern ~self sock ~max:65_536 with
+                        | `Data p -> read_doc (got + Payload.length p)
+                        | `Eof -> stats.failed <- stats.failed + 1
+                    in
+                    read_doc 0);
+               Api.close kern ~self sock);
+          session ()
+        in
+        session ()))
+
+(* [start_clients kern ~dst ~n ()] returns aggregate stats for [n]
+   closed-loop clients. *)
+let start_clients kern ~dst ?(n = 8) () =
+  let stats = { completed = 0; failed = 0; bytes = 0 } in
+  for i = 1 to n do
+    start_client kern ~dst ~id:i stats
+  done;
+  stats

@@ -1,0 +1,16 @@
+(** Compute-bound background process.
+
+    The paper runs low-priority (nice +20) infinite-loop processes during
+    the latency experiments to keep the CPU out of the idle loop (working
+    around a SunOS dispatch anomaly); the same trick keeps our comparisons
+    clean, and spinners double as victims for fairness measurements. *)
+
+open Lrp_sim
+
+let start cpu ?(nice = 20) ?(name = "spinner") ?(working_set = 0.) () =
+  Cpu.spawn cpu ~nice ~working_set ~name (fun _self ->
+      let rec loop () =
+        Proc.compute 1_000.;
+        loop ()
+      in
+      loop ())

@@ -1,0 +1,14 @@
+(** TCP bulk-transfer throughput (Table 1): 24 MB with 32 KB socket
+    buffers. *)
+
+type result = {
+  mutable bytes : int;
+  mutable started : float;
+  mutable finished : float option;
+}
+val mbps : result -> float
+val run :
+  World.t ->
+  sender:Lrp_kernel.Kernel.t ->
+  receiver:Lrp_kernel.Kernel.t ->
+  port:int -> total:int -> until:Lrp_engine.Time.t -> unit -> result

@@ -1,0 +1,47 @@
+(** Scenario builder: an engine, a switching fabric and a few hosts.
+
+    All the paper's experiments use two to four SPARCstation-20s on a
+    private 155 Mbit/s ATM network; [make] builds exactly that. *)
+
+open Lrp_engine
+open Lrp_net
+open Lrp_kernel
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  mutable hosts : (string * Kernel.t) list;
+}
+
+let make ?(seed = 42) ?bandwidth_mbps () =
+  let engine = Engine.create ~seed () in
+  let fabric = Fabric.create engine ?bandwidth_mbps () in
+  { engine; fabric; hosts = [] }
+
+let host_ip i = Packet.ip_of_quad 10 0 0 (10 + i)
+
+(* [add_host w ~name cfg] attaches a new host running the given kernel
+   configuration; IPs are assigned 10.0.0.10, .11, ... in order. *)
+let add_host w ~name cfg =
+  let ip = host_ip (List.length w.hosts) in
+  let kern = Kernel.create w.engine w.fabric ~name ~ip cfg in
+  w.hosts <- w.hosts @ [ (name, kern) ];
+  kern
+
+let engine w = w.engine
+let fabric w = w.fabric
+
+let kernel w name =
+  match List.assoc_opt name w.hosts with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "World.kernel: no host %s" name)
+
+let run w ~until = Engine.run w.engine ~until
+
+(* Two-host worlds are the common case: a client and a server of the given
+   architecture. *)
+let pair ?seed ?(cfg = Kernel.default_config Kernel.Bsd) () =
+  let w = make ?seed () in
+  let client = add_host w ~name:"client" cfg in
+  let server = add_host w ~name:"server" cfg in
+  (w, client, server)

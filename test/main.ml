@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "lrp"
+    [ ("engine", Test_engine.suite);
+      ("sched", Test_sched.suite);
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("proto", Test_proto.suite);
+      ("tcp-unit", Test_tcp_unit.suite);
+      ("udp-e2e", Test_udp_e2e.suite);
+      ("tcp-e2e", Test_tcp_e2e.suite);
+      ("core", Test_core.suite);
+      ("kernel", Test_kernel.suite);
+      ("multicast", Test_multicast.suite);
+      ("gateway", Test_gateway.suite);
+      ("stats", Test_stats.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_properties.suite);
+      ("experiments", Test_experiments.suite) ]

@@ -1,0 +1,172 @@
+(* Tests for the LRP core: NI channels and the channel table. *)
+
+open Lrp_net
+open Lrp_proto
+open Lrp_core
+
+let pkt ?(src = 1) ?(sport = 10) ?(dport = 20) () =
+  Packet.udp ~src ~dst:2 ~src_port:sport ~dst_port:dport (Payload.synthetic 14)
+
+(* --- channel ------------------------------------------------------------ *)
+
+let test_channel_fifo () =
+  let ch = Channel.create ~limit:8 ~name:"t" () in
+  (match Channel.enqueue ch (pkt ~sport:1 ()) with
+   | Channel.Queued `Was_empty -> ()
+   | _ -> Alcotest.fail "first enqueue reports empty transition");
+  (match Channel.enqueue ch (pkt ~sport:2 ()) with
+   | Channel.Queued `Was_nonempty -> ()
+   | _ -> Alcotest.fail "second enqueue reports nonempty");
+  (match Channel.dequeue ch with
+   | Some p ->
+       Alcotest.(check (option (pair int int))) "fifo order" (Some (1, 20))
+         (Packet.ports p)
+   | None -> Alcotest.fail "dequeue");
+  Alcotest.(check int) "length" 1 (Channel.length ch)
+
+let test_channel_early_discard () =
+  let ch = Channel.create ~limit:2 ~name:"t" () in
+  ignore (Channel.enqueue ch (pkt ()));
+  ignore (Channel.enqueue ch (pkt ()));
+  (match Channel.enqueue ch (pkt ()) with
+   | Channel.Discarded -> ()
+   | Channel.Queued _ -> Alcotest.fail "expected early discard at full queue");
+  Alcotest.(check int) "discard counted" 1 (Channel.discarded ch);
+  Alcotest.(check int) "enqueued counted" 2 (Channel.enqueued ch)
+
+let test_channel_processing_gate () =
+  let ch = Channel.create ~limit:8 ~name:"t" () in
+  Channel.disable_processing ch;
+  (match Channel.enqueue ch (pkt ()) with
+   | Channel.Discarded -> ()
+   | Channel.Queued _ -> Alcotest.fail "disabled channel must discard");
+  Alcotest.(check int) "disabled discard counted" 1 (Channel.discarded_disabled ch);
+  Channel.enable_processing ch;
+  (match Channel.enqueue ch (pkt ()) with
+   | Channel.Queued _ -> ()
+   | Channel.Discarded -> Alcotest.fail "re-enabled channel must accept")
+
+let test_channel_interrupt_flag () =
+  let ch = Channel.create ~name:"t" () in
+  Alcotest.(check bool) "initially off" false (Channel.interrupt_requested ch);
+  Channel.request_interrupt ch;
+  Alcotest.(check bool) "on" true (Channel.interrupt_requested ch);
+  Channel.clear_interrupt_request ch;
+  Alcotest.(check bool) "off" false (Channel.interrupt_requested ch)
+
+let test_channel_extract () =
+  let ch = Channel.create ~name:"t" () in
+  ignore (Channel.enqueue ch (pkt ~sport:1 ()));
+  ignore (Channel.enqueue ch (pkt ~sport:2 ()));
+  ignore (Channel.enqueue ch (pkt ~sport:3 ()));
+  let odd =
+    Channel.extract ch (fun p ->
+        match Packet.ports p with Some (sp, _) -> sp mod 2 = 1 | None -> false)
+  in
+  Alcotest.(check int) "two extracted" 2 (List.length odd);
+  Alcotest.(check int) "one left" 1 (Channel.length ch);
+  (match Channel.dequeue ch with
+   | Some p ->
+       Alcotest.(check (option (pair int int))) "the even one remains"
+         (Some (2, 20)) (Packet.ports p)
+   | None -> Alcotest.fail "dequeue")
+
+(* --- chantab ------------------------------------------------------------- *)
+
+let test_chantab_udp_resolution () =
+  let tab = Chantab.create () in
+  let ch = Channel.create ~name:"udp:20" () in
+  Chantab.add_udp tab ~port:20 ch;
+  (match Chantab.resolve tab (Demux.flow_of_packet (pkt ())) with
+   | Some c -> Alcotest.(check int) "right channel" (Channel.id ch) (Channel.id c)
+   | None -> Alcotest.fail "expected resolution");
+  (match Chantab.resolve tab (Demux.flow_of_packet (pkt ~dport:99 ())) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "unbound port must not resolve");
+  Alcotest.(check int) "miss counted" 1 (Chantab.unmatched tab)
+
+let tcp_pkt ?(src = 7) ?(sport = 1000) ?(dport = 80) ?(syn = false) ?(ack = true) () =
+  Packet.tcp ~src ~dst:2 ~src_port:sport ~dst_port:dport ~seq:0 ~ack_no:0
+    ~flags:(Packet.flags ~syn ~ack ()) ~window:100 (Payload.synthetic 0)
+
+let test_chantab_tcp_resolution () =
+  let tab = Chantab.create () in
+  let listen_ch = Channel.create ~name:"listen:80" () in
+  let conn_ch = Channel.create ~name:"conn" () in
+  Chantab.add_tcp_listen tab ~port:80 listen_ch;
+  Chantab.add_tcp tab ~src:7 ~src_port:1000 ~dst_port:80 conn_ch;
+  (* Established-connection segment: exact channel. *)
+  (match Chantab.resolve tab (Demux.flow_of_packet (tcp_pkt ())) with
+   | Some c -> Alcotest.(check int) "exact match" (Channel.id conn_ch) (Channel.id c)
+   | None -> Alcotest.fail "no resolution");
+  (* Fresh SYN from another source: listen channel. *)
+  (match Chantab.resolve tab (Demux.flow_of_packet (tcp_pkt ~src:8 ~syn:true ~ack:false ())) with
+   | Some c -> Alcotest.(check int) "listen match" (Channel.id listen_ch) (Channel.id c)
+   | None -> Alcotest.fail "no resolution");
+  (* Non-SYN from unknown source: no channel (dropped / RST daemon). *)
+  (match Chantab.resolve tab (Demux.flow_of_packet (tcp_pkt ~src:9 ())) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "stray segment must not match the listener")
+
+let test_chantab_fragment_channel () =
+  let tab = Chantab.create () in
+  let big = Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:9 (Payload.synthetic 20_000) in
+  match Ip.fragment big ~mtu:9180 with
+  | _first :: second :: _ ->
+      (match Chantab.resolve tab (Demux.flow_of_packet second) with
+       | Some c ->
+           Alcotest.(check int) "special fragment channel"
+             (Channel.id (Chantab.frag_channel tab)) (Channel.id c)
+       | None -> Alcotest.fail "fragments must go to the fragment channel")
+  | _ -> Alcotest.fail "expected fragments"
+
+let test_chantab_icmp_channel () =
+  let tab = Chantab.create () in
+  let ping = Packet.icmp ~src:1 ~dst:2 Packet.Echo_request (Payload.synthetic 8) in
+  match Chantab.resolve tab (Demux.flow_of_packet ping) with
+  | Some c ->
+      Alcotest.(check int) "proxy daemon channel"
+        (Channel.id (Chantab.icmp_channel tab)) (Channel.id c)
+  | None -> Alcotest.fail "ICMP must resolve to the daemon channel"
+
+let test_chantab_removal () =
+  let tab = Chantab.create () in
+  let ch = Channel.create ~name:"udp:20" () in
+  Chantab.add_udp tab ~port:20 ch;
+  Chantab.remove_udp tab ~port:20;
+  Alcotest.(check bool) "removed port does not resolve" true
+    (Chantab.resolve tab (Demux.flow_of_packet (pkt ())) = None);
+  Alcotest.(check int) "no channels left" 0 (Chantab.udp_channel_count tab)
+
+(* Property: resolution of a UDP flow agrees with a plain PCB lookup oracle
+   over random bind sets. *)
+let prop_chantab_matches_pcb =
+  QCheck.Test.make ~count:200 ~name:"chantab: udp resolution == pcb oracle"
+    QCheck.(pair (list (int_range 1 40)) (int_range 1 40))
+    (fun (ports, probe) ->
+      let tab = Chantab.create () in
+      let oracle = Hashtbl.create 8 in
+      List.iter
+        (fun port ->
+          if not (Hashtbl.mem oracle port) then begin
+            Hashtbl.replace oracle port ();
+            Chantab.add_udp tab ~port (Channel.create ~name:"c" ())
+          end)
+        ports;
+      let flow = Demux.flow_of_packet (pkt ~dport:probe ()) in
+      (Chantab.resolve tab flow <> None) = Hashtbl.mem oracle probe)
+
+let qsuite = [ QCheck_alcotest.to_alcotest prop_chantab_matches_pcb ]
+
+let suite =
+  [ Alcotest.test_case "channel FIFO + transitions" `Quick test_channel_fifo;
+    Alcotest.test_case "channel early discard" `Quick test_channel_early_discard;
+    Alcotest.test_case "channel processing gate" `Quick test_channel_processing_gate;
+    Alcotest.test_case "channel interrupt flag" `Quick test_channel_interrupt_flag;
+    Alcotest.test_case "channel extract" `Quick test_channel_extract;
+    Alcotest.test_case "chantab udp resolution" `Quick test_chantab_udp_resolution;
+    Alcotest.test_case "chantab tcp exact/listen" `Quick test_chantab_tcp_resolution;
+    Alcotest.test_case "chantab fragment channel" `Quick test_chantab_fragment_channel;
+    Alcotest.test_case "chantab icmp daemon channel" `Quick test_chantab_icmp_channel;
+    Alcotest.test_case "chantab removal" `Quick test_chantab_removal ]
+  @ qsuite

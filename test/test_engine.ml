@@ -1,0 +1,193 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+open Lrp_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_time_units () =
+  check_float "ms" 1_000. (Time.ms 1.);
+  check_float "sec" 1_000_000. (Time.sec 1.);
+  check_float "to_sec" 2.5 (Time.to_sec (Time.sec 2.5));
+  check_float "to_ms" 42. (Time.to_ms (Time.us 42_000.))
+
+let test_schedule_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule eng ~at:30. (record "c"));
+  ignore (Engine.schedule eng ~at:10. (record "a"));
+  ignore (Engine.schedule eng ~at:20. (record "b"));
+  Engine.run eng ~until:100.;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock advanced to until" 100. (Engine.now eng)
+
+let test_fifo_ties () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule eng ~at:5. (fun () -> log := i :: !log))
+  done;
+  Engine.run eng ~until:10.;
+  Alcotest.(check (list int)) "fifo among equal keys"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule eng ~at:10. (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Engine.is_pending eng h);
+  Engine.cancel eng h;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending eng h);
+  Engine.cancel eng h (* double cancel is a no-op *);
+  Engine.run eng ~until:100.;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired;
+  Alcotest.(check int) "no live events" 0 (Engine.pending_events eng)
+
+let test_schedule_from_event () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule eng ~at:10. (fun () ->
+         times := Engine.now eng :: !times;
+         ignore
+           (Engine.schedule_after eng ~delay:5. (fun () ->
+                times := Engine.now eng :: !times))));
+  Engine.run eng ~until:100.;
+  Alcotest.(check (list (float 1e-9))) "chained" [ 10.; 15. ] (List.rev !times)
+
+let test_schedule_past_rejected () =
+  let eng = Engine.create () in
+  ignore (Engine.schedule eng ~at:50. (fun () -> ()));
+  Engine.run eng ~until:60.;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule: at=10.000 is before now=60.000")
+    (fun () -> ignore (Engine.schedule eng ~at:10. (fun () -> ())))
+
+let test_run_while () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule_after eng ~delay:1. tick)
+  in
+  ignore (Engine.schedule eng ~at:0. tick);
+  Engine.run_while eng (fun () -> !count < 5) ~until:1000.;
+  Alcotest.(check int) "stopped by predicate" 5 !count
+
+let test_events_executed () =
+  let eng = Engine.create () in
+  for i = 1 to 7 do
+    ignore (Engine.schedule eng ~at:(float_of_int i) (fun () -> ()))
+  done;
+  Engine.run eng ~until:100.;
+  Alcotest.(check int) "executed" 7 (Engine.events_executed eng)
+
+(* --- property tests ------------------------------------------------- *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~count:300 ~name:"eheap pops keys in nondecreasing order"
+    QCheck.(list (float_bound_exclusive 1e6))
+    (fun keys ->
+      let h = Eheap.create () in
+      List.iter (fun k -> Eheap.add h ~key:k k) keys;
+      let rec drain acc =
+        match Eheap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare keys)
+
+let prop_heap_fifo_on_equal =
+  QCheck.Test.make ~count:200 ~name:"eheap is FIFO for equal keys"
+    QCheck.(small_nat)
+    (fun n ->
+      let h = Eheap.create () in
+      for i = 0 to n - 1 do
+        Eheap.add h ~key:1. i
+      done;
+      let rec drain acc =
+        match Eheap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.init n (fun i -> i))
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~count:100 ~name:"rng: same seed, same stream"
+    QCheck.(small_int)
+    (fun seed ->
+      let a = Rng.create seed and b = Rng.create seed in
+      List.init 20 (fun _ -> Rng.bits64 a) = List.init 20 (fun _ -> Rng.bits64 b))
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~count:200 ~name:"rng: int stays within bound"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      List.for_all
+        (fun _ ->
+          let v = Rng.int r bound in
+          v >= 0 && v < bound)
+        (List.init 50 Fun.id))
+
+let prop_rng_uniform_bounds =
+  QCheck.Test.make ~count:200 ~name:"rng: uniform in [0,1)"
+    QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      List.for_all
+        (fun _ ->
+          let v = Rng.uniform r in
+          v >= 0. && v < 1.)
+        (List.init 50 Fun.id))
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~count:200 ~name:"rng: exponential draws are nonnegative"
+    QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      List.for_all
+        (fun _ -> Rng.exponential r ~mean:100. >= 0.)
+        (List.init 50 Fun.id))
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:50.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f within 5%% of 50" mean)
+    true
+    (mean > 47.5 && mean < 52.5)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorted; prop_heap_fifo_on_equal; prop_rng_deterministic;
+      prop_rng_int_bounds; prop_rng_uniform_bounds; prop_rng_exponential_positive ]
+
+let suite =
+  [ Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "events run in time order" `Quick test_schedule_order;
+    Alcotest.test_case "equal timestamps are FIFO" `Quick test_fifo_ties;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "events can schedule events" `Quick test_schedule_from_event;
+    Alcotest.test_case "scheduling in the past is rejected" `Quick
+      test_schedule_past_rejected;
+    Alcotest.test_case "run_while stops on predicate" `Quick test_run_while;
+    Alcotest.test_case "events_executed counts" `Quick test_events_executed;
+    Alcotest.test_case "rng split gives a distinct stream" `Quick
+      test_rng_split_independent;
+    Alcotest.test_case "rng exponential has the right mean" `Slow
+      test_rng_exponential_mean ]
+  @ qsuite

@@ -1,0 +1,258 @@
+(* Unit and property tests for the network substrate: payloads, packets,
+   wire codec, mbuf pool, NIC and fabric timing. *)
+
+open Lrp_engine
+open Lrp_net
+
+(* --- payload ----------------------------------------------------------- *)
+
+let test_payload_basics () =
+  let p = Payload.synthetic ~tag:7 100 in
+  Alcotest.(check int) "length" 100 (Payload.length p);
+  Alcotest.(check (option int)) "tag" (Some 7) (Payload.tag p);
+  let b = Payload.of_string "hello" in
+  Alcotest.(check int) "bytes length" 5 (Payload.length b);
+  Alcotest.(check (option int)) "no tag" None (Payload.tag b)
+
+let prop_payload_sub_concat =
+  QCheck.Test.make ~count:200 ~name:"payload: sub+concat reassembles"
+    QCheck.(pair (int_range 1 500) (int_range 1 499))
+    (fun (len, cut) ->
+      let cut = cut mod len in
+      QCheck.assume (cut > 0);
+      let p = Payload.synthetic ~tag:3 len in
+      let a = Payload.sub p 0 cut and b = Payload.sub p cut (len - cut) in
+      Payload.equal (Payload.concat [ a; b ]) p)
+
+let prop_payload_bytes_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"payload: synthetic and bytes views agree"
+    QCheck.(pair small_nat (int_range 0 300))
+    (fun (tag, len) ->
+      let p = Payload.synthetic ~tag len in
+      Bytes.length (Payload.to_bytes p) = len)
+
+let test_payload_sub_out_of_range () =
+  let p = Payload.synthetic 10 in
+  Alcotest.check_raises "sub out of range"
+    (Invalid_argument "Payload.sub: out of range") (fun () ->
+      ignore (Payload.sub p 5 6))
+
+(* --- packet ------------------------------------------------------------ *)
+
+let test_wire_bytes () =
+  let pkt =
+    Packet.udp ~src:1 ~dst:2 ~src_port:10 ~dst_port:20 (Payload.synthetic 100)
+  in
+  Alcotest.(check int) "udp wire size" (20 + 8 + 100) (Packet.wire_bytes pkt);
+  let t =
+    Packet.tcp ~src:1 ~dst:2 ~src_port:10 ~dst_port:20 ~seq:0 ~ack_no:0
+      ~flags:(Packet.flags ()) ~window:0 (Payload.synthetic 100)
+  in
+  Alcotest.(check int) "tcp wire size" (20 + 20 + 100) (Packet.wire_bytes t)
+
+let test_ports_accessor () =
+  let pkt = Packet.udp ~src:1 ~dst:2 ~src_port:10 ~dst_port:20 (Payload.synthetic 4) in
+  Alcotest.(check (option (pair int int))) "udp ports" (Some (10, 20))
+    (Packet.ports pkt);
+  Alcotest.(check bool) "is_udp" true (Packet.is_udp pkt);
+  Alcotest.(check bool) "not tcp" false (Packet.is_tcp pkt)
+
+let test_ip_pp () =
+  let s = Fmt.str "%a" Packet.pp_ip (Packet.ip_of_quad 10 0 0 12) in
+  Alcotest.(check string) "dotted quad" "10.0.0.12" s
+
+(* --- codec ------------------------------------------------------------- *)
+
+let sample_udp ?(len = 64) () =
+  Packet.udp ~src:(Packet.ip_of_quad 10 0 0 1) ~dst:(Packet.ip_of_quad 10 0 0 2)
+    ~src_port:1234 ~dst_port:80
+    (Payload.of_bytes (Bytes.init len (fun i -> Char.chr (i land 0xff))))
+
+let test_codec_udp_roundtrip () =
+  let pkt = sample_udp () in
+  let b = Codec.encode pkt in
+  let d = Codec.decode b in
+  Alcotest.(check int) "proto" Codec.ipproto_udp d.Codec.d_proto;
+  Alcotest.(check (option int)) "src port" (Some 1234) d.Codec.d_src_port;
+  Alcotest.(check (option int)) "dst port" (Some 80) d.Codec.d_dst_port;
+  Alcotest.(check int) "src ip" (Packet.ip_of_quad 10 0 0 1) d.Codec.d_src;
+  Alcotest.(check bytes) "payload" (Payload.to_bytes (Payload.of_bytes (Bytes.init 64 (fun i -> Char.chr (i land 0xff)))))
+    d.Codec.d_payload
+
+let test_codec_tcp_roundtrip () =
+  let pkt =
+    Packet.tcp ~src:3 ~dst:4 ~src_port:5555 ~dst_port:80 ~seq:12345
+      ~ack_no:6789 ~flags:(Packet.flags ~syn:true ~ack:true ()) ~window:8192
+      (Payload.of_string "GET /")
+  in
+  let d = Codec.decode (Codec.encode pkt) in
+  Alcotest.(check int) "proto" Codec.ipproto_tcp d.Codec.d_proto;
+  Alcotest.(check (option int)) "seq" (Some 12345) d.Codec.d_seq;
+  Alcotest.(check (option int)) "ack" (Some 6789) d.Codec.d_ack;
+  Alcotest.(check (option int)) "window" (Some 8192) d.Codec.d_window;
+  (match d.Codec.d_tcp_flags with
+   | Some f ->
+       Alcotest.(check bool) "syn" true f.Packet.syn;
+       Alcotest.(check bool) "ack flag" true f.Packet.ack;
+       Alcotest.(check bool) "fin" false f.Packet.fin
+   | None -> Alcotest.fail "missing tcp flags")
+
+let test_codec_rejects_corruption () =
+  let b = Codec.encode (sample_udp ()) in
+  Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0xff));
+  Alcotest.check_raises "ip checksum detects corruption"
+    (Codec.Bad_packet "IP checksum") (fun () -> ignore (Codec.decode b))
+
+let test_codec_short_packet () =
+  Alcotest.check_raises "short header rejected"
+    (Codec.Bad_packet "short IP header") (fun () ->
+      ignore (Codec.decode (Bytes.create 10)))
+
+let prop_codec_udp_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"codec: udp encode/decode round-trips"
+    QCheck.(quad (int_range 0 65535) (int_range 0 65535) (int_range 0 400) small_nat)
+    (fun (sp, dp, len, tag) ->
+      let pkt =
+        Packet.udp ~src:(tag land 0xffffff) ~dst:42 ~src_port:sp ~dst_port:dp
+          (Payload.synthetic ~tag len)
+      in
+      let d = Codec.decode (Codec.encode pkt) in
+      d.Codec.d_src_port = Some sp && d.Codec.d_dst_port = Some dp
+      && Bytes.length d.Codec.d_payload = len
+      && Bytes.equal d.Codec.d_payload (Payload.to_bytes (Payload.synthetic ~tag len)))
+
+let test_internet_checksum_zero () =
+  (* Verifying a checksummed header yields 0. *)
+  let pkt = sample_udp () in
+  let b = Codec.encode pkt in
+  Alcotest.(check int) "header verifies" 0
+    (Codec.internet_checksum b ~off:0 ~len:20)
+
+(* --- mbuf -------------------------------------------------------------- *)
+
+let test_mbuf_alloc_free () =
+  let m = Mbuf.create ~capacity:10 () in
+  Alcotest.(check bool) "alloc ok" true (Mbuf.alloc m ~bytes:100);
+  Alcotest.(check int) "one mbuf used" 1 (Mbuf.in_use m);
+  Alcotest.(check bool) "alloc big" true (Mbuf.alloc m ~bytes:1000);
+  Alcotest.(check int) "8 mbufs for 1000B at 128B" 9 (Mbuf.in_use m);
+  Alcotest.(check bool) "pool exhausted" false (Mbuf.alloc m ~bytes:300);
+  Alcotest.(check int) "failure counted" 1 (Mbuf.failures m);
+  Mbuf.free m ~bytes:1000;
+  Alcotest.(check int) "freed" 1 (Mbuf.in_use m);
+  Alcotest.(check int) "peak tracked" 9 (Mbuf.peak m)
+
+let test_mbuf_over_free () =
+  let m = Mbuf.create ~capacity:10 () in
+  ignore (Mbuf.alloc m ~bytes:10);
+  Alcotest.check_raises "over-free detected"
+    (Invalid_argument "Mbuf.free: more mbufs freed than in use") (fun () ->
+      Mbuf.free m ~bytes:1000)
+
+(* --- nic / fabric timing ------------------------------------------------ *)
+
+let test_fabric_delivery_time () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng ~bandwidth_mbps:155. ~prop_delay:5. ~switch_latency:10. () in
+  let a = Fabric.make_nic fab ~name:"a" ~ip:1 ~cellify:false () in
+  let _b = Fabric.make_nic fab ~name:"b" ~ip:2 ~cellify:false () in
+  let arrived = ref (-1.) in
+  (match Fabric.make_nic fab ~name:"c" ~ip:3 () with
+   | _ -> ());
+  Nic.set_rx_handler _b (fun _ -> arrived := Engine.now eng);
+  let pkt = Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 (Payload.synthetic 972) in
+  (* 1000 wire bytes at 19.375 B/us = 51.6us; + 51.6 switch port + 10 + 5 *)
+  ignore (Nic.transmit a pkt);
+  Engine.run eng ~until:(Time.ms 10.);
+  Alcotest.(check bool)
+    (Printf.sprintf "arrival time plausible (%.1f us)" !arrived)
+    true
+    (!arrived > 100. && !arrived < 130.)
+
+let test_nic_ifq_overflow () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng () in
+  let a = Fabric.make_nic fab ~name:"a" ~ip:1 ~ifq_limit:4 () in
+  let _b = Fabric.make_nic fab ~name:"b" ~ip:2 () in
+  let pkt = Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 (Payload.synthetic 9000) in
+  (* Burst of 10 large packets: the 4-deep interface queue must drop some
+     (the first is in transmission, 4 queue, rest drop). *)
+  let accepted = ref 0 in
+  for _ = 1 to 10 do
+    if Nic.transmit a pkt then incr accepted
+  done;
+  Alcotest.(check int) "five accepted (1 transmitting + 4 queued)" 5 !accepted;
+  Alcotest.(check int) "drops counted" 5 (Nic.stats a).Nic.tx_drops
+
+let test_fabric_no_route_drop () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng () in
+  let a = Fabric.make_nic fab ~name:"a" ~ip:1 () in
+  let pkt = Packet.udp ~src:1 ~dst:99 ~src_port:1 ~dst_port:2 (Payload.synthetic 10) in
+  ignore (Nic.transmit a pkt);
+  Engine.run eng ~until:(Time.ms 1.);
+  Alcotest.(check int) "unroutable frame dropped" 1 (Fabric.drops fab)
+
+let test_fabric_loss_injection () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng () in
+  let a = Fabric.make_nic fab ~name:"a" ~ip:1 ~ifq_limit:300 () in
+  let b = Fabric.make_nic fab ~name:"b" ~ip:2 () in
+  Fabric.set_loss_rate fab 0.5;
+  let got = ref 0 in
+  Nic.set_rx_handler b (fun _ -> incr got);
+  for _ = 1 to 200 do
+    ignore
+      (Nic.transmit a
+         (Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 (Payload.synthetic 10)))
+  done;
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly half delivered (%d/200)" !got)
+    true
+    (!got > 60 && !got < 140)
+
+let test_serialization_ordering () =
+  (* Two frames to the same destination keep FIFO order and are separated
+     by at least the serialisation time. *)
+  let eng = Engine.create () in
+  let fab = Fabric.create eng () in
+  let a = Fabric.make_nic fab ~name:"a" ~ip:1 () in
+  let b = Fabric.make_nic fab ~name:"b" ~ip:2 () in
+  let log = ref [] in
+  Nic.set_rx_handler b (fun pkt ->
+      log := (Packet.payload_length pkt, Engine.now eng) :: !log);
+  ignore (Nic.transmit a (Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 (Payload.synthetic 1000)));
+  ignore (Nic.transmit a (Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 (Payload.synthetic 2000)));
+  Engine.run eng ~until:(Time.ms 10.);
+  match List.rev !log with
+  | [ (1000, t1); (2000, t2) ] ->
+      Alcotest.(check bool) "order preserved and serialised" true (t2 > t1 +. 50.)
+  | _ -> Alcotest.fail "expected two arrivals in order"
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_payload_sub_concat; prop_payload_bytes_roundtrip;
+      prop_codec_udp_roundtrip ]
+
+let suite =
+  [ Alcotest.test_case "payload basics" `Quick test_payload_basics;
+    Alcotest.test_case "payload sub out of range" `Quick test_payload_sub_out_of_range;
+    Alcotest.test_case "wire byte counts" `Quick test_wire_bytes;
+    Alcotest.test_case "ports accessor" `Quick test_ports_accessor;
+    Alcotest.test_case "ip pretty printer" `Quick test_ip_pp;
+    Alcotest.test_case "codec udp round-trip" `Quick test_codec_udp_roundtrip;
+    Alcotest.test_case "codec tcp round-trip" `Quick test_codec_tcp_roundtrip;
+    Alcotest.test_case "codec rejects corrupted header" `Quick
+      test_codec_rejects_corruption;
+    Alcotest.test_case "codec rejects short packet" `Quick test_codec_short_packet;
+    Alcotest.test_case "internet checksum verifies" `Quick test_internet_checksum_zero;
+    Alcotest.test_case "mbuf alloc/free/exhaustion" `Quick test_mbuf_alloc_free;
+    Alcotest.test_case "mbuf over-free detected" `Quick test_mbuf_over_free;
+    Alcotest.test_case "fabric delivery timing" `Quick test_fabric_delivery_time;
+    Alcotest.test_case "interface queue overflow" `Quick test_nic_ifq_overflow;
+    Alcotest.test_case "unroutable frames dropped" `Quick test_fabric_no_route_drop;
+    Alcotest.test_case "loss injection" `Quick test_fabric_loss_injection;
+    Alcotest.test_case "serialisation preserves order" `Quick
+      test_serialization_ordering ]
+  @ qsuite

@@ -1,0 +1,344 @@
+(* Tests for the process/CPU model: coroutine effects, dispatch levels,
+   preemption, accounting. *)
+
+open Lrp_engine
+open Lrp_sim
+
+let mk () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"host" () in
+  (eng, cpu)
+
+let test_single_compute () =
+  let eng, cpu = mk () in
+  let done_at = ref (-1.) in
+  let _p =
+    Cpu.spawn cpu ~name:"worker" (fun _self ->
+        Proc.compute 1_000.;
+        done_at := Engine.now eng)
+  in
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (float 1e-6)) "work completed after 1000us" 1_000. !done_at;
+  Alcotest.(check (float 1e-6)) "user time charged" 1_000. (Cpu.time_user cpu)
+
+let test_sequential_computes () =
+  let eng, cpu = mk () in
+  let marks = ref [] in
+  ignore
+    (Cpu.spawn cpu ~name:"worker" (fun _ ->
+         Proc.compute 100.;
+         marks := Engine.now eng :: !marks;
+         Proc.compute 250.;
+         marks := Engine.now eng :: !marks));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (list (float 1e-6))) "marks" [ 100.; 350. ] (List.rev !marks)
+
+let test_two_procs_share_cpu () =
+  (* Two equal compute-bound processes must finish in roughly twice the
+     standalone time, interleaved by the quantum. *)
+  let eng, cpu = mk () in
+  let finish = Hashtbl.create 4 in
+  let spawn_one name =
+    ignore
+      (Cpu.spawn cpu ~name (fun _ ->
+           Proc.compute (Time.sec 1.);
+           Hashtbl.replace finish name (Engine.now eng)))
+  in
+  spawn_one "a";
+  spawn_one "b";
+  Engine.run eng ~until:(Time.sec 5.);
+  let fa = Hashtbl.find finish "a" and fb = Hashtbl.find finish "b" in
+  Alcotest.(check bool) "both finish near 2s" true
+    (Time.to_sec fa > 1.8 && Time.to_sec fa < 2.2
+     && Time.to_sec fb > 1.8 && Time.to_sec fb < 2.2);
+  Alcotest.(check bool) "many context switches happened" true
+    (Cpu.context_switches cpu > 10)
+
+let test_block_wakeup () =
+  let eng, cpu = mk () in
+  let wq = Proc.waitq "test" in
+  let woke_at = ref (-1.) in
+  ignore
+    (Cpu.spawn cpu ~name:"sleeper" (fun _ ->
+         Proc.block wq;
+         woke_at := Engine.now eng));
+  ignore
+    (Engine.schedule eng ~at:500. (fun () -> ignore (Cpu.wakeup_one cpu wq)));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (float 1e-6)) "woken at 500" 500. !woke_at
+
+let test_wakeup_all () =
+  let eng, cpu = mk () in
+  let wq = Proc.waitq "test" in
+  let woken = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (Cpu.spawn cpu ~name:(Printf.sprintf "s%d" i) (fun _ ->
+           Proc.block wq;
+           incr woken))
+  done;
+  ignore (Engine.schedule eng ~at:100. (fun () -> ignore (Cpu.wakeup_all cpu wq)));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_wakeup_one_is_fifo () =
+  let eng, cpu = mk () in
+  let wq = Proc.waitq "test" in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Cpu.spawn cpu ~name:(Printf.sprintf "s%d" i) (fun _ ->
+           Proc.block wq;
+           order := i :: !order))
+  done;
+  ignore (Engine.schedule eng ~at:100. (fun () -> ignore (Cpu.wakeup_one cpu wq)));
+  ignore (Engine.schedule eng ~at:200. (fun () -> ignore (Cpu.wakeup_one cpu wq)));
+  ignore (Engine.schedule eng ~at:300. (fun () -> ignore (Cpu.wakeup_one cpu wq)));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (list int)) "FIFO wake order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_sleep_for () =
+  let eng, cpu = mk () in
+  let woke_at = ref (-1.) in
+  ignore
+    (Cpu.spawn cpu ~name:"sleeper" (fun _ ->
+         Proc.sleep_for (Time.ms 3.);
+         woke_at := Engine.now eng));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (float 1e-6)) "slept 3ms" (Time.ms 3.) !woke_at
+
+let test_hard_preempts_user () =
+  let eng, cpu = mk () in
+  let user_done = ref (-1.) in
+  let intr_done = ref (-1.) in
+  ignore
+    (Cpu.spawn cpu ~name:"worker" (fun _ ->
+         Proc.compute 1_000.;
+         user_done := Engine.now eng));
+  ignore
+    (Engine.schedule eng ~at:200. (fun () ->
+         Cpu.post_hard cpu ~cost:300. (fun () -> intr_done := Engine.now eng)));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (float 1e-6)) "interrupt ran immediately" 500. !intr_done;
+  Alcotest.(check (float 1e-6)) "user delayed by interrupt" 1_300. !user_done;
+  Alcotest.(check (float 1e-6)) "hard time" 300. (Cpu.time_hard cpu)
+
+let test_hard_preempts_soft () =
+  let eng, cpu = mk () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule eng ~at:0. (fun () ->
+         Cpu.post_soft cpu ~cost:1_000. (fun () ->
+             log := ("soft", Engine.now eng) :: !log)));
+  ignore
+    (Engine.schedule eng ~at:100. (fun () ->
+         Cpu.post_hard cpu ~cost:50. (fun () ->
+             log := ("hard", Engine.now eng) :: !log)));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (list (pair string (float 1e-6))))
+    "hard finishes first; soft resumes and finishes late"
+    [ ("hard", 150.); ("soft", 1_050.) ]
+    (List.rev !log)
+
+let test_soft_preempts_user_only () =
+  let eng, cpu = mk () in
+  let user_done = ref (-1.) in
+  ignore
+    (Cpu.spawn cpu ~name:"worker" (fun _ ->
+         Proc.compute 400.;
+         user_done := Engine.now eng));
+  ignore
+    (Engine.schedule eng ~at:100. (fun () ->
+         Cpu.post_soft cpu ~cost:200. (fun () -> ())));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (float 1e-6)) "user resumed after softint" 600. !user_done;
+  Alcotest.(check (float 1e-6)) "soft time" 200. (Cpu.time_soft cpu)
+
+let test_interrupt_storm_starves_user () =
+  (* The livelock mechanism in miniature: interrupt work arriving faster
+     than it can be processed leaves zero CPU for processes. *)
+  let eng, cpu = mk () in
+  let progressed = ref 0. in
+  ignore
+    (Cpu.spawn cpu ~name:"victim" (fun _ ->
+         let rec loop () =
+           Proc.compute 100.;
+           progressed := !progressed +. 100.;
+           loop ()
+         in
+         loop ()));
+  (* 100us of hard-interrupt work every 80us: oversubscribed. *)
+  let rec storm () =
+    Cpu.post_hard cpu ~cost:100. (fun () -> ());
+    if Engine.now eng < Time.ms 50. then
+      ignore (Engine.schedule_after eng ~delay:80. storm)
+  in
+  ignore (Engine.schedule eng ~at:1_000. storm);
+  Engine.run eng ~until:(Time.ms 60.);
+  Alcotest.(check bool)
+    (Printf.sprintf "victim starved (progressed %.0fus of ~1000us)" !progressed)
+    true
+    (!progressed <= 1_100.)
+
+let test_priority_preemption () =
+  (* A woken thread with much better priority preempts a CPU hog. *)
+  let eng, cpu = mk () in
+  let wq = Proc.waitq "wq" in
+  let woke = ref (-1.) in
+  ignore
+    (Cpu.spawn cpu ~name:"hog" ~nice:10 (fun _ ->
+         let rec loop () =
+           Proc.compute 1_000.;
+           loop ()
+         in
+         loop ()));
+  ignore
+    (Cpu.spawn cpu ~name:"interactive" (fun _ ->
+         Proc.block wq;
+         Proc.compute 10.;
+         woke := Engine.now eng));
+  ignore (Engine.schedule eng ~at:50_500. (fun () -> ignore (Cpu.wakeup_one cpu wq)));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check bool)
+    (Printf.sprintf "interactive ran promptly (at %.0fus)" !woke)
+    true
+    (!woke >= 50_510. && !woke < 52_000.)
+
+let test_ctx_switch_penalty () =
+  (* With a working-set penalty, alternating processes pay cache reloads:
+     total completion takes longer than the pure compute time. *)
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~ctx_switch_cost:50. ~name:"host" () in
+  let finish = ref Time.zero in
+  let spawn_one name =
+    ignore
+      (Cpu.spawn cpu ~name ~working_set:500. (fun _ ->
+           Proc.compute (Time.sec 0.5);
+           if Engine.now eng > !finish then finish := Engine.now eng))
+  in
+  spawn_one "a";
+  spawn_one "b";
+  Engine.run eng ~until:(Time.sec 5.);
+  let overhead = Time.to_sec !finish -. 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "switch overhead visible (%.3fs extra)" overhead)
+    true
+    (overhead > 0.003);
+  Alcotest.(check bool) "overhead accounted" true
+    (Cpu.time_user cpu > Time.sec 1.)
+
+let test_tick_misaccounting () =
+  (* Interrupt time is charged to the interrupted process: a process that
+     merely coexists with an interrupt storm accumulates p_cpu. *)
+  let eng, cpu = mk () in
+  let victim =
+    Cpu.spawn cpu ~name:"victim" (fun _ ->
+        let rec loop () =
+          Proc.compute 1_000.;
+          loop ()
+        in
+        loop ())
+  in
+  (* Interrupt work eats 90% of the CPU. *)
+  let rec storm () =
+    Cpu.post_hard cpu ~cost:900. (fun () -> ());
+    if Engine.now eng < Time.ms 900. then
+      ignore (Engine.schedule_after eng ~delay:1_000. storm)
+  in
+  ignore (Engine.schedule eng ~at:0. storm);
+  Engine.run eng ~until:(Time.ms 990.);
+  let ticks = Lrp_sched.Sched.ticks_charged victim.Proc.thread in
+  (* ~99 ticks happen in 990ms; the victim only ran ~10% of the time but is
+     charged for nearly all of them. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "victim charged %d ticks despite ~10%% CPU" ticks)
+    true
+    (ticks > 80)
+
+let test_join () =
+  let eng, cpu = mk () in
+  let joined_at = ref (-1.) in
+  let child =
+    Cpu.spawn cpu ~name:"child" (fun _ -> Proc.compute 700.)
+  in
+  ignore
+    (Cpu.spawn cpu ~name:"parent" (fun _ ->
+         Cpu.join child;
+         joined_at := Engine.now eng));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (float 1e-6)) "joined when child exited" 700. !joined_at;
+  Alcotest.(check bool) "child exited" true child.Proc.exited;
+  Alcotest.(check int) "only parent was reaped too" 0 (Cpu.proc_count cpu)
+
+let test_join_exited () =
+  let eng, cpu = mk () in
+  let ok = ref false in
+  let child = Cpu.spawn cpu ~name:"child" (fun _ -> ()) in
+  ignore
+    (Cpu.spawn cpu ~name:"parent" (fun _ ->
+         Proc.sleep_for 100.;
+         Cpu.join child;
+         (* joining an already-dead process returns immediately *)
+         ok := true));
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check bool) "join on exited child returns" true !ok
+
+let test_yield_round_robin () =
+  let eng, cpu = mk () in
+  let log = ref [] in
+  let spawn_one name =
+    ignore
+      (Cpu.spawn cpu ~name (fun _ ->
+           for _ = 1 to 3 do
+             Proc.compute 10.;
+             log := name :: !log;
+             Proc.yield ()
+           done))
+  in
+  spawn_one "a";
+  spawn_one "b";
+  Engine.run eng ~until:(Time.sec 1.);
+  Alcotest.(check (list string)) "yield alternates"
+    [ "a"; "b"; "a"; "b"; "a"; "b" ]
+    (List.rev !log)
+
+let test_idle_time () =
+  let eng, cpu = mk () in
+  ignore (Cpu.spawn cpu ~name:"w" (fun _ -> Proc.compute 1_000.));
+  Engine.run eng ~until:(Time.ms 10.);
+  Alcotest.(check (float 1.)) "idle = elapsed - busy" 9_000. (Cpu.time_idle cpu);
+  Alcotest.(check bool) "utilization = 10%" true
+    (Float.abs (Cpu.utilization cpu -. 0.1) < 0.01)
+
+let test_zero_cost_work () =
+  let eng, cpu = mk () in
+  let ran = ref false in
+  ignore
+    (Engine.schedule eng ~at:10. (fun () ->
+         Cpu.post_hard cpu ~cost:0. (fun () -> ran := true)));
+  Engine.run eng ~until:(Time.ms 1.);
+  Alcotest.(check bool) "zero-cost interrupt action ran" true !ran
+
+let suite =
+  [ Alcotest.test_case "single compute" `Quick test_single_compute;
+    Alcotest.test_case "sequential computes" `Quick test_sequential_computes;
+    Alcotest.test_case "two procs share the CPU" `Quick test_two_procs_share_cpu;
+    Alcotest.test_case "block / wakeup_one" `Quick test_block_wakeup;
+    Alcotest.test_case "wakeup_all" `Quick test_wakeup_all;
+    Alcotest.test_case "wakeup_one is FIFO" `Quick test_wakeup_one_is_fifo;
+    Alcotest.test_case "sleep_for" `Quick test_sleep_for;
+    Alcotest.test_case "hard interrupt preempts user" `Quick test_hard_preempts_user;
+    Alcotest.test_case "hard preempts soft" `Quick test_hard_preempts_soft;
+    Alcotest.test_case "soft preempts user only" `Quick test_soft_preempts_user_only;
+    Alcotest.test_case "interrupt storm starves processes" `Quick
+      test_interrupt_storm_starves_user;
+    Alcotest.test_case "wakeup preempts worse-priority hog" `Quick
+      test_priority_preemption;
+    Alcotest.test_case "context-switch / cache penalty" `Quick test_ctx_switch_penalty;
+    Alcotest.test_case "tick mis-accounting charges the interrupted" `Quick
+      test_tick_misaccounting;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "join on exited process" `Quick test_join_exited;
+    Alcotest.test_case "yield round-robins" `Quick test_yield_round_robin;
+    Alcotest.test_case "idle time accounting" `Quick test_idle_time;
+    Alcotest.test_case "zero-cost interrupt work" `Quick test_zero_cost_work ]

@@ -1,0 +1,59 @@
+(* Tests for the measurement helpers. *)
+
+open Lrp_stats.Stats
+
+let test_summary () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Summary.minimum s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Summary.maximum s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.) (Summary.stddev s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check (float 0.)) "empty mean" 0. (Summary.mean s);
+  Alcotest.(check (float 0.)) "empty stddev" 0. (Summary.stddev s)
+
+let test_samples_percentiles () =
+  let s = Samples.create () in
+  for i = 1 to 100 do
+    Samples.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1.)) "median" 50. (Samples.median s);
+  Alcotest.(check (float 1.)) "p90" 90. (Samples.percentile s 90.);
+  Alcotest.(check (float 0.)) "p0 = min" 1. (Samples.percentile s 0.);
+  Alcotest.(check (float 0.)) "p100 = max" 100. (Samples.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Samples.mean s)
+
+let test_rate_meter () =
+  let r = Rate.create () in
+  for _ = 1 to 50 do
+    Rate.mark r
+  done;
+  (* 50 events in half a second -> 100/s *)
+  Alcotest.(check (float 1e-6)) "rate" 100. (Rate.rate r ~now:500_000.);
+  Alcotest.(check int) "window reset" 0 (Rate.total_since_reset r)
+
+let test_unit_helpers () =
+  Alcotest.(check (float 1e-9)) "mbps: 1 byte/us = 8 Mbit/s" 8.
+    (Lrp_stats.Stats.mbps ~bytes:1_000_000 ~us:1_000_000.);
+  Alcotest.(check (float 1e-9)) "pps" 1_000.
+    (Lrp_stats.Stats.pps ~packets:1_000 ~us:1_000_000.)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:100 ~name:"stats: percentiles are monotone"
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Samples.create () in
+      List.iter (Samples.add s) xs;
+      Samples.percentile s 25. <= Samples.percentile s 75.)
+
+let suite =
+  [ Alcotest.test_case "summary statistics" `Quick test_summary;
+    Alcotest.test_case "empty summary" `Quick test_summary_empty;
+    Alcotest.test_case "sample percentiles" `Quick test_samples_percentiles;
+    Alcotest.test_case "rate meter" `Quick test_rate_meter;
+    Alcotest.test_case "unit helpers" `Quick test_unit_helpers ]
+  @ [ QCheck_alcotest.to_alcotest prop_percentile_monotone ]

@@ -1,0 +1,299 @@
+(* End-to-end TCP tests across architectures: handshake, stream integrity,
+   retransmission under injected loss, backlog behaviour, teardown. *)
+
+open Lrp_engine
+open Lrp_sim
+open Lrp_net
+open Lrp_proto
+open Lrp_kernel
+open Lrp_workload
+
+let archs =
+  [ Kernel.Bsd; Kernel.Soft_lrp; Kernel.Ni_lrp; Kernel.Early_demux ]
+
+let for_all_archs f () =
+  List.iter (fun arch -> f arch (Kernel.default_config arch)) archs
+
+(* Echo server: accepts one connection, echoes until EOF. *)
+let start_echo_server kern ~port ~connections =
+  let accepted = ref 0 in
+  ignore
+    (Cpu.spawn (Kernel.cpu kern) ~name:"echo-srv" (fun self ->
+         let lsock = Api.socket_stream kern in
+         Api.tcp_listen kern ~self lsock ~port ~backlog:8;
+         for _ = 1 to connections do
+           let conn = Api.tcp_accept kern ~self lsock in
+           incr accepted;
+           let rec echo () =
+             match Api.tcp_recv kern ~self conn ~max:65_536 with
+             | `Data payload ->
+                 (match Api.tcp_send kern ~self conn payload with
+                  | `Ok -> echo ()
+                  | `Closed -> ())
+             | `Eof -> ()
+           in
+           echo ();
+           Api.close kern ~self conn
+         done));
+  accepted
+
+let test_handshake_and_echo arch cfg =
+  let w, client, server = World.pair ~cfg () in
+  let _accepted = start_echo_server server ~port:80 ~connections:1 in
+  let echoed = ref None in
+  let connected = ref false in
+  ignore
+    (Cpu.spawn (Kernel.cpu client) ~name:"cl" (fun self ->
+         let sock = Api.socket_stream client in
+         match
+           Api.tcp_connect client ~self sock
+             ~remote:(Kernel.ip_address server, 80)
+         with
+         | `Refused -> ()
+         | `Ok ->
+             connected := true;
+             (match
+                Api.tcp_send client ~self sock (Payload.of_string "hello, lrp!")
+              with
+              | `Ok -> (
+                  match Api.tcp_recv client ~self sock ~max:1024 with
+                  | `Data p ->
+                      echoed := Some (Bytes.to_string (Payload.to_bytes p));
+                      Api.close client ~self sock
+                  | `Eof -> ())
+              | `Closed -> ())));
+  World.run w ~until:(Time.sec 5.);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: connected" (Kernel.arch_name arch))
+    true !connected;
+  Alcotest.(check (option string))
+    (Printf.sprintf "%s: echo round-trip" (Kernel.arch_name arch))
+    (Some "hello, lrp!") !echoed
+
+(* Bulk transfer with byte-level integrity checking. *)
+let bulk_transfer ?(loss = 0.) ~arch ~bytes () =
+  let cfg = Kernel.default_config arch in
+  let w, client, server = World.pair ~cfg () in
+  if loss > 0. then Fabric.set_loss_rate (World.fabric w) loss;
+  let received = Buffer.create bytes in
+  let done_at = ref None in
+  ignore
+    (Cpu.spawn (Kernel.cpu server) ~name:"rx" (fun self ->
+         let lsock = Api.socket_stream server in
+         Api.tcp_listen server ~self lsock ~port:5001 ~backlog:4;
+         let conn = Api.tcp_accept server ~self lsock in
+         let rec drain () =
+           match Api.tcp_recv server ~self conn ~max:65_536 with
+           | `Data p ->
+               Buffer.add_bytes received (Payload.to_bytes p);
+               drain ()
+           | `Eof -> ()
+         in
+         drain ();
+         Api.close server ~self conn;
+         done_at := Some (Engine.now (World.engine w))));
+  (* Deterministic pseudo-random payload so corruption/reordering shows. *)
+  let data =
+    Bytes.init bytes (fun i -> Char.chr ((i * 131 + (i lsr 8) * 17) land 0xff))
+  in
+  ignore
+    (Cpu.spawn (Kernel.cpu client) ~name:"tx" (fun self ->
+         let sock = Api.socket_stream client in
+         match
+           Api.tcp_connect client ~self sock
+             ~remote:(Kernel.ip_address server, 5001)
+         with
+         | `Refused -> ()
+         | `Ok ->
+             ignore (Api.tcp_send client ~self sock (Payload.of_bytes data));
+             Api.close client ~self sock));
+  World.run w ~until:(Time.sec 120.);
+  (Bytes.to_string data, Buffer.contents received, !done_at)
+
+let test_bulk_integrity arch _cfg =
+  let sent, received, done_at = bulk_transfer ~arch ~bytes:200_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: transfer completed" (Kernel.arch_name arch))
+    true (done_at <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: 200kB stream intact" (Kernel.arch_name arch))
+    true
+    (String.equal sent received)
+
+let test_bulk_integrity_under_loss () =
+  (* 2% random frame loss: retransmission must still deliver the exact
+     stream, under both BSD and LRP processing models. *)
+  List.iter
+    (fun arch ->
+      let sent, received, done_at = bulk_transfer ~loss:0.02 ~arch ~bytes:100_000 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: lossy transfer completed" (Kernel.arch_name arch))
+        true (done_at <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: stream intact under 2%% loss" (Kernel.arch_name arch))
+        true
+        (String.equal sent received))
+    [ Kernel.Bsd; Kernel.Soft_lrp ]
+
+let test_many_sequential_connections arch cfg =
+  (* Exercises TIME_WAIT turnover and port allocation. *)
+  let cfg = { cfg with Kernel.time_wait = Time.ms 500. } in
+  let w, client, server = World.pair ~cfg () in
+  let _ = start_echo_server server ~port:80 ~connections:10 in
+  let ok = ref 0 in
+  ignore
+    (Cpu.spawn (Kernel.cpu client) ~name:"cl" (fun self ->
+         for _ = 1 to 10 do
+           let sock = Api.socket_stream client in
+           match
+             Api.tcp_connect client ~self sock
+               ~remote:(Kernel.ip_address server, 80)
+           with
+           | `Refused -> ()
+           | `Ok -> (
+               match Api.tcp_send client ~self sock (Payload.synthetic 100) with
+               | `Ok -> (
+                   match Api.tcp_recv client ~self sock ~max:1024 with
+                   | `Data p when Payload.length p = 100 ->
+                       incr ok;
+                       Api.close client ~self sock
+                   | `Data _ | `Eof -> Api.close client ~self sock)
+               | `Closed -> ())
+         done));
+  World.run w ~until:(Time.sec 30.);
+  Alcotest.(check int)
+    (Printf.sprintf "%s: 10 sequential connections served" (Kernel.arch_name arch))
+    10 !ok
+
+let test_connect_refused arch cfg =
+  (* Connecting to a port with no listener: the server sends RST. *)
+  let w, client, server = World.pair ~cfg () in
+  let result = ref None in
+  ignore
+    (Cpu.spawn (Kernel.cpu client) ~name:"cl" (fun self ->
+         let sock = Api.socket_stream client in
+         let r =
+           Api.tcp_connect client ~self sock
+             ~remote:(Kernel.ip_address server, 4321)
+         in
+         result := Some r));
+  World.run w ~until:(Time.sec 30.);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: connection refused" (Kernel.arch_name arch))
+    true
+    (!result = Some `Refused)
+
+let test_backlog_overflow_drops_syns () =
+  (* A listener whose backlog is never drained: exactly [backlog] embryonic
+     connections form; further SYNs are dropped.  Under LRP they are dropped
+     at the (disabled) channel. *)
+  List.iter
+    (fun arch ->
+      let cfg = Kernel.default_config arch in
+      let w, client, server = World.pair ~cfg () in
+      (* Dummy server: listens but never accepts. *)
+      let listener = ref None in
+      ignore
+        (Cpu.spawn (Kernel.cpu server) ~name:"dummy" (fun self ->
+             let lsock = Api.socket_stream server in
+             Api.tcp_listen server ~self lsock ~port:99 ~backlog:5;
+             listener := Some lsock;
+             Proc.block (Proc.waitq "forever")));
+      (* Clients that connect and never finish (server can't accept). *)
+      for i = 1 to 12 do
+        ignore
+          (Cpu.spawn (Kernel.cpu client) ~name:(Printf.sprintf "c%d" i)
+             (fun self ->
+               let sock = Api.socket_stream client in
+               ignore
+                 (Api.tcp_connect client ~self sock
+                    ~remote:(Kernel.ip_address server, 99))))
+      done;
+      World.run w ~until:(Time.sec 3.);
+      match !listener with
+      | Some lsock ->
+          let conn =
+            match lsock.Lrp_kernel.Socket.tcp with
+            | Some c -> c
+            | None -> Alcotest.fail "no listener conn"
+          in
+          let embryonic = conn.Tcp.syn_pending + Queue.length conn.Tcp.accept_queue in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: embryonic connections capped at backlog (%d)"
+               (Kernel.arch_name arch) embryonic)
+            true (embryonic <= 5);
+          if Kernel.is_lrp arch then begin
+            let discarded_disabled =
+              List.fold_left
+                (fun acc ch -> acc + Lrp_core.Channel.discarded_disabled ch)
+                0 (Kernel.channels server)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: SYNs died at the disabled channel (%d)"
+                 (Kernel.arch_name arch) discarded_disabled)
+              true (discarded_disabled > 0)
+          end
+      | None -> Alcotest.fail "listener did not start")
+    [ Kernel.Bsd; Kernel.Soft_lrp ]
+
+let test_tcp_processing_charged_to_receiver () =
+  (* Under SOFT-LRP, TCP receive processing accrues to the receiving
+     process's scheduler usage (via its APP thread), not to a bystander. *)
+  let cfg = Kernel.default_config Kernel.Soft_lrp in
+  let w, client, server = World.pair ~cfg () in
+  (* A bystander process that just burns CPU on the server. *)
+  let bystander = Spinner.start (Kernel.cpu server) ~nice:0 ~name:"bystander" () in
+  let receiver = ref None in
+  ignore
+    (Cpu.spawn (Kernel.cpu server) ~name:"rx" (fun self ->
+         receiver := Some self;
+         let lsock = Api.socket_stream server in
+         Api.tcp_listen server ~self lsock ~port:5001 ~backlog:4;
+         let conn = Api.tcp_accept server ~self lsock in
+         let rec drain () =
+           match Api.tcp_recv server ~self conn ~max:65_536 with
+           | `Data _ -> drain ()
+           | `Eof -> ()
+         in
+         drain ()));
+  ignore
+    (Cpu.spawn (Kernel.cpu client) ~name:"tx" (fun self ->
+         let sock = Api.socket_stream client in
+         match
+           Api.tcp_connect client ~self sock
+             ~remote:(Kernel.ip_address server, 5001)
+         with
+         | `Refused -> ()
+         | `Ok ->
+             ignore (Api.tcp_send client ~self sock (Payload.synthetic 3_000_000));
+             Api.close client ~self sock));
+  World.run w ~until:(Time.sec 10.);
+  match !receiver with
+  | None -> Alcotest.fail "receiver did not start"
+  | Some rx ->
+      let rx_ticks = Lrp_sched.Sched.ticks_charged rx.Proc.thread in
+      let by_ticks = Lrp_sched.Sched.ticks_charged bystander.Proc.thread in
+      (* The bystander must still get the lion's share of CPU (it computes
+         continuously), but the receiver must have been charged a
+         non-trivial amount for its protocol processing. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "receiver charged for protocol work (rx=%d by=%d)"
+           rx_ticks by_ticks)
+        true
+        (rx_ticks > 0 && by_ticks > rx_ticks)
+
+let suite =
+  [ Alcotest.test_case "handshake + echo (all archs)" `Quick
+      (for_all_archs test_handshake_and_echo);
+    Alcotest.test_case "bulk stream integrity (all archs)" `Slow
+      (for_all_archs test_bulk_integrity);
+    Alcotest.test_case "bulk integrity under 2% loss" `Slow
+      test_bulk_integrity_under_loss;
+    Alcotest.test_case "sequential connections / TIME_WAIT turnover" `Slow
+      (for_all_archs test_many_sequential_connections);
+    Alcotest.test_case "connect to dead port is refused" `Quick
+      (for_all_archs test_connect_refused);
+    Alcotest.test_case "listen backlog overflow drops SYNs" `Slow
+      test_backlog_overflow_drops_syns;
+    Alcotest.test_case "LRP charges TCP processing to the receiver" `Slow
+      test_tcp_processing_charged_to_receiver ]
