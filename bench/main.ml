@@ -4,96 +4,311 @@
    simulator's hot paths.
 
    Usage:
-     dune exec bench/main.exe                 # everything, full scale
-     dune exec bench/main.exe -- --quick      # everything, reduced scale
-     dune exec bench/main.exe -- table1 fig3  # a subset
-     dune exec bench/main.exe -- micro        # Bechamel microbenchmarks *)
+     dune exec bench/main.exe                    # everything, full scale
+     dune exec bench/main.exe -- --quick         # everything, reduced scale
+     dune exec bench/main.exe -- table1 fig3     # a subset
+     dune exec bench/main.exe -- --jobs 4        # fan simulations over 4 domains
+     dune exec bench/main.exe -- --json out.json # also dump every datapoint
+     dune exec bench/main.exe -- micro           # Bechamel microbenchmarks
+
+   Results are independent of --jobs: every simulation runs in its own
+   engine seeded deterministically from the root seed and its job index. *)
 
 open Lrp_experiments
 
 let quick = ref false
+let jobs = ref (Domain.recommended_domain_count ())
+let json_path = ref None
+let seed = Common.default_seed
 
 (* ------------------------------------------------------------------ *)
-(* Paper experiments                                                    *)
+(* Minimal JSON emitter (no external dependency)                        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_table1 () = Table1.print (Table1.run ~quick:!quick ())
+type json =
+  | Bool of bool
+  | Num of float
+  | Int of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
 
-let bench_fig3 () = Fig3.print (Fig3.run ~quick:!quick ())
+let rec write_json buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Num f ->
+      (* JSON has no NaN/Infinity; map them to null. *)
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_json buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_json buf (Str k);
+          Buffer.add_char buf ':';
+          write_json buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let json_to_string v =
+  let buf = Buffer.create 4096 in
+  write_json buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Paper experiments.  Each bench prints its human-readable output and
+   returns the underlying datapoints as JSON.                           *)
+(* ------------------------------------------------------------------ *)
+
+let sysname = Common.system_name
+
+let bench_table1 () =
+  let rows = Table1.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Table1.print rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("system", Str (sysname r.Table1.system));
+             ("rtt_us", Num r.Table1.rtt_us);
+             ("udp_mbps", Num r.Table1.udp_mbps);
+             ("tcp_mbps", Num r.Table1.tcp_mbps) ])
+       rows)
+
+let bench_fig3 () =
+  let rows = Fig3.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Fig3.print rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("system", Str (sysname r.Fig3.system));
+             ( "points",
+               Arr
+                 (List.map
+                    (fun p ->
+                      Obj
+                        [ ("offered", Num p.Fig3.offered);
+                          ("delivered", Num p.Fig3.delivered);
+                          ("discards", Int p.Fig3.discards);
+                          ("ipq_drops", Int p.Fig3.ipq_drops) ])
+                    r.Fig3.points) ) ])
+       rows)
 
 let bench_mlfrr () =
-  Fig3.print_mlfrr
+  let rows =
+    Fig3.mlfrr_all ~quick:!quick ~jobs:!jobs ~seed
+      [ Common.Bsd; Common.Soft_lrp; Common.Ni_lrp ]
+  in
+  Fig3.print_mlfrr rows;
+  Arr
     (List.map
-       (fun sys -> (sys, Fig3.mlfrr ~quick:!quick sys))
-       [ Common.Bsd; Common.Soft_lrp; Common.Ni_lrp ])
+       (fun (sys, rate) ->
+         Obj [ ("system", Str (sysname sys)); ("mlfrr", Num rate) ])
+       rows)
 
-let bench_fig4 () = Fig4.print (Fig4.run ~quick:!quick ())
+let bench_fig4 () =
+  let rows = Fig4.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Fig4.print rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("system", Str (sysname r.Fig4.system));
+             ( "points",
+               Arr
+                 (List.map
+                    (fun p ->
+                      Obj
+                        [ ("bg_rate", Num p.Fig4.bg_rate);
+                          ("rtt_us", Num p.Fig4.rtt_us);
+                          ("rtt_mean", Num p.Fig4.rtt_mean);
+                          ("rtt_p99", Num p.Fig4.rtt_p99);
+                          ("probes", Int p.Fig4.probes);
+                          ("lost", Int p.Fig4.lost) ])
+                    r.Fig4.points) ) ])
+       rows)
 
-let bench_table2 () = Table2.print (Table2.run ~quick:!quick ())
+let bench_table2 () =
+  let rows = Table2.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Table2.print rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("system", Str (sysname r.Table2.system));
+             ("class", Str (Lrp_workload.Rpc.cls_name r.Table2.cls));
+             ("worker_elapsed_s", Num r.Table2.worker_elapsed_s);
+             ("rpcs_per_sec", Num r.Table2.rpcs_per_sec);
+             ("worker_share", Num r.Table2.worker_share) ])
+       rows)
 
-let bench_fig5 () = Fig5.print (Fig5.run ~quick:!quick ())
+let bench_fig5 () =
+  let rows = Fig5.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Fig5.print rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("system", Str (sysname r.Fig5.system));
+             ( "points",
+               Arr
+                 (List.map
+                    (fun p ->
+                      Obj
+                        [ ("syn_rate", Num p.Fig5.syn_rate);
+                          ("http_per_sec", Num p.Fig5.http_per_sec);
+                          ("failed", Int p.Fig5.failed);
+                          ("syn_discards", Int p.Fig5.syn_discards) ])
+                    r.Fig5.points) ) ])
+       rows)
 
-let bench_ablate_discard () = Ablations.print_discard (Ablations.discard ())
+let bench_ablate_discard () =
+  let rows = Ablations.discard ~jobs:!jobs ~seed () in
+  Ablations.print_discard rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("bounded", Bool r.Ablations.bounded);
+             ("delivered", Num r.Ablations.delivered);
+             ("discards", Int r.Ablations.discards);
+             ("backlog", Int r.Ablations.backlog);
+             ("queue_delay_ms", Num r.Ablations.queue_delay_ms) ])
+       rows)
 
 let bench_ablate_accounting () =
-  Ablations.print_accounting (Ablations.accounting ())
+  let rows = Ablations.accounting ~jobs:!jobs ~seed () in
+  Ablations.print_accounting rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("fair", Bool r.Ablations.fair);
+             ("hog_progress", Num r.Ablations.hog_progress);
+             ("receiver_share", Num r.Ablations.receiver_share);
+             ("receiver_billed", Num r.Ablations.receiver_billed) ])
+       rows)
 
-let bench_ablate_demux () = Ablations.print_demux_cost (Ablations.demux_cost ())
+let bench_ablate_demux () =
+  let rows = Ablations.demux_cost ~jobs:!jobs ~seed () in
+  Ablations.print_demux_cost rows;
+  Arr
+    (List.map
+       (fun r ->
+         Obj
+           [ ("demux_us", Num r.Ablations.demux_us);
+             ("delivered", Num r.Ablations.delivered) ])
+       rows)
 
-(* Extension (paper section 3.5): an IP gateway under transit flood. *)
+(* Extension (paper section 3.5): an IP gateway under transit flood.
+   Each (rate, architecture) cell is an independent simulation, so the
+   grid fans out over the domain pool like the paper experiments. *)
 let bench_gateway () =
   let open Lrp_engine in
   let open Lrp_net in
   let open Lrp_kernel in
   let open Lrp_workload in
+  let measure ~seed arch rate =
+    let engine = Engine.create ~seed () in
+    let net_a = Fabric.create engine () in
+    let net_b = Fabric.create engine () in
+    let cfg = Kernel.default_config arch in
+    let gw_cfg = { cfg with Kernel.forwarding = true } in
+    let client =
+      Kernel.create engine net_a ~name:"client"
+        ~ip:(Packet.ip_of_quad 10 0 0 10) cfg
+    in
+    let gw =
+      Kernel.create engine net_a ~name:"gw"
+        ~ip:(Packet.ip_of_quad 10 0 0 1) gw_cfg
+    in
+    ignore (Kernel.add_interface gw net_b ~ip:(Packet.ip_of_quad 10 0 1 1) ());
+    let server =
+      Kernel.create engine net_b ~name:"server"
+        ~ip:(Packet.ip_of_quad 10 0 1 20) cfg
+    in
+    Fabric.set_default_gateway net_a ~ip:(Packet.ip_of_quad 10 0 0 1);
+    Fabric.set_default_gateway net_b ~ip:(Packet.ip_of_quad 10 0 1 1);
+    let app = Spinner.start (Kernel.cpu gw) ~nice:0 ~name:"local-app" () in
+    ignore (Blast.start_sink server ~port:9000 ());
+    ignore
+      (Blast.start_source engine (Kernel.nic client)
+         ~src:(Kernel.ip_address client)
+         ~dst:(Kernel.ip_address server, 9000)
+         ~rate ~size:14 ~until:(Time.sec 1.) ());
+    Engine.run engine ~until:(Time.sec 1.);
+    (float_of_int (Kernel.stats gw).Kernel.forwarded,
+     app.Lrp_sim.Proc.cpu_time /. Time.sec 1.)
+  in
+  let rates = [ 2_000.; 8_000.; 14_000.; 20_000. ] in
+  let tasks =
+    List.concat_map
+      (fun rate -> [ (rate, Kernel.Bsd); (rate, Kernel.Soft_lrp) ])
+      rates
+  in
+  let cells =
+    Common.sweep ~jobs:!jobs
+      (fun i (rate, arch) ->
+        measure ~seed:(Common.job_seed ~seed ~index:i) arch rate)
+      tasks
+  in
+  let cell rate arch =
+    let rec find ts cs =
+      match (ts, cs) with
+      | (r, a) :: _, v :: _ when r = rate && a = arch -> v
+      | _ :: ts, _ :: cs -> find ts cs
+      | _ -> assert false
+    in
+    find tasks cells
+  in
   Common.print_title
     "Extension: IP gateway under transit flood (section 3.5)";
   Printf.printf "  %-14s %12s %12s %16s\n" "rate (pkts/s)" "BSD fwd/s"
     "LRP fwd/s" "LRP local share";
-  List.iter
-    (fun rate ->
-      let run arch =
-        let engine = Engine.create () in
-        let net_a = Fabric.create engine () in
-        let net_b = Fabric.create engine () in
-        let cfg = Kernel.default_config arch in
-        let gw_cfg = { cfg with Kernel.forwarding = true } in
-        let client =
-          Kernel.create engine net_a ~name:"client"
-            ~ip:(Packet.ip_of_quad 10 0 0 10) cfg
-        in
-        let gw =
-          Kernel.create engine net_a ~name:"gw"
-            ~ip:(Packet.ip_of_quad 10 0 0 1) gw_cfg
-        in
-        ignore
-          (Kernel.add_interface gw net_b ~ip:(Packet.ip_of_quad 10 0 1 1) ());
-        let server =
-          Kernel.create engine net_b ~name:"server"
-            ~ip:(Packet.ip_of_quad 10 0 1 20) cfg
-        in
-        Fabric.set_default_gateway net_a ~ip:(Packet.ip_of_quad 10 0 0 1);
-        Fabric.set_default_gateway net_b ~ip:(Packet.ip_of_quad 10 0 1 1);
-        let app = Spinner.start (Kernel.cpu gw) ~nice:0 ~name:"local-app" () in
-        ignore (Blast.start_sink server ~port:9000 ());
-        ignore
-          (Blast.start_source engine (Kernel.nic client)
-             ~src:(Kernel.ip_address client)
-             ~dst:(Kernel.ip_address server, 9000)
-             ~rate ~size:14 ~until:(Time.sec 1.) ());
-        Engine.run engine ~until:(Time.sec 1.);
-        (float_of_int (Kernel.stats gw).Kernel.forwarded,
-         app.Lrp_sim.Proc.cpu_time /. Time.sec 1.)
-      in
-      let bsd_fwd, _ = run Kernel.Bsd in
-      let lrp_fwd, lrp_share = run Kernel.Soft_lrp in
-      Printf.printf "  %-14.0f %12.0f %12.0f %15.1f%%\n" rate bsd_fwd lrp_fwd
-        (100. *. lrp_share))
-    [ 2_000.; 8_000.; 14_000.; 20_000. ];
+  let rows =
+    List.map
+      (fun rate ->
+        let bsd_fwd, _ = cell rate Kernel.Bsd in
+        let lrp_fwd, lrp_share = cell rate Kernel.Soft_lrp in
+        Printf.printf "  %-14.0f %12.0f %12.0f %15.1f%%\n" rate bsd_fwd
+          lrp_fwd (100. *. lrp_share);
+        Obj
+          [ ("rate", Num rate); ("bsd_fwd_per_sec", Num bsd_fwd);
+            ("lrp_fwd_per_sec", Num lrp_fwd);
+            ("lrp_local_share", Num lrp_share) ])
+      rates
+  in
   Printf.printf
     "\n  BSD forwards at softint priority (and livelocks, taking local\n\
     \  processes with it); LRP's forwarding daemon shares the CPU like any\n\
-    \  process.\n"
+    \  process.\n";
+  Arr rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the hot paths                            *)
@@ -125,6 +340,21 @@ let micro_tests () =
   let tab = Lrp_core.Chantab.create () in
   Lrp_core.Chantab.add_udp tab ~port:80
     (Lrp_core.Channel.create ~name:"u80" ());
+  (* Engine hot path: slot-table recycling means the schedule/fire cycle
+     reuses one event record at steady state. *)
+  let engine = Engine.create () in
+  (* Periodic re-arm: one handle is kept alive forever; each step fires
+     the thunk which reschedules itself via the same handle. *)
+  let rearm_engine = Engine.create () in
+  let rearm_handle = ref None in
+  let rearm_tick () =
+    match !rearm_handle with
+    | Some h -> Engine.reschedule_after rearm_engine h ~delay:1.0
+    | None -> ()
+  in
+  let () =
+    rearm_handle := Some (Engine.schedule_after rearm_engine ~delay:1.0 rearm_tick)
+  in
   [ Test.make ~name:"demux/flow_of_packet (hot path)"
       (Staged.stage (fun () -> ignore (Demux.flow_of_packet pkt)));
     Test.make ~name:"demux/flow_of_bytes (NI firmware form)"
@@ -145,6 +375,12 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Eheap.add heap ~key:(Rng.uniform rng) ();
            ignore (Eheap.pop heap)));
+    Test.make ~name:"engine/schedule+fire (slot reuse)"
+      (Staged.stage (fun () ->
+           ignore (Engine.schedule_after engine ~delay:1.0 ignore);
+           ignore (Engine.step engine)));
+    Test.make ~name:"engine/periodic re-arm (reschedule_after)"
+      (Staged.stage (fun () -> ignore (Engine.step rearm_engine)));
     Test.make ~name:"sched/pick (8 runnable)"
       (Staged.stage (fun () -> ignore (Lrp_sched.Sched.pick sched)));
     Test.make ~name:"sched/charge_tick"
@@ -156,25 +392,50 @@ let micro_tests () =
 
 let bench_micro () =
   let open Bechamel in
-  Common.print_title "Microbenchmarks (Bechamel, ns per run)";
+  Common.print_title "Microbenchmarks (Bechamel, per run)";
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let instances =
+    [ Toolkit.Instance.monotonic_clock; Toolkit.Instance.minor_allocated ]
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
-      let analysed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name est ->
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "  %-44s %10.1f ns\n" name ns
-          | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
-        analysed)
-    (micro_tests ())
+  Printf.printf "  %-44s %12s %14s\n" "" "time" "minor alloc";
+  let rows =
+    List.map
+      (fun test ->
+        let results =
+          Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+        in
+        let estimate instance =
+          let analysed = Analyze.all ols instance results in
+          Hashtbl.fold
+            (fun _name est acc ->
+              match Analyze.OLS.estimates est with
+              | Some [ v ] -> Some v
+              | Some _ | None -> acc)
+            analysed None
+        in
+        let ns = estimate Toolkit.Instance.monotonic_clock in
+        let words = estimate Toolkit.Instance.minor_allocated in
+        let name =
+          (* the single test inside the group carries the real name *)
+          match Test.elements test with
+          | [ e ] -> Test.Elt.name e
+          | _ -> "?"
+        in
+        Printf.printf "  %-44s %9.1f ns %8.1f words\n" name
+          (Option.value ns ~default:nan)
+          (Option.value words ~default:nan);
+        Obj
+          [ ("name", Str name);
+            ("ns_per_run", Num (Option.value ns ~default:nan));
+            ("minor_words_per_run", Num (Option.value words ~default:nan)) ])
+      (micro_tests ())
+  in
+  Arr rows
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -188,42 +449,76 @@ let all_benches =
     ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);
     ("micro", bench_micro) ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--quick] [--jobs N] [--json PATH] [bench ...]\n\
+     available benches: %s\n"
+    (String.concat ", " (List.map fst all_benches));
+  exit 1
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 1)
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | ("--jobs" | "--json") :: [] | "--help" :: _ | "-h" :: _ -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "unknown option %S\n" a;
+        usage ()
+    | name :: rest -> parse (name :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] -> List.map fst all_benches
     | names ->
         List.iter
-          (fun n ->
-            if not (List.mem_assoc n all_benches) then begin
-              Printf.eprintf "unknown bench %S; available: %s\n" n
-                (String.concat ", " (List.map fst all_benches));
-              exit 1
-            end)
+          (fun n -> if not (List.mem_assoc n all_benches) then usage ())
           names;
         names
   in
   Printf.printf
-    "LRP (OSDI'96) reproduction — regenerating the paper's evaluation%s\n"
-    (if !quick then " (quick mode)" else "");
+    "LRP (OSDI'96) reproduction — regenerating the paper's evaluation%s \
+     (%d job%s)\n"
+    (if !quick then " (quick mode)" else "")
+    !jobs
+    (if !jobs = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun name ->
-      let f = List.assoc name all_benches in
-      let s = Unix.gettimeofday () in
-      f ();
-      Printf.printf "  [%s finished in %.1fs wall time]\n" name
-        (Unix.gettimeofday () -. s))
-    selected;
-  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let results =
+    List.map
+      (fun name ->
+        let f = List.assoc name all_benches in
+        let s = Unix.gettimeofday () in
+        let data = f () in
+        let wall = Unix.gettimeofday () -. s in
+        Printf.printf "  [%s finished in %.1fs wall time]\n" name wall;
+        (name, Obj [ ("wall_s", Num wall); ("data", data) ]))
+      selected
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal wall time: %.1fs\n" total;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obj
+          [ ("quick", Bool !quick); ("jobs", Int !jobs); ("seed", Int seed);
+            ("total_wall_s", Num total); ("experiments", Obj results) ]
+      in
+      let oc = open_out path in
+      output_string oc (json_to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "Wrote %s\n" path

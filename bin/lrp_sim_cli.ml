@@ -17,6 +17,16 @@ let quick =
   let doc = "Shrink workloads for a fast smoke run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs =
+  let doc =
+    "Fan independent simulations out over $(docv) domains.  Results are \
+     identical for any value; 1 runs everything sequentially."
+  in
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let arch_conv =
   let parse = function
     | "bsd" -> Ok Kernel.Bsd
@@ -43,43 +53,42 @@ let duration =
 (* --- paper experiments ------------------------------------------------- *)
 
 let experiment name doc run =
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick $ jobs)
 
 let table1_cmd =
   experiment "table1" "Latency/throughput microbenchmarks (Table 1)"
-    (fun quick -> Table1.print (Table1.run ~quick ()))
+    (fun quick jobs -> Table1.print (Table1.run ~quick ~jobs ()))
 
 let fig3_cmd =
-  experiment "fig3" "Throughput vs offered load (Figure 3)" (fun quick ->
-      Fig3.print (Fig3.run ~quick ()))
+  experiment "fig3" "Throughput vs offered load (Figure 3)"
+    (fun quick jobs -> Fig3.print (Fig3.run ~quick ~jobs ()))
 
 let mlfrr_cmd =
-  experiment "mlfrr" "Maximum loss-free receive rate" (fun quick ->
+  experiment "mlfrr" "Maximum loss-free receive rate" (fun quick jobs ->
       Fig3.print_mlfrr
-        (List.map
-           (fun sys -> (sys, Fig3.mlfrr ~quick sys))
+        (Fig3.mlfrr_all ~quick ~jobs
            [ Common.Bsd; Common.Soft_lrp; Common.Ni_lrp ]))
 
 let fig4_cmd =
-  experiment "fig4" "Latency with concurrent load (Figure 4)" (fun quick ->
-      Fig4.print (Fig4.run ~quick ()))
+  experiment "fig4" "Latency with concurrent load (Figure 4)"
+    (fun quick jobs -> Fig4.print (Fig4.run ~quick ~jobs ()))
 
 let table2_cmd =
-  experiment "table2" "Synthetic RPC server workload (Table 2)" (fun quick ->
-      Table2.print (Table2.run ~quick ()))
+  experiment "table2" "Synthetic RPC server workload (Table 2)"
+    (fun quick jobs -> Table2.print (Table2.run ~quick ~jobs ()))
 
 let fig5_cmd =
-  experiment "fig5" "HTTP throughput under SYN flood (Figure 5)" (fun quick ->
-      Fig5.print (Fig5.run ~quick ()))
+  experiment "fig5" "HTTP throughput under SYN flood (Figure 5)"
+    (fun quick jobs -> Fig5.print (Fig5.run ~quick ~jobs ()))
 
 let ablations_cmd =
-  let run () =
-    Ablations.print_discard (Ablations.discard ());
-    Ablations.print_accounting (Ablations.accounting ());
-    Ablations.print_demux_cost (Ablations.demux_cost ())
+  let run jobs =
+    Ablations.print_discard (Ablations.discard ~jobs ());
+    Ablations.print_accounting (Ablations.accounting ~jobs ());
+    Ablations.print_demux_cost (Ablations.demux_cost ~jobs ())
   in
   Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablations")
-    Term.(const run $ const ())
+    Term.(const run $ jobs)
 
 (* --- parameterised one-off scenarios ----------------------------------- *)
 

@@ -36,11 +36,13 @@ type t = {
   mutable discarded_disabled : int; (* discards due to disabled processing *)
 }
 
-let id_counter = ref 0
+(* Atomic: channel ids must stay unique when simulations run on concurrent
+   domains (they key per-kernel tables). *)
+let id_counter = Atomic.make 0
 
 let create ?(limit = 32) ~name () =
-  incr id_counter;
-  { id = !id_counter; chan_name = name; queue = Queue.create (); limit;
+  { id = Atomic.fetch_and_add id_counter 1 + 1; chan_name = name;
+    queue = Queue.create (); limit;
     intr_requested = false; processing_enabled = true; enqueued = 0;
     discarded = 0; discarded_disabled = 0 }
 

@@ -1,73 +1,127 @@
-(* Classic array-backed binary min-heap.  Each entry carries a monotonically
-   increasing sequence number so that equal keys compare FIFO. *)
+(* Array-backed binary min-heap.  Each entry carries a monotonically
+   increasing sequence number so that equal keys compare FIFO.
 
-type 'a entry = { key : float; seq : int; value : 'a }
+   Entries are stored in three parallel arrays (keys / seqs / values)
+   instead of an array of entry records: no per-insertion allocation, and
+   the float keys live in a flat unboxed array.  Sift-up and sift-down move
+   a hole through the tree and write the inserted entry exactly once,
+   instead of swapping triples at every level. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let initial_capacity = 16
+
+let create () =
+  { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let grow t =
-  let cap = max 16 (2 * Array.length t.data) in
-  let data = Array.make cap t.data.(0) in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < t.size && lt t.data.(l) t.data.(i) then l else i in
-  let smallest = if r < t.size && lt t.data.(r) t.data.(smallest) then r else smallest in
-  if smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(smallest);
-    t.data.(smallest) <- tmp;
-    sift_down t smallest
+(* Ensure room for one more entry; [v] seeds fresh value slots. *)
+let reserve t v =
+  let cap = Array.length t.seqs in
+  if t.size = cap then begin
+    let cap' = max initial_capacity (2 * cap) in
+    let keys = Array.make cap' 0. in
+    let seqs = Array.make cap' 0 in
+    let vals = Array.make cap' v in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.keys <- keys;
+    t.seqs <- seqs;
+    t.vals <- vals
   end
 
 let add t ~key value =
-  let entry = { key; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
-  if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- entry;
+  reserve t value;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* Walk the hole up from the new leaf, pulling parents down until the
+     inserted entry fits. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pk = t.keys.(p) in
+    if key < pk || (key = pk && seq < t.seqs.(p)) then begin
+      t.keys.(!i) <- pk;
+      t.seqs.(!i) <- t.seqs.(p);
+      t.vals.(!i) <- t.vals.(p);
+      i := p
+    end
+    else stop := true
+  done;
+  t.keys.(!i) <- key;
+  t.seqs.(!i) <- seq;
+  t.vals.(!i) <- value
 
-let min_key t = if t.size = 0 then None else Some t.data.(0).key
+let min_key t = if t.size = 0 then None else Some t.keys.(0)
+
+let[@inline] min_key_or t ~default =
+  if t.size = 0 then default else t.keys.(0)
+
+(* Remove the root: sift the hole down, then drop the displaced last entry
+   into it.  The caller has already read the root's key/value. *)
+let remove_top t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let key = t.keys.(n) and seq = t.seqs.(n) in
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !i) + 1 in
+      if l >= n then stop := true
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (t.keys.(r) < t.keys.(l)
+               || (t.keys.(r) = t.keys.(l) && t.seqs.(r) < t.seqs.(l)))
+          then r
+          else l
+        in
+        let ck = t.keys.(c) in
+        if ck < key || (ck = key && t.seqs.(c) < seq) then begin
+          t.keys.(!i) <- ck;
+          t.seqs.(!i) <- t.seqs.(c);
+          t.vals.(!i) <- t.vals.(c);
+          i := c
+        end
+        else stop := true
+      end
+    done;
+    t.keys.(!i) <- key;
+    t.seqs.(!i) <- seq;
+    t.vals.(!i) <- t.vals.(n)
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.key, top.value)
+    let top_key = t.keys.(0) and top_val = t.vals.(0) in
+    remove_top t;
+    Some (top_key, top_val)
   end
 
+let pop_min t =
+  if t.size = 0 then invalid_arg "Eheap.pop_min: empty heap";
+  let top_val = t.vals.(0) in
+  remove_top t;
+  top_val
+
 let clear t =
-  t.data <- [||];
+  t.keys <- [||];
+  t.seqs <- [||];
+  t.vals <- [||];
   t.size <- 0

@@ -18,8 +18,17 @@ val add : 'a t -> key:float -> 'a -> unit
 val min_key : 'a t -> float option
 (** Smallest key currently in the heap, if any. *)
 
+val min_key_or : 'a t -> default:float -> float
+(** [min_key] without the option: the smallest key, or [default] when the
+    heap is empty.  Allocation-free — for hot loops. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the entry with the smallest key (FIFO among equal
     keys). *)
+
+val pop_min : 'a t -> 'a
+(** Remove the entry with the smallest key and return only its value —
+    no option or tuple allocation.  @raise Invalid_argument if the heap is
+    empty; pair with {!is_empty} or {!min_key_or} in hot loops. *)
 
 val clear : 'a t -> unit

@@ -1,69 +1,168 @@
-type event = { mutable live : bool; fn : unit -> unit }
+(* Event records live in a slot table (parallel arrays) and are recycled
+   through a free stack instead of being allocated per [schedule].  A handle
+   is an immediate int packing (generation, slot): the generation is bumped
+   when a slot is freed, so a stale handle held after its event fired (or
+   was cancelled) can never touch the slot's next occupant.
 
-type handle = event
+   Slot states:
+     free      — on the free stack, generation already bumped;
+     pending   — scheduled, in the queue;
+     cancelled — cancelled but still in the queue (lazy removal);
+     firing    — popped, its thunk is executing; [reschedule] may re-arm it,
+                 otherwise the slot is freed when the thunk returns. *)
+
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+
+let st_free = '\000'
+let st_pending = '\001'
+let st_cancelled = '\002'
+let st_firing = '\003'
+
+type handle = int
 
 type t = {
   mutable clock : Time.t;
-  queue : event Eheap.t;
+  queue : int Eheap.t;
   root_rng : Rng.t;
   mutable live_count : int;
   mutable executed : int;
+  (* slot table *)
+  mutable fns : (unit -> unit) array;
+  mutable state : Bytes.t;
+  mutable gens : int array;
+  mutable free : int array; (* stack of free slots *)
+  mutable free_top : int;
 }
+
+let no_fn () = ()
 
 let create ?(seed = 42) () =
   { clock = Time.zero; queue = Eheap.create (); root_rng = Rng.create seed;
-    live_count = 0; executed = 0 }
+    live_count = 0; executed = 0;
+    fns = [||]; state = Bytes.empty; gens = [||]; free = [||]; free_top = 0 }
 
 let now t = t.clock
 
 let rng t = t.root_rng
 
+let grow t =
+  let cap = Array.length t.gens in
+  let cap' = max 16 (2 * cap) in
+  if cap' > slot_mask then failwith "Engine: too many pending events";
+  let fns = Array.make cap' no_fn in
+  let state = Bytes.make cap' st_free in
+  let gens = Array.make cap' 0 in
+  let free = Array.make cap' 0 in
+  Array.blit t.fns 0 fns 0 cap;
+  Bytes.blit t.state 0 state 0 cap;
+  Array.blit t.gens 0 gens 0 cap;
+  t.fns <- fns;
+  t.state <- state;
+  t.gens <- gens;
+  t.free <- free;
+  (* Newly created slots go on the free stack. *)
+  t.free_top <- 0;
+  for slot = cap' - 1 downto cap do
+    t.free.(t.free_top) <- slot;
+    t.free_top <- t.free_top + 1
+  done
+
+let alloc_slot t fn =
+  if t.free_top = 0 then grow t;
+  t.free_top <- t.free_top - 1;
+  let slot = t.free.(t.free_top) in
+  t.fns.(slot) <- fn;
+  Bytes.set t.state slot st_pending;
+  slot
+
+let free_slot t slot =
+  t.gens.(slot) <- t.gens.(slot) + 1;
+  t.fns.(slot) <- no_fn;
+  Bytes.set t.state slot st_free;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1
+
 let schedule t ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%.3f is before now=%.3f" at t.clock);
-  let ev = { live = true; fn } in
-  Eheap.add t.queue ~key:at ev;
+  let slot = alloc_slot t fn in
+  let h = (t.gens.(slot) lsl slot_bits) lor slot in
+  Eheap.add t.queue ~key:at h;
   t.live_count <- t.live_count + 1;
-  ev
+  h
 
 let schedule_after t ~delay fn = schedule t ~at:(t.clock +. delay) fn
 
-let cancel t ev =
-  if ev.live then begin
-    ev.live <- false;
-    t.live_count <- t.live_count - 1
+(* A handle is valid while its generation matches the slot's: from
+   [schedule] until the slot is freed (event fired without re-arm, or its
+   cancelled entry left the queue). *)
+let valid t h =
+  let slot = h land slot_mask in
+  slot < Array.length t.gens && t.gens.(slot) = h lsr slot_bits
+
+let cancel t h =
+  if valid t h then begin
+    let slot = h land slot_mask in
+    if Bytes.get t.state slot = st_pending then begin
+      Bytes.set t.state slot st_cancelled;
+      t.live_count <- t.live_count - 1
+    end
   end
 
-let is_pending _t ev = ev.live
+let is_pending t h =
+  valid t h && Bytes.get t.state (h land slot_mask) = st_pending
+
+let reschedule t h ~at =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.reschedule: at=%.3f is before now=%.3f" at
+         t.clock);
+  let slot = h land slot_mask in
+  if not (valid t h) || Bytes.get t.state slot <> st_firing then
+    invalid_arg "Engine.reschedule: handle is not the currently-firing event";
+  Bytes.set t.state slot st_pending;
+  Eheap.add t.queue ~key:at h;
+  t.live_count <- t.live_count + 1
+
+let reschedule_after t h ~delay = reschedule t h ~at:(t.clock +. delay)
 
 let pending_events t = t.live_count
 
 let events_executed t = t.executed
 
 let step t =
-  match Eheap.pop t.queue with
-  | None -> false
-  | Some (at, ev) ->
-      if ev.live then begin
-        ev.live <- false;
-        t.live_count <- t.live_count - 1;
-        t.clock <- at;
-        t.executed <- t.executed + 1;
-        ev.fn ()
-      end;
-      true
+  if Eheap.is_empty t.queue then false
+  else begin
+    let at = Eheap.min_key_or t.queue ~default:t.clock in
+    let h = Eheap.pop_min t.queue in
+    let slot = h land slot_mask in
+    if Bytes.get t.state slot = st_pending then begin
+      Bytes.set t.state slot st_firing;
+      t.live_count <- t.live_count - 1;
+      t.clock <- at;
+      t.executed <- t.executed + 1;
+      t.fns.(slot) ();
+      (* Unless the thunk re-armed itself, recycle the record. *)
+      if Bytes.get t.state slot = st_firing then free_slot t slot
+    end
+    else free_slot t slot (* cancelled: drop the queue entry *);
+    true
+  end
 
 let run_while t pred ~until =
   let rec loop () =
     if pred () then
-      match Eheap.min_key t.queue with
-      | Some key when key <= until ->
-          ignore (step t);
-          loop ()
-      | Some _ | None -> ()
+      if Eheap.min_key_or t.queue ~default:infinity <= until then begin
+        ignore (step t);
+        loop ()
+      end
+      else if
+        (* Queue exhausted up to [until]: the virtual interval elapsed. *)
+        t.clock < until
+      then t.clock <- until
   in
-  loop ();
-  if t.clock < until then t.clock <- until
+  loop ()
 
 let run t ~until = run_while t (fun () -> true) ~until

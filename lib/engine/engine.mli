@@ -8,8 +8,12 @@
 type t
 
 type handle
-(** Identifies a scheduled event, for cancellation.  Cancellation is lazy:
-    the slot stays in the queue but the thunk will not run. *)
+(** Identifies a scheduled event, for cancellation and re-arming.
+    Cancellation is lazy: the slot stays in the queue but the thunk will
+    not run.  Handles are immediate values (no allocation per event); a
+    handle becomes stale once its event has fired without being re-armed,
+    and all operations on a stale handle are safe no-ops or errors — they
+    can never affect a later event that recycled the same record. *)
 
 val create : ?seed:int -> unit -> t
 (** Fresh engine with clock at zero and an empty queue.  [seed] initialises
@@ -33,6 +37,17 @@ val cancel : t -> handle -> unit
 (** Cancel a pending event.  Cancelling an already-run or already-cancelled
     event is a no-op. *)
 
+val reschedule : t -> handle -> at:Time.t -> unit
+(** Re-arm the currently-firing event at a new time, from inside its own
+    thunk.  The event record and thunk are reused — a periodic source pays
+    no allocation per firing.  Only valid while the handle's thunk is
+    executing (before it has been re-armed).
+    @raise Invalid_argument if the handle is not the currently-firing
+    event, or if [at] is in the past. *)
+
+val reschedule_after : t -> handle -> delay:float -> unit
+(** [reschedule_after t h ~delay] is [reschedule t h ~at:(now t +. delay)]. *)
+
 val is_pending : t -> handle -> bool
 
 val pending_events : t -> int
@@ -48,7 +63,10 @@ val run : t -> until:Time.t -> unit
 
 val run_while : t -> (unit -> bool) -> until:Time.t -> unit
 (** Like [run] but also stops (after the current event) once the predicate
-    turns false. *)
+    turns false.  When the predicate stops the loop early, the clock is
+    left at the last executed event — it is {e not} advanced to [until],
+    so events still queued before [until] keep their place and later
+    schedules cannot be reordered past them. *)
 
 val step : t -> bool
 (** Execute the single next event.  Returns [false] if the queue was

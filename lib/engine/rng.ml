@@ -16,6 +16,19 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let split_seed ~seed ~index =
+  if index < 0 then invalid_arg "Rng.split_seed: index must be nonnegative";
+  (* Two mixing rounds keep child streams independent even for adjacent
+     indices (plain [seed + index] would give overlapping SplitMix64
+     sequences, since the generator itself steps by adding a constant). *)
+  let z =
+    mix
+      (Int64.add
+         (mix (Int64.of_int seed))
+         (Int64.mul (Int64.of_int (index + 1)) golden_gamma))
+  in
+  Int64.to_int (Int64.logand z 0x3FFF_FFFF_FFFF_FFFFL)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Mask to 62 bits so the conversion to OCaml's 63-bit int is

@@ -14,6 +14,13 @@ val split : t -> t
 (** [split t] derives an independent generator stream from [t], advancing
     [t].  Used to give each traffic source its own stream. *)
 
+val split_seed : seed:int -> index:int -> int
+(** [split_seed ~seed ~index] derives the seed of an independent child
+    stream from a parent seed and a job index, deterministically: the same
+    pair always yields the same child.  Used to give each job of a parallel
+    experiment sweep its own reproducible stream, independent of how jobs
+    are assigned to domains.  [index] must be nonnegative. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -31,13 +31,14 @@ type discard_row = {
   queue_delay_ms : float;  (* rough staleness: backlog / delivery rate *)
 }
 
-let discard ?(rate = 20_000.) ?(duration = Time.sec 2.) () =
-  let run bounded =
+let discard ?(rate = 20_000.) ?(duration = Time.sec 2.) ?(jobs = 1)
+    ?(seed = Common.default_seed) () =
+  let run seed bounded =
     let cfg = Kernel.default_config Kernel.Ni_lrp in
     let cfg =
       if bounded then cfg else { cfg with Kernel.channel_limit = max_int }
     in
-    let w, client, server = World.pair ~cfg () in
+    let w, client, server = World.pair ~seed ~cfg () in
     let sink = Blast.start_sink server ~port:9000 () in
     ignore
       (Blast.start_source (World.engine w) (Kernel.nic client)
@@ -56,7 +57,9 @@ let discard ?(rate = 20_000.) ?(duration = Time.sec 2.) () =
         (if delivered > 0. then float_of_int backlog /. delivered *. 1e3
          else 0.) }
   in
-  [ run true; run false ]
+  Common.sweep ~jobs
+    (fun i bounded -> run (Common.job_seed ~seed ~index:i) bounded)
+    [ true; false ]
 
 let print_discard rows =
   Common.print_title "Ablation: early packet discard (NI-LRP, 20k pkts/s)";
@@ -82,8 +85,9 @@ type accounting_row = {
   receiver_billed : float;     (* what the scheduler charged the receiver *)
 }
 
-let accounting ?(duration = Time.sec 8.) () =
-  let run fair =
+let accounting ?(duration = Time.sec 8.) ?(jobs = 1)
+    ?(seed = Common.default_seed) () =
+  let run seed fair =
     (* A small MSS and a cheap copy make per-segment protocol processing
        (the APP thread's work) dominate, so the accounting policy is what
        decides who gets billed.  The channel is deepened so a full window
@@ -94,7 +98,7 @@ let accounting ?(duration = Time.sec 8.) () =
       { cfg with Kernel.fair_app_accounting = fair; Kernel.mss = 512;
         Kernel.channel_limit = 256 }
     in
-    let w, client, server = World.pair ~cfg () in
+    let w, client, server = World.pair ~seed ~cfg () in
     (* A compute-bound bystander... *)
     let hog = Spinner.start (Kernel.cpu server) ~nice:0 ~name:"hog" () in
     (* ... and a process sinking a fast TCP stream. *)
@@ -153,7 +157,9 @@ let accounting ?(duration = Time.sec 8.) () =
       receiver_share = (rx_cpu +. apps_cpu) /. duration;
       receiver_billed = billed }
   in
-  [ run true; run false ]
+  Common.sweep ~jobs
+    (fun i fair -> run (Common.job_seed ~seed ~index:i) fair)
+    [ true; false ]
 
 let print_accounting rows =
   Common.print_title
@@ -179,12 +185,15 @@ let print_accounting rows =
 type demux_row = { demux_us : float; delivered : float }
 
 let demux_cost ?(rate = 20_000.) ?(duration = Time.sec 1.5)
-    ?(costs = [ 4.; 8.; 16.; 32. ]) () =
-  List.map
-    (fun demux_us ->
+    ?(costs = [ 4.; 8.; 16.; 32. ]) ?(jobs = 1)
+    ?(seed = Common.default_seed) () =
+  Common.sweep ~jobs
+    (fun i demux_us ->
       let costs = { Cost.default with Cost.demux = demux_us } in
       let cfg = Kernel.default_config ~costs Kernel.Soft_lrp in
-      let w, client, server = World.pair ~cfg () in
+      let w, client, server =
+        World.pair ~seed:(Common.job_seed ~seed ~index:i) ~cfg ()
+      in
       let sink = Blast.start_sink server ~port:9000 () in
       ignore
         (Blast.start_source (World.engine w) (Kernel.nic client)

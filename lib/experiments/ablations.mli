@@ -23,7 +23,8 @@ type discard_row = {
   queue_delay_ms : float;
 }
 val discard :
-  ?rate:float -> ?duration:Lrp_engine.Time.t -> unit -> discard_row list
+  ?rate:float -> ?duration:Lrp_engine.Time.t -> ?jobs:int -> ?seed:int ->
+  unit -> discard_row list
 val print_discard : discard_row list -> unit
 type accounting_row = {
   fair : bool;
@@ -31,10 +32,13 @@ type accounting_row = {
   receiver_share : float;
   receiver_billed : float;
 }
-val accounting : ?duration:Lrp_engine.Time.t -> unit -> accounting_row list
+val accounting :
+  ?duration:Lrp_engine.Time.t -> ?jobs:int -> ?seed:int -> unit ->
+  accounting_row list
 val print_accounting : accounting_row list -> unit
 type demux_row = { demux_us : float; delivered : float; }
 val demux_cost :
   ?rate:float ->
-  ?duration:Lrp_engine.Time.t -> ?costs:float list -> unit -> demux_row list
+  ?duration:Lrp_engine.Time.t -> ?costs:float list -> ?jobs:int ->
+  ?seed:int -> unit -> demux_row list
 val print_demux_cost : demux_row list -> unit

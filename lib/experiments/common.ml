@@ -30,6 +30,32 @@ let fig4_systems = [ Bsd; Soft_lrp; Ni_lrp ]
 let table2_systems = [ Bsd; Soft_lrp; Ni_lrp ]
 let fig5_systems = [ Bsd; Soft_lrp ]
 
+(* --- parallel sweeps --------------------------------------------------- *)
+
+(* Root seed of every experiment.  Each simulation run of a sweep gets its
+   own engine seeded by [job_seed]: runs are isolated (one engine, one
+   world per job), so fanning the sweep out over domains cannot change any
+   result — job index, not execution order, decides every stream. *)
+let default_seed = 42
+
+let job_seed ~seed ~index = Lrp_engine.Rng.split_seed ~seed ~index
+
+(* [sweep ~jobs f items] maps [f index item] over [items] on [jobs]
+   domains (1 = inline, today's sequential path), returning results in
+   submission order. *)
+let sweep ~jobs f items =
+  Lrp_parallel.Pool.with_pool ~domains:jobs (fun p ->
+      Lrp_parallel.Pool.map p
+        (fun (i, x) -> f i x)
+        (List.mapi (fun i x -> (i, x)) items))
+
+(* Regroup a flattened sweep over [groups] x [cases] back into rows. *)
+let regroup groups tagged =
+  List.map
+    (fun g ->
+      (g, List.filter_map (fun (g', p) -> if g' = g then Some p else None) tagged))
+    groups
+
 (* --- plain-text rendering -------------------------------------------- *)
 
 let hr width = String.make width '-'

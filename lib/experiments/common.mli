@@ -10,6 +10,22 @@ val fig3_systems : system list
 val fig4_systems : system list
 val table2_systems : system list
 val fig5_systems : system list
+
+val default_seed : int
+(** Root seed of every experiment sweep (42, as everywhere else). *)
+
+val job_seed : seed:int -> index:int -> int
+(** Derive the engine seed of sweep job [index] from the root [seed]
+    ({!Lrp_engine.Rng.split_seed}): deterministic whatever the pool size. *)
+
+val sweep : jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [sweep ~jobs f items] maps [f index item] over [items] on [jobs]
+    domains ([1] = inline sequential), results in submission order. *)
+
+val regroup : 'g list -> ('g * 'p) list -> ('g * 'p list) list
+(** Regroup a flattened sweep back into per-group rows, preserving
+    order. *)
+
 val hr : int -> string
 val print_title : string -> unit
 val print_row : ('a, out_channel, unit) format -> 'a

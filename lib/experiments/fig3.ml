@@ -29,9 +29,9 @@ type row = { system : Common.system; points : point list }
 
 (* One run: blast at [rate] for [duration]; delivered rate measured over
    the steady-state window (skipping warmup). *)
-let measure sys ~rate ~duration =
+let measure ?(seed = Common.default_seed) sys ~rate ~duration =
   let cfg = Common.config_of_system sys in
-  let w, client, server = World.pair ~cfg () in
+  let w, client, server = World.pair ~seed ~cfg () in
   let sink = Blast.start_sink server ~port:9000 () in
   let warmup = Time.ms 200. in
   ignore
@@ -55,24 +55,42 @@ let default_rates =
   [ 1_000.; 2_000.; 4_000.; 6_000.; 8_000.; 10_000.; 12_000.; 14_000.;
     16_000.; 18_000.; 20_000.; 22_000.; 25_000. ]
 
-let run ?(quick = false) ?(rates = default_rates) () =
+let run ?(quick = false) ?(rates = default_rates) ?(jobs = 1)
+    ?(seed = Common.default_seed) () =
   let duration = if quick then Time.ms 400. else Time.sec 2. in
   let rates =
     if quick then [ 2_000.; 6_000.; 8_000.; 10_000.; 14_000.; 20_000. ] else rates
   in
+  (* Every (system, rate) point is an independent simulation: fan the
+     whole grid out as one flat job list. *)
+  let tasks =
+    List.concat_map
+      (fun sys -> List.map (fun rate -> (sys, rate)) rates)
+      Common.fig3_systems
+  in
+  let points =
+    Common.sweep ~jobs
+      (fun i (sys, rate) ->
+        measure ~seed:(Common.job_seed ~seed ~index:i) sys ~rate ~duration)
+      tasks
+  in
+  let tagged = List.map2 (fun (sys, _) p -> (sys, p)) tasks points in
   List.map
-    (fun sys ->
-      { system = sys;
-        points = List.map (fun rate -> measure sys ~rate ~duration) rates })
-    Common.fig3_systems
+    (fun (sys, points) -> { system = sys; points })
+    (Common.regroup Common.fig3_systems tagged)
 
 (* Maximum Loss-Free Receive Rate: the highest offered rate at which
-   (nearly) every packet is delivered.  Binary search over offered rates. *)
-let mlfrr ?(quick = false) sys =
+   (nearly) every packet is delivered.  Binary search over offered rates.
+   The probes of one search are inherently sequential (each bound depends
+   on the last verdict); [mlfrr_all] parallelises across systems. *)
+let mlfrr ?(quick = false) ?(seed = Common.default_seed) sys =
   let duration = if quick then Time.ms 300. else Time.sec 1. in
+  let probes = ref 0 in
   let loss_free rate =
+    let probe_seed = Common.job_seed ~seed ~index:!probes in
+    incr probes;
     let cfg = Common.config_of_system sys in
-    let w, client, server = World.pair ~cfg () in
+    let w, client, server = World.pair ~seed:probe_seed ~cfg () in
     let sink = Blast.start_sink server ~port:9000 () in
     let src =
       Blast.start_source (World.engine w) (Kernel.nic client)
@@ -91,6 +109,13 @@ let mlfrr ?(quick = false) sys =
       if loss_free mid then search mid hi else search lo mid
   in
   search 1_000. 25_000.
+
+(* One binary search per system, searches running on separate domains. *)
+let mlfrr_all ?(quick = false) ?(jobs = 1) ?(seed = Common.default_seed)
+    systems =
+  Common.sweep ~jobs
+    (fun i sys -> (sys, mlfrr ~quick ~seed:(Common.job_seed ~seed ~index:i) sys))
+    systems
 
 let print rows =
   Common.print_title "Figure 3: Throughput versus offered load (14-byte UDP)";

@@ -22,9 +22,23 @@ type point = {
 }
 type row = { system : Common.system; points : point list; }
 val measure :
-  Common.system -> rate:float -> duration:float -> point
+  ?seed:int -> Common.system -> rate:float -> duration:float -> point
 val default_rates : float list
-val run : ?quick:bool -> ?rates:float list -> unit -> row list
-val mlfrr : ?quick:bool -> Common.system -> float
+
+val run :
+  ?quick:bool -> ?rates:float list -> ?jobs:int -> ?seed:int -> unit ->
+  row list
+(** Every (system, rate) point is an independent simulation; [jobs]
+    (default 1) fans them out over that many domains.  Results are
+    identical for any [jobs]: each point runs in its own engine seeded
+    from [seed] and its job index. *)
+
+val mlfrr : ?quick:bool -> ?seed:int -> Common.system -> float
+
+val mlfrr_all :
+  ?quick:bool -> ?jobs:int -> ?seed:int -> Common.system list ->
+  (Common.system * float) list
+(** One MLFRR binary search per system, searches running in parallel. *)
+
 val print : row list -> unit
 val print_mlfrr : (Common.system * float) list -> unit

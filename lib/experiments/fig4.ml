@@ -28,9 +28,9 @@ type point = {
 
 type row = { system : Common.system; points : point list }
 
-let measure sys ~bg_rate ~duration =
+let measure ?(seed = Common.default_seed) sys ~bg_rate ~duration =
   let cfg = Common.config_of_system sys in
-  let w = World.make () in
+  let w = World.make ~seed () in
   let client = World.add_host w ~name:"A" cfg in
   let server = World.add_host w ~name:"B" cfg in
   let blaster = World.add_host w ~name:"C" cfg in
@@ -61,14 +61,25 @@ let default_rates =
   [ 0.; 1_000.; 2_000.; 4_000.; 6_000.; 8_000.; 10_000.; 12_000.; 14_000.;
     16_000.; 18_000.; 20_000. ]
 
-let run ?(quick = false) ?(rates = default_rates) () =
+let run ?(quick = false) ?(rates = default_rates) ?(jobs = 1)
+    ?(seed = Common.default_seed) () =
   let duration = if quick then Time.ms 500. else Time.sec 2. in
   let rates = if quick then [ 0.; 4_000.; 8_000.; 14_000. ] else rates in
+  let tasks =
+    List.concat_map
+      (fun sys -> List.map (fun r -> (sys, r)) rates)
+      Common.fig4_systems
+  in
+  let points =
+    Common.sweep ~jobs
+      (fun i (sys, r) ->
+        measure ~seed:(Common.job_seed ~seed ~index:i) sys ~bg_rate:r ~duration)
+      tasks
+  in
+  let tagged = List.map2 (fun (sys, _) p -> (sys, p)) tasks points in
   List.map
-    (fun sys ->
-      { system = sys;
-        points = List.map (fun r -> measure sys ~bg_rate:r ~duration) rates })
-    Common.fig4_systems
+    (fun (sys, points) -> { system = sys; points })
+    (Common.regroup Common.fig4_systems tagged)
 
 let print rows =
   Common.print_title "Figure 4: Latency with concurrent load (UDP ping-pong RTT)";

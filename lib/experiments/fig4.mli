@@ -23,8 +23,13 @@ type point = {
 }
 type row = { system : Common.system; points : point list; }
 val measure :
-  Common.system ->
+  ?seed:int -> Common.system ->
   bg_rate:float -> duration:Lrp_engine.Time.t -> point
 val default_rates : float list
-val run : ?quick:bool -> ?rates:float list -> unit -> row list
+val run :
+  ?quick:bool -> ?rates:float list -> ?jobs:int -> ?seed:int -> unit ->
+  row list
+(** [jobs] fans the (system, rate) grid out over that many domains;
+    results are identical for any [jobs]. *)
+
 val print : row list -> unit

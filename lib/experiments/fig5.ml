@@ -27,10 +27,10 @@ type point = {
 
 type row = { system : Common.system; points : point list }
 
-let measure sys ~syn_rate ~duration =
+let measure ?(seed = Common.default_seed) sys ~syn_rate ~duration =
   let tune cfg = { cfg with Kernel.time_wait = Time.ms 500. } in
   let cfg = Common.config_of_system ~tune sys in
-  let w = World.make () in
+  let w = World.make ~seed () in
   let server = World.add_host w ~name:"server" cfg in
   let clients = World.add_host w ~name:"clients" cfg in
   let attacker = World.add_host w ~name:"attacker" cfg in
@@ -71,14 +71,25 @@ let default_rates =
   [ 0.; 1_000.; 2_000.; 4_000.; 6_000.; 8_000.; 10_000.; 12_000.; 14_000.;
     16_000.; 20_000. ]
 
-let run ?(quick = false) ?(rates = default_rates) () =
+let run ?(quick = false) ?(rates = default_rates) ?(jobs = 1)
+    ?(seed = Common.default_seed) () =
   let duration = if quick then Time.sec 2. else Time.sec 8. in
   let rates = if quick then [ 0.; 6_000.; 12_000.; 20_000. ] else rates in
+  let tasks =
+    List.concat_map
+      (fun sys -> List.map (fun r -> (sys, r)) rates)
+      Common.fig5_systems
+  in
+  let points =
+    Common.sweep ~jobs
+      (fun i (sys, r) ->
+        measure ~seed:(Common.job_seed ~seed ~index:i) sys ~syn_rate:r ~duration)
+      tasks
+  in
+  let tagged = List.map2 (fun (sys, _) p -> (sys, p)) tasks points in
   List.map
-    (fun sys ->
-      { system = sys;
-        points = List.map (fun r -> measure sys ~syn_rate:r ~duration) rates })
-    Common.fig5_systems
+    (fun (sys, points) -> { system = sys; points })
+    (Common.regroup Common.fig5_systems tagged)
 
 let print rows =
   Common.print_title "Figure 5: HTTP Server Throughput under SYN flood";

@@ -22,7 +22,12 @@ type point = {
 }
 type row = { system : Common.system; points : point list; }
 val measure :
-  Common.system -> syn_rate:float -> duration:float -> point
+  ?seed:int -> Common.system -> syn_rate:float -> duration:float -> point
 val default_rates : float list
-val run : ?quick:bool -> ?rates:float list -> unit -> row list
+val run :
+  ?quick:bool -> ?rates:float list -> ?jobs:int -> ?seed:int -> unit ->
+  row list
+(** [jobs] fans the (system, rate) grid out over that many domains;
+    results are identical for any [jobs]. *)
+
 val print : row list -> unit

@@ -18,9 +18,9 @@ type row = {
   tcp_mbps : float;
 }
 
-let measure_rtt sys ~rounds =
+let measure_rtt ?(seed = Common.default_seed) sys ~rounds =
   let cfg = Common.config_of_system sys in
-  let w, client, server = World.pair ~cfg () in
+  let w, client, server = World.pair ~seed ~cfg () in
   ignore (Pingpong.start_server server ~port:7);
   let cl =
     Pingpong.start_client client ~dst:(Kernel.ip_address server, 7) ~rounds ()
@@ -28,18 +28,18 @@ let measure_rtt sys ~rounds =
   World.run w ~until:(Time.sec 60.);
   Lrp_stats.Stats.Samples.mean cl.Pingpong.rtts
 
-let measure_udp sys ~total =
+let measure_udp ?(seed = Common.default_seed) sys ~total =
   let cfg = Common.config_of_system sys in
-  let w, client, server = World.pair ~cfg () in
+  let w, client, server = World.pair ~seed ~cfg () in
   let r =
     Udp_window.run w ~sender:client ~receiver:server ~port:5002 ~total
       ~until:(Time.sec 60.) ()
   in
   Udp_window.mbps r
 
-let measure_tcp sys ~total =
+let measure_tcp ?(seed = Common.default_seed) sys ~total =
   let cfg = Common.config_of_system sys in
-  let w, client, server = World.pair ~cfg () in
+  let w, client, server = World.pair ~seed ~cfg () in
   let r =
     Tcp_bulk.run w ~sender:client ~receiver:server ~port:5003 ~total
       ~until:(Time.sec 120.) ()
@@ -47,17 +47,45 @@ let measure_tcp sys ~total =
   Tcp_bulk.mbps r
 
 (* [run ()] measures all three microbenchmarks for each system.  [quick]
-   shrinks the workload for use in the test suite. *)
-let run ?(quick = false) () =
+   shrinks the workload for use in the test suite.  Every (system, metric)
+   cell is an independent simulation, so the whole table fans out as one
+   flat job list. *)
+type metric = Rtt | Udp | Tcp
+
+let run ?(quick = false) ?(jobs = 1) ?(seed = Common.default_seed) () =
   let rounds = if quick then 200 else 10_000 in
   let udp_total = if quick then 400 else 3_000 in
   let tcp_total = if quick then 2_000_000 else 24 * 1024 * 1024 in
+  let tasks =
+    List.concat_map
+      (fun sys -> [ (sys, Rtt); (sys, Udp); (sys, Tcp) ])
+      Common.table1_systems
+  in
+  let cells =
+    Common.sweep ~jobs
+      (fun i (sys, metric) ->
+        let seed = Common.job_seed ~seed ~index:i in
+        match metric with
+        | Rtt -> measure_rtt ~seed sys ~rounds
+        | Udp -> measure_udp ~seed sys ~total:udp_total
+        | Tcp -> measure_tcp ~seed sys ~total:tcp_total)
+      tasks
+  in
+  let value sys metric =
+    let rec find ts cs =
+      match (ts, cs) with
+      | (s, m) :: _, v :: _ when s = sys && m = metric -> v
+      | _ :: ts, _ :: cs -> find ts cs
+      | _ -> assert false
+    in
+    find tasks cells
+  in
   List.map
     (fun sys ->
       { system = sys;
-        rtt_us = measure_rtt sys ~rounds;
-        udp_mbps = measure_udp sys ~total:udp_total;
-        tcp_mbps = measure_tcp sys ~total:tcp_total })
+        rtt_us = value sys Rtt;
+        udp_mbps = value sys Udp;
+        tcp_mbps = value sys Tcp })
     Common.table1_systems
 
 let paper =

@@ -20,9 +20,9 @@ type row = {
   worker_share : float;
 }
 
-let measure sys cls ~worker_cpu =
+let measure ?(seed = Common.default_seed) sys cls ~worker_cpu =
   let cfg = Common.config_of_system sys in
-  let w = World.make () in
+  let w = World.make ~seed () in
   let client = World.add_host w ~name:"client" cfg in
   let server = World.add_host w ~name:"server" cfg in
   let r = Rpc.run w ~server ~client ~cls ~worker_cpu () in
@@ -31,13 +31,18 @@ let measure sys cls ~worker_cpu =
     rpcs_per_sec = Rpc.rpc_rate r;
     worker_share = Rpc.worker_share r }
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) ?(seed = Common.default_seed) () =
   let worker_cpu = if quick then Time.sec 1.5 else Time.sec 11.5 in
   let classes = if quick then [ Rpc.Fast ] else [ Rpc.Fast; Rpc.Medium; Rpc.Slow ] in
-  List.concat_map
-    (fun cls ->
-      List.map (fun sys -> measure sys cls ~worker_cpu) Common.table2_systems)
-    classes
+  let tasks =
+    List.concat_map
+      (fun cls -> List.map (fun sys -> (cls, sys)) Common.table2_systems)
+      classes
+  in
+  Common.sweep ~jobs
+    (fun i (cls, sys) ->
+      measure ~seed:(Common.job_seed ~seed ~index:i) sys cls ~worker_cpu)
+    tasks
 
 let paper =
   (* (class, system) -> (worker elapsed s, RPCs/sec) *)

@@ -16,9 +16,12 @@ type row = {
   worker_share : float;
 }
 val measure :
-  Common.system ->
+  ?seed:int -> Common.system ->
   Lrp_workload.Rpc.cls -> worker_cpu:float -> row
-val run : ?quick:bool -> unit -> row list
+val run : ?quick:bool -> ?jobs:int -> ?seed:int -> unit -> row list
+(** [jobs] fans the (class, system) grid out over that many domains;
+    results are identical for any [jobs]. *)
+
 val paper :
   ((Lrp_workload.Rpc.cls * Common.system) * (float * float))
   list

@@ -41,11 +41,12 @@ type t = {
   stats : stats;
 }
 
-let counter = ref 0
+(* Atomic: socket ids must stay unique when simulations run on concurrent
+   domains (they key per-kernel tables; the values never affect behavior). *)
+let counter = Atomic.make 0
 
 let create ?(udp_rcv_limit = 64) kind =
-  incr counter;
-  let id = !counter in
+  let id = Atomic.fetch_and_add counter 1 + 1 in
   { id; kind; port = None; remote = None; udp_rcv = Queue.create ();
     udp_rcv_limit;
     recv_wait = Proc.waitq (Printf.sprintf "sock%d.recv" id);

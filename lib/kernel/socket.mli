@@ -37,7 +37,6 @@ type t = {
   mutable closed : bool;
   stats : stats;
 }
-val counter : int ref
 val create : ?udp_rcv_limit:int -> kind -> t
 val port_exn : t -> int
 val deposit_udp : t -> udp_datagram -> bool

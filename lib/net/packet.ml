@@ -102,11 +102,12 @@ let wire_bytes t =
 
 (* --- constructors ---------------------------------------------------- *)
 
-let ident_counter = ref 0
+(* Atomic so that simulations running on concurrent domains still draw
+   unique idents (the values themselves never influence behavior — idents
+   only key per-host reassembly tables). *)
+let ident_counter = Atomic.make 0
 
-let next_ident () =
-  incr ident_counter;
-  !ident_counter land 0xffff
+let next_ident () = (Atomic.fetch_and_add ident_counter 1 + 1) land 0xffff
 
 let udp ~src ~dst ~src_port ~dst_port payload =
   { ip = { src; dst; ident = next_ident (); ttl = 64 };

@@ -58,7 +58,6 @@ val wire_bytes : t -> int
 (** Total IP datagram size on the wire (IP header + transport header +
     payload slice). *)
 
-val ident_counter : int ref
 val next_ident : unit -> int
 (** {1 Constructors} *)
 

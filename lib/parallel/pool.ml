@@ -1,0 +1,114 @@
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;       (* new job queued, or shutdown *)
+  batch_done : Condition.t;       (* a batch's last job completed *)
+  jobs : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  n_domains : int;
+}
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.closed do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* closed *)
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mutex;
+      job ();
+      next ()
+    end
+  in
+  next ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n -> max 1 n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    { mutex = Mutex.create (); work_ready = Condition.create ();
+      batch_done = Condition.create (); jobs = Queue.create ();
+      closed = false; workers = []; n_domains = n }
+  in
+  (* The caller participates in every [map], so n-1 standing workers give
+     n-way parallelism. *)
+  if n > 1 then
+    t.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.n_domains
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.n_domains = 1 -> List.map f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let remaining = ref n in
+      (* One job per element.  Each job stores its result by index, so
+         completion order cannot leak into the output. *)
+      let job i () =
+        (if Atomic.get error = None then
+           match f arr.(i) with
+           | v -> results.(i) <- Some v
+           | exception e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        Mutex.lock t.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast t.batch_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (job i) t.jobs
+      done;
+      Condition.broadcast t.work_ready;
+      (* The caller drains jobs too, then waits out the stragglers running
+         on worker domains. *)
+      let rec drain () =
+        if not (Queue.is_empty t.jobs) then begin
+          let job = Queue.pop t.jobs in
+          Mutex.unlock t.mutex;
+          job ();
+          Mutex.lock t.mutex;
+          drain ()
+        end
+      in
+      drain ();
+      while !remaining > 0 do
+        Condition.wait t.batch_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match Atomic.get error with
+       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+       | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> assert false)
+           results)
+
+let map_reduce t ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map t f xs)

@@ -1,0 +1,43 @@
+(** Work-stealing-free domain pool for embarrassingly parallel sweeps.
+
+    The experiment harnesses run many mutually independent simulations
+    (one engine each); this pool fans them out over OCaml 5 domains.  It is
+    dependency-free: plain [Domain], [Mutex] and [Condition].
+
+    Determinism contract: [map] returns results in submission order, and
+    jobs receive no information about which domain ran them — so a job
+    whose output is a deterministic function of its input (e.g. a
+    simulation run from its own seeded engine) produces identical results
+    whatever the pool size.  [create ~domains:1] runs every job inline in
+    the caller, byte-for-byte the sequential behavior. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains:n ()] starts a pool of [n] worker domains (default
+    {!Domain.recommended_domain_count}).  [n <= 1] means no worker domains:
+    jobs run inline in the submitting domain. *)
+
+val domains : t -> int
+(** Parallelism of the pool ([>= 1]; [1] means inline execution). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element, distributing the calls
+    over the pool's domains, and returns the results in the order of [xs].
+    The submitting domain participates in the work.  If any call raises,
+    the first exception (by completion time) is re-raised in the caller
+    after all in-flight jobs settle; remaining unstarted jobs are skipped.
+    Not re-entrant: do not call [map] from inside a job. *)
+
+val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c ->
+  'a list -> 'c
+(** [map_reduce pool ~map ~reduce ~init xs] folds [reduce] left-to-right
+    in submission order over the mapped results — deterministic even for
+    non-commutative [reduce]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  The pool must be idle
+    (no [map] in progress). *)
+
+val with_pool : ?domains:int -> (t -> 'r) -> 'r
+(** [with_pool ~domains f] brackets [create] / [shutdown] around [f]. *)

@@ -124,12 +124,14 @@ and conn = {
   mutable syn_drops_backlog : int;
 }
 
-let conn_counter = ref 0
+(* Atomic: connection ids must stay unique when simulations run on
+   concurrent domains (they key per-kernel tables). *)
+let conn_counter = Atomic.make 0
 
 let make_conn env ~local_ip ~local_port ?(sndq_limit = 32 * 1024)
     ?(rcv_buf_limit = 32 * 1024) ?(backlog = 0) ~state () =
-  incr conn_counter;
-  { env; id = !conn_counter; local_ip; local_port; remote = None; state;
+  { env; id = Atomic.fetch_and_add conn_counter 1 + 1; local_ip; local_port;
+    remote = None; state;
     meta = -1;
     snd_una = 0; snd_nxt = 0; snd_wnd = 0; cwnd = float_of_int env.mss;
     ssthresh = 65_535.; dup_acks = 0; unacked = []; unsent = [];

@@ -24,7 +24,10 @@ let start_source engine nic ~src ~dst:(dip, dport) ?(src_port = 7777)
     ~rate ~size ~until () =
   let t = { sent = 0; stop_at = until } in
   let interval = 1e6 /. rate in
-  let rec tick () =
+  (* One event record and one thunk for the whole run: each firing re-arms
+     the same handle instead of scheduling a fresh closure per packet. *)
+  let handle = ref None in
+  let tick () =
     if Engine.now engine < t.stop_at then begin
       let pkt =
         Packet.udp ~src ~dst:dip ~src_port ~dst_port:dport
@@ -32,10 +35,12 @@ let start_source engine nic ~src ~dst:(dip, dport) ?(src_port = 7777)
       in
       ignore (Nic.transmit nic pkt);
       t.sent <- t.sent + 1;
-      ignore (Engine.schedule_after engine ~delay:interval tick)
+      match !handle with
+      | Some h -> Engine.reschedule_after engine h ~delay:interval
+      | None -> ()
     end
   in
-  ignore (Engine.schedule_after engine ~delay:interval tick);
+  handle := Some (Engine.schedule_after engine ~delay:interval tick);
   t
 
 type sink = {

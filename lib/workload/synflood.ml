@@ -15,7 +15,10 @@ let start engine nic ~dst:(dip, dport) ~rate ~until
     ?(spoof_base = Packet.ip_of_quad 11 0 0 1) () =
   let t = { sent = 0 } in
   let interval = 1e6 /. rate in
-  let rec tick () =
+  (* Re-arm one event handle per firing rather than scheduling a fresh
+     closure per SYN (see Blast.start_source). *)
+  let handle = ref None in
+  let tick () =
     if Engine.now engine < until then begin
       (* A fresh spoofed (address, port) pair per SYN: every request looks
          like a new connection. *)
@@ -28,8 +31,10 @@ let start engine nic ~dst:(dip, dport) ~rate ~until
       in
       ignore (Nic.transmit nic syn);
       t.sent <- t.sent + 1;
-      ignore (Engine.schedule_after engine ~delay:interval tick)
+      match !handle with
+      | Some h -> Engine.reschedule_after engine h ~delay:interval
+      | None -> ()
     end
   in
-  ignore (Engine.schedule_after engine ~delay:interval tick);
+  handle := Some (Engine.schedule_after engine ~delay:interval tick);
   t

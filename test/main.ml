@@ -15,4 +15,5 @@ let () =
       ("stats", Test_stats.suite);
       ("workload", Test_workload.suite);
       ("properties", Test_properties.suite);
+      ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite) ]

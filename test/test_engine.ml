@@ -75,6 +75,68 @@ let test_run_while () =
   Engine.run_while eng (fun () -> !count < 5) ~until:1000.;
   Alcotest.(check int) "stopped by predicate" 5 !count
 
+let test_run_while_clock_on_early_stop () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule_after eng ~delay:1. tick)
+  in
+  ignore (Engine.schedule eng ~at:0. tick);
+  Engine.run_while eng (fun () -> !count < 5) ~until:1000.;
+  (* The predicate stopped the loop at the fifth event (t=4); the clock
+     must not have jumped ahead to [until]. *)
+  check_float "clock stays at the last fired event" 4. (Engine.now eng);
+  (* ... so continuing the simulation before [until] is still legal. *)
+  ignore (Engine.schedule eng ~at:10. (fun () -> ()));
+  Engine.run eng ~until:20.;
+  check_float "resumed run advances normally" 20. (Engine.now eng)
+
+let test_reschedule_periodic () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let times = ref [] in
+  let handle = ref None in
+  let tick () =
+    incr count;
+    times := Engine.now eng :: !times;
+    if !count < 4 then
+      match !handle with
+      | Some h -> Engine.reschedule_after eng h ~delay:10.
+      | None -> ()
+  in
+  handle := Some (Engine.schedule eng ~at:10. tick);
+  Engine.run eng ~until:1000.;
+  Alcotest.(check int) "fired four times" 4 !count;
+  Alcotest.(check (list (float 1e-9)))
+    "periodic timestamps" [ 10.; 20.; 30.; 40. ] (List.rev !times);
+  Alcotest.(check int) "nothing left pending" 0 (Engine.pending_events eng)
+
+let test_reschedule_outside_callback () =
+  let eng = Engine.create () in
+  let h = Engine.schedule eng ~at:10. (fun () -> ()) in
+  Alcotest.check_raises "re-arm only valid while firing"
+    (Invalid_argument
+       "Engine.reschedule: handle is not the currently-firing event")
+    (fun () -> Engine.reschedule eng h ~at:20.)
+
+let test_stale_handle_safety () =
+  let eng = Engine.create () in
+  (* Fire an event; its slot goes back on the free stack. *)
+  let h1 = Engine.schedule eng ~at:10. (fun () -> ()) in
+  Engine.run eng ~until:20.;
+  Alcotest.(check bool) "fired handle no longer pending" false
+    (Engine.is_pending eng h1);
+  (* The very next schedule recycles that slot; the stale handle must not
+     be able to touch the new occupant. *)
+  let fired = ref false in
+  let h2 = Engine.schedule eng ~at:30. (fun () -> fired := true) in
+  Engine.cancel eng h1;
+  Alcotest.(check bool) "stale cancel left the new event pending" true
+    (Engine.is_pending eng h2);
+  Engine.run eng ~until:40.;
+  Alcotest.(check bool) "new event fired" true !fired
+
 let test_events_executed () =
   let eng = Engine.create () in
   for i = 1 to 7 do
@@ -113,6 +175,75 @@ let prop_heap_fifo_on_equal =
         | Some (_, v) -> drain (v :: acc)
       in
       drain [] = List.init n (fun i -> i))
+
+(* Model-based test of the mixed-operation behaviour: a stable sorted
+   association list is the reference.  Few distinct keys force FIFO ties;
+   long op lists push the heap past its initial 16 slots; occasional
+   [clear]s check reuse after reset. *)
+let prop_heap_model =
+  QCheck.Test.make ~count:500 ~name:"eheap agrees with a sorted-list model"
+    QCheck.(list small_nat)
+    (fun ops ->
+      let h = Eheap.create () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let stable_insert key id =
+        let rec ins = function
+          | (k, v) :: tl when k <= key -> (k, v) :: ins tl
+          | rest -> (key, id) :: rest
+        in
+        model := ins !model
+      in
+      List.iter
+        (fun n ->
+          if n mod 13 = 12 then begin
+            Eheap.clear h;
+            model := []
+          end
+          else if n mod 3 = 2 then begin
+            let expect =
+              match !model with
+              | [] -> None
+              | x :: tl ->
+                  model := tl;
+                  Some x
+            in
+            if Eheap.pop h <> expect then ok := false
+          end
+          else begin
+            let key = float_of_int (n mod 8) in
+            let id = !next_id in
+            incr next_id;
+            Eheap.add h ~key id;
+            stable_insert key id
+          end)
+        ops;
+      let rec drain () =
+        match (Eheap.pop h, !model) with
+        | None, [] -> true
+        | Some got, expect :: tl when got = expect ->
+            model := tl;
+            drain ()
+        | _ -> false
+      in
+      !ok && drain ())
+
+let test_heap_growth () =
+  (* Push well past the initial 16-slot capacity and drain in order. *)
+  let h = Eheap.create () in
+  for i = 199 downto 0 do
+    Eheap.add h ~key:(float_of_int i) i
+  done;
+  Alcotest.(check int) "length" 200 (Eheap.length h);
+  for i = 0 to 199 do
+    match Eheap.pop h with
+    | Some (k, v) ->
+        check_float "key order" (float_of_int i) k;
+        Alcotest.(check int) "value order" i v
+    | None -> Alcotest.fail "heap drained early"
+  done;
+  Alcotest.(check bool) "empty at the end" true (Eheap.pop h = None)
 
 let prop_rng_deterministic =
   QCheck.Test.make ~count:100 ~name:"rng: same seed, same stream"
@@ -159,6 +290,23 @@ let test_rng_split_independent () =
   let ys = List.init 10 (fun _ -> Rng.bits64 b) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+let test_rng_split_seed () =
+  let a = Rng.split_seed ~seed:42 ~index:0 in
+  let b = Rng.split_seed ~seed:42 ~index:1 in
+  Alcotest.(check bool) "different indices differ" true (a <> b);
+  Alcotest.(check int) "deterministic" a (Rng.split_seed ~seed:42 ~index:0);
+  Alcotest.(check bool) "nonnegative" true (a >= 0 && b >= 0);
+  Alcotest.(check bool) "child differs from parent-as-seed" true
+    (a <> 42);
+  (* Derived streams must actually be distinct. *)
+  let ra = Rng.create a and rb = Rng.create b in
+  Alcotest.(check bool) "independent streams" true
+    (List.init 10 (fun _ -> Rng.bits64 ra)
+    <> List.init 10 (fun _ -> Rng.bits64 rb));
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.split_seed: index must be nonnegative") (fun () ->
+      ignore (Rng.split_seed ~seed:42 ~index:(-1)))
+
 let test_rng_exponential_mean () =
   let r = Rng.create 11 in
   let n = 20_000 in
@@ -173,8 +321,9 @@ let test_rng_exponential_mean () =
     (mean > 47.5 && mean < 52.5)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorted; prop_heap_fifo_on_equal; prop_rng_deterministic;
-      prop_rng_int_bounds; prop_rng_uniform_bounds; prop_rng_exponential_positive ]
+    [ prop_heap_sorted; prop_heap_fifo_on_equal; prop_heap_model;
+      prop_rng_deterministic; prop_rng_int_bounds; prop_rng_uniform_bounds;
+      prop_rng_exponential_positive ]
 
 let suite =
   [ Alcotest.test_case "time units" `Quick test_time_units;
@@ -185,9 +334,21 @@ let suite =
     Alcotest.test_case "scheduling in the past is rejected" `Quick
       test_schedule_past_rejected;
     Alcotest.test_case "run_while stops on predicate" `Quick test_run_while;
+    Alcotest.test_case "run_while early stop leaves the clock" `Quick
+      test_run_while_clock_on_early_stop;
+    Alcotest.test_case "reschedule re-arms a periodic event" `Quick
+      test_reschedule_periodic;
+    Alcotest.test_case "reschedule outside the callback is rejected" `Quick
+      test_reschedule_outside_callback;
+    Alcotest.test_case "stale handles cannot touch recycled slots" `Quick
+      test_stale_handle_safety;
+    Alcotest.test_case "eheap grows past its initial capacity" `Quick
+      test_heap_growth;
     Alcotest.test_case "events_executed counts" `Quick test_events_executed;
     Alcotest.test_case "rng split gives a distinct stream" `Quick
       test_rng_split_independent;
+    Alcotest.test_case "rng split_seed derives stable child seeds" `Quick
+      test_rng_split_seed;
     Alcotest.test_case "rng exponential has the right mean" `Slow
       test_rng_exponential_mean ]
   @ qsuite

@@ -1,0 +1,84 @@
+(* Tests for the domain pool and for the determinism contract of
+   parallel experiment sweeps. *)
+
+open Lrp_parallel
+
+let test_map_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "results in submission order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map pool succ [ 7 ]))
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.check_raises "worker exception reaches the caller"
+        (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x = 5 then failwith "boom" else x)
+               (List.init 10 Fun.id)));
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int)) "pool reusable after failure" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_map_reduce () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check int) "sum of squares" 285
+        (Pool.map_reduce pool
+           ~map:(fun x -> x * x)
+           ~reduce:( + ) ~init:0
+           (List.init 10 Fun.id)))
+
+let test_single_domain_inline () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "one domain" 1 (Pool.domains pool);
+      Alcotest.(check (list string)) "inline map" [ "1"; "2"; "3" ]
+        (Pool.map pool string_of_int [ 1; 2; 3 ]))
+
+let test_pool_reuse_across_batches () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      for i = 1 to 5 do
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d" i)
+          (List.init 20 (fun x -> x + i))
+          (Pool.map pool (fun x -> x + i) (List.init 20 Fun.id))
+      done)
+
+(* The tentpole contract: a sweep's results do not depend on how many
+   domains it ran on, because each simulation runs in its own engine
+   seeded from (root seed, job index). *)
+let test_fig3_jobs_deterministic () =
+  let open Lrp_experiments in
+  let r1 = Fig3.run ~quick:true ~jobs:1 () in
+  let r4 = Fig3.run ~quick:true ~jobs:4 () in
+  Alcotest.(check bool) "fig3 quick: jobs 1 = jobs 4" true (r1 = r4)
+
+let test_table2_jobs_deterministic () =
+  let open Lrp_experiments in
+  let r1 = Table2.run ~quick:true ~jobs:1 () in
+  let r3 = Table2.run ~quick:true ~jobs:3 () in
+  Alcotest.(check bool) "table2 quick: jobs 1 = jobs 3" true (r1 = r3)
+
+let suite =
+  [ Alcotest.test_case "map keeps submission order" `Quick test_map_order;
+    Alcotest.test_case "map on empty and singleton lists" `Quick
+      test_map_empty_and_singleton;
+    Alcotest.test_case "worker exceptions propagate" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "map_reduce folds in order" `Quick test_map_reduce;
+    Alcotest.test_case "one-domain pool runs inline" `Quick
+      test_single_domain_inline;
+    Alcotest.test_case "pool is reusable across batches" `Quick
+      test_pool_reuse_across_batches;
+    Alcotest.test_case "fig3 results independent of jobs" `Slow
+      test_fig3_jobs_deterministic;
+    Alcotest.test_case "table2 results independent of jobs" `Slow
+      test_table2_jobs_deterministic ]
