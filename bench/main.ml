@@ -310,6 +310,55 @@ let bench_gateway () =
     \  process.\n";
   Arr rows
 
+(* Observability: trace one fig3 point per architecture with the server
+   kernel's structured tracer on, and report the per-packet stage-latency
+   breakdown plus the full metrics snapshot.  The paper's architectural
+   claim shows up directly: BSD spends its protocol time in
+   ["softint-proto"] (software-interrupt context), LRP moves it to
+   ["proc-proto"] (receiver's own context, charged to it). *)
+let bench_trace () =
+  let open Lrp_trace in
+  let module S = Lrp_stats.Stats.Samples in
+  Common.print_title
+    "Trace: per-packet stage latency (fig3 point, tracing enabled)";
+  let duration =
+    if !quick then Lrp_engine.Time.ms 200. else Lrp_engine.Time.ms 500.
+  in
+  let rate = 8_000. in
+  let rows =
+    List.map
+      (fun sys ->
+        let point, tracer, metrics =
+          Fig3.measure_traced ~seed sys ~rate ~duration
+        in
+        let report = Trace.Report.stage_latency (Trace.events tracer) in
+        Printf.printf
+          "\n  [%s] offered %.0f p/s, delivered %.0f p/s; %d events \
+           buffered (%d overwritten)\n"
+          (sysname sys) point.Fig3.offered point.Fig3.delivered
+          (Trace.length tracer) (Trace.dropped tracer);
+        Format.printf "%a@." Trace.Report.pp report;
+        let stage_json (name, s) =
+          Obj
+            [ ("stage", Str name); ("count", Int (S.count s));
+              ("mean_us", Num (S.mean s));
+              ("p50_us", Num (S.percentile s 50.));
+              ("p99_us", Num (S.percentile s 99.)) ]
+        in
+        Obj
+          [ ("system", Str (sysname sys));
+            ("offered", Num point.Fig3.offered);
+            ("delivered", Num point.Fig3.delivered);
+            ("packets", Int report.Trace.Report.packets);
+            ("events", Int (Trace.length tracer));
+            ("overwritten", Int (Trace.dropped tracer));
+            ("stages", Arr (List.map stage_json report.Trace.Report.stages));
+            ( "metrics",
+              Obj (List.map (fun (k, v) -> (k, Num v)) metrics) ) ])
+      [ Common.Bsd; Common.Soft_lrp; Common.Ni_lrp ]
+  in
+  Arr rows
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the hot paths                            *)
 (* ------------------------------------------------------------------ *)
@@ -447,7 +496,7 @@ let all_benches =
     ("ablate-discard", bench_ablate_discard);
     ("ablate-accounting", bench_ablate_accounting);
     ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);
-    ("micro", bench_micro) ]
+    ("trace", bench_trace); ("micro", bench_micro) ]
 
 let usage () =
   Printf.eprintf

@@ -162,6 +162,110 @@ let gateway_cmd =
   Cmd.v (Cmd.info "gateway" ~doc:"Transit flood through an IP gateway")
     Term.(const run $ arch $ rate $ duration)
 
+let trace_cmd =
+  let module Trace = Lrp_trace.Trace in
+  let trace_file =
+    let doc = "Write the recorded trace to $(docv)." in
+    Arg.(
+      value & opt string "trace.json" & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let trace_format =
+    let fmt_conv =
+      Arg.conv
+        ( (function
+          | "chrome" -> Ok `Chrome
+          | "csv" -> Ok `Csv
+          | "text" -> Ok `Text
+          | s -> Error (`Msg (Printf.sprintf "unknown trace format %S" s))),
+          fun fmt f ->
+            Format.pp_print_string fmt
+              (match f with
+              | `Chrome -> "chrome"
+              | `Csv -> "csv"
+              | `Text -> "text") )
+    in
+    let doc =
+      "Trace sink: chrome (Perfetto-loadable trace_event JSON), csv, or \
+       text."
+    in
+    Arg.(
+      value & opt fmt_conv `Chrome
+      & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+  in
+  let classes =
+    let cls_conv =
+      Arg.conv
+        ( (function
+          | "packet" -> Ok Trace.Packet_events
+          | "sched" -> Ok Trace.Sched_events
+          | "note" -> Ok Trace.Note_events
+          | s -> Error (`Msg (Printf.sprintf "unknown event class %S" s))),
+          fun fmt c ->
+            Format.pp_print_string fmt
+              (match c with
+              | Trace.Packet_events -> "packet"
+              | Trace.Sched_events -> "sched"
+              | Trace.Note_events -> "note") )
+    in
+    let doc =
+      "Record only these event classes (packet, sched, note); repeatable \
+       or comma-separated.  Default: all."
+    in
+    Arg.(
+      value
+      & opt_all (Arg.list cls_conv) []
+      & info [ "classes" ] ~docv:"CLASSES" ~doc)
+  in
+  let run arch rate duration trace_file trace_format classes =
+    let cfg = Kernel.default_config arch in
+    let w, client, server = World.pair ~cfg () in
+    let tracer = Kernel.tracer server in
+    Kernel.set_tracing server true;
+    (match List.concat classes with
+    | [] -> ()
+    | cs -> Trace.set_filter tracer cs);
+    let sink = Blast.start_sink server ~port:9000 () in
+    let src =
+      Blast.start_source (World.engine w) (Kernel.nic client)
+        ~src:(Kernel.ip_address client)
+        ~dst:(Kernel.ip_address server, 9000)
+        ~rate ~size:14 ~until:(Time.sec duration) ()
+    in
+    World.run w ~until:(Time.sec duration);
+    Trace.write_file tracer ~format:trace_format trace_file;
+    Printf.printf "%s: offered %.0f pkts/s for %.1fs; sent %d, delivered %d\n"
+      (Kernel.arch_name arch) rate duration src.Blast.sent sink.Blast.received;
+    Printf.printf "  %d events buffered (%d overwritten) -> %s (%s)\n"
+      (Trace.length tracer) (Trace.dropped tracer) trace_file
+      (match trace_format with
+      | `Chrome -> "chrome"
+      | `Csv -> "csv"
+      | `Text -> "text");
+    (* Self-check: a chrome trace must round-trip through a JSON parser. *)
+    (match trace_format with
+    | `Chrome -> (
+        let ic = open_in_bin trace_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Lrp_trace.Json.parse s with
+        | Ok _ -> Printf.printf "  chrome JSON validated (%d bytes)\n" n
+        | Error e ->
+            Printf.eprintf "  chrome JSON INVALID: %s\n" e;
+            exit 1)
+    | `Csv | `Text -> ());
+    Format.printf "%a@."
+      Trace.Report.pp
+      (Trace.Report.stage_latency (Trace.events tracer))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one UDP overload point with structured tracing enabled and \
+          write the event stream to a file")
+    Term.(
+      const run $ arch $ rate $ duration $ trace_file $ trace_format $ classes)
+
 let main () =
   let info = Cmd.info "lrp_sim" ~doc:"LRP (OSDI'96) reproduction harness" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -169,6 +273,6 @@ let main () =
     (Cmd.eval
        (Cmd.group ~default info
           [ table1_cmd; fig3_cmd; mlfrr_cmd; fig4_cmd; table2_cmd; fig5_cmd;
-            ablations_cmd; blast_cmd; gateway_cmd ]))
+            ablations_cmd; blast_cmd; gateway_cmd; trace_cmd ]))
 
 let () = main ()

@@ -43,6 +43,7 @@ let create ?(seed = 42) () =
     fns = [||]; state = Bytes.empty; gens = [||]; free = [||]; free_top = 0 }
 
 let now t = t.clock
+let clock t () = t.clock
 
 let rng t = t.root_rng
 

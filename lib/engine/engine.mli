@@ -22,6 +22,11 @@ val create : ?seed:int -> unit -> t
 val now : t -> Time.t
 (** Current virtual time. *)
 
+val clock : t -> unit -> Time.t
+(** [clock t] is a closure reading the virtual clock — the [now] callback
+    handed to per-kernel tracers and metrics registries, which must not
+    depend on this module. *)
+
 val rng : t -> Rng.t
 (** The engine's root RNG.  Long-lived components should [Rng.split] their
     own stream off it at setup time. *)

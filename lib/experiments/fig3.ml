@@ -28,10 +28,13 @@ type point = {
 type row = { system : Common.system; points : point list }
 
 (* One run: blast at [rate] for [duration]; delivered rate measured over
-   the steady-state window (skipping warmup). *)
-let measure ?(seed = Common.default_seed) sys ~rate ~duration =
+   the steady-state window (skipping warmup).  Returns the server kernel
+   too so [measure_traced] can pull its tracer and metrics. *)
+let measure_on ?(seed = Common.default_seed) ?(trace = false) sys ~rate
+    ~duration =
   let cfg = Common.config_of_system sys in
   let w, client, server = World.pair ~seed ~cfg () in
+  if trace then Kernel.set_tracing server true;
   let sink = Blast.start_sink server ~port:9000 () in
   let warmup = Time.ms 200. in
   ignore
@@ -47,9 +50,22 @@ let measure ?(seed = Common.default_seed) sys ~rate ~duration =
     float_of_int (sink.Blast.received - base) *. 1e6 /. duration
   in
   let st = Kernel.stats server in
-  { offered = rate; delivered;
-    discards = Kernel.early_discards server;
-    ipq_drops = st.Kernel.ipq_drops }
+  ({ offered = rate; delivered;
+     discards = Kernel.early_discards server;
+     ipq_drops = st.Kernel.ipq_drops },
+   server)
+
+let measure ?seed sys ~rate ~duration =
+  fst (measure_on ?seed sys ~rate ~duration)
+
+(* [measure] with the server kernel's structured tracer enabled for the
+   whole run: returns the datapoint plus the tracer (ring buffer of
+   packet-lifecycle events, ready for {!Lrp_trace.Trace.write_file} or
+   {!Lrp_trace.Trace.Report.stage_latency}) and a metrics snapshot. *)
+let measure_traced ?seed sys ~rate ~duration =
+  let point, server = measure_on ?seed ~trace:true sys ~rate ~duration in
+  (point, Kernel.tracer server,
+   Lrp_trace.Metrics.snapshot (Kernel.metrics server))
 
 let default_rates =
   [ 1_000.; 2_000.; 4_000.; 6_000.; 8_000.; 10_000.; 12_000.; 14_000.;

@@ -23,6 +23,16 @@ type point = {
 type row = { system : Common.system; points : point list; }
 val measure :
   ?seed:int -> Common.system -> rate:float -> duration:float -> point
+
+val measure_traced :
+  ?seed:int -> Common.system -> rate:float -> duration:float ->
+  point * Lrp_trace.Trace.t * (string * float) list
+(** [measure] with the server kernel's structured tracer enabled for the
+    whole run.  Also returns the tracer (for sinks or the stage-latency
+    report) and the final metrics snapshot.  The datapoint is identical
+    to an untraced [measure] with the same seed: tracing only records,
+    it never perturbs the simulation. *)
+
 val default_rates : float list
 
 val run :

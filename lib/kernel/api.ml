@@ -22,6 +22,7 @@ open Lrp_core
 type dgram = Socket.udp_datagram = {
   dg_payload : Payload.t;
   dg_from : Packet.ip * int;
+  dg_pkt : int;
 }
 
 exception Socket_closed
@@ -187,6 +188,8 @@ let pop_ready k (sock : Socket.t) =
         (len + Packet.ip_header_bytes + Packet.udp_header_bytes);
       sock.Socket.stats.Socket.rx_delivered <-
         sock.Socket.stats.Socket.rx_delivered + 1;
+      Lrp_trace.Trace.syscall_copyout (Kernel.tracer k)
+        ~pkt:dg.Socket.dg_pkt ~sock:sock.Socket.id ~bytes:len;
       Some dg
 
 (* [recvfrom k ~self sock] blocks until a datagram is available and returns

@@ -18,6 +18,7 @@ type dgram =
   Socket.udp_datagram = {
   dg_payload : Lrp_net.Payload.t;
   dg_from : Lrp_net.Packet.ip * int;
+  dg_pkt : int;  (** originating packet's IP ident, for tracing *)
 }
 (** A received datagram: payload plus source address. *)
 

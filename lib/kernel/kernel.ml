@@ -30,6 +30,8 @@ open Lrp_sim
 open Lrp_net
 open Lrp_proto
 open Lrp_core
+module Trace = Lrp_trace.Trace
+module Metrics = Lrp_trace.Metrics
 
 type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux
 
@@ -134,6 +136,9 @@ type t = {
   mutable tcp_env : Tcp.env option;
   mutable eph_port : int;
   stats : kstats;
+  (* --- observability (per-kernel: parallel sweeps never share these) --- *)
+  tracer : Trace.t;
+  metrics : Metrics.t;
 }
 
 let name t = t.kname
@@ -183,12 +188,23 @@ let early_discards t =
     (fun acc ch -> acc + Channel.discarded ch + Channel.discarded_disabled ch)
     0 t.all_channels
 
+let tracer t = t.tracer
+let metrics t = t.metrics
+
+let set_tracing t on = Trace.set_enabled t.tracer on
+let tracing t = Trace.enabled t.tracer
+
+(* Deprecated shim: kernels created while this is set start with tracing
+   enabled.  It used to route debug printf's straight to stdout, which
+   interleaved arbitrarily across domains under [--jobs N]; debug notes now
+   land in the per-kernel ring buffer instead (dump with
+   [Trace.to_text]). *)
 let debug_trace = ref false
 
 let trc t fmt =
-  if !debug_trace then
-    Printf.printf ("[%.1f %s] " ^^ fmt ^^ "\n") (Engine.now t.engine) t.kname
-  else Printf.ifprintf stdout fmt
+  if Trace.enabled t.tracer then
+    Printf.ksprintf (fun s -> Trace.note t.tracer s) fmt
+  else Printf.ifprintf () fmt
 
 let tcp_env_exn t =
   match t.tcp_env with Some e -> e | None -> assert false
@@ -292,6 +308,9 @@ and drain_tcp_channel t ch =
    extra segments the state machine emitted beyond the one emission already
    included in [tcp_in]. *)
 and tcp_deliver t conn pkt ~ctx =
+  Trace.proto_deliver t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+    ~conn:conn.Tcp.id
+    ~in_proc:(match ctx with `Proc -> true | `Soft -> false);
   let before = conn.Tcp.segs_sent in
   Tcp.input conn pkt;
   let extra = conn.Tcp.segs_sent - before - 1 in
@@ -522,7 +541,8 @@ let datagram_of (pkt : Packet.t) =
   match pkt.Packet.body with
   | Packet.Udp (u, payload) ->
       { Socket.dg_payload = payload;
-        dg_from = (pkt.Packet.ip.Packet.src, u.Packet.usrc_port) }
+        dg_from = (pkt.Packet.ip.Packet.src, u.Packet.usrc_port);
+        dg_pkt = pkt.Packet.ip.Packet.ident }
   | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ ->
       invalid_arg "datagram_of: not a UDP datagram"
 
@@ -538,12 +558,21 @@ let peer_accepts t (sock : Socket.t) (dg : Socket.udp_datagram) =
       false
   | Some _ | None -> true
 
+(* Trace the terminal outcome of a deposit attempt. *)
+let trace_deposit t (sock : Socket.t) (dg : Socket.udp_datagram) ok =
+  if ok then
+    Trace.sock_enqueue t.tracer ~pkt:dg.Socket.dg_pkt ~sock:sock.Socket.id
+  else Trace.sock_drop t.tracer ~pkt:dg.Socket.dg_pkt ~sock:sock.Socket.id
+
 let deposit_and_wake t sock dg =
-  if peer_accepts t sock dg then
-    if Socket.deposit_udp sock dg then begin
+  if peer_accepts t sock dg then begin
+    let ok = Socket.deposit_udp sock dg in
+    trace_deposit t sock dg ok;
+    if ok then begin
       t.stats.udp_delivered <- t.stats.udp_delivered + 1;
       wake_one t sock.Socket.recv_wait
     end
+  end
 
 let deliver_udp_ready t (pkt : Packet.t) =
   match pkt.Packet.body with
@@ -568,7 +597,9 @@ let deliver_udp_ready t (pkt : Packet.t) =
                     | Soft_lrp | Ni_lrp -> true
                   in
                   if dup_ok then begin
-                    if Socket.deposit_udp sock dg then begin
+                    let ok = Socket.deposit_udp sock dg in
+                    trace_deposit t sock dg ok;
+                    if ok then begin
                       t.stats.udp_delivered <- t.stats.udp_delivered + 1;
                       wake_one t sock.Socket.recv_wait
                     end
@@ -587,13 +618,17 @@ let deliver_udp_ready t (pkt : Packet.t) =
              let dg = datagram_of pkt in
              if not (peer_accepts t sock dg) then
                free_rx_mbufs t (Packet.wire_bytes pkt)
-             else if Socket.deposit_udp sock dg then begin
-               t.stats.udp_delivered <- t.stats.udp_delivered + 1;
-               wake_one t sock.Socket.recv_wait
-             end
-             else
-               (* Socket queue overflow: the BSD drop point. *)
-               free_rx_mbufs t (Packet.wire_bytes pkt))
+             else begin
+               let ok = Socket.deposit_udp sock dg in
+               trace_deposit t sock dg ok;
+               if ok then begin
+                 t.stats.udp_delivered <- t.stats.udp_delivered + 1;
+                 wake_one t sock.Socket.recv_wait
+               end
+               else
+                 (* Socket queue overflow: the BSD drop point. *)
+                 free_rx_mbufs t (Packet.wire_bytes pkt)
+             end)
   | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ -> ()
 
 let icmp_reply t (pkt : Packet.t) =
@@ -621,7 +656,10 @@ let deliver_tcp t (pkt : Packet.t) ~ctx =
    softint context under BSD / Early-Demux. *)
 let bsd_transport_input t (pkt : Packet.t) =
   match pkt.Packet.body with
-  | Packet.Udp _ -> deliver_udp_ready t pkt
+  | Packet.Udp _ ->
+      Trace.proto_deliver t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~conn:(-1)
+        ~in_proc:false;
+      deliver_udp_ready t pkt
   | Packet.Tcp _ ->
       free_rx_mbufs t (Packet.wire_bytes pkt);
       deliver_tcp t pkt ~ctx:`Soft
@@ -684,6 +722,7 @@ let bsd_softnet t pkt () =
         (* Completion discovered while processing a fragment: the transport
            processing is a separate softint activation. *)
         Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
+          ~tpkt:whole.Packet.ip.Packet.ident
           ~cost:(transport_cost t whole ~skip_pcb:false)
           (fun () -> bsd_transport_input t whole)
       else bsd_transport_input t whole
@@ -695,12 +734,15 @@ let bsd_driver_rx t pkt () =
     (* The shared IP queue is full: the drop point that couples unrelated
        sockets under BSD (section 2.2). *)
     t.stats.ipq_drops <- t.stats.ipq_drops + 1;
+    Trace.ipq_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~qlen:t.ipq_len;
     Mbuf.free t.mbufs ~bytes:(Packet.wire_bytes pkt)
   end
   else begin
     t.ipq_len <- t.ipq_len + 1;
-    Cpu.post_soft t.cpu ~label:"softnet" ~cost:(bsd_soft_cost t pkt)
-      (bsd_softnet t pkt)
+    Trace.ipq_enqueue t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+      ~qlen:t.ipq_len;
+    Cpu.post_soft t.cpu ~label:"softnet" ~tpkt:pkt.Packet.ip.Packet.ident
+      ~cost:(bsd_soft_cost t pkt) (bsd_softnet t pkt)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -731,6 +773,8 @@ let lrp_classify_rx t pkt =
   let flow = Demux.flow_of_packet pkt in
   match Chantab.resolve t.chantab flow with
   | None ->
+      Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~chan:(-1)
+        ~flow:(Demux.flow_id flow);
       (match flow with
        | Demux.Tcp_flow _ ->
            (* No endpoint: the protocol-proxy daemon answers with an RST on
@@ -743,8 +787,13 @@ let lrp_classify_rx t pkt =
        | Demux.Other_flow _ ->
            t.stats.demux_drops <- t.stats.demux_drops + 1)
   | Some ch ->
+      Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+        ~chan:(Channel.id ch) ~flow:(Demux.flow_id flow);
       (match Channel.enqueue ch pkt with
-       | Channel.Discarded -> () (* early packet discard, counted per channel *)
+       | Channel.Discarded ->
+           (* Early packet discard, counted per channel. *)
+           Trace.early_discard t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+             ~chan:(Channel.id ch)
        | Channel.Queued transition ->
            (match flow with
             | Demux.Udp_flow { dst_port = dst_port_of_flow; _ } ->
@@ -809,7 +858,12 @@ let edemux_rx t pkt () =
   end
   else
   let flow = Demux.flow_of_packet pkt in
-  let drop () = t.stats.edemux_early_drops <- t.stats.edemux_early_drops + 1 in
+  Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~chan:(-1)
+    ~flow:(Demux.flow_id flow);
+  let drop () =
+    t.stats.edemux_early_drops <- t.stats.edemux_early_drops + 1;
+    Trace.early_discard t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~chan:(-1)
+  in
   let eager_process ~skip_pcb =
     let frag_extra =
       if Packet.is_fragment pkt then
@@ -827,12 +881,14 @@ let edemux_rx t pkt () =
     if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then
       t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
     else
-      Cpu.post_soft t.cpu ~label:"softnet" ~cost (fun () ->
+      Cpu.post_soft t.cpu ~label:"softnet" ~tpkt:pkt.Packet.ip.Packet.ident
+        ~cost (fun () ->
           match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
           | None -> ()
           | Some whole ->
               if Packet.is_fragment pkt then
                 Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
+                  ~tpkt:whole.Packet.ip.Packet.ident
                   ~cost:(transport_cost t whole ~skip_pcb)
                   (fun () -> bsd_transport_input t whole)
               else bsd_transport_input t whole)
@@ -877,12 +933,12 @@ let rx_dispatch t pkt =
   t.stats.rx_frames <- t.stats.rx_frames + 1;
   match t.cfg.arch with
   | Bsd ->
-      Cpu.post_hard t.cpu ~label:"rx-intr"
+      Cpu.post_hard t.cpu ~label:"rx-intr" ~tpkt:pkt.Packet.ip.Packet.ident
         ~cost:(t.c.Cost.hard_rx +. t.c.Cost.ipq_op)
         (bsd_driver_rx t pkt)
   | Soft_lrp ->
       (* Soft demux: classification runs in the hardware interrupt. *)
-      Cpu.post_hard t.cpu ~label:"rx-demux"
+      Cpu.post_hard t.cpu ~label:"rx-demux" ~tpkt:pkt.Packet.ip.Packet.ident
         ~cost:(t.c.Cost.hard_rx +. t.c.Cost.demux)
         (fun () -> lrp_classify_rx t pkt)
   | Ni_lrp ->
@@ -890,7 +946,7 @@ let rx_dispatch t pkt =
          processor — zero host CPU. *)
       lrp_classify_rx t pkt
   | Early_demux ->
-      Cpu.post_hard t.cpu ~label:"rx-demux"
+      Cpu.post_hard t.cpu ~label:"rx-demux" ~tpkt:pkt.Packet.ip.Packet.ident
         ~cost:(t.c.Cost.hard_rx +. t.c.Cost.demux)
         (edemux_rx t pkt)
 
@@ -917,6 +973,10 @@ let drain_frag_channel t ~charge =
    context.  Returns completed datagrams (usually one; fragments may
    complete zero or several including via the fragment channel). *)
 let lrp_process_udp_raw t ~charge pkt =
+  (* Lazy protocol processing starts here, in the receiver's own context;
+     the deposit that follows the charges closes the proc-proto stage. *)
+  Trace.proto_deliver t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~conn:(-1)
+    ~in_proc:true;
   (* Channel buffer management, plus the NI-memory access under NI
      demux. *)
   charge
@@ -954,6 +1014,8 @@ let helper_loop t =
          worked := true;
          List.iter
            (fun whole ->
+             Trace.proto_deliver t.tracer ~pkt:whole.Packet.ip.Packet.ident
+               ~conn:(-1) ~in_proc:true;
              charge (t.c.Cost.lazy_locality *. t.c.Cost.udp_in);
              deliver_udp_ready t whole)
            completed);
@@ -1033,8 +1095,11 @@ let create engine fabric ~name ~ip cfg =
     Cpu.create engine ~ctx_switch_cost:cfg.costs.Cost.ctx_switch ~name ()
   in
   let nic = Fabric.make_nic fabric ~name:(name ^ ".nic") ~ip () in
+  let tracer = Trace.create ~name ~now:(Engine.clock engine) () in
+  let metrics = Metrics.create () in
   let t =
     { kname = name; engine; cpu; nic; cfg; c = cfg.costs; ip_addr = ip;
+      tracer; metrics;
       ipq_len = 0; mbufs = Mbuf.create ~capacity:cfg.mbuf_capacity ();
       interfaces = [];
       udp_ports = Hashtbl.create 64; tcp_conns = Hashtbl.create 256;
@@ -1059,6 +1124,38 @@ let create engine fabric ~name ~ip cfg =
     [ Chantab.frag_channel t.chantab; Chantab.icmp_channel t.chantab;
       Chantab.fwd_channel t.chantab ];
   Nic.set_rx_handler nic (fun pkt -> rx_dispatch t pkt);
+  Cpu.set_tracer cpu tracer;
+  Nic.set_tracer nic tracer;
+  if !debug_trace then Trace.set_enabled tracer true;
+  (* Expose kernel state as pull gauges; components register their own
+     instruments under their prefixes.  All callbacks read only this
+     kernel's state, so snapshots stay race-free under parallel sweeps. *)
+  let g nm f = Metrics.gauge metrics nm (fun () -> float_of_int (f ())) in
+  g "kernel.rx_frames" (fun () -> t.stats.rx_frames);
+  g "kernel.ipq_drops" (fun () -> t.stats.ipq_drops);
+  g "kernel.mbuf_drops" (fun () -> t.stats.mbuf_drops);
+  g "kernel.no_port_drops" (fun () -> t.stats.no_port_drops);
+  g "kernel.demux_drops" (fun () -> t.stats.demux_drops);
+  g "kernel.edemux_early_drops" (fun () -> t.stats.edemux_early_drops);
+  g "kernel.udp_delivered" (fun () -> t.stats.udp_delivered);
+  g "kernel.rx_wrong_peer" (fun () -> t.stats.rx_wrong_peer);
+  g "kernel.forwarded" (fun () -> t.stats.forwarded);
+  g "kernel.fwd_drops" (fun () -> t.stats.fwd_drops);
+  g "kernel.rsts_sent" (fun () -> t.stats.rsts_sent);
+  g "kernel.ipq_len" (fun () -> t.ipq_len);
+  g "kernel.channels" (fun () -> List.length t.all_channels);
+  g "kernel.early_discards" (fun () -> early_discards t);
+  List.iter
+    (fun key ->
+      g ("tcp." ^ key) (fun () ->
+          Hashtbl.fold
+            (fun _ conn acc -> acc + List.assoc key (Tcp.counters conn))
+            t.tcp_conns 0))
+    [ "segs_sent"; "segs_rcvd"; "bytes_sent"; "bytes_rcvd"; "retransmits";
+      "syn_drops_backlog" ];
+  Cpu.register_metrics cpu metrics ~prefix:"cpu";
+  Nic.register_metrics nic metrics ~prefix:"nic";
+  Ip.Reasm.register_metrics t.reasm metrics ~prefix:"reasm";
   (* Periodic reassembly pruning (ip_slowtimo). *)
   let rec slowtimo () =
     ignore (Ip.Reasm.prune t.reasm ~now:(now t));
@@ -1102,5 +1199,8 @@ let add_interface t fabric ~ip ?(masklen = 24) () =
                                     (List.length t.interfaces)) ~ip ()
   in
   Nic.set_rx_handler nic (fun pkt -> rx_dispatch t pkt);
+  Nic.set_tracer nic t.tracer;
+  Nic.register_metrics nic t.metrics
+    ~prefix:(Printf.sprintf "nic%d" (List.length t.interfaces));
   t.interfaces <- t.interfaces @ [ (ip, masklen, nic) ];
   nic

@@ -105,6 +105,8 @@ type t = {
   mutable tcp_env : Lrp_proto.Tcp.env option;
   mutable eph_port : int;
   stats : kstats;
+  tracer : Lrp_trace.Trace.t;
+  metrics : Lrp_trace.Metrics.t;
 }
 val name : t -> string
 val cpu : t -> Lrp_sim.Cpu.t
@@ -127,12 +129,30 @@ val drop_channel : t -> int -> unit
     list). *)
 
 val early_discards : t -> int
-val debug_trace : bool ref
-(** When set, kernel-internal events (channel enqueues, APP scheduling)
-    are printed with timestamps — a lightweight tracer for debugging
-    scenarios. *)
 
-val trc : t -> ('a, out_channel, unit, unit, unit, unit) format6 -> 'a
+val tracer : t -> Lrp_trace.Trace.t
+(** The kernel's structured tracer.  Disabled by default; enable with
+    {!set_tracing} (or {!Lrp_trace.Trace.set_enabled}) to record packet
+    lifecycle and scheduler events into the per-kernel ring buffer. *)
+
+val metrics : t -> Lrp_trace.Metrics.t
+(** The kernel's metrics registry.  Kernel, CPU, NIC, reassembly and TCP
+    instruments are registered at construction; snapshot with
+    {!Lrp_trace.Metrics.snapshot}. *)
+
+val set_tracing : t -> bool -> unit
+val tracing : t -> bool
+
+val debug_trace : bool ref
+(** Deprecated shim for the old global debug flag: kernels created while
+    it is set start with structured tracing enabled.  Prefer
+    {!set_tracing} on the specific kernel — a global flag is racy under
+    parallel sweeps. *)
+
+val trc : t -> ('a, unit, string, unit) format4 -> 'a
+(** Formatted note into the kernel's tracer ([Note] event class); a no-op
+    when tracing is disabled. *)
+
 val tcp_env_exn : t -> Lrp_proto.Tcp.env
 val ip_output : t -> Lrp_net.Packet.t -> unit
 val seg_out_cost : t -> float

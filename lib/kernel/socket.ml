@@ -16,7 +16,11 @@ open Lrp_sim
 
 type kind = Dgram | Stream
 
-type udp_datagram = { dg_payload : Payload.t; dg_from : Packet.ip * int }
+type udp_datagram = {
+  dg_payload : Payload.t;
+  dg_from : Packet.ip * int;
+  dg_pkt : int;  (* originating packet's IP ident, for tracing *)
+}
 
 type stats = {
   mutable rx_delivered : int;   (* datagrams handed to the application *)

@@ -15,6 +15,7 @@ type kind = Dgram | Stream
 type udp_datagram = {
   dg_payload : Lrp_net.Payload.t;
   dg_from : Lrp_net.Packet.ip * int;
+  dg_pkt : int;  (** originating packet's IP ident, for tracing *)
 }
 type stats = {
   mutable rx_delivered : int;

@@ -37,6 +37,7 @@ type t = {
   mutable rx_handler : Packet.t -> unit;
   mutable deliver : Packet.t -> unit;  (* wired to the fabric *)
   stats : stats;
+  mutable tracer : Lrp_trace.Trace.t;  (* owning kernel's; disabled default *)
 }
 
 let mbps_to_bytes_per_us mbps = mbps *. 1e6 /. 8. /. 1e6
@@ -48,11 +49,22 @@ let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
     ifq = Queue.create (); tx_busy = false;
     rx_handler = (fun _ -> ());
     deliver = (fun _ -> ());
-    stats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; tx_drops = 0 } }
+    stats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; tx_drops = 0 };
+    tracer = Lrp_trace.Trace.null () }
 
 let name t = t.nic_name
 let ip t = t.ip
 let stats t = t.stats
+let set_tracer t tr = t.tracer <- tr
+
+let register_metrics t m ~prefix =
+  let module Metrics = Lrp_trace.Metrics in
+  let gauge suffix f = Metrics.gauge m (prefix ^ suffix) f in
+  gauge ".tx_packets" (fun () -> float_of_int t.stats.tx_packets);
+  gauge ".tx_bytes" (fun () -> float_of_int t.stats.tx_bytes);
+  gauge ".rx_packets" (fun () -> float_of_int t.stats.rx_packets);
+  gauge ".tx_drops" (fun () -> float_of_int t.stats.tx_drops);
+  gauge ".ifq_len" (fun () -> float_of_int (Queue.length t.ifq))
 
 let set_rx_handler t f = t.rx_handler <- f
 
@@ -100,4 +112,6 @@ let ifq_length t = Queue.length t.ifq
 (* Called by the fabric when a frame reaches this NIC. *)
 let receive t pkt =
   t.stats.rx_packets <- t.stats.rx_packets + 1;
+  Lrp_trace.Trace.nic_rx t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+    ~bytes:(Packet.wire_bytes pkt);
   t.rx_handler pkt

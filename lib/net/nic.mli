@@ -34,6 +34,7 @@ type t = {
   mutable rx_handler : Packet.t -> unit;
   mutable deliver : Packet.t -> unit;
   stats : stats;
+  mutable tracer : Lrp_trace.Trace.t;
 }
 val mbps_to_bytes_per_us : float -> float
 (** Unit helper: link rate in Mbit/s to bytes per microsecond. *)
@@ -46,6 +47,14 @@ val create :
 val name : t -> string
 val ip : t -> Packet.ip
 val stats : t -> stats
+
+(** Install the owning kernel's tracer; the NIC stamps a [Nic_rx] event
+    per received frame. *)
+val set_tracer : t -> Lrp_trace.Trace.t -> unit
+
+(** Expose tx/rx packet and byte counts, tx drops and the instantaneous
+    interface-queue length under [prefix]. *)
+val register_metrics : t -> Lrp_trace.Metrics.t -> prefix:string -> unit
 val set_rx_handler : t -> (Packet.t -> unit) -> unit
 (** Install the kernel's receive path.  The handler runs in NI context
     (an engine event, zero host CPU); what it posts to the host CPU is the

@@ -27,6 +27,16 @@ type flow =
   | Icmp_flow
   | Other_flow of int  (* unknown IP protocol *)
 
+(* Compact identifier for trace events: flows of different protocols land
+   in disjoint ranges so a trace line is unambiguous without the full
+   structured value. *)
+let flow_id = function
+  | Udp_flow { dst_port; _ } -> dst_port
+  | Tcp_flow { dst_port; _ } -> 100_000 + dst_port
+  | Frag_flow { ident; _ } -> 200_000 + ident
+  | Icmp_flow -> 300_000
+  | Other_flow p -> 400_000 + p
+
 let pp_flow fmt = function
   | Udp_flow { src; src_port; dst_port } ->
       Fmt.pf fmt "udp %a:%d->:%d" Packet.pp_ip src src_port dst_port

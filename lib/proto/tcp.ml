@@ -721,3 +721,9 @@ let sndq_room c = max 0 (c.sndq_limit - (c.unsent_bytes + (c.snd_nxt - c.snd_una
 let readable c = c.rcvq_bytes > 0 || c.fin_received || c.state = Closed
 
 let state c = c.state
+
+let counters c =
+  [ ("segs_sent", c.segs_sent); ("segs_rcvd", c.segs_rcvd);
+    ("bytes_sent", c.bytes_sent); ("bytes_rcvd", c.bytes_rcvd);
+    ("retransmits", c.retransmits);
+    ("syn_drops_backlog", c.syn_drops_backlog) ]

@@ -157,3 +157,8 @@ val state : conn -> state
 
 val advertised_window : conn -> int
 (** The receive window this end currently advertises. *)
+
+val counters : conn -> (string * int) list
+(** The connection's traffic counters as name/value pairs, for metrics
+    registration and reporting: segments and bytes in each direction,
+    retransmits and backlog SYN drops. *)

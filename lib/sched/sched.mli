@@ -110,4 +110,8 @@ val decay : t -> unit
 
 val load_average : t -> float
 
+val register_metrics : t -> Lrp_trace.Metrics.t -> prefix:string -> unit
+(** Expose load average, runnable count and thread count as pull gauges
+    under [prefix]. *)
+
 val pp_thread : Format.formatter -> thread -> unit

@@ -1,7 +1,10 @@
 open Lrp_engine
 module Sched = Lrp_sched.Sched
+module Trace = Lrp_trace.Trace
 
-type work = { label : string; mutable left : float; action : unit -> unit }
+(* [tpkt] is the packet ident this work processes, or -1: it keys the
+   tracer's per-packet software-interrupt spans. *)
+type work = { label : string; mutable left : float; tpkt : int; action : unit -> unit }
 
 type who = Whard of work | Wsoft of work | Wuser of Proc.t
 
@@ -35,11 +38,26 @@ type t = {
   mutable n_soft_dispatch : int;
   mutable n_hard_dispatch : int;
   created_at : Time.t;
+  mutable tracer : Trace.t;  (* owning kernel's tracer; disabled by default *)
 }
 
 let name t = t.cpu_name
 let engine t = t.engine
 let sched t = t.sched
+let set_tracer t tr = t.tracer <- tr
+
+(* Trace bracketing for interrupt-level work.  Emitters are no-ops on a
+   disabled tracer, so these cost one branch each on the hot path. *)
+
+let trace_work_begin t level (w : work) =
+  Trace.intr_enter t.tracer ~level ~label:w.label;
+  if w.tpkt >= 0 && level = Trace.Soft then
+    Trace.softint_begin t.tracer ~pkt:w.tpkt
+
+let trace_work_end t level (w : work) =
+  if w.tpkt >= 0 && level = Trace.Soft then
+    Trace.softint_end t.tracer ~pkt:w.tpkt;
+  Trace.intr_exit t.tracer ~level ~label:w.label
 
 (* ------------------------------------------------------------------ *)
 (* Accounting                                                          *)
@@ -78,9 +96,12 @@ let stop_running t =
       (match r.r_who with
        | Whard w ->
            w.left <- left;
+           trace_work_end t Trace.Hard w;
            Deque.push_front t.hardq w
        | Wsoft w ->
            w.left <- left;
+           (* Preempted: close the span; re-dispatch opens a new one. *)
+           trace_work_end t Trace.Soft w;
            Deque.push_front t.softq w
        | Wuser p -> p.Proc.work_left <- left);
       t.running <- None
@@ -91,7 +112,12 @@ let rec segment_done t () =
   r.r_ev <- None;
   t.running <- None;
   (match r.r_who with
-   | Whard w | Wsoft w -> w.action ()
+   | Whard w ->
+       w.action ();
+       trace_work_end t Trace.Hard w
+   | Wsoft w ->
+       w.action ();
+       trace_work_end t Trace.Soft w
    | Wuser p ->
        p.Proc.work_left <- 0.;
        p.Proc.pending <- Proc.Resume;
@@ -120,6 +146,7 @@ and run_instant t (p : Proc.t) =
 
 and reap t (p : Proc.t) =
   let now = Engine.now t.engine in
+  Trace.thread_state t.tracer ~pid:p.Proc.pid ~state:Trace.Exited;
   p.Proc.exited <- true;
   p.Proc.exited_at <- now;
   Sched.exit_thread t.sched p.Proc.thread;
@@ -131,6 +158,7 @@ and reap t (p : Proc.t) =
 
 and wake t (q : Proc.t) =
   if not q.Proc.exited then begin
+    Trace.thread_state t.tracer ~pid:q.Proc.pid ~state:Trace.Runnable;
     q.Proc.pending <- Proc.Resume;
     Sched.make_runnable t.sched ~now:(Engine.now t.engine) q.Proc.thread;
     (* BSD preemption point: a wakeup may preempt a worse-priority curproc. *)
@@ -159,12 +187,16 @@ and handler : type r. t -> Proc.t -> (r, unit) Effect.Deep.handler =
                 p.Proc.k <- Some k;
                 p.Proc.pending <- Proc.Blocked;
                 wq.Proc.waiters <- wq.Proc.waiters @ [ p ];
+                Trace.thread_state t.tracer ~pid:p.Proc.pid
+                  ~state:Trace.Sleeping;
                 Sched.sleep t.sched ~now:(Engine.now t.engine) p.Proc.thread)
         | Proc.Sleep d ->
             Some
               (fun (k : (a, unit) continuation) ->
                 p.Proc.k <- Some k;
                 p.Proc.pending <- Proc.Blocked;
+                Trace.thread_state t.tracer ~pid:p.Proc.pid
+                  ~state:Trace.Sleeping;
                 Sched.sleep t.sched ~now:(Engine.now t.engine) p.Proc.thread;
                 ignore
                   (Engine.schedule_after t.engine ~delay:d (fun () ->
@@ -194,6 +226,7 @@ and begin_timed t (p : Proc.t) =
       p.Proc.overhead_time <- p.Proc.overhead_time +. overhead
     end;
     t.n_ctx_switch <- t.n_ctx_switch + 1;
+    Trace.ctx_switch t.tracer ~from_pid:t.last_user ~to_pid:p.Proc.pid;
     t.last_user <- p.Proc.pid
   end;
   t.cur <- Some p;
@@ -207,6 +240,8 @@ and begin_work t who (w : work) =
   (match who with
    | `Hard -> t.n_hard_dispatch <- t.n_hard_dispatch + 1
    | `Soft -> t.n_soft_dispatch <- t.n_soft_dispatch + 1);
+  let lvl = match who with `Hard -> Trace.Hard | `Soft -> Trace.Soft in
+  trace_work_begin t lvl w;
   let r_who = match who with `Hard -> Whard w | `Soft -> Wsoft w in
   let r = { r_who; r_left = w.left; r_started = now; r_ev = None } in
   t.running <- Some r;
@@ -214,6 +249,7 @@ and begin_work t who (w : work) =
     (* Zero-cost work completes immediately. *)
     t.running <- None;
     w.action ();
+    trace_work_end t lvl w;
     t.redo <- true
   end
   else
@@ -333,7 +369,8 @@ let create engine ?(ctx_switch_cost = 0.) ?(start_clock = true) ~name () =
       procs = Hashtbl.create 17; next_pid = 1; running = None; cur = None;
       last_user = -1; in_dispatch = false; redo = false; force_resched = false;
       t_hard = 0.; t_soft = 0.; t_user = 0.; n_ctx_switch = 0;
-      n_soft_dispatch = 0; n_hard_dispatch = 0; created_at = Engine.now engine }
+      n_soft_dispatch = 0; n_hard_dispatch = 0; created_at = Engine.now engine;
+      tracer = Trace.null () }
   in
   if start_clock then begin
     install_tick t;
@@ -357,6 +394,7 @@ let spawn t ?(nice = 0) ?(working_set = 0.) ~name body =
   in
   t.next_pid <- t.next_pid + 1;
   Hashtbl.add t.procs (Sched.tid thread) p;
+  Trace.thread_state t.tracer ~pid:p.Proc.pid ~state:Trace.Spawned;
   guarded t (fun () ->
       Sched.make_runnable t.sched ~now:(Engine.now t.engine) thread);
   p
@@ -379,11 +417,13 @@ let wakeup_all t (wq : Proc.waitq) =
 
 let proc_count t = Hashtbl.length t.procs
 
-let post_hard t ?(label = "hardintr") ~cost action =
-  guarded t (fun () -> Deque.push_back t.hardq { label; left = cost; action })
+let post_hard t ?(label = "hardintr") ?(tpkt = -1) ~cost action =
+  guarded t (fun () ->
+      Deque.push_back t.hardq { label; left = cost; tpkt; action })
 
-let post_soft t ?(label = "softintr") ~cost action =
-  guarded t (fun () -> Deque.push_back t.softq { label; left = cost; action })
+let post_soft t ?(label = "softintr") ?(tpkt = -1) ~cost action =
+  guarded t (fun () ->
+      Deque.push_back t.softq { label; left = cost; tpkt; action })
 
 let set_account t (p : Proc.t) ~owner =
   ignore t;
@@ -414,3 +454,19 @@ let utilization t =
   if elapsed <= 0. then 0. else (t.t_hard +. t.t_soft +. t.t_user) /. elapsed
 
 let iter_procs t f = Hashtbl.iter (fun _ p -> f p) t.procs
+
+let register_metrics t m ~prefix =
+  let module Metrics = Lrp_trace.Metrics in
+  Metrics.gauge m (prefix ^ ".time_hard_us") (fun () -> t.t_hard);
+  Metrics.gauge m (prefix ^ ".time_soft_us") (fun () -> t.t_soft);
+  Metrics.gauge m (prefix ^ ".time_user_us") (fun () -> t.t_user);
+  Metrics.gauge m (prefix ^ ".time_idle_us") (fun () -> time_idle t);
+  Metrics.gauge m (prefix ^ ".ctx_switches") (fun () ->
+      float_of_int t.n_ctx_switch);
+  Metrics.gauge m (prefix ^ ".hard_dispatches") (fun () ->
+      float_of_int t.n_hard_dispatch);
+  Metrics.gauge m (prefix ^ ".soft_dispatches") (fun () ->
+      float_of_int t.n_soft_dispatch);
+  Metrics.gauge m (prefix ^ ".procs") (fun () ->
+      float_of_int (Hashtbl.length t.procs));
+  Sched.register_metrics t.sched m ~prefix:(prefix ^ ".sched")

@@ -60,13 +60,19 @@ val proc_count : t -> int
 
 (** {1 Interrupt work} *)
 
-val post_hard : t -> ?label:string -> cost:float -> (unit -> unit) -> unit
+val post_hard :
+  t -> ?label:string -> ?tpkt:int -> cost:float -> (unit -> unit) -> unit
 (** Enqueue hardware-interrupt work: after [cost] microseconds of CPU at
     hardware-interrupt level, [action] runs (instantaneously).  The action
-    typically moves a packet between queues and posts further work. *)
+    typically moves a packet between queues and posts further work.
+    [tpkt] is the packet ident this work processes (for tracing; default
+    [-1] = none). *)
 
-val post_soft : t -> ?label:string -> cost:float -> (unit -> unit) -> unit
-(** Enqueue software-interrupt work (BSD's softnet level). *)
+val post_soft :
+  t -> ?label:string -> ?tpkt:int -> cost:float -> (unit -> unit) -> unit
+(** Enqueue software-interrupt work (BSD's softnet level).  When [tpkt] is
+    given, the tracer brackets the timed segment in
+    [Softint_begin]/[Softint_end] events keyed by that packet. *)
 
 val set_account : t -> Proc.t -> owner:Proc.t option -> unit
 (** Redirect scheduler charging for a process (LRP's APP thread runs at its
@@ -99,3 +105,15 @@ val utilization : t -> float
 
 val iter_procs : t -> (Proc.t -> unit) -> unit
 (** Iterate over live (not yet reaped) processes. *)
+
+(** {1 Observability} *)
+
+val set_tracer : t -> Lrp_trace.Trace.t -> unit
+(** Install the owning kernel's tracer.  The CPU records interrupt
+    enter/exit spans, per-packet software-interrupt spans, context switches
+    and thread state changes into it; with no (or a disabled) tracer every
+    emission is a single branch. *)
+
+val register_metrics : t -> Lrp_trace.Metrics.t -> prefix:string -> unit
+(** Expose CPU time split, dispatch/switch counts, process count and the
+    scheduler's gauges under [prefix]. *)

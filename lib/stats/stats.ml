@@ -40,29 +40,56 @@ end
 (* --- reservoir for percentiles ---------------------------------------- *)
 
 module Samples = struct
-  type t = { mutable xs : float list; mutable n : int }
+  (* Growable array with a cached sort: [add] appends (amortised O(1),
+     invalidating the cache); the first percentile query after a batch of
+     adds sorts the filled prefix once, and subsequent queries are O(1).
+     Statistical queries on an empty store return [nan] (never raise). *)
+  type t = { mutable xs : float array; mutable n : int; mutable sorted : bool }
 
-  let create () = { xs = []; n = 0 }
+  let create () = { xs = [||]; n = 0; sorted = true }
 
   let add t x =
-    t.xs <- x :: t.xs;
-    t.n <- t.n + 1
+    (if t.n = Array.length t.xs then begin
+       let cap = max 16 (2 * t.n) in
+       let xs = Array.make cap 0. in
+       Array.blit t.xs 0 xs 0 t.n;
+       t.xs <- xs
+     end);
+    t.xs.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
 
   let count t = t.n
 
+  let ensure_sorted t =
+    if not t.sorted then begin
+      (* Sort only the filled prefix; the spare capacity stays untouched. *)
+      let a = Array.sub t.xs 0 t.n in
+      Array.sort Float.compare a;
+      Array.blit a 0 t.xs 0 t.n;
+      t.sorted <- true
+    end
+
   let percentile t p =
-    if t.n = 0 then 0.
+    if t.n = 0 then Float.nan
+    else if t.n = 1 then t.xs.(0)
     else begin
-      let a = Array.of_list t.xs in
-      Array.sort compare a;
-      let idx =
-        int_of_float (Float.round (p /. 100. *. float_of_int (Array.length a - 1)))
-      in
-      a.(max 0 (min (Array.length a - 1) idx))
+      ensure_sorted t;
+      let idx = int_of_float (Float.round (p /. 100. *. float_of_int (t.n - 1))) in
+      t.xs.(max 0 (min (t.n - 1) idx))
     end
 
   let median t = percentile t 50.
-  let mean t = if t.n = 0 then 0. else List.fold_left ( +. ) 0. t.xs /. float_of_int t.n
+
+  let mean t =
+    if t.n = 0 then Float.nan
+    else begin
+      let sum = ref 0. in
+      for i = 0 to t.n - 1 do
+        sum := !sum +. t.xs.(i)
+      done;
+      !sum /. float_of_int t.n
+    end
 end
 
 (* --- rate meter: events per second over a window ----------------------- *)

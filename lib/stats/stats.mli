@@ -20,11 +20,17 @@ module Summary :
     val stddev : t -> float
     val pp : Format.formatter -> t -> unit
   end
-(** Sample store with percentiles (used for latency distributions). *)
+(** Sample store with percentiles (used for latency distributions).
+
+    Backed by a growable array with a cached sort: the first percentile
+    query after a batch of [add]s sorts once; later queries are O(1).
+    [percentile], [median] and [mean] return [nan] on an empty store
+    (e.g. a probe whose packets were all lost) rather than raising;
+    with a single sample they return that sample. *)
 
 module Samples :
   sig
-    type t = { mutable xs : float list; mutable n : int; }
+    type t
     val create : unit -> t
     val add : t -> float -> unit
     val count : t -> int

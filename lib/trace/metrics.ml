@@ -1,0 +1,55 @@
+module Samples = Lrp_stats.Stats.Samples
+
+type counter = { mutable count : int }
+
+type instrument =
+  | Counter of counter
+  | Gauge of (unit -> float)
+  | Histogram of Samples.t
+
+type t = { mutable instruments : (string * instrument) list }
+
+let create () = { instruments = [] }
+
+let register t name inst =
+  t.instruments <- (name, inst) :: List.remove_assoc name t.instruments
+
+let counter t name =
+  match List.assoc_opt name t.instruments with
+  | Some (Counter c) -> c
+  | _ ->
+      let c = { count = 0 } in
+      register t name (Counter c);
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge t name f = register t name (Gauge f)
+
+let histogram t name =
+  match List.assoc_opt name t.instruments with
+  | Some (Histogram h) -> h
+  | _ ->
+      let h = Samples.create () in
+      register t name (Histogram h);
+      h
+
+let observe = Samples.add
+
+let snapshot t =
+  let rows =
+    List.concat_map
+      (fun (name, inst) ->
+        match inst with
+        | Counter c -> [ (name, float_of_int c.count) ]
+        | Gauge f -> [ (name, f ()) ]
+        | Histogram h ->
+            [ (name ^ ".count", float_of_int (Samples.count h));
+              (name ^ ".mean", Samples.mean h);
+              (name ^ ".p50", Samples.percentile h 50.);
+              (name ^ ".p99", Samples.percentile h 99.) ])
+      t.instruments
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows

@@ -1,0 +1,43 @@
+(** Per-kernel metrics registry.
+
+    Components (kernel, CPU, scheduler, NICs, protocol state) register
+    named instruments at creation time; experiments and the bench harness
+    pull a deterministic, name-sorted snapshot at the end of a run.
+
+    A registry is plain mutable state owned by one kernel — never shared
+    across domains — so parallel sweeps stay race-free, mirroring the
+    per-kernel tracer.  Three instrument kinds:
+
+    - {e counters}: monotonically increasing ints, pushed by the owner;
+    - {e gauges}: [unit -> float] callbacks sampled at snapshot time
+      (the common case here — most interesting values already live in
+      simulator state, so registration is just exposing them);
+    - {e histograms}: {!Lrp_stats.Stats.Samples} distributions, expanded
+      in the snapshot into [.count], [.mean], [.p50] and [.p99] entries. *)
+
+type t
+
+type counter
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Register (or return the existing) counter under [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register a pull gauge.  Re-registering a name replaces the callback. *)
+
+val histogram : t -> string -> Lrp_stats.Stats.Samples.t
+(** Register (or return the existing) histogram under [name]. *)
+
+val observe : Lrp_stats.Stats.Samples.t -> float -> unit
+(** Alias for [Samples.add], for call-site symmetry with [incr]. *)
+
+val snapshot : t -> (string * float) list
+(** All instruments, sorted by name.  Gauges are sampled now; histograms
+    expand to four derived entries; empty histograms report [nan] for the
+    statistical entries (and 0 for [.count]). *)

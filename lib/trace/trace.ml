@@ -1,0 +1,464 @@
+module Samples = Lrp_stats.Stats.Samples
+
+type intr_level = Hard | Soft
+
+type thread_state = Spawned | Runnable | Sleeping | Exited
+
+type event =
+  | Nic_rx of { pkt : int; bytes : int }
+  | Demux of { pkt : int; chan : int; flow : int }
+  | Ipq_enqueue of { pkt : int; qlen : int }
+  | Ipq_drop of { pkt : int; qlen : int }
+  | Early_discard of { pkt : int; chan : int }
+  | Softint_begin of { pkt : int }
+  | Softint_end of { pkt : int }
+  | Proto_deliver of { pkt : int; conn : int; in_proc : bool }
+  | Sock_enqueue of { pkt : int; sock : int }
+  | Sock_drop of { pkt : int; sock : int }
+  | Syscall_copyout of { pkt : int; sock : int; bytes : int }
+  | Intr_enter of { level : intr_level; label : string }
+  | Intr_exit of { level : intr_level; label : string }
+  | Ctx_switch of { from_pid : int; to_pid : int }
+  | Thread_state of { pid : int; state : thread_state }
+  | Note of string
+
+type cls = Packet_events | Sched_events | Note_events
+
+let class_of_event = function
+  | Nic_rx _ | Demux _ | Ipq_enqueue _ | Ipq_drop _ | Early_discard _
+  | Softint_begin _ | Softint_end _ | Proto_deliver _ | Sock_enqueue _
+  | Sock_drop _ | Syscall_copyout _ -> Packet_events
+  | Intr_enter _ | Intr_exit _ | Ctx_switch _ | Thread_state _ -> Sched_events
+  | Note _ -> Note_events
+
+let bit = function Packet_events -> 1 | Sched_events -> 2 | Note_events -> 4
+let all_mask = 7
+
+type entry = { ts : float; seq : int; ev : event }
+
+let dummy_entry = { ts = 0.; seq = -1; ev = Note "" }
+
+type t = {
+  tr_name : string;
+  now : unit -> float;
+  cap : int;
+  mutable on : bool;
+  mutable mask : int;
+  mutable buf : entry array;  (* [||] until the first recorded event *)
+  mutable head : int;         (* next write slot *)
+  mutable count : int;        (* live entries, <= cap *)
+  mutable seq : int;
+  mutable lost : int;
+}
+
+let create ?(capacity = 65536) ~name ~now () =
+  { tr_name = name; now; cap = max 1 capacity; on = false; mask = all_mask;
+    buf = [||]; head = 0; count = 0; seq = 0; lost = 0 }
+
+let null () = create ~capacity:1 ~name:"null" ~now:(fun () -> 0.) ()
+
+let name t = t.tr_name
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+let set_filter t classes = t.mask <- List.fold_left (fun m c -> m lor bit c) 0 classes
+let length t = t.count
+let dropped t = t.lost
+
+let clear t =
+  t.head <- 0;
+  t.count <- 0;
+  t.seq <- 0;
+  t.lost <- 0
+
+let record t ev =
+  if Array.length t.buf = 0 then t.buf <- Array.make t.cap dummy_entry;
+  if t.count = t.cap then t.lost <- t.lost + 1 else t.count <- t.count + 1;
+  t.buf.(t.head) <- { ts = t.now (); seq = t.seq; ev };
+  t.seq <- t.seq + 1;
+  t.head <- (t.head + 1) mod t.cap
+
+let events t =
+  let start = (t.head - t.count + t.cap * 2) mod t.cap in
+  List.init t.count (fun i ->
+      let e = t.buf.((start + i) mod t.cap) in
+      (e.ts, e.seq, e.ev))
+
+(* Emitters check [on] and the class filter before allocating the event, so
+   a disabled tracer costs one branch and zero allocation per call site. *)
+
+let want t c = t.on && t.mask land bit c <> 0
+
+let nic_rx t ~pkt ~bytes =
+  if want t Packet_events then record t (Nic_rx { pkt; bytes })
+
+let demux t ~pkt ~chan ~flow =
+  if want t Packet_events then record t (Demux { pkt; chan; flow })
+
+let ipq_enqueue t ~pkt ~qlen =
+  if want t Packet_events then record t (Ipq_enqueue { pkt; qlen })
+
+let ipq_drop t ~pkt ~qlen =
+  if want t Packet_events then record t (Ipq_drop { pkt; qlen })
+
+let early_discard t ~pkt ~chan =
+  if want t Packet_events then record t (Early_discard { pkt; chan })
+
+let softint_begin t ~pkt =
+  if want t Packet_events then record t (Softint_begin { pkt })
+
+let softint_end t ~pkt =
+  if want t Packet_events then record t (Softint_end { pkt })
+
+let proto_deliver t ~pkt ~conn ~in_proc =
+  if want t Packet_events then record t (Proto_deliver { pkt; conn; in_proc })
+
+let sock_enqueue t ~pkt ~sock =
+  if want t Packet_events then record t (Sock_enqueue { pkt; sock })
+
+let sock_drop t ~pkt ~sock =
+  if want t Packet_events then record t (Sock_drop { pkt; sock })
+
+let syscall_copyout t ~pkt ~sock ~bytes =
+  if want t Packet_events then record t (Syscall_copyout { pkt; sock; bytes })
+
+let intr_enter t ~level ~label =
+  if want t Sched_events then record t (Intr_enter { level; label })
+
+let intr_exit t ~level ~label =
+  if want t Sched_events then record t (Intr_exit { level; label })
+
+let ctx_switch t ~from_pid ~to_pid =
+  if want t Sched_events then record t (Ctx_switch { from_pid; to_pid })
+
+let thread_state t ~pid ~state =
+  if want t Sched_events then record t (Thread_state { pid; state })
+
+let note t s = if want t Note_events then record t (Note s)
+
+let notef t fmt =
+  if want t Note_events then Printf.ksprintf (fun s -> record t (Note s)) fmt
+  else Printf.ifprintf () fmt
+
+(* --- sinks ------------------------------------------------------------- *)
+
+let level_name = function Hard -> "hard" | Soft -> "soft"
+
+let state_name = function
+  | Spawned -> "spawned"
+  | Runnable -> "runnable"
+  | Sleeping -> "sleeping"
+  | Exited -> "exited"
+
+let pp_event fmt = function
+  | Nic_rx { pkt; bytes } -> Format.fprintf fmt "nic-rx pkt=%d bytes=%d" pkt bytes
+  | Demux { pkt; chan; flow } ->
+      Format.fprintf fmt "demux pkt=%d chan=%d flow=%d" pkt chan flow
+  | Ipq_enqueue { pkt; qlen } ->
+      Format.fprintf fmt "ipq-enqueue pkt=%d qlen=%d" pkt qlen
+  | Ipq_drop { pkt; qlen } -> Format.fprintf fmt "ipq-drop pkt=%d qlen=%d" pkt qlen
+  | Early_discard { pkt; chan } ->
+      Format.fprintf fmt "early-discard pkt=%d chan=%d" pkt chan
+  | Softint_begin { pkt } -> Format.fprintf fmt "softint-begin pkt=%d" pkt
+  | Softint_end { pkt } -> Format.fprintf fmt "softint-end pkt=%d" pkt
+  | Proto_deliver { pkt; conn; in_proc } ->
+      Format.fprintf fmt "proto-deliver pkt=%d conn=%d ctx=%s" pkt conn
+        (if in_proc then "proc" else "softint")
+  | Sock_enqueue { pkt; sock } ->
+      Format.fprintf fmt "sock-enqueue pkt=%d sock=%d" pkt sock
+  | Sock_drop { pkt; sock } -> Format.fprintf fmt "sock-drop pkt=%d sock=%d" pkt sock
+  | Syscall_copyout { pkt; sock; bytes } ->
+      Format.fprintf fmt "syscall-copyout pkt=%d sock=%d bytes=%d" pkt sock bytes
+  | Intr_enter { level; label } ->
+      Format.fprintf fmt "intr-enter %s %s" (level_name level) label
+  | Intr_exit { level; label } ->
+      Format.fprintf fmt "intr-exit %s %s" (level_name level) label
+  | Ctx_switch { from_pid; to_pid } ->
+      Format.fprintf fmt "ctx-switch %d -> %d" from_pid to_pid
+  | Thread_state { pid; state } ->
+      Format.fprintf fmt "thread %d %s" pid (state_name state)
+  | Note s -> Format.fprintf fmt "note %s" s
+
+let to_text buf t =
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "# trace %s: %d events (%d overwritten)@." t.tr_name
+    (length t) (dropped t);
+  List.iter
+    (fun (ts, seq, ev) ->
+      Format.fprintf fmt "%12.1f [%6d] %a@." ts seq pp_event ev)
+    (events t);
+  Format.pp_print_flush fmt ()
+
+(* CSV: event-specific int arguments land in generic [a]/[b] columns and
+   strings in [detail]; the event name disambiguates. *)
+let csv_fields = function
+  | Nic_rx { pkt; bytes } -> ("nic-rx", pkt, bytes, -1, "")
+  | Demux { pkt; chan; flow } -> ("demux", pkt, chan, flow, "")
+  | Ipq_enqueue { pkt; qlen } -> ("ipq-enqueue", pkt, qlen, -1, "")
+  | Ipq_drop { pkt; qlen } -> ("ipq-drop", pkt, qlen, -1, "")
+  | Early_discard { pkt; chan } -> ("early-discard", pkt, chan, -1, "")
+  | Softint_begin { pkt } -> ("softint-begin", pkt, -1, -1, "")
+  | Softint_end { pkt } -> ("softint-end", pkt, -1, -1, "")
+  | Proto_deliver { pkt; conn; in_proc } ->
+      ("proto-deliver", pkt, conn, (if in_proc then 1 else 0), "")
+  | Sock_enqueue { pkt; sock } -> ("sock-enqueue", pkt, sock, -1, "")
+  | Sock_drop { pkt; sock } -> ("sock-drop", pkt, sock, -1, "")
+  | Syscall_copyout { pkt; sock; bytes } -> ("syscall-copyout", pkt, sock, bytes, "")
+  | Intr_enter { level; label } -> ("intr-enter", -1, -1, -1, level_name level ^ ":" ^ label)
+  | Intr_exit { level; label } -> ("intr-exit", -1, -1, -1, level_name level ^ ":" ^ label)
+  | Ctx_switch { from_pid; to_pid } -> ("ctx-switch", -1, from_pid, to_pid, "")
+  | Thread_state { pid; state } -> ("thread-state", -1, pid, -1, state_name state)
+  | Note s -> ("note", -1, -1, -1, s)
+
+let cls_name = function
+  | Packet_events -> "packet"
+  | Sched_events -> "sched"
+  | Note_events -> "note"
+
+let to_csv buf t =
+  Buffer.add_string buf "seq,ts_us,class,event,pkt,a,b,detail\n";
+  List.iter
+    (fun (ts, seq, ev) ->
+      let nm, pkt, a, b, detail = csv_fields ev in
+      (* The detail column only ever holds identifier-ish strings, but keep
+         the quoting honest anyway. *)
+      let detail =
+        if String.exists (fun c -> c = ',' || c = '"' || c = '\n') detail then
+          "\"" ^ String.concat "\"\"" (String.split_on_char '"' detail) ^ "\""
+        else detail
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.3f,%s,%s,%d,%d,%d,%s\n" seq ts
+           (cls_name (class_of_event ev)) nm pkt a b detail))
+    (events t)
+
+(* --- Chrome trace_event sink ------------------------------------------- *)
+
+(* Track (thread) ids inside the single "host" process.  Fixed tracks for
+   the CPU contexts, then one per channel and one per socket. *)
+let tid_nic = 0
+let tid_hard = 1
+let tid_soft = 2
+let tid_proc = 3
+let tid_chan c = 100 + c
+let tid_sock s = 10000 + s
+
+let chrome_json t =
+  let pid = 1 in
+  let evs = events t in
+  let items = ref [] in
+  let emit e = items := e :: !items in
+  let meta name args = Json.Obj ([ ("ph", Json.Str "M"); ("pid", Json.Num (float_of_int pid)); ("name", Json.Str name) ] @ args) in
+  let thread_meta tid nm =
+    meta "thread_name"
+      [ ("tid", Json.Num (float_of_int tid));
+        ("args", Json.Obj [ ("name", Json.Str nm) ]) ]
+  in
+  emit (meta "process_name" [ ("args", Json.Obj [ ("name", Json.Str t.tr_name) ]) ]);
+  emit (thread_meta tid_nic "nic");
+  emit (thread_meta tid_hard "hardintr");
+  emit (thread_meta tid_soft "softintr");
+  emit (thread_meta tid_proc "process");
+  (* Name the per-channel / per-socket tracks we are about to use. *)
+  let named = Hashtbl.create 16 in
+  let ensure_track tid nm =
+    if not (Hashtbl.mem named tid) then begin
+      Hashtbl.add named tid ();
+      emit (thread_meta tid nm)
+    end
+  in
+  List.iter
+    (fun (_, _, ev) ->
+      match ev with
+      | Demux { chan; _ } | Early_discard { chan; _ } when chan >= 0 ->
+          ensure_track (tid_chan chan) (Printf.sprintf "chan %d" chan)
+      | Sock_enqueue { sock; _ } | Sock_drop { sock; _ }
+      | Syscall_copyout { sock; _ } when sock >= 0 ->
+          ensure_track (tid_sock sock) (Printf.sprintf "sock %d" sock)
+      | _ -> ())
+    evs;
+  (* The ring may have overwritten a "B" whose "E" survived; drop unmatched
+     closes so the slice stacks stay well-formed. *)
+  let depth = Hashtbl.create 8 in
+  let get_depth tid = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+  let base ph name tid ts args =
+    Json.Obj
+      ([ ("ph", Json.Str ph); ("name", Json.Str name);
+         ("pid", Json.Num (float_of_int pid));
+         ("tid", Json.Num (float_of_int tid)); ("ts", Json.Num ts) ]
+      @ (if args = [] then [] else [ ("args", Json.Obj args) ]))
+  in
+  let num i = Json.Num (float_of_int i) in
+  let instant ?(args = []) name tid ts =
+    emit (base "i" name tid ts (args @ [ ("s", Json.Str "t") ]))
+  in
+  let span_begin name tid ts args =
+    Hashtbl.replace depth tid (get_depth tid + 1);
+    emit (base "B" name tid ts args)
+  in
+  let span_end name tid ts =
+    let d = get_depth tid in
+    if d > 0 then begin
+      Hashtbl.replace depth tid (d - 1);
+      emit (base "E" name tid ts [])
+    end
+  in
+  List.iter
+    (fun (ts, _, ev) ->
+      match ev with
+      | Nic_rx { pkt; bytes } ->
+          instant ~args:[ ("pkt", num pkt); ("bytes", num bytes) ] "nic-rx" tid_nic ts
+      | Demux { pkt; chan; flow } ->
+          instant
+            ~args:[ ("pkt", num pkt); ("flow", num flow) ]
+            "demux"
+            (if chan >= 0 then tid_chan chan else tid_hard)
+            ts
+      | Ipq_enqueue { pkt; qlen } ->
+          instant ~args:[ ("pkt", num pkt); ("qlen", num qlen) ] "ipq-enqueue" tid_hard ts
+      | Ipq_drop { pkt; qlen } ->
+          instant ~args:[ ("pkt", num pkt); ("qlen", num qlen) ] "ipq-drop" tid_hard ts
+      | Early_discard { pkt; chan } ->
+          instant ~args:[ ("pkt", num pkt) ] "early-discard"
+            (if chan >= 0 then tid_chan chan else tid_hard)
+            ts
+      | Softint_begin { pkt } ->
+          span_begin (Printf.sprintf "pkt %d" pkt) tid_soft ts [ ("pkt", num pkt) ]
+      | Softint_end { pkt } -> ignore pkt; span_end "pkt" tid_soft ts
+      | Proto_deliver { pkt; conn; in_proc } ->
+          instant
+            ~args:[ ("pkt", num pkt); ("conn", num conn) ]
+            "proto-deliver"
+            (if in_proc then tid_proc else tid_soft)
+            ts
+      | Sock_enqueue { pkt; sock } ->
+          instant ~args:[ ("pkt", num pkt) ] "sock-enqueue" (tid_sock sock) ts
+      | Sock_drop { pkt; sock } ->
+          instant ~args:[ ("pkt", num pkt) ] "sock-drop" (tid_sock sock) ts
+      | Syscall_copyout { pkt; sock; bytes } ->
+          instant
+            ~args:[ ("pkt", num pkt); ("bytes", num bytes) ]
+            "copyout" (tid_sock sock) ts
+      | Intr_enter { level; label } ->
+          span_begin label
+            (match level with Hard -> tid_hard | Soft -> tid_soft)
+            ts []
+      | Intr_exit { level; label } ->
+          span_end label (match level with Hard -> tid_hard | Soft -> tid_soft) ts
+      | Ctx_switch { from_pid; to_pid } ->
+          instant
+            ~args:[ ("from", num from_pid); ("to", num to_pid) ]
+            "ctx-switch" tid_proc ts
+      | Thread_state { pid = p; state } ->
+          instant
+            ~args:[ ("pid", num p); ("state", Json.Str (state_name state)) ]
+            "thread-state" tid_proc ts
+      | Note s -> instant ~args:[ ("text", Json.Str s) ] "note" tid_proc ts)
+    evs;
+  (* Close spans still open at the end of the buffered window so every
+     "B" has a matching "E" (a run can end mid-interrupt). *)
+  let last_ts = match List.rev evs with (ts, _, _) :: _ -> ts | [] -> 0. in
+  Hashtbl.iter
+    (fun tid d ->
+      for _ = 1 to d do
+        emit (base "E" "trace-end" tid last_ts [])
+      done)
+    depth;
+  Json.Obj [ ("traceEvents", Json.Arr (List.rev !items)) ]
+
+let to_chrome buf t = Json.to_buffer buf (chrome_json t)
+
+let write_file t ~format path =
+  let buf = Buffer.create 4096 in
+  (match format with
+  | `Chrome -> to_chrome buf t
+  | `Csv -> to_csv buf t
+  | `Text -> to_text buf t);
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+(* --- per-packet stage-latency breakdown -------------------------------- *)
+
+module Report = struct
+  type marks = {
+    mutable m_nic : float;
+    mutable m_q : float;      (* ipq or per-channel queue entry *)
+    mutable m_sb : float;     (* softint span begin *)
+    mutable m_se : float;     (* softint span end *)
+    mutable m_proto : float;
+    mutable m_in_proc : bool;
+    mutable m_sock : float;
+  }
+
+  type t = {
+    stages : (string * Samples.t) list;
+    packets : int;
+  }
+
+  let stage_names = [ "queue-wait"; "softint-proto"; "proc-proto"; "sockq-wait"; "total" ]
+
+  let stage_latency evs =
+    let stages = List.map (fun n -> (n, Samples.create ())) stage_names in
+    let stage n = List.assoc n stages in
+    let packets = ref 0 in
+    let marks : (int, marks) Hashtbl.t = Hashtbl.create 256 in
+    let fresh ts =
+      { m_nic = ts; m_q = Float.nan; m_sb = Float.nan; m_se = Float.nan;
+        m_proto = Float.nan; m_in_proc = false; m_sock = Float.nan }
+    in
+    let find pkt = Hashtbl.find_opt marks pkt in
+    List.iter
+      (fun (ts, _, ev) ->
+        match ev with
+        | Nic_rx { pkt; _ } -> Hashtbl.replace marks pkt (fresh ts)
+        | Ipq_enqueue { pkt; _ } | Demux { pkt; _ } -> (
+            match find pkt with
+            | Some m when Float.is_nan m.m_q -> m.m_q <- ts
+            | _ -> ())
+        | Softint_begin { pkt } -> (
+            match find pkt with Some m -> m.m_sb <- ts | None -> ())
+        | Softint_end { pkt } -> (
+            match find pkt with Some m -> m.m_se <- ts | None -> ())
+        | Proto_deliver { pkt; in_proc; _ } -> (
+            match find pkt with
+            | Some m ->
+                if Float.is_nan m.m_proto then begin
+                  m.m_proto <- ts;
+                  m.m_in_proc <- in_proc
+                end
+            | None -> ())
+        | Sock_enqueue { pkt; _ } -> (
+            match find pkt with Some m -> m.m_sock <- ts | None -> ())
+        | Syscall_copyout { pkt; _ } -> (
+            match find pkt with
+            | Some m ->
+                incr packets;
+                Hashtbl.remove marks pkt;
+                let ok x = not (Float.is_nan x) in
+                let proto_start = if ok m.m_sb then m.m_sb else m.m_proto in
+                if ok m.m_q && ok proto_start then
+                  Samples.add (stage "queue-wait") (proto_start -. m.m_q);
+                if ok m.m_sb && ok m.m_se then
+                  Samples.add (stage "softint-proto") (m.m_se -. m.m_sb);
+                if m.m_in_proc && ok m.m_proto && ok m.m_sock then
+                  Samples.add (stage "proc-proto") (m.m_sock -. m.m_proto);
+                if ok m.m_sock then
+                  Samples.add (stage "sockq-wait") (ts -. m.m_sock);
+                Samples.add (stage "total") (ts -. m.m_nic)
+            | None -> ())
+        | Ipq_drop _ | Early_discard _ | Sock_drop _ | Intr_enter _
+        | Intr_exit _ | Ctx_switch _ | Thread_state _ | Note _ -> ())
+      evs;
+    { stages; packets = !packets }
+
+  let pp fmt t =
+    Format.fprintf fmt "stage-latency over %d packets (us):@." t.packets;
+    Format.fprintf fmt "  %-14s %8s %10s %10s %10s@." "stage" "count" "mean"
+      "p50" "p99";
+    List.iter
+      (fun (nm, s) ->
+        Format.fprintf fmt "  %-14s %8d %10.2f %10.2f %10.2f@." nm
+          (Samples.count s) (Samples.mean s) (Samples.percentile s 50.)
+          (Samples.percentile s 99.))
+      t.stages
+end

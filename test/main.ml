@@ -13,6 +13,7 @@ let () =
       ("multicast", Test_multicast.suite);
       ("gateway", Test_gateway.suite);
       ("stats", Test_stats.suite);
+      ("trace", Test_trace.suite);
       ("workload", Test_workload.suite);
       ("properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);

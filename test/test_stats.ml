@@ -27,6 +27,32 @@ let test_samples_percentiles () =
   Alcotest.(check (float 0.)) "p100 = max" 100. (Samples.percentile s 100.);
   Alcotest.(check (float 1e-9)) "mean" 50.5 (Samples.mean s)
 
+let test_samples_edge_cases () =
+  let empty = Samples.create () in
+  Alcotest.(check int) "empty count" 0 (Samples.count empty);
+  Alcotest.(check bool) "empty median is nan" true
+    (Float.is_nan (Samples.median empty));
+  Alcotest.(check bool) "empty mean is nan" true
+    (Float.is_nan (Samples.mean empty));
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Samples.percentile empty 99.));
+  let one = Samples.create () in
+  Samples.add one 42.;
+  Alcotest.(check (float 0.)) "single median" 42. (Samples.median one);
+  Alcotest.(check (float 0.)) "single p0" 42. (Samples.percentile one 0.);
+  Alcotest.(check (float 0.)) "single p100" 42. (Samples.percentile one 100.);
+  (* interleaving reads and writes must keep the sort cache coherent *)
+  let s = Samples.create () in
+  Samples.add s 3.;
+  Samples.add s 1.;
+  Alcotest.(check (float 0.)) "sorted on read" 1. (Samples.percentile s 0.);
+  Samples.add s 0.5;
+  Alcotest.(check (float 0.)) "cache invalidated by add" 0.5
+    (Samples.percentile s 0.);
+  Alcotest.(check (float 0.)) "max after growth" 3.
+    (Samples.percentile s 100.);
+  Alcotest.(check int) "count tracks adds" 3 (Samples.count s)
+
 let test_rate_meter () =
   let r = Rate.create () in
   for _ = 1 to 50 do
@@ -54,6 +80,7 @@ let suite =
   [ Alcotest.test_case "summary statistics" `Quick test_summary;
     Alcotest.test_case "empty summary" `Quick test_summary_empty;
     Alcotest.test_case "sample percentiles" `Quick test_samples_percentiles;
+    Alcotest.test_case "sample edge cases" `Quick test_samples_edge_cases;
     Alcotest.test_case "rate meter" `Quick test_rate_meter;
     Alcotest.test_case "unit helpers" `Quick test_unit_helpers ]
   @ [ QCheck_alcotest.to_alcotest prop_percentile_monotone ]
