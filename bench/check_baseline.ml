@@ -1,0 +1,99 @@
+(* CI regression gate: compare a fresh perf-baseline snapshot against the
+   committed BENCH_3.json.
+
+     dune exec bench/check_baseline.exe -- BENCH_3.json BENCH_run3.json
+
+   Tolerances are deliberately generous — CI machines are noisy and shared
+   — so only order-of-magnitude regressions fail the build:
+
+   - per-event time may grow up to [time_ratio]x the committed value;
+   - per-event minor allocation may grow by at most [words_slack] words
+     (this is the tight one: the typed fast path's whole point is 0.0
+     words/event, and an accidental closure would add 3+);
+   - engine throughput may fall to 1/[time_ratio] of the committed value;
+   - fig3 wall-clock may grow up to [time_ratio]x.
+
+   Exit status: 0 all checks pass, 1 regression, 2 usage/parse error. *)
+
+let time_ratio = 4.0
+let words_slack = 0.5
+
+open Lrp_trace
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> die "%s: %s" path e
+
+let num path doc key =
+  match Json.member key doc with
+  | Some (Json.Num f) -> f
+  | _ -> die "%s: missing numeric field %S" path key
+
+let entry_map path doc =
+  match Json.member "entries" doc with
+  | Some (Json.Arr es) ->
+      List.map
+        (fun e ->
+          match Json.member "name" e with
+          | Some (Json.Str name) ->
+              (name, (num path e "ns_per_event", num path e "minor_words_per_event"))
+          | _ -> die "%s: entry without a name" path)
+        es
+  | _ -> die "%s: missing entries array" path
+
+let failures = ref 0
+
+let check ~label ~ok fmt =
+  Printf.ksprintf
+    (fun detail ->
+      if ok then Printf.printf "  ok    %-38s %s\n" label detail
+      else begin
+        incr failures;
+        Printf.printf "  FAIL  %-38s %s\n" label detail
+      end)
+    fmt
+
+let () =
+  let committed_path, fresh_path =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ -> die "usage: check_baseline.exe COMMITTED.json FRESH.json"
+  in
+  let committed = load committed_path and fresh = load fresh_path in
+  Printf.printf "Baseline check: %s (fresh) vs %s (committed)\n" fresh_path
+    committed_path;
+  let base_entries = entry_map committed_path committed in
+  let fresh_entries = entry_map fresh_path fresh in
+  List.iter
+    (fun (name, (base_ns, base_words)) ->
+      match List.assoc_opt name fresh_entries with
+      | None -> check ~label:name ~ok:false "missing from fresh snapshot"
+      | Some (ns, words) ->
+          check ~label:(name ^ " time") ~ok:(ns <= base_ns *. time_ratio)
+            "%.1f ns vs %.1f ns (limit %.0fx)" ns base_ns time_ratio;
+          check
+            ~label:(name ^ " alloc")
+            ~ok:(words <= base_words +. words_slack)
+            "%.2f words vs %.2f words (slack %.1f)" words base_words
+            words_slack)
+    base_entries;
+  let base_eps = num committed_path committed "events_per_sec" in
+  let eps = num fresh_path fresh "events_per_sec" in
+  check ~label:"events_per_sec" ~ok:(eps >= base_eps /. time_ratio)
+    "%.0f vs %.0f (floor 1/%.0f)" eps base_eps time_ratio;
+  let base_wall = num committed_path committed "fig3_quick_wall_s" in
+  let wall = num fresh_path fresh "fig3_quick_wall_s" in
+  check ~label:"fig3_quick_wall_s" ~ok:(wall <= base_wall *. time_ratio)
+    "%.2f s vs %.2f s (limit %.0fx)" wall base_wall time_ratio;
+  if !failures > 0 then begin
+    Printf.printf "%d regression check(s) failed.\n" !failures;
+    exit 1
+  end;
+  print_endline "All baseline checks passed."

@@ -19,6 +19,7 @@ open Lrp_experiments
 let quick = ref false
 let jobs = ref (Domain.recommended_domain_count ())
 let json_path = ref None
+let baseline_out = ref "BENCH_3.json"
 let seed = Common.default_seed
 
 (* ------------------------------------------------------------------ *)
@@ -404,6 +405,29 @@ let micro_tests () =
   let () =
     rearm_handle := Some (Engine.schedule_after rearm_engine ~delay:1.0 rearm_tick)
   in
+  (* Typed fast path: the dispatcher is registered once; each event stores
+     only (target id, argument) in the slot table — no closure, so the
+     steady-state schedule/fire cycle allocates zero minor words. *)
+  let typed_engine = Engine.create () in
+  let typed_sink = ref 0 in
+  let typed_tgt = Engine.target typed_engine (fun v -> typed_sink := v) in
+  (* Capturing-thunk counterpart: the same work expressed as a closure
+     over [v], paying one closure allocation per event. *)
+  let thunk_engine = Engine.create () in
+  let thunk_sink = ref 0 in
+  (* Timer churn, the dominant TCP pattern: schedule two timers, cancel
+     one before it fires.  The wheel drops the cancelled entry in O(1) at
+     bucket-pour time; a pure heap pays the sift on the way in and again
+     when the dead entry reaches the top. *)
+  let churn_wheel = Engine.create () in
+  let churn_heap = Engine.create ~pure_heap:true () in
+  let churn eng () =
+    ignore (Engine.schedule_after eng ~delay:50. ignore);
+    let b = Engine.schedule_after eng ~delay:100. ignore in
+    Engine.cancel eng b;
+    ignore (Engine.step eng);
+    ignore (Engine.step eng)
+  in
   [ Test.make ~name:"demux/flow_of_packet (hot path)"
       (Staged.stage (fun () -> ignore (Demux.flow_of_packet pkt)));
     Test.make ~name:"demux/flow_of_bytes (NI firmware form)"
@@ -430,6 +454,22 @@ let micro_tests () =
            ignore (Engine.step engine)));
     Test.make ~name:"engine/periodic re-arm (reschedule_after)"
       (Staged.stage (fun () -> ignore (Engine.step rearm_engine)));
+    Test.make ~name:"engine/schedule_to+fire (typed target)"
+      (Staged.stage (fun () ->
+           ignore
+             (Engine.schedule_to_after typed_engine ~delay:1.0 typed_tgt 7);
+           ignore (Engine.step typed_engine)));
+    Test.make ~name:"engine/schedule+fire (capturing thunk)"
+      (Staged.stage (fun () ->
+           let v = !thunk_sink + 1 in
+           ignore
+             (Engine.schedule_after thunk_engine ~delay:1.0 (fun () ->
+                  thunk_sink := v));
+           ignore (Engine.step thunk_engine)));
+    Test.make ~name:"engine/timer churn (wheel)"
+      (Staged.stage (churn churn_wheel));
+    Test.make ~name:"engine/timer churn (pure heap)"
+      (Staged.stage (churn churn_heap));
     Test.make ~name:"sched/pick (8 runnable)"
       (Staged.stage (fun () -> ignore (Lrp_sched.Sched.pick sched)));
     Test.make ~name:"sched/charge_tick"
@@ -439,9 +479,9 @@ let micro_tests () =
     Test.make ~name:"rng/bits64"
       (Staged.stage (fun () -> ignore (Rng.bits64 rng))) ]
 
-let bench_micro () =
+(* Measure one Bechamel test; returns (name, ns/run, minor words/run). *)
+let measure_micro test =
   let open Bechamel in
-  Common.print_title "Microbenchmarks (Bechamel, per run)";
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
@@ -451,40 +491,197 @@ let bench_micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  let results =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+  in
+  let estimate instance =
+    let analysed = Analyze.all ols instance results in
+    Hashtbl.fold
+      (fun _name est acc ->
+        match Analyze.OLS.estimates est with
+        | Some [ v ] -> Some v
+        | Some _ | None -> acc)
+      analysed None
+  in
+  let ns = estimate Toolkit.Instance.monotonic_clock in
+  let words = estimate Toolkit.Instance.minor_allocated in
+  let name =
+    (* the single test inside the group carries the real name *)
+    match Test.elements test with
+    | [ e ] -> Test.Elt.name e
+    | _ -> "?"
+  in
+  (name, Option.value ns ~default:nan, Option.value words ~default:nan)
+
+let bench_micro () =
+  Common.print_title "Microbenchmarks (Bechamel, per run)";
   Printf.printf "  %-44s %12s %14s\n" "" "time" "minor alloc";
   let rows =
     List.map
       (fun test ->
-        let results =
-          Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
-        in
-        let estimate instance =
-          let analysed = Analyze.all ols instance results in
-          Hashtbl.fold
-            (fun _name est acc ->
-              match Analyze.OLS.estimates est with
-              | Some [ v ] -> Some v
-              | Some _ | None -> acc)
-            analysed None
-        in
-        let ns = estimate Toolkit.Instance.monotonic_clock in
-        let words = estimate Toolkit.Instance.minor_allocated in
-        let name =
-          (* the single test inside the group carries the real name *)
-          match Test.elements test with
-          | [ e ] -> Test.Elt.name e
-          | _ -> "?"
-        in
-        Printf.printf "  %-44s %9.1f ns %8.1f words\n" name
-          (Option.value ns ~default:nan)
-          (Option.value words ~default:nan);
+        let name, ns, words = measure_micro test in
+        Printf.printf "  %-44s %9.1f ns %8.1f words\n" name ns words;
         Obj
           [ ("name", Str name);
-            ("ns_per_run", Num (Option.value ns ~default:nan));
-            ("minor_words_per_run", Num (Option.value words ~default:nan)) ])
+            ("ns_per_run", Num ns);
+            ("minor_words_per_run", Num words) ])
       (micro_tests ())
   in
   Arr rows
+
+(* Committed perf baseline (BENCH_3.json).  Measures the engine hot paths
+   that the two-tier scheduler is responsible for, plus one end-to-end
+   wall-clock figure, and writes them to [!baseline_out] for the CI
+   regression gate (bench/check_baseline.ml compares a fresh snapshot
+   against the committed file with generous tolerances).
+
+   Unlike the Bechamel microbenches above, these loops measure minor
+   allocation directly from [Gc.minor_words] deltas — the typed fast
+   path's 0.0 words/event is an acceptance criterion, so the number must
+   be an exact count, not a regression estimate. *)
+let bench_baseline () =
+  let open Lrp_engine in
+  Common.print_title "Perf baseline (engine hot paths + fig3 wall-clock)";
+  let time_and_words ~n f =
+    ignore (f ()) (* warm-up: grow the slot table outside the window *);
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let dw = Gc.minor_words () -. w0 in
+    (dt *. 1e9 /. float_of_int n, dw /. float_of_int n)
+  in
+  let reps = 300_000 in
+  (* Closure fast path: the thunk is a static function, so the slot-table
+     recycling makes the whole schedule/fire cycle allocation-free. *)
+  let eng_sched = Engine.create () in
+  let schedule_fire () =
+    ignore (Engine.schedule_after eng_sched ~delay:1.0 ignore);
+    Engine.step eng_sched
+  in
+  (* Typed fast path: (target id, argument) in the slot table, no closure
+     even though the event carries an argument. *)
+  let eng_typed = Engine.create () in
+  let typed_sink = ref 0 in
+  let typed_tgt = Engine.target eng_typed (fun v -> typed_sink := v) in
+  let typed_fastpath () =
+    ignore (Engine.schedule_to_after eng_typed ~delay:1.0 typed_tgt 7);
+    Engine.step eng_typed
+  in
+  (* The same argument-carrying event as a capturing closure: what every
+     per-packet schedule cost before the typed path existed. *)
+  let eng_thunk = Engine.create () in
+  let thunk_sink = ref 0 in
+  let capturing_thunk () =
+    let v = !thunk_sink + 1 in
+    ignore
+      (Engine.schedule_after eng_thunk ~delay:1.0 (fun () -> thunk_sink := v));
+    Engine.step eng_thunk
+  in
+  (* Periodic re-arm: one slot and one thunk for the clock's lifetime. *)
+  let eng_rearm = Engine.create () in
+  let rearm_handle = ref Engine.none in
+  let () =
+    rearm_handle :=
+      Engine.schedule_after eng_rearm ~delay:1.0 (fun () ->
+          Engine.reschedule_after eng_rearm !rearm_handle ~delay:1.0)
+  in
+  let periodic_rearm () = Engine.step eng_rearm in
+  (* Timer churn at depth: a cancel-heavy schedule stream (7 of 8 timers
+     are cancelled before firing — the TCP retransmit pattern).  Under the
+     wheel, dead entries are dropped in O(1) when their bucket pours and
+     the heap stays small; a pure heap sifts every corpse in and out, and
+     grows with every lingering cancellation. *)
+  (* Timer churn in the regime the wheel is built for (and the one the
+     paper's TCP stack generates): a deep standing population of pending
+     retransmit timers, re-armed on every ACK — cancel the old RTO,
+     schedule a fresh one ~200 ms out — while the clock creeps forward in
+     small steps.  Per re-arm the pure heap pays an O(log n) sift at
+     schedule and another at the lazy-cancel pop; the wheel pays an O(1)
+     bucket push and an O(1) filtered drop when the bucket pours. *)
+  let bulk_churn ~pure_heap () =
+    let eng = Engine.create ~pure_heap () in
+    let standing = 50_000 in
+    let handles = Array.make standing Engine.none in
+    for i = 0 to standing - 1 do
+      handles.(i) <-
+        Engine.schedule_after eng
+          ~delay:(200_000. +. float_of_int (i land 4095))
+          ignore
+    done;
+    let n = 200_000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      let c = i mod standing in
+      Engine.cancel eng handles.(c);
+      handles.(c) <-
+        Engine.schedule_after eng
+          ~delay:(200_000. +. float_of_int (i land 4095))
+          ignore;
+      (* the ACK itself: a short event fires and nudges the clock *)
+      if i land 63 = 0 then begin
+        ignore (Engine.schedule_after eng ~delay:10. ignore);
+        ignore (Engine.step eng)
+      end
+    done;
+    Engine.run eng ~until:(Engine.now eng +. 1e9);
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  Printf.printf "  %-44s %12s %14s\n" "" "time" "minor alloc";
+  let measure key label f =
+    let ns, words = time_and_words ~n:reps f in
+    Printf.printf "  %-44s %9.1f ns %8.1f words\n" label ns words;
+    (key, ns, words)
+  in
+  let entries =
+    [ measure "schedule_fire" "engine/schedule+fire (static thunk)"
+        schedule_fire;
+      measure "typed_fastpath" "engine/schedule_to+fire (typed target)"
+        typed_fastpath;
+      measure "capturing_thunk" "engine/schedule+fire (capturing thunk)"
+        capturing_thunk;
+      measure "periodic_rearm" "engine/periodic re-arm (reschedule_after)"
+        periodic_rearm;
+      (let ns = bulk_churn ~pure_heap:false () in
+       Printf.printf "  %-44s %9.1f ns\n" "engine/bulk timer churn (wheel)" ns;
+       ("timer_churn_wheel", ns, 0.));
+      (let ns = bulk_churn ~pure_heap:true () in
+       Printf.printf "  %-44s %9.1f ns\n" "engine/bulk timer churn (pure heap)"
+         ns;
+       ("timer_churn_pure_heap", ns, 0.)) ]
+  in
+  let _, sched_ns, _ =
+    List.find (fun (k, _, _) -> k = "schedule_fire") entries
+  in
+  let events_per_sec = 1e9 /. sched_ns in
+  let t0 = Unix.gettimeofday () in
+  ignore (Fig3.run ~quick:true ~jobs:1 ~seed ());
+  let fig3_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "  %-44s %9.0f events/s\n" "engine throughput" events_per_sec;
+  Printf.printf "  %-44s %11.2f s\n" "fig3 (quick, 1 job) wall-clock" fig3_wall;
+  let doc =
+    Obj
+      [ ("schema", Int 1);
+        ( "entries",
+          Arr
+            (List.map
+               (fun (key, ns, words) ->
+                 Obj
+                   [ ("name", Str key);
+                     ("ns_per_event", Num ns);
+                     ("minor_words_per_event", Num words) ])
+               entries) );
+        ("events_per_sec", Num events_per_sec);
+        ("fig3_quick_wall_s", Num fig3_wall) ]
+  in
+  let oc = open_out !baseline_out in
+  output_string oc (json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  Wrote %s\n" !baseline_out;
+  doc
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -496,11 +693,13 @@ let all_benches =
     ("ablate-discard", bench_ablate_discard);
     ("ablate-accounting", bench_ablate_accounting);
     ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);
-    ("trace", bench_trace); ("micro", bench_micro) ]
+    ("trace", bench_trace); ("micro", bench_micro);
+    ("baseline", bench_baseline) ]
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--quick] [--jobs N] [--json PATH] [bench ...]\n\
+    "usage: main.exe [--quick] [--jobs N] [--json PATH] [--baseline-out \
+     PATH] [bench ...]\n\
      available benches: %s\n"
     (String.concat ", " (List.map fst all_benches));
   exit 1
@@ -522,7 +721,12 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse acc rest
-    | ("--jobs" | "--json") :: [] | "--help" :: _ | "-h" :: _ -> usage ()
+    | "--baseline-out" :: path :: rest ->
+        baseline_out := path;
+        parse acc rest
+    | ("--jobs" | "--json" | "--baseline-out") :: [] | "--help" :: _
+    | "-h" :: _ ->
+        usage ()
     | a :: _ when String.length a > 0 && a.[0] = '-' ->
         Printf.eprintf "unknown option %S\n" a;
         usage ()

@@ -40,10 +40,36 @@ let reserve t v =
     t.vals <- vals
   end
 
-let add t ~key value =
+(* Insert with a caller-supplied sequence rank.  The timer wheel routes
+   events through holding buckets and pours them into the heap only when
+   their horizon comes up; carrying the schedule-time sequence through the
+   pour keeps FIFO-among-equal-keys identical to a direct heap insertion. *)
+(* [add_pre] with the key read out of [cell.(0)]: a float array load stays
+   unboxed, where a float argument would be boxed at every call — this is
+   the wheel's pour path, traversed once per event. *)
+let add_pre_cell t ~cell ~seq value =
   reserve t value;
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
+  let key = cell.(0) in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pk = t.keys.(p) in
+    if key < pk || (key = pk && seq < t.seqs.(p)) then begin
+      t.keys.(!i) <- pk;
+      t.seqs.(!i) <- t.seqs.(p);
+      t.vals.(!i) <- t.vals.(p);
+      i := p
+    end
+    else stop := true
+  done;
+  t.keys.(!i) <- key;
+  t.seqs.(!i) <- seq;
+  t.vals.(!i) <- value
+
+let add_pre t ~key ~seq value =
+  reserve t value;
   (* Walk the hole up from the new leaf, pulling parents down until the
      inserted entry fits. *)
   let i = ref t.size in
@@ -64,10 +90,24 @@ let add t ~key value =
   t.seqs.(!i) <- seq;
   t.vals.(!i) <- value
 
+let add t ~key value =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  add_pre t ~key ~seq value
+
 let min_key t = if t.size = 0 then None else Some t.keys.(0)
 
 let[@inline] min_key_or t ~default =
   if t.size = 0 then default else t.keys.(0)
+
+(* Allocation-free variant: the smallest key is written into [cell.(0)]
+   (float-array-to-float-array, no box) instead of being returned. *)
+let min_key_into t ~cell =
+  if t.size = 0 then false
+  else begin
+    cell.(0) <- t.keys.(0);
+    true
+  end
 
 (* Remove the root: sift the hole down, then drop the displaced last entry
    into it.  The caller has already read the root's key/value. *)

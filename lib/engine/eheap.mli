@@ -15,8 +15,27 @@ val is_empty : 'a t -> bool
 val add : 'a t -> key:float -> 'a -> unit
 (** [add t ~key v] inserts [v] with priority [key]. *)
 
+val add_pre : 'a t -> key:float -> seq:int -> 'a -> unit
+(** [add_pre t ~key ~seq v] inserts with an explicit tie-break rank instead
+    of the heap's internal counter.  {!Twheel} assigns every event its rank
+    at schedule time and replays it when a wheel bucket pours into the heap,
+    so FIFO-among-equals is preserved across the detour.  Do not mix with
+    {!add} on the same heap unless the caller's ranks are coordinated with
+    the internal counter. *)
+
+val add_pre_cell : 'a t -> cell:float array -> seq:int -> 'a -> unit
+(** {!add_pre} with the key read from [cell.(0)] rather than passed as an
+    argument.  A float argument is boxed at every (non-inlined) call; a
+    float-array load is not, so the timer wheel's pour path — traversed
+    once per event — allocates nothing. *)
+
 val min_key : 'a t -> float option
 (** Smallest key currently in the heap, if any. *)
+
+val min_key_into : 'a t -> cell:float array -> bool
+(** Write the smallest key into [cell.(0)] and return [true]; [false]
+    (cell untouched) when the heap is empty.  Allocation-free counterpart
+    of {!min_key_or} for callers that must avoid the boxed float return. *)
 
 val min_key_or : 'a t -> default:float -> float
 (** [min_key] without the option: the smallest key, or [default] when the

@@ -4,12 +4,31 @@
    when a slot is freed, so a stale handle held after its event fired (or
    was cancelled) can never touch the slot's next occupant.
 
+   The pending queue is a two-tier scheduler: a hierarchical timer wheel
+   ({!Twheel}) routes near-horizon events into O(1) buckets and far-horizon
+   events into the comparison heap; all pops come from the heap in exact
+   (key, FIFO-seq) order, so firing order is byte-identical to a pure heap.
+
+   Each slot holds one work item.  Conceptually the item is the variant
+
+     | Packet_rx of nic * pkt      (NIC delivery / tx-complete)
+     | Softint of cpu              (CPU segment completion)
+     | Timer of conn               (TCP retransmit / delack / persist)
+     | Thunk of (unit -> unit)
+
+   but allocating that variant per event is exactly the cost the fast path
+   removes, so it is flattened into the slot table: a dispatcher id (the
+   constructor, registered once per call site as a {!target}) plus a
+   uniformly-represented argument (the payload).  [Thunk] remains as the
+   plain closure column for cold paths and external users.
+
    Slot states:
      free      — on the free stack, generation already bumped;
      pending   — scheduled, in the queue;
-     cancelled — cancelled but still in the queue (lazy removal);
-     firing    — popped, its thunk is executing; [reschedule] may re-arm it,
-                 otherwise the slot is freed when the thunk returns. *)
+     cancelled — cancelled but still in the queue (lazy removal; wheel
+                 buckets drop cancelled entries at pour time in O(1));
+     firing    — popped, its work item is executing; [reschedule] may
+                 re-arm it, otherwise the slot is freed afterwards. *)
 
 let slot_bits = 24
 let slot_mask = (1 lsl slot_bits) - 1
@@ -21,14 +40,48 @@ let st_firing = '\003'
 
 type handle = int
 
+(* Never valid: slot 0xffffff with generation 0xffffff...; [valid] rejects
+   it before any array access. *)
+let none = -1
+
+type 'a target = int
+
+type timer_stats = {
+  scheduled : int;        (* total events accepted by [schedule*] *)
+  fired : int;            (* events whose work item actually ran *)
+  cancelled : int;        (* events cancelled before firing *)
+  routed_wheel : int;     (* schedules that landed in a wheel bucket *)
+  routed_heap : int;      (* schedules that went straight to the heap *)
+  pour_skipped : int;     (* cancelled entries dropped at bucket pour *)
+}
+
+(* The clock lives in a single-field float record: all-float records are
+   flat, so reads and writes of [fv] stay unboxed, where a [mutable clock
+   : float] field in the mixed record below would allocate a fresh box on
+   every store (once per fired event). *)
+type fclock = { mutable fv : float }
+
 type t = {
-  mutable clock : Time.t;
-  queue : int Eheap.t;
+  clock : fclock;
+  queue : Twheel.t;
+  (* the queue's scratch cell ({!Twheel.cell}), cached here: keys travel
+     through it instead of float arguments/returns, which non-flambda
+     OCaml boxes at every call.  Per-engine, not global — engines run
+     concurrently in separate domains during parallel sweeps. *)
+  cell : float array;
   root_rng : Rng.t;
   mutable live_count : int;
   mutable executed : int;
+  mutable n_scheduled : int;
+  mutable n_cancelled : int;
+  (* registered dispatchers for the typed fast path; each entry is the
+     one-per-target closure that interprets the slot's argument *)
+  mutable dispatchers : (Obj.t -> unit) array;
+  mutable n_dispatchers : int;
   (* slot table *)
   mutable fns : (unit -> unit) array;
+  mutable disp : int array;   (* dispatcher id, or -1 for a thunk *)
+  mutable args : Obj.t array; (* dispatcher argument (unit for thunks) *)
   mutable state : Bytes.t;
   mutable gens : int array;
   mutable free : int array; (* stack of free slots *)
@@ -36,29 +89,75 @@ type t = {
 }
 
 let no_fn () = ()
+let no_arg = Obj.repr 0
 
-let create ?(seed = 42) () =
-  { clock = Time.zero; queue = Eheap.create (); root_rng = Rng.create seed;
-    live_count = 0; executed = 0;
-    fns = [||]; state = Bytes.empty; gens = [||]; free = [||]; free_top = 0 }
+let create ?(seed = 42) ?(pure_heap = false) () =
+  let queue = Twheel.create ~wheel:(not pure_heap) () in
+  let t =
+    { clock = { fv = Time.zero }; queue; cell = Twheel.cell queue;
+      root_rng = Rng.create seed;
+      live_count = 0; executed = 0; n_scheduled = 0; n_cancelled = 0;
+      dispatchers = [||]; n_dispatchers = 0;
+      fns = [||]; disp = [||]; args = [||]; state = Bytes.empty; gens = [||];
+      free = [||]; free_top = 0 }
+  in
+  (* Wheel buckets drop events cancelled before their horizon comes up;
+     the filter recycles the slot, mirroring what [step] does when it pops
+     a cancelled entry from the heap. *)
+  Twheel.set_filter t.queue (fun h ->
+      let slot = h land slot_mask in
+      if Bytes.get t.state slot = st_cancelled then begin
+        t.gens.(slot) <- t.gens.(slot) + 1;
+        t.fns.(slot) <- no_fn;
+        t.disp.(slot) <- -1;
+        t.args.(slot) <- no_arg;
+        Bytes.set t.state slot st_free;
+        t.free.(t.free_top) <- slot;
+        t.free_top <- t.free_top + 1;
+        false
+      end
+      else true);
+  t
 
-let now t = t.clock
-let clock t () = t.clock
+let now t = t.clock.fv
+let clock t () = t.clock.fv
 
 let rng t = t.root_rng
+
+let target (type a) t (f : a -> unit) : a target =
+  let id = t.n_dispatchers in
+  let cap = Array.length t.dispatchers in
+  if id = cap then begin
+    let cap' = max 8 (2 * cap) in
+    let d = Array.make cap' (fun (_ : Obj.t) -> ()) in
+    Array.blit t.dispatchers 0 d 0 cap;
+    t.dispatchers <- d
+  end;
+  (* Arguments are stored via [Obj.repr] (the identity on the value's
+     uniform representation), so applying [f] magicked to [Obj.t -> unit]
+     is exactly [f] on the original value. *)
+  t.dispatchers.(id) <- (Obj.magic (f : a -> unit) : Obj.t -> unit);
+  t.n_dispatchers <- id + 1;
+  id
 
 let grow t =
   let cap = Array.length t.gens in
   let cap' = max 16 (2 * cap) in
   if cap' > slot_mask then failwith "Engine: too many pending events";
   let fns = Array.make cap' no_fn in
+  let disp = Array.make cap' (-1) in
+  let args = Array.make cap' no_arg in
   let state = Bytes.make cap' st_free in
   let gens = Array.make cap' 0 in
   let free = Array.make cap' 0 in
   Array.blit t.fns 0 fns 0 cap;
+  Array.blit t.disp 0 disp 0 cap;
+  Array.blit t.args 0 args 0 cap;
   Bytes.blit t.state 0 state 0 cap;
   Array.blit t.gens 0 gens 0 cap;
   t.fns <- fns;
+  t.disp <- disp;
+  t.args <- args;
   t.state <- state;
   t.gens <- gens;
   t.free <- free;
@@ -69,32 +168,67 @@ let grow t =
     t.free_top <- t.free_top + 1
   done
 
-let alloc_slot t fn =
+let alloc_slot t =
   if t.free_top = 0 then grow t;
   t.free_top <- t.free_top - 1;
   let slot = t.free.(t.free_top) in
-  t.fns.(slot) <- fn;
   Bytes.set t.state slot st_pending;
   slot
 
 let free_slot t slot =
   t.gens.(slot) <- t.gens.(slot) + 1;
   t.fns.(slot) <- no_fn;
+  t.disp.(slot) <- -1;
+  t.args.(slot) <- no_arg;
   Bytes.set t.state slot st_free;
   t.free.(t.free_top) <- slot;
   t.free_top <- t.free_top + 1
 
-let schedule t ~at fn =
-  if at < t.clock then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule: at=%.3f is before now=%.3f" at t.clock);
-  let slot = alloc_slot t fn in
+(* The event's firing time arrives in [cell.(0)] (written by the public
+   wrappers below); an [~at : float] parameter would be boxed at every
+   call.  The error paths may allocate freely. *)
+let enqueue_cell t slot =
   let h = (t.gens.(slot) lsl slot_bits) lor slot in
-  Eheap.add t.queue ~key:at h;
+  t.cell.(1) <- t.clock.fv;
+  Twheel.add_cell t.queue h;
   t.live_count <- t.live_count + 1;
+  t.n_scheduled <- t.n_scheduled + 1;
   h
 
-let schedule_after t ~delay fn = schedule t ~at:(t.clock +. delay) fn
+let schedule_cell t fn =
+  if t.cell.(0) < t.clock.fv then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%.3f is before now=%.3f"
+         t.cell.(0) t.clock.fv);
+  let slot = alloc_slot t in
+  t.fns.(slot) <- fn;
+  enqueue_cell t slot
+
+let schedule t ~at fn =
+  t.cell.(0) <- at;
+  schedule_cell t fn
+
+let schedule_after t ~delay fn =
+  t.cell.(0) <- t.clock.fv +. delay;
+  schedule_cell t fn
+
+let schedule_to_cell t tid v =
+  if t.cell.(0) < t.clock.fv then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_to: at=%.3f is before now=%.3f"
+         t.cell.(0) t.clock.fv);
+  let slot = alloc_slot t in
+  t.disp.(slot) <- tid;
+  t.args.(slot) <- Obj.repr v;
+  enqueue_cell t slot
+
+let schedule_to t ~at (tid : _ target) v =
+  t.cell.(0) <- at;
+  schedule_to_cell t tid v
+
+let schedule_to_after t ~delay tgt v =
+  t.cell.(0) <- t.clock.fv +. delay;
+  schedule_to_cell t tgt v
 
 (* A handle is valid while its generation matches the slot's: from
    [schedule] until the slot is freed (event fired without re-arm, or its
@@ -108,44 +242,66 @@ let cancel t h =
     let slot = h land slot_mask in
     if Bytes.get t.state slot = st_pending then begin
       Bytes.set t.state slot st_cancelled;
-      t.live_count <- t.live_count - 1
+      t.live_count <- t.live_count - 1;
+      t.n_cancelled <- t.n_cancelled + 1
     end
   end
 
 let is_pending t h =
   valid t h && Bytes.get t.state (h land slot_mask) = st_pending
 
-let reschedule t h ~at =
-  if at < t.clock then
+(* As with [schedule_cell], the new firing time arrives in [cell.(0)]. *)
+let reschedule_cell t h =
+  if t.cell.(0) < t.clock.fv then
     invalid_arg
-      (Printf.sprintf "Engine.reschedule: at=%.3f is before now=%.3f" at
-         t.clock);
+      (Printf.sprintf "Engine.reschedule: at=%.3f is before now=%.3f"
+         t.cell.(0) t.clock.fv);
   let slot = h land slot_mask in
   if not (valid t h) || Bytes.get t.state slot <> st_firing then
     invalid_arg "Engine.reschedule: handle is not the currently-firing event";
   Bytes.set t.state slot st_pending;
-  Eheap.add t.queue ~key:at h;
-  t.live_count <- t.live_count + 1
+  t.cell.(1) <- t.clock.fv;
+  Twheel.add_cell t.queue h;
+  t.live_count <- t.live_count + 1;
+  t.n_scheduled <- t.n_scheduled + 1
 
-let reschedule_after t h ~delay = reschedule t h ~at:(t.clock +. delay)
+let reschedule t h ~at =
+  t.cell.(0) <- at;
+  reschedule_cell t h
+
+let reschedule_after t h ~delay =
+  t.cell.(0) <- t.clock.fv +. delay;
+  reschedule_cell t h
 
 let pending_events t = t.live_count
 
 let events_executed t = t.executed
 
+let timer_stats t =
+  { scheduled = t.n_scheduled; fired = t.executed;
+    cancelled = t.n_cancelled;
+    routed_wheel = Twheel.scheduled_wheel t.queue;
+    routed_heap = Twheel.scheduled_heap t.queue;
+    pour_skipped = Twheel.skipped_at_pour t.queue }
+
 let step t =
-  if Eheap.is_empty t.queue then false
+  (* [pop_min_cell] turns the wheel first, so cancelled bucket entries
+     are filter-dropped before emptiness is decided: -1 here means truly
+     nothing left, even if [is_empty] said otherwise a moment ago. *)
+  let h = Twheel.pop_min_cell t.queue in
+  if h < 0 then false
   else begin
-    let at = Eheap.min_key_or t.queue ~default:t.clock in
-    let h = Eheap.pop_min t.queue in
     let slot = h land slot_mask in
     if Bytes.get t.state slot = st_pending then begin
       Bytes.set t.state slot st_firing;
       t.live_count <- t.live_count - 1;
-      t.clock <- at;
+      (* Read the key out of the scratch cell before dispatching — the
+         work item may schedule and clobber it. *)
+      t.clock.fv <- t.cell.(0);
       t.executed <- t.executed + 1;
-      t.fns.(slot) ();
-      (* Unless the thunk re-armed itself, recycle the record. *)
+      let d = t.disp.(slot) in
+      if d >= 0 then t.dispatchers.(d) t.args.(slot) else t.fns.(slot) ();
+      (* Unless the work item re-armed itself, recycle the record. *)
       if Bytes.get t.state slot = st_firing then free_slot t slot
     end
     else free_slot t slot (* cancelled: drop the queue entry *);
@@ -155,14 +311,14 @@ let step t =
 let run_while t pred ~until =
   let rec loop () =
     if pred () then
-      if Eheap.min_key_or t.queue ~default:infinity <= until then begin
+      if Twheel.min_key_leq t.queue until then begin
         ignore (step t);
         loop ()
       end
       else if
         (* Queue exhausted up to [until]: the virtual interval elapsed. *)
-        t.clock < until
-      then t.clock <- until
+        t.clock.fv < until
+      then t.clock.fv <- until
   in
   loop ()
 

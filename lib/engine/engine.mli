@@ -9,15 +9,30 @@ type t
 
 type handle
 (** Identifies a scheduled event, for cancellation and re-arming.
+    {!none} is a handle that was never issued — every operation on it is a
+    safe no-op — so callers can store handles unboxed (no option).
     Cancellation is lazy: the slot stays in the queue but the thunk will
     not run.  Handles are immediate values (no allocation per event); a
     handle becomes stale once its event has fired without being re-armed,
     and all operations on a stale handle are safe no-ops or errors — they
     can never affect a later event that recycled the same record. *)
 
-val create : ?seed:int -> unit -> t
+type 'a target
+(** A registered event dispatcher for the closure-free fast path: one
+    constructor of the engine's work-item variant (packet delivery, softint
+    completion, TCP timer, ...), registered once per call site.  Scheduling
+    to a target stores only (target id, argument) in the event's slot —
+    zero minor words per event — where scheduling a thunk allocates a fresh
+    closure per event. *)
+
+val none : handle
+(** The never-valid handle: [cancel]/[is_pending] on it are safe no-ops. *)
+
+val create : ?seed:int -> ?pure_heap:bool -> unit -> t
 (** Fresh engine with clock at zero and an empty queue.  [seed] initialises
-    the engine's root RNG (default 42). *)
+    the engine's root RNG (default 42).  [~pure_heap:true] bypasses the
+    timer wheel and runs every event through the comparison heap — same
+    observable behaviour, used by the wheel-vs-heap equivalence tests. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -37,6 +52,22 @@ val schedule : t -> at:Time.t -> (unit -> unit) -> handle
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f]. *)
+
+val target : t -> ('a -> unit) -> 'a target
+(** [target t f] registers [f] as a dispatcher and returns its id.  Call
+    once at component setup, not per event: the registry only grows.  [f]
+    receives the argument passed to {!schedule_to}. *)
+
+val schedule_to : t -> at:Time.t -> 'a target -> 'a -> handle
+(** [schedule_to t ~at tgt v] runs the target's dispatcher on [v] at
+    virtual time [at].  Behaviourally identical to
+    [schedule t ~at (fun () -> f v)] but allocates no closure — the hot
+    per-packet/per-segment path.
+    @raise Invalid_argument if [at] is before [now t]. *)
+
+val schedule_to_after : t -> delay:float -> 'a target -> 'a -> handle
+(** [schedule_to_after t ~delay tgt v] is
+    [schedule_to t ~at:(now t +. delay) tgt v]. *)
 
 val cancel : t -> handle -> unit
 (** Cancel a pending event.  Cancelling an already-run or already-cancelled
@@ -60,6 +91,18 @@ val pending_events : t -> int
 
 val events_executed : t -> int
 (** Total events executed so far (for performance reporting). *)
+
+type timer_stats = {
+  scheduled : int;  (** total events accepted by the [schedule*] family *)
+  fired : int;  (** events whose work item actually ran *)
+  cancelled : int;  (** events cancelled before firing *)
+  routed_wheel : int;  (** schedules that landed in a wheel bucket *)
+  routed_heap : int;  (** schedules that went straight to the heap *)
+  pour_skipped : int;  (** cancelled entries dropped at bucket-pour time *)
+}
+
+val timer_stats : t -> timer_stats
+(** Cumulative scheduling/churn counters, for the metrics registry. *)
 
 val run : t -> until:Time.t -> unit
 (** Execute events in timestamp order until the queue is exhausted or the

@@ -134,6 +134,8 @@ type t = {
   (* --- shared protocol state --- *)
   reasm : Ip.Reasm.t;
   mutable tcp_env : Tcp.env option;
+  mutable timer_tgt : Tcp.timer Engine.target option;
+      (* closure-free TCP timer expiry event; registered on first arm *)
   mutable eph_port : int;
   stats : kstats;
   (* --- observability (per-kernel: parallel sweeps never share these) --- *)
@@ -441,25 +443,38 @@ let deregister_conn t conn =
 (* TCP environment                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Engine-time expiry of an armed TCP timer: hand the expiry to the
+   architecture's protocol-processing context.  The generation snapshot
+   makes a stop/re-arm that happens while the posted work is still queued
+   drop the stale delivery, exactly as the old per-arm record's [cancelled]
+   flag did. *)
+let fire_tcp_timer t tm =
+  let gen = Tcp.timer_gen tm in
+  match t.cfg.arch with
+  | Bsd | Early_demux ->
+      Cpu.post_soft t.cpu ~label:"tcp-timer"
+        ~cost:(t.c.Cost.soft_dispatch
+               +. (t.c.Cost.eager_penalty *. t.c.Cost.tcp_in))
+        (fun () -> Tcp.timer_fired tm ~gen)
+  | Soft_lrp | Ni_lrp ->
+      app_post_timer t (Tcp.timer_conn tm) (fun () -> Tcp.timer_fired tm ~gen)
+
+let timer_target t =
+  match t.timer_tgt with
+  | Some g -> g
+  | None ->
+      let g = Engine.target t.engine (fun tm -> fire_tcp_timer t tm) in
+      t.timer_tgt <- Some g;
+      g
+
 let make_tcp_env t =
   { Tcp.now = (fun () -> Engine.now t.engine);
     emit = (fun pkt -> ip_output t pkt);
     start_timer =
-      (fun conn delay cb ->
-        let tm = { Tcp.cancelled = false } in
-        ignore
-          (Engine.schedule_after t.engine ~delay (fun () ->
-               if not tm.Tcp.cancelled then
-                 match t.cfg.arch with
-                 | Bsd | Early_demux ->
-                     Cpu.post_soft t.cpu ~label:"tcp-timer"
-                       ~cost:(t.c.Cost.soft_dispatch
-                              +. (t.c.Cost.eager_penalty *. t.c.Cost.tcp_in))
-                       (fun () -> if not tm.Tcp.cancelled then cb ())
-                 | Soft_lrp | Ni_lrp ->
-                     app_post_timer t conn (fun () ->
-                         if not tm.Tcp.cancelled then cb ())));
-        tm);
+      (fun tm delay ->
+        tm.Tcp.cookie <-
+          Engine.schedule_to_after t.engine ~delay (timer_target t) tm);
+    stop_timer = (fun tm -> Engine.cancel t.engine tm.Tcp.cookie);
     on_readable =
       (fun conn ->
         match sock_of_conn t conn with
@@ -1112,7 +1127,7 @@ let create engine fabric ~name ~ip cfg =
       helper_wq = Proc.waitq (name ^ ".udp-helper"); helper_proc = None;
       fwd_wq = Proc.waitq (name ^ ".ipfwdd"); fwd_proc = None;
       udp_channels = []; reasm = Ip.Reasm.create ();
-      tcp_env = None; eph_port = 20_000;
+      tcp_env = None; timer_tgt = None; eph_port = 20_000;
       stats =
         { rx_frames = 0; ipq_drops = 0; mbuf_drops = 0; no_port_drops = 0;
           demux_drops = 0; edemux_early_drops = 0; udp_delivered = 0;
@@ -1153,15 +1168,30 @@ let create engine fabric ~name ~ip cfg =
             t.tcp_conns 0))
     [ "segs_sent"; "segs_rcvd"; "bytes_sent"; "bytes_rcvd"; "retransmits";
       "syn_drops_backlog" ];
+  (* Engine timer-churn counters: how many events were scheduled/fired/
+     cancelled-before-fire, how schedules split between wheel buckets and
+     the heap, and how many cancelled entries the wheel dropped at pour
+     time (each one a heap round-trip avoided). *)
+  g "engine.timers_scheduled" (fun () ->
+      (Engine.timer_stats engine).Engine.scheduled);
+  g "engine.timers_fired" (fun () -> (Engine.timer_stats engine).Engine.fired);
+  g "engine.timers_cancelled" (fun () ->
+      (Engine.timer_stats engine).Engine.cancelled);
+  g "engine.sched_wheel" (fun () ->
+      (Engine.timer_stats engine).Engine.routed_wheel);
+  g "engine.sched_heap" (fun () ->
+      (Engine.timer_stats engine).Engine.routed_heap);
+  g "engine.pour_skipped" (fun () ->
+      (Engine.timer_stats engine).Engine.pour_skipped);
   Cpu.register_metrics cpu metrics ~prefix:"cpu";
   Nic.register_metrics nic metrics ~prefix:"nic";
   Ip.Reasm.register_metrics t.reasm metrics ~prefix:"reasm";
-  (* Periodic reassembly pruning (ip_slowtimo). *)
-  let rec slowtimo () =
-    ignore (Ip.Reasm.prune t.reasm ~now:(now t));
-    ignore (Engine.schedule_after engine ~delay:(Time.sec 5.) slowtimo)
-  in
-  ignore (Engine.schedule_after engine ~delay:(Time.sec 5.) slowtimo);
+  (* Periodic reassembly pruning (ip_slowtimo); re-arms its own event. *)
+  let slowtimo_ev = ref Engine.none in
+  slowtimo_ev :=
+    Engine.schedule_after engine ~delay:(Time.sec 5.) (fun () ->
+        ignore (Ip.Reasm.prune t.reasm ~now:(now t));
+        Engine.reschedule_after engine !slowtimo_ev ~delay:(Time.sec 5.));
   if lrp_mode t && cfg.udp_helper then begin
     let p =
       Cpu.spawn cpu ~nice:20 ~name:(name ^ ".udp-helper") (fun _self ->

@@ -103,6 +103,7 @@ type t = {
   mutable udp_channels : Lrp_core.Channel.t list;
   reasm : Lrp_proto.Ip.Reasm.t;
   mutable tcp_env : Lrp_proto.Tcp.env option;
+  mutable timer_tgt : Lrp_proto.Tcp.timer Lrp_engine.Engine.target option;
   mutable eph_port : int;
   stats : kstats;
   tracer : Lrp_trace.Trace.t;

@@ -13,6 +13,7 @@ open Lrp_engine
 
 type port = {
   nic : Nic.t;
+  rx_tgt : Packet.t Engine.target;  (* closure-free arrival event *)
   mutable busy_until : Time.t;
   mutable rx_frames : int;
   mutable drops : int;
@@ -44,7 +45,10 @@ let rec attach t nic =
   let ip = Nic.ip nic in
   if Hashtbl.mem t.ports ip then
     invalid_arg "Fabric.attach: duplicate IP address";
-  let port = { nic; busy_until = Time.zero; rx_frames = 0; drops = 0 } in
+  let port =
+    { nic; rx_tgt = Engine.target t.engine (fun pkt -> Nic.receive nic pkt);
+      busy_until = Time.zero; rx_frames = 0; drops = 0 }
+  in
   Hashtbl.replace t.ports ip port;
   Nic.set_deliver nic (fun pkt -> forward t pkt)
 
@@ -85,8 +89,7 @@ and deliver_to t port pkt ~now =
     port.busy_until <- departure;
     port.rx_frames <- port.rx_frames + 1;
     let arrival = departure +. t.switch_latency +. t.prop_delay in
-    ignore
-      (Engine.schedule t.engine ~at:arrival (fun () -> Nic.receive port.nic pkt))
+    ignore (Engine.schedule_to t.engine ~at:arrival port.rx_tgt pkt)
   end
 
 let set_loss_rate t r = t.loss_rate <- r

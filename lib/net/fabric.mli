@@ -11,6 +11,8 @@
 
 type port = {
   nic : Nic.t;
+  rx_tgt : Packet.t Lrp_engine.Engine.target;
+      (** closure-free arrival event for this port *)
   mutable busy_until : Lrp_engine.Time.t;
   mutable rx_frames : int;
   mutable drops : int;

@@ -36,6 +36,8 @@ type t = {
   mutable tx_busy : bool;
   mutable rx_handler : Packet.t -> unit;
   mutable deliver : Packet.t -> unit;  (* wired to the fabric *)
+  mutable tx_done : Packet.t Engine.target option;
+      (* closure-free tx-complete event; registered by [create] *)
   stats : stats;
   mutable tracer : Lrp_trace.Trace.t;  (* owning kernel's; disabled default *)
 }
@@ -49,6 +51,7 @@ let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
     ifq = Queue.create (); tx_busy = false;
     rx_handler = (fun _ -> ());
     deliver = (fun _ -> ());
+    tx_done = None;
     stats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; tx_drops = 0 };
     tracer = Lrp_trace.Trace.null () }
 
@@ -89,10 +92,22 @@ let rec drain t =
       let d = serialization_time t pkt in
       t.stats.tx_packets <- t.stats.tx_packets + 1;
       t.stats.tx_bytes <- t.stats.tx_bytes + Packet.wire_bytes pkt;
-      ignore
-        (Engine.schedule_after t.engine ~delay:d (fun () ->
-             t.deliver pkt;
-             drain t))
+      ignore (Engine.schedule_to_after t.engine ~delay:d (tx_target t) pkt)
+
+(* Tx-complete dispatcher, registered on the first transmission: deliver
+   the frame to the fabric and start the next one.  One registration per
+   NIC; each subsequent tx-done event is closure-free. *)
+and tx_target t =
+  match t.tx_done with
+  | Some g -> g
+  | None ->
+      let g =
+        Engine.target t.engine (fun pkt ->
+            t.deliver pkt;
+            drain t)
+      in
+      t.tx_done <- Some g;
+      g
 
 (* [transmit t pkt] is the driver's if_output: enqueue on the interface
    queue and kick the transmitter.  Returns [false] on queue overflow. *)

@@ -33,6 +33,8 @@ type t = {
   mutable tx_busy : bool;
   mutable rx_handler : Packet.t -> unit;
   mutable deliver : Packet.t -> unit;
+  mutable tx_done : Packet.t Lrp_engine.Engine.target option;
+      (** closure-free tx-complete event; registered on first transmit *)
   stats : stats;
   mutable tracer : Lrp_trace.Trace.t;
 }

@@ -16,7 +16,9 @@ let pp_ip fmt (a : ip) =
     (a land 0xff)
 
 let ip_of_quad a b c d =
-  if a lor b lor c lor d land (lnot 0xff) <> 0 then invalid_arg "ip_of_quad";
+  (* [land] binds tighter than [lor]: without the parentheses only [d] was
+     range-checked, silently accepting out-of-range upper octets. *)
+  if (a lor b lor c lor d) land lnot 0xff <> 0 then invalid_arg "ip_of_quad";
   (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
 
 type tcp_flags = {

@@ -43,16 +43,40 @@ let state_name = function
   | Closing -> "CLOSING"
   | Time_wait -> "TIME_WAIT"
 
-type timer = { mutable cancelled : bool }
+(* A connection's timers are persistent records, allocated once in
+   [make_conn] and re-armed in place: re-arming writes three fields and
+   schedules one engine event — no timer record, no closure.  The engine
+   event is cancelled for real (engine-level, O(1) lazy) when the timer is
+   stopped, so TCP's dominant pattern — a retransmit timer re-armed on
+   every ACK and almost never firing — never reaches dispatch.
 
-type env = {
+   [tgen] guards the window between the engine event firing and the
+   kernel-posted protocol work actually running: a stop or re-arm in that
+   window bumps the generation, and {!timer_fired} drops the stale expiry.
+   [cookie] is kernel scratch (the engine event handle); TCP never reads
+   it. *)
+type timer = {
+  mutable armed : bool;
+  mutable tgen : int;
+  mutable cookie : Lrp_engine.Engine.handle;
+  mutable on_fire : conn -> unit;
+  mutable tconn : conn option;  (* set once, right after [make_conn] *)
+}
+
+and env = {
   now : unit -> float;
   emit : Packet.t -> unit;
       (** transmit a segment (the caller routes it into IP output) *)
-  start_timer : conn -> float -> (unit -> unit) -> timer;
-      (** run a callback for the connection after a delay, in
-          protocol-processing context (the conn identifies whose APP thread
-          — and whose CPU account — the work belongs to under LRP) *)
+  start_timer : timer -> float -> unit;
+      (** arm [timer] to expire after a delay, in protocol-processing
+          context ([timer]'s conn identifies whose APP thread — and whose
+          CPU account — the work belongs to under LRP).  The kernel stores
+          its event handle in [timer.cookie] and delivers the expiry
+          through {!timer_fired} with the generation it read at arm
+          time *)
+  stop_timer : timer -> unit;
+      (** cancel the engine event behind [timer.cookie]; called only while
+          the timer is armed *)
   on_readable : conn -> unit;     (** receive buffer has data or EOF *)
   on_writable : conn -> unit;     (** send buffer gained space *)
   on_established : conn -> unit;  (** active open completed *)
@@ -102,8 +126,8 @@ and conn = {
   mutable fin_received : bool;
   mutable last_advertised_wnd : int;
   (* --- timers / rtt --- *)
-  mutable rtx_timer : timer option;
-  mutable persist_timer : timer option;
+  rtx_timer : timer;      (* retransmission; doubles as the TIME_WAIT clock *)
+  persist_timer : timer;  (* zero-window probe *)
   mutable srtt : float;           (* smoothed rtt, us; <0 = no sample yet *)
   mutable rttvar : float;
   mutable rto : float;
@@ -128,21 +152,31 @@ and conn = {
    concurrent domains (they key per-kernel tables). *)
 let conn_counter = Atomic.make 0
 
+let make_timer () =
+  { armed = false; tgen = 0; cookie = Lrp_engine.Engine.none;
+    on_fire = (fun _ -> ()); tconn = None }
+
 let make_conn env ~local_ip ~local_port ?(sndq_limit = 32 * 1024)
     ?(rcv_buf_limit = 32 * 1024) ?(backlog = 0) ~state () =
-  { env; id = Atomic.fetch_and_add conn_counter 1 + 1; local_ip; local_port;
-    remote = None; state;
-    meta = -1;
-    snd_una = 0; snd_nxt = 0; snd_wnd = 0; cwnd = float_of_int env.mss;
-    ssthresh = 65_535.; dup_acks = 0; unacked = []; unsent = [];
-    unsent_bytes = 0; sndq_limit; fin_queued = false; fin_seq = -1;
-    rcv_nxt = 0; ooo = []; rcvq = []; rcvq_bytes = 0; rcv_buf_limit;
-    fin_received = false; last_advertised_wnd = rcv_buf_limit;
-    rtx_timer = None; persist_timer = None; srtt = -1.; rttvar = 0.;
-    rto = env.initial_rto; backoff = 0; timing = None; syn_retries = 0;
-    backlog; accept_queue = Queue.create (); syn_pending = 0; parent = None;
-    segs_sent = 0; segs_rcvd = 0; bytes_sent = 0; bytes_rcvd = 0;
-    retransmits = 0; syn_drops_backlog = 0 }
+  let c =
+    { env; id = Atomic.fetch_and_add conn_counter 1 + 1; local_ip; local_port;
+      remote = None; state;
+      meta = -1;
+      snd_una = 0; snd_nxt = 0; snd_wnd = 0; cwnd = float_of_int env.mss;
+      ssthresh = 65_535.; dup_acks = 0; unacked = []; unsent = [];
+      unsent_bytes = 0; sndq_limit; fin_queued = false; fin_seq = -1;
+      rcv_nxt = 0; ooo = []; rcvq = []; rcvq_bytes = 0; rcv_buf_limit;
+      fin_received = false; last_advertised_wnd = rcv_buf_limit;
+      rtx_timer = make_timer (); persist_timer = make_timer ();
+      srtt = -1.; rttvar = 0.;
+      rto = env.initial_rto; backoff = 0; timing = None; syn_retries = 0;
+      backlog; accept_queue = Queue.create (); syn_pending = 0; parent = None;
+      segs_sent = 0; segs_rcvd = 0; bytes_sent = 0; bytes_rcvd = 0;
+      retransmits = 0; syn_drops_backlog = 0 }
+  in
+  c.rtx_timer.tconn <- Some c;
+  c.persist_timer.tconn <- Some c;
+  c
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                              *)
@@ -185,10 +219,39 @@ let send_rst_for (pkt : Packet.t) ~emit =
       emit rst
   | Packet.Tcp _ | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ -> ()
 
-let stop_timer slot =
-  match slot with
-  | Some (t : timer) -> t.cancelled <- true
-  | None -> ()
+let timer_conn tm =
+  match tm.tconn with
+  | Some c -> c
+  | None -> invalid_arg "Tcp: timer not attached to a connection"
+
+let timer_gen tm = tm.tgen
+
+let timer_armed tm = tm.armed
+
+(* Arm (or re-arm) a persistent timer: bump the generation so any expiry
+   already in flight goes stale, cancel the superseded engine event, and
+   schedule the new one.  No allocation. *)
+let arm_timer c tm ~delay fire =
+  tm.tgen <- tm.tgen + 1;
+  if tm.armed then c.env.stop_timer tm;
+  tm.armed <- true;
+  tm.on_fire <- fire;
+  c.env.start_timer tm delay
+
+let halt_timer c tm =
+  if tm.armed then begin
+    tm.tgen <- tm.tgen + 1;
+    tm.armed <- false;
+    c.env.stop_timer tm
+  end
+
+(* Kernel entry point: deliver an expiry whose engine event fired at
+   generation [gen].  A stop or re-arm since then makes it stale. *)
+let timer_fired tm ~gen =
+  if tm.armed && tm.tgen = gen then begin
+    tm.armed <- false;
+    tm.on_fire (timer_conn tm)
+  end
 
 let in_flight c = c.snd_nxt - c.snd_una
 
@@ -199,13 +262,10 @@ let send_window c = min c.snd_wnd (int_of_float c.cwnd)
 (* ------------------------------------------------------------------ *)
 
 let rec arm_rtx c =
-  stop_timer c.rtx_timer;
   let delay = c.rto *. float_of_int (1 lsl min c.backoff 6) in
-  c.rtx_timer <- Some (c.env.start_timer c delay (fun () -> on_rtx_timeout c))
+  arm_timer c c.rtx_timer ~delay on_rtx_timeout
 
-and disarm_rtx c =
-  stop_timer c.rtx_timer;
-  c.rtx_timer <- None
+and disarm_rtx c = halt_timer c c.rtx_timer
 
 and on_rtx_timeout c =
   match c.state with
@@ -301,22 +361,18 @@ and output c =
   end;
   (* Zero-window persist: make sure we eventually probe. *)
   if c.unsent_bytes > 0 && send_window c <= 0 && in_flight c = 0
-     && c.persist_timer = None
-  then begin
-    let t =
-      c.env.start_timer c 5_000_000. (fun () ->
-          c.persist_timer <- None;
-          if c.unsent_bytes > 0 && send_window c <= 0 && in_flight c = 0 then begin
-            (* Probe with one byte. *)
-            let payload = take_unsent c 1 in
-            let seq = c.snd_nxt in
-            c.unacked <- c.unacked @ [ (seq, payload) ];
-            c.snd_nxt <- c.snd_nxt + 1;
-            c.env.emit (segment c ~payload ~seq (Packet.flags ~ack:true ()));
-            arm_rtx c
-          end)
-    in
-    c.persist_timer <- Some t
+     && not (timer_armed c.persist_timer)
+  then arm_timer c c.persist_timer ~delay:5_000_000. on_persist_timeout
+
+and on_persist_timeout c =
+  if c.unsent_bytes > 0 && send_window c <= 0 && in_flight c = 0 then begin
+    (* Probe with one byte. *)
+    let payload = take_unsent c 1 in
+    let seq = c.snd_nxt in
+    c.unacked <- c.unacked @ [ (seq, payload) ];
+    c.snd_nxt <- c.snd_nxt + 1;
+    c.env.emit (segment c ~payload ~seq (Packet.flags ~ack:true ()));
+    arm_rtx c
   end
 
 and take_unsent c n =
@@ -348,19 +404,21 @@ and take_unsent c n =
 
 and enter_closed c =
   disarm_rtx c;
-  stop_timer c.persist_timer;
-  c.persist_timer <- None;
+  halt_timer c c.persist_timer;
   if c.state <> Closed then begin
     c.state <- Closed;
     c.env.on_closed c
   end
 
+(* The retransmission timer is idle from here to the end of the
+   connection's life, so TIME_WAIT reuses its record as the 2MSL clock. *)
 and enter_time_wait c =
   c.state <- Time_wait;
   disarm_rtx c;
   c.env.on_time_wait c;
-  ignore (c.env.start_timer c c.env.time_wait_duration (fun () ->
-      if c.state = Time_wait then enter_closed c))
+  arm_timer c c.rtx_timer ~delay:c.env.time_wait_duration on_time_wait_expire
+
+and on_time_wait_expire c = if c.state = Time_wait then enter_closed c
 
 (* ------------------------------------------------------------------ *)
 (* RTT estimation (Jacobson/Karels; Karn handled via [timing=None])     *)

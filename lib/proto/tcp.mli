@@ -27,11 +27,26 @@ type state =
   | Last_ack
   | Closing
   | Time_wait
-type timer = { mutable cancelled : bool; }
-type env = {
+(** A persistent, re-armable protocol timer (see the implementation notes:
+    one record per connection per timer kind, zero-allocation re-arm,
+    engine-level cancellation, generation-guarded expiry delivery). *)
+type timer = {
+  mutable armed : bool;
+  mutable tgen : int;
+  mutable cookie : Lrp_engine.Engine.handle;
+      (** kernel scratch: the engine event backing the armed timer *)
+  mutable on_fire : conn -> unit;
+  mutable tconn : conn option;
+}
+and env = {
   now : unit -> float;
   emit : Lrp_net.Packet.t -> unit;
-  start_timer : conn -> float -> (unit -> unit) -> timer;
+  start_timer : timer -> float -> unit;
+      (** arm the timer after a delay, in protocol-processing context; the
+          kernel saves its event handle in [cookie] and must deliver the
+          expiry via {!timer_fired} with the generation read at arm time *)
+  stop_timer : timer -> unit;
+      (** cancel the engine event behind [cookie] *)
   on_readable : conn -> unit;
   on_writable : conn -> unit;
   on_established : conn -> unit;
@@ -73,8 +88,8 @@ and conn = {
   rcv_buf_limit : int;
   mutable fin_received : bool;
   mutable last_advertised_wnd : int;
-  mutable rtx_timer : timer option;
-  mutable persist_timer : timer option;
+  rtx_timer : timer;
+  persist_timer : timer;
   mutable srtt : float;
   mutable rttvar : float;
   mutable rto : float;
@@ -94,6 +109,23 @@ and conn = {
 }
 
 val state_name : state -> string
+
+(** {1 Timer delivery (kernel side)} *)
+
+val timer_conn : timer -> conn
+(** The connection a timer belongs to (for LRP context routing).
+    @raise Invalid_argument on a timer not yet attached. *)
+
+val timer_gen : timer -> int
+(** Current generation; the kernel reads it when the engine event fires and
+    passes it back to {!timer_fired}. *)
+
+val timer_armed : timer -> bool
+
+val timer_fired : timer -> gen:int -> unit
+(** Deliver an expiry, in protocol-processing context.  Dropped silently
+    when the timer was stopped or re-armed after the engine event fired
+    ([gen] no longer matches). *)
 
 
 (** {1 Lifecycle} *)

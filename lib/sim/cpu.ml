@@ -30,6 +30,10 @@ type t = {
   mutable in_dispatch : bool;
   mutable redo : bool;
   mutable force_resched : bool;
+  (* registered engine targets (closure-free schedule path); filled in by
+     [create] right after the record is built *)
+  mutable seg_tgt : unit Engine.target option;
+  mutable wake_tgt : Proc.t Engine.target option;
   (* statistics *)
   mutable t_hard : float;
   mutable t_soft : float;
@@ -105,6 +109,13 @@ let stop_running t =
            Deque.push_front t.softq w
        | Wuser p -> p.Proc.work_left <- left);
       t.running <- None
+
+(* Targets are registered by [create] before any event can fire. *)
+let seg_target t =
+  match t.seg_tgt with Some g -> g | None -> assert false
+
+let wake_target t =
+  match t.wake_tgt with Some g -> g | None -> assert false
 
 let rec segment_done t () =
   let r = match t.running with Some r -> r | None -> assert false in
@@ -199,8 +210,7 @@ and handler : type r. t -> Proc.t -> (r, unit) Effect.Deep.handler =
                   ~state:Trace.Sleeping;
                 Sched.sleep t.sched ~now:(Engine.now t.engine) p.Proc.thread;
                 ignore
-                  (Engine.schedule_after t.engine ~delay:d (fun () ->
-                       guarded t (fun () -> wake t p))))
+                  (Engine.schedule_to_after t.engine ~delay:d (wake_target t) p))
         | Proc.Yield ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -232,8 +242,8 @@ and begin_timed t (p : Proc.t) =
   t.cur <- Some p;
   let r = { r_who = Wuser p; r_left = p.Proc.work_left; r_started = now; r_ev = None } in
   t.running <- Some r;
-  r.r_ev <- Some (Engine.schedule_after t.engine ~delay:r.r_left (fun () ->
-      guarded t (segment_done t)))
+  r.r_ev <-
+    Some (Engine.schedule_to_after t.engine ~delay:r.r_left (seg_target t) ())
 
 and begin_work t who (w : work) =
   let now = Engine.now t.engine in
@@ -253,8 +263,8 @@ and begin_work t who (w : work) =
     t.redo <- true
   end
   else
-    r.r_ev <- Some (Engine.schedule_after t.engine ~delay:w.left (fun () ->
-        guarded t (segment_done t)))
+    r.r_ev <-
+      Some (Engine.schedule_to_after t.engine ~delay:w.left (seg_target t) ())
 
 and start_best t =
   if not (Deque.is_empty t.hardq) then
@@ -350,17 +360,25 @@ let tick t =
 
 let decay t = guarded t (fun () -> Sched.decay t.sched)
 
-let rec install_tick t =
-  ignore
-    (Engine.schedule_after t.engine ~delay:Sched.tick_interval (fun () ->
-         tick t;
-         install_tick t))
+(* Periodic clocks re-arm their own event record ([reschedule_after]), so a
+   long run pays one slot and one closure total per clock, not one per
+   firing. *)
+let install_periodic engine ~delay fn =
+  let h = ref None in
+  let ev =
+    Engine.schedule_after engine ~delay (fun () ->
+        fn ();
+        match !h with
+        | Some ev -> Engine.reschedule_after engine ev ~delay
+        | None -> assert false)
+  in
+  h := Some ev
 
-let rec install_decay t =
-  ignore
-    (Engine.schedule_after t.engine ~delay:Sched.decay_interval (fun () ->
-         decay t;
-         install_decay t))
+let install_tick t =
+  install_periodic t.engine ~delay:Sched.tick_interval (fun () -> tick t)
+
+let install_decay t =
+  install_periodic t.engine ~delay:Sched.decay_interval (fun () -> decay t)
 
 let create engine ?(ctx_switch_cost = 0.) ?(start_clock = true) ~name () =
   let t =
@@ -370,8 +388,14 @@ let create engine ?(ctx_switch_cost = 0.) ?(start_clock = true) ~name () =
       last_user = -1; in_dispatch = false; redo = false; force_resched = false;
       t_hard = 0.; t_soft = 0.; t_user = 0.; n_ctx_switch = 0;
       n_soft_dispatch = 0; n_hard_dispatch = 0; created_at = Engine.now engine;
-      tracer = Trace.null () }
+      tracer = Trace.null (); seg_tgt = None; wake_tgt = None }
   in
+  (* One dispatcher per work-item kind, registered once; [segment_done t]
+     is hoisted so firing a segment allocates nothing either. *)
+  let segdone = segment_done t in
+  t.seg_tgt <- Some (Engine.target engine (fun () -> guarded t segdone));
+  t.wake_tgt <-
+    Some (Engine.target engine (fun p -> guarded t (fun () -> wake t p)));
   if start_clock then begin
     install_tick t;
     install_decay t

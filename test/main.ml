@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "lrp"
     [ ("engine", Test_engine.suite);
+      ("twheel", Test_twheel.suite);
       ("sched", Test_sched.suite);
       ("sim", Test_sim.suite);
       ("net", Test_net.suite);

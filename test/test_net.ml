@@ -61,6 +61,22 @@ let test_ip_pp () =
   let s = Fmt.str "%a" Packet.pp_ip (Packet.ip_of_quad 10 0 0 12) in
   Alcotest.(check string) "dotted quad" "10.0.0.12" s
 
+let test_ip_of_quad_range_check () =
+  (* Every octet position must be range-checked individually (a precedence
+     bug once masked only the last one). *)
+  Alcotest.(check int) "max quad" 0xffffffff (Packet.ip_of_quad 255 255 255 255);
+  List.iteri
+    (fun pos quad ->
+      let a, b, c, d = quad in
+      Alcotest.check_raises
+        (Printf.sprintf "octet %d out of range rejected" pos)
+        (Invalid_argument "ip_of_quad")
+        (fun () -> ignore (Packet.ip_of_quad a b c d)))
+    [ (256, 0, 0, 0); (0, 256, 0, 0); (0, 0, 256, 0); (0, 0, 0, 256) ];
+  Alcotest.check_raises "negative octet rejected"
+    (Invalid_argument "ip_of_quad")
+    (fun () -> ignore (Packet.ip_of_quad 0 (-1) 0 0))
+
 (* --- codec ------------------------------------------------------------- *)
 
 let sample_udp ?(len = 64) () =
@@ -241,6 +257,8 @@ let suite =
     Alcotest.test_case "wire byte counts" `Quick test_wire_bytes;
     Alcotest.test_case "ports accessor" `Quick test_ports_accessor;
     Alcotest.test_case "ip pretty printer" `Quick test_ip_pp;
+    Alcotest.test_case "ip_of_quad range check per octet" `Quick
+      test_ip_of_quad_range_check;
     Alcotest.test_case "codec udp round-trip" `Quick test_codec_udp_roundtrip;
     Alcotest.test_case "codec tcp round-trip" `Quick test_codec_tcp_roundtrip;
     Alcotest.test_case "codec rejects corrupted header" `Quick

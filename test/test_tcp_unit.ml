@@ -14,7 +14,9 @@ type harness = {
   mutable now : float;
   mutable wire_ab : (float * Packet.t) list;  (* in-flight a->b, (arrival, pkt) *)
   mutable wire_ba : (float * Packet.t) list;
-  mutable timers : (float * Tcp.timer * (unit -> unit)) list;
+  mutable timers : (float * Tcp.timer * int) list;
+      (* (deadline, timer, generation at arm time); a stop or re-arm bumps
+         the timer's generation, so stale entries fire as no-ops *)
   latency : float;
   mutable drop_next : int;  (* drop the next n frames (loss injection) *)
   mutable events : string list;
@@ -39,10 +41,9 @@ let mk_env h ~dir =
   { Tcp.now = (fun () -> h.now);
     emit;
     start_timer =
-      (fun _conn delay cb ->
-        let tm = { Tcp.cancelled = false } in
-        h.timers <- (h.now +. delay, tm, cb) :: h.timers;
-        tm);
+      (fun tm delay ->
+        h.timers <- (h.now +. delay, tm, Tcp.timer_gen tm) :: h.timers);
+    stop_timer = (fun _ -> () (* generation check drops stale entries *));
     on_readable = (fun c -> log h "readable:%d" c.Tcp.id);
     on_writable = (fun _ -> ());
     on_established = (fun c -> log h "established:%d" c.Tcp.id);
@@ -65,8 +66,9 @@ let run h ~until ~route_a ~route_b =
     (* earliest pending event *)
     let next_wire l = List.fold_left (fun acc (t, _) -> min acc t) infinity l in
     let next_timer =
-      List.fold_left (fun acc (t, tm, _) ->
-          if tm.Tcp.cancelled then acc else min acc t)
+      List.fold_left (fun acc (t, tm, gen) ->
+          if Tcp.timer_armed tm && Tcp.timer_gen tm = gen then min acc t
+          else acc)
         infinity h.timers
     in
     let t = min (min (next_wire h.wire_ab) (next_wire h.wire_ba)) next_timer in
@@ -83,12 +85,10 @@ let run h ~until ~route_a ~route_b =
       List.iter (fun (_, pkt) -> match route_a pkt with
           | Some c -> Tcp.input c pkt
           | None -> ()) due;
-      (* fire due timers *)
-      let due, rest =
-        List.partition (fun (at, tm, _) -> at <= t && not tm.Tcp.cancelled) h.timers
-      in
+      (* fire due timers (stale entries are dropped by the gen check) *)
+      let due, rest = List.partition (fun (at, _, _) -> at <= t) h.timers in
       h.timers <- rest;
-      List.iter (fun (_, tm, cb) -> if not tm.Tcp.cancelled then cb ()) due;
+      List.iter (fun (_, tm, gen) -> Tcp.timer_fired tm ~gen) due;
       step ()
     end
     else h.now <- until

@@ -1,0 +1,202 @@
+(* Edge-case and equivalence tests for the two-tier timer wheel.
+
+   The wheel's constants (lib/engine/twheel.ml): 3 levels of 256 buckets,
+   16 us level-0 granularity, so the horizon seen from tick 0 is
+   2^24 * 16 = 268435456 us.  Events at or beyond the horizon overflow to
+   the comparison heap; everything else rides the O(1) buckets.  These
+   tests pin the routing split at the boundary, handle validity across
+   cascade migrations, the filter drop for cancelled bucket residents, and
+   — the load-bearing one — that a wheel engine and a pure-heap engine
+   produce identical fire traces for arbitrary schedule/cancel/reschedule
+   scripts. *)
+
+open Lrp_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* 2^24 ticks * 16 us: first key (from tick 0) that must overflow. *)
+let horizon = 268_435_456.
+
+let stats e = Engine.timer_stats e
+
+let test_horizon_boundary () =
+  let eng = Engine.create () in
+  let s0 = stats eng in
+  let log = ref [] in
+  let ev tag = fun () -> log := (tag, Engine.now eng) :: !log in
+  ignore (Engine.schedule eng ~at:5. (ev "near"));
+  ignore (Engine.schedule eng ~at:(horizon -. 16.) (ev "last-bucket"));
+  ignore (Engine.schedule eng ~at:horizon (ev "at-horizon"));
+  ignore (Engine.schedule eng ~at:(horizon +. 1.) (ev "past-horizon"));
+  let s1 = stats eng in
+  Alcotest.(check int) "two schedules ride the wheel" 2
+    (s1.Engine.routed_wheel - s0.Engine.routed_wheel);
+  Alcotest.(check int) "horizon and beyond go to the heap" 2
+    (s1.Engine.routed_heap - s0.Engine.routed_heap);
+  Engine.run eng ~until:(horizon *. 2.);
+  Alcotest.(check (list string)) "fired in key order"
+    [ "near"; "last-bucket"; "at-horizon"; "past-horizon" ]
+    (List.rev_map fst !log);
+  check_float "horizon event fired on time" horizon
+    (List.assoc "at-horizon" !log)
+
+let test_reschedule_across_boundary () =
+  (* One periodic event that re-arms itself from the wheel into the
+     overflow heap and back into the wheel.  The slot and thunk are reused
+     throughout; only the routing changes. *)
+  let eng = Engine.create () in
+  let times = ref [] in
+  let h = ref Engine.none in
+  let count = ref 0 in
+  h :=
+    Engine.schedule eng ~at:10. (fun () ->
+        times := Engine.now eng :: !times;
+        incr count;
+        if !count = 1 then Engine.reschedule_after eng !h ~delay:1e9
+        else if !count = 2 then Engine.reschedule_after eng !h ~delay:10.);
+  Engine.run eng ~until:2e9;
+  Alcotest.(check (list (float 1e-9)))
+    "wheel -> heap -> wheel re-arm timestamps"
+    [ 10.; 1_000_000_010.; 1_000_000_020. ]
+    (List.rev !times);
+  Alcotest.(check int) "slot fully retired" 0 (Engine.pending_events eng)
+
+let test_cancel_in_bucket_dropped_at_pour () =
+  let eng = Engine.create () in
+  let s0 = stats eng in
+  let fired = ref [] in
+  (* 5e6 us = tick 312500: above 2^16, so a level-2 resident. *)
+  let e = Engine.schedule eng ~at:5_000_000. (fun () -> fired := "e" :: !fired) in
+  ignore (Engine.schedule eng ~at:5_000_016. (fun () -> fired := "f" :: !fired));
+  Engine.cancel eng e;
+  Engine.run eng ~until:6_000_000.;
+  Alcotest.(check (list string)) "cancelled resident never fires" [ "f" ]
+    (List.rev !fired);
+  let s1 = stats eng in
+  Alcotest.(check bool) "filter dropped it at pour, not via the heap" true
+    (s1.Engine.pour_skipped - s0.Engine.pour_skipped >= 1);
+  (* The pour freed the slot; the next schedule may recycle it.  The stale
+     handle's generation must not let it touch the new occupant. *)
+  let ok = ref false in
+  let g = Engine.schedule_after eng ~delay:10. (fun () -> ok := true) in
+  Engine.cancel eng e;
+  Alcotest.(check bool) "stale cancel leaves recycled slot pending" true
+    (Engine.is_pending eng g);
+  Engine.run eng ~until:7_000_000.;
+  Alcotest.(check bool) "recycled event fired" true !ok
+
+let test_handle_valid_across_cascade () =
+  (* A far event migrates level 2 -> level 1 -> level 0 as intermediate
+     pops turn the wheel; its handle must stay pending (and cancellable)
+     through every migration. *)
+  let eng = Engine.create () in
+  let far = ref Engine.none in
+  let observations = ref [] in
+  let observe () = observations := Engine.is_pending eng !far :: !observations in
+  far := Engine.schedule eng ~at:5_000_000. (fun () -> ());
+  List.iter
+    (fun t -> ignore (Engine.schedule eng ~at:t observe))
+    [ 100_000.; 1_000_000.; 2_500_000.; 4_900_000. ];
+  Engine.run eng ~until:4_950_000.;
+  Alcotest.(check (list bool)) "pending at every migration stage"
+    [ true; true; true; true ] !observations;
+  Engine.cancel eng !far;
+  Engine.run eng ~until:6_000_000.;
+  Alcotest.(check int) "cancel after migration still lands" 0
+    (Engine.pending_events eng)
+
+let test_step_on_all_cancelled_queue () =
+  (* A queue holding only cancelled wheel residents: [step] must report
+     emptiness, not trip over the filter draining the last live entry. *)
+  let eng = Engine.create () in
+  let h = Engine.schedule eng ~at:10. (fun () -> ()) in
+  Engine.cancel eng h;
+  Alcotest.(check bool) "step sees an (effectively) empty queue" false
+    (Engine.step eng);
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending_events eng)
+
+let test_fifo_ties_in_far_bucket () =
+  (* Five events share one key in a high-level bucket; two are cancelled
+     before the bucket pours.  Survivors must fire in schedule order. *)
+  let eng = Engine.create () in
+  let log = ref [] in
+  let hs =
+    List.init 5 (fun i ->
+        Engine.schedule eng ~at:1_000_000. (fun () -> log := i :: !log))
+  in
+  Engine.cancel eng (List.nth hs 1);
+  Engine.cancel eng (List.nth hs 3);
+  Engine.run eng ~until:2_000_000.;
+  Alcotest.(check (list int)) "FIFO among survivors" [ 0; 2; 4 ]
+    (List.rev !log)
+
+(* --- wheel-vs-heap equivalence property ----------------------------- *)
+
+(* Interpret an op script against one engine, returning the fire trace.
+   Delays span every wheel level plus the overflow heap; every 8th
+   schedule is a self-rescheduling periodic that re-arms twice, so the
+   script also exercises slot reuse across the wheel/heap boundary. *)
+let run_script ~pure_heap ops =
+  let eng = Engine.create ~pure_heap () in
+  let log = ref [] in
+  let handles = ref [] in
+  let next_id = ref 0 in
+  let scales = [| 1.; 16.; 300.; 70_000.; 2.0e7; 3.0e8 |] in
+  List.iter
+    (fun n ->
+      match n mod 4 with
+      | 0 | 1 ->
+          let delay = float_of_int (1 + (n mod 17)) *. scales.(n mod 6) in
+          let id = !next_id in
+          incr next_id;
+          if n mod 8 = 0 then begin
+            let remaining = ref 2 in
+            let h = ref Engine.none in
+            h :=
+              Engine.schedule_after eng ~delay (fun () ->
+                  log := (Engine.now eng, id) :: !log;
+                  if !remaining > 0 then begin
+                    decr remaining;
+                    Engine.reschedule_after eng !h ~delay
+                  end);
+            handles := !h :: !handles
+          end
+          else
+            handles :=
+              Engine.schedule_after eng ~delay (fun () ->
+                  log := (Engine.now eng, id) :: !log)
+              :: !handles
+      | 2 -> (
+          match !handles with
+          | [] -> ()
+          | l -> Engine.cancel eng (List.nth l (n mod List.length l)))
+      | _ ->
+          Engine.run eng
+            ~until:(Engine.now eng +. (float_of_int (n mod 1000) *. 50.)))
+    ops;
+  Engine.run eng ~until:1e15;
+  List.rev !log
+
+let prop_wheel_heap_equivalent =
+  QCheck.Test.make ~count:200
+    ~name:"wheel engine and pure-heap engine produce identical fire traces"
+    QCheck.(list small_nat)
+    (fun ops ->
+      run_script ~pure_heap:false ops = run_script ~pure_heap:true ops)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_wheel_heap_equivalent ]
+
+let suite =
+  [ Alcotest.test_case "routing splits exactly at the wheel horizon" `Quick
+      test_horizon_boundary;
+    Alcotest.test_case "reschedule crosses the wheel/heap boundary" `Quick
+      test_reschedule_across_boundary;
+    Alcotest.test_case "cancelled bucket resident is dropped at pour" `Quick
+      test_cancel_in_bucket_dropped_at_pour;
+    Alcotest.test_case "handle stays valid across cascade migration" `Quick
+      test_handle_valid_across_cascade;
+    Alcotest.test_case "step on an all-cancelled queue reports empty" `Quick
+      test_step_on_all_cancelled_queue;
+    Alcotest.test_case "FIFO ties survive a high-level bucket pour" `Quick
+      test_fifo_ties_in_far_bucket ]
+  @ qsuite
