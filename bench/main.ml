@@ -428,6 +428,26 @@ let micro_tests () =
     ignore (Engine.step eng);
     ignore (Engine.step eng)
   in
+  (* Fabric delivery with and without a configured (but all-zero) fault
+     state: the cost of the fault-injection guard on the fault-free path. *)
+  let fab_pair ~faults =
+    let eng = Engine.create () in
+    let fab = Fabric.create eng () in
+    let a = Fabric.make_nic fab ~name:"a" ~ip:(Packet.ip_of_quad 10 0 0 1) () in
+    let b = Fabric.make_nic fab ~name:"b" ~ip:(Packet.ip_of_quad 10 0 0 2) () in
+    Nic.set_rx_handler a ignore;
+    Nic.set_rx_handler b ignore;
+    if faults then Fabric.set_faults fab Fabric.Faults.none;
+    let fpkt =
+      Packet.udp ~src:(Nic.ip a) ~dst:(Nic.ip b) ~src_port:1234 ~dst_port:80
+        (Payload.synthetic 64)
+    in
+    fun () ->
+      Fabric.forward fab fpkt;
+      ignore (Engine.step eng)
+  in
+  let fab_plain = fab_pair ~faults:false in
+  let fab_zero = fab_pair ~faults:true in
   [ Test.make ~name:"demux/flow_of_packet (hot path)"
       (Staged.stage (fun () -> ignore (Demux.flow_of_packet pkt)));
     Test.make ~name:"demux/flow_of_bytes (NI firmware form)"
@@ -476,6 +496,12 @@ let micro_tests () =
       (Staged.stage
          (let th = List.hd threads in
           fun () -> Lrp_sched.Sched.charge_tick sched th));
+    Test.make ~name:"packet/content checksum verify"
+      (Staged.stage (fun () -> ignore (Packet.verify pkt)));
+    Test.make ~name:"fabric/forward+deliver (no fault state)"
+      (Staged.stage fab_plain);
+    Test.make ~name:"fabric/forward+deliver (Faults.none configured)"
+      (Staged.stage fab_zero);
     Test.make ~name:"rng/bits64"
       (Staged.stage (fun () -> ignore (Rng.bits64 rng))) ]
 

@@ -1,0 +1,89 @@
+(** Random fault scripts for the differential fuzz harness.
+
+    A script is a deterministic function of its seed: a small set of timed
+    steps, each switching the fabric's link weather to a freshly drawn
+    {!Lrp_net.Fabric.Faults} mix.  Replaying a script means re-running with
+    the same seed — the JSON dump written next to a failing run is for
+    human diagnosis, not for parsing back. *)
+
+open Lrp_engine
+module Fabric = Lrp_net.Fabric
+module Json = Lrp_trace.Json
+
+type step = { at_us : float; faults : Fabric.Faults.t }
+
+type t = { seed : int; steps : step list }
+
+(* Knob ranges are deliberately moderate: heavy enough to exercise loss /
+   burst-loss / dup / corrupt / reorder / jitter paths, light enough that
+   workloads still make progress and runs stay short. *)
+let gen_faults rng =
+  let maybe p bound = if Rng.uniform rng < p then Rng.float rng bound else 0. in
+  Fabric.Faults.make
+    ~loss:(maybe 0.5 0.15)
+    ~ge_loss_good:(maybe 0.3 0.02)
+    ~ge_loss_bad:(maybe 0.5 0.8)
+    ~ge_p_gb:(maybe 0.5 0.2)
+    ~ge_p_bg:(0.2 +. Rng.float rng 0.6)
+    ~dup:(maybe 0.5 0.15)
+    ~corrupt:(maybe 0.5 0.15)
+    ~reorder:(maybe 0.5 0.3)
+    ~reorder_span:(1 + Rng.int rng 4)
+    ~jitter_us:(maybe 0.4 300.)
+    ()
+
+let generate ~seed ~duration_us =
+  let rng = Rng.create (0x5caff01d lxor seed) in
+  let n_steps = 1 + Rng.int rng 3 in
+  let steps =
+    List.init n_steps (fun i ->
+        (* First step at t=0 so the whole run sees weather; later steps
+           switch regimes mid-run. *)
+        let at_us =
+          if i = 0 then 0. else Rng.float rng (0.8 *. duration_us)
+        in
+        { at_us; faults = gen_faults rng })
+    |> List.sort (fun a b -> compare a.at_us b.at_us)
+  in
+  { seed; steps }
+
+let apply t ~fabric ~engine =
+  List.iter
+    (fun { at_us; faults } ->
+      ignore
+        (Engine.schedule engine ~at:at_us (fun () ->
+             Fabric.set_faults fabric faults)))
+    t.steps
+
+let faults_json (f : Fabric.Faults.t) =
+  Json.Obj
+    [ ("loss", Json.Num f.loss);
+      ("ge_loss_good", Json.Num f.ge_loss_good);
+      ("ge_loss_bad", Json.Num f.ge_loss_bad);
+      ("ge_p_gb", Json.Num f.ge_p_gb);
+      ("ge_p_bg", Json.Num f.ge_p_bg);
+      ("dup", Json.Num f.dup);
+      ("corrupt", Json.Num f.corrupt);
+      ("reorder", Json.Num f.reorder);
+      ("reorder_span", Json.Num (float_of_int f.reorder_span));
+      ("jitter_us", Json.Num f.jitter_us) ]
+
+let to_json t =
+  Json.Obj
+    [ ("seed", Json.Num (float_of_int t.seed));
+      ( "steps",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [ ("at_us", Json.Num s.at_us);
+                   ("faults", faults_json s.faults) ])
+             t.steps) ) ]
+
+let save t path =
+  let buf = Buffer.create 512 in
+  Json.to_buffer buf (to_json t);
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,167 @@
+(** Trace-driven invariant oracle.
+
+    Consumes the packet-lifecycle event stream of one kernel's tracer and
+    mechanically checks conservation and ordering invariants that must hold
+    on every architecture, under any network weather the fabric's fault
+    layer can produce — including duplication, so all per-packet bounds are
+    stated against the number of times that packet actually {e arrived} at
+    the NIC, not against 1.
+
+    Invariants (per packet ident [p], socket [s]):
+
+    - {b no over-delivery}: sock-enqueues of [(p, s)] <= NIC arrivals of [p]
+      (a kernel may deliver a duplicated packet twice only if the network
+      really presented it twice);
+    - {b copyout bound}: copyouts of [(p, s)] <= sock-enqueues of [(p, s)];
+    - {b demux bound}: demux events of [p] <= arrivals of [p], and likewise
+      early discards <= arrivals;
+    - {b drop accounting}: ipq-enqueues + ipq-drops + mbuf-drops <= arrivals;
+    - {b provenance}: every sock-enqueue of [p] is preceded by a
+      proto-deliver of [p], and — on architectures that demultiplex
+      ([require_demux]) — by a demux of [p];
+    - {b no ghosts}: every post-arrival event concerns a packet that has
+      actually arrived.
+
+    A tracer whose ring wrapped ([Trace.dropped > 0]) lost the oldest
+    events; the oracle then reports [ring_wrapped = true] and skips the
+    checks rather than raise false alarms. *)
+
+module Trace = Lrp_trace.Trace
+
+type verdict = {
+  ok : bool;
+  ring_wrapped : bool;
+  packets : int;         (* distinct packet idents seen arriving *)
+  arrivals : int;        (* total NIC arrivals *)
+  enqueued : int;        (* total socket enqueues *)
+  violations : string list;  (* empty iff [ok] *)
+}
+
+let pp_verdict fmt v =
+  if v.ring_wrapped then
+    Format.fprintf fmt "oracle: inconclusive (trace ring wrapped)"
+  else begin
+    Format.fprintf fmt "oracle: %s — %d packets, %d arrivals, %d enqueued"
+      (if v.ok then "ok" else "VIOLATED")
+      v.packets v.arrivals v.enqueued;
+    List.iter (fun s -> Format.fprintf fmt "@.  - %s" s) v.violations
+  end
+
+(* Counter table keyed by packet ident (or (ident, sock) pairs encoded by
+   the caller). *)
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+let count tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+
+let check ?(require_demux = false) events =
+  let violations = ref [] in
+  let max_reported = 20 in
+  let reported = ref 0 in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr reported;
+        if !reported <= max_reported then violations := s :: !violations)
+      fmt
+  in
+  let arrivals = Hashtbl.create 256 in
+  let demuxes = Hashtbl.create 256 in
+  let discards = Hashtbl.create 64 in
+  let ipq = Hashtbl.create 256 in       (* enqueues + drops per pkt *)
+  let mbuf = Hashtbl.create 64 in
+  let proto = Hashtbl.create 256 in
+  let enq = Hashtbl.create 256 in       (* (pkt, sock) -> count *)
+  let copied = Hashtbl.create 256 in    (* (pkt, sock) -> count *)
+  let total_arrivals = ref 0 in
+  let total_enqueued = ref 0 in
+  let seen p = Hashtbl.mem arrivals p in
+  let ghost name p =
+    if not (seen p) then violate "%s of packet %d that never arrived" name p
+  in
+  List.iter
+    (fun (_, _, ev) ->
+      match ev with
+      | Trace.Nic_rx { pkt; _ } ->
+          incr total_arrivals;
+          bump arrivals pkt
+      | Trace.Demux { pkt; _ } ->
+          ghost "demux" pkt;
+          bump demuxes pkt
+      | Trace.Early_discard { pkt; _ } ->
+          ghost "early-discard" pkt;
+          bump discards pkt
+      | Trace.Ipq_enqueue { pkt; _ } | Trace.Ipq_drop { pkt; _ } ->
+          ghost "ipq event" pkt;
+          bump ipq pkt
+      | Trace.Mbuf_drop { pkt } | Trace.Csum_drop { pkt } ->
+          ghost "drop" pkt;
+          bump mbuf pkt
+      | Trace.Proto_deliver { pkt; _ } ->
+          ghost "proto-deliver" pkt;
+          bump proto pkt
+      | Trace.Sock_enqueue { pkt; sock } ->
+          ghost "sock-enqueue" pkt;
+          if count proto pkt = 0 then
+            violate "sock-enqueue of packet %d without a proto-deliver" pkt;
+          if require_demux && count demuxes pkt = 0 then
+            violate "sock-enqueue of packet %d without a demux" pkt;
+          incr total_enqueued;
+          bump enq (pkt, sock);
+          if count enq (pkt, sock) > count arrivals pkt then
+            violate
+              "double delivery: packet %d enqueued %d times on socket %d \
+               but arrived %d times"
+              pkt
+              (count enq (pkt, sock))
+              sock (count arrivals pkt)
+      | Trace.Sock_drop { pkt; _ } -> ghost "sock-drop" pkt
+      | Trace.Syscall_copyout { pkt; sock; _ } ->
+          bump copied (pkt, sock);
+          if count copied (pkt, sock) > count enq (pkt, sock) then
+            violate
+              "copyout of packet %d on socket %d exceeds its %d enqueues"
+              pkt sock
+              (count enq (pkt, sock))
+      | Trace.Softint_begin _ | Trace.Softint_end _ | Trace.Intr_enter _
+      | Trace.Intr_exit _ | Trace.Ctx_switch _ | Trace.Thread_state _
+      | Trace.Note _ -> ())
+    events;
+  (* End-of-stream count bounds. *)
+  Hashtbl.iter
+    (fun pkt n ->
+      if n > count arrivals pkt then
+        violate "packet %d demuxed %d times but arrived %d times" pkt n
+          (count arrivals pkt))
+    demuxes;
+  Hashtbl.iter
+    (fun pkt n ->
+      if n > count arrivals pkt then
+        violate "packet %d early-discarded %d times but arrived %d times"
+          pkt n (count arrivals pkt))
+    discards;
+  Hashtbl.iter
+    (fun pkt n ->
+      if n > count arrivals pkt then
+        violate "packet %d has %d ipq events but arrived %d times" pkt n
+          (count arrivals pkt))
+    ipq;
+  Hashtbl.iter
+    (fun pkt n ->
+      if n > count arrivals pkt then
+        violate "packet %d dropped (mbuf/csum) %d times but arrived %d times"
+          pkt n (count arrivals pkt))
+    mbuf;
+  let violations =
+    let vs = List.rev !violations in
+    if !reported > max_reported then
+      vs @ [ Printf.sprintf "(%d further violations suppressed)" (!reported - max_reported) ]
+    else vs
+  in
+  { ok = violations = []; ring_wrapped = false;
+    packets = Hashtbl.length arrivals; arrivals = !total_arrivals;
+    enqueued = !total_enqueued; violations }
+
+let check_tracer ?require_demux tr =
+  if Trace.dropped tr > 0 then
+    { ok = true; ring_wrapped = true; packets = 0; arrivals = 0;
+      enqueued = 0; violations = [] }
+  else check ?require_demux (Trace.events tr)

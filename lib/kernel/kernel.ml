@@ -85,6 +85,7 @@ type kstats = {
   mutable forwarded : int;          (* packets forwarded to another network *)
   mutable fwd_drops : int;          (* not ours and not forwarding *)
   mutable rsts_sent : int;
+  mutable csum_drops : int;         (* content-checksum mismatches *)
 }
 
 type job = Jchan of Channel.t | Jtimer of (unit -> unit)
@@ -235,6 +236,18 @@ let free_rx_mbufs t bytes =
   | Bsd | Early_demux -> Mbuf.free t.mbufs ~bytes
   | Soft_lrp | Ni_lrp -> ()
 
+(* Receiver-side content-checksum verification.  Corrupted packets die at
+   the first transport-level touch: counted, traced, and never delivered,
+   never answered (no RST / ICMP reply for garbage). *)
+let csum_ok t (pkt : Packet.t) =
+  Packet.verify pkt
+  ||
+  begin
+    t.stats.csum_drops <- t.stats.csum_drops + 1;
+    Trace.csum_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident;
+    false
+  end
+
 (* Cost of sending one UDP datagram from process context (excluding the
    per-byte copy, which the API adds). *)
 let udp_send_cost t ~frags =
@@ -310,17 +323,19 @@ and drain_tcp_channel t ch =
    extra segments the state machine emitted beyond the one emission already
    included in [tcp_in]. *)
 and tcp_deliver t conn pkt ~ctx =
-  Trace.proto_deliver t.tracer ~pkt:pkt.Packet.ip.Packet.ident
-    ~conn:conn.Tcp.id
-    ~in_proc:(match ctx with `Proc -> true | `Soft -> false);
-  let before = conn.Tcp.segs_sent in
-  Tcp.input conn pkt;
-  let extra = conn.Tcp.segs_sent - before - 1 in
-  if extra > 0 then begin
-    let cost = float_of_int extra *. seg_out_cost t in
-    match ctx with
-    | `Proc -> Proc.compute (t.c.Cost.lazy_locality *. cost)
-    | `Soft -> Cpu.post_soft t.cpu ~label:"tcp-tx" ~cost (fun () -> ())
+  if csum_ok t pkt then begin
+    Trace.proto_deliver t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+      ~conn:conn.Tcp.id
+      ~in_proc:(match ctx with `Proc -> true | `Soft -> false);
+    let before = conn.Tcp.segs_sent in
+    Tcp.input conn pkt;
+    let extra = conn.Tcp.segs_sent - before - 1 in
+    if extra > 0 then begin
+      let cost = float_of_int extra *. seg_out_cost t in
+      match ctx with
+      | `Proc -> Proc.compute (t.c.Cost.lazy_locality *. cost)
+      | `Soft -> Cpu.post_soft t.cpu ~label:"tcp-tx" ~cost (fun () -> ())
+    end
   end
 
 and app_for t (owner : Proc.t) =
@@ -590,6 +605,8 @@ let deposit_and_wake t sock dg =
   end
 
 let deliver_udp_ready t (pkt : Packet.t) =
+  if not (csum_ok t pkt) then free_rx_mbufs t (Packet.wire_bytes pkt)
+  else
   match pkt.Packet.body with
   | Packet.Udp (u, _) ->
       if Packet.is_multicast pkt then begin
@@ -620,7 +637,10 @@ let deliver_udp_ready t (pkt : Packet.t) =
                     end
                     else free_rx_mbufs t (Packet.wire_bytes pkt)
                   end
-                  else t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
+                  else begin
+                    t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
+                    Trace.mbuf_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+                  end
                 end)
               !members
       end
@@ -647,6 +667,8 @@ let deliver_udp_ready t (pkt : Packet.t) =
   | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ -> ()
 
 let icmp_reply t (pkt : Packet.t) =
+  if not (csum_ok t pkt) then ()
+  else
   match pkt.Packet.body with
   | Packet.Icmp (Packet.Echo_request, payload) ->
       ip_output t
@@ -664,8 +686,11 @@ let deliver_tcp t (pkt : Packet.t) ~ctx =
            (match Hashtbl.find_opt t.tcp_listeners dport with
             | Some listener -> tcp_deliver t listener pkt ~ctx
             | None ->
-                t.stats.rsts_sent <- t.stats.rsts_sent + 1;
-                Tcp.send_rst_for pkt ~emit:(fun p -> ip_output t p)))
+                (* Don't answer garbage with a RST. *)
+                if csum_ok t pkt then begin
+                  t.stats.rsts_sent <- t.stats.rsts_sent + 1;
+                  Tcp.send_rst_for pkt ~emit:(fun p -> ip_output t p)
+                end))
 
 (* Transport-level processing of a complete (reassembled) datagram; runs in
    softint context under BSD / Early-Demux. *)
@@ -743,8 +768,10 @@ let bsd_softnet t pkt () =
       else bsd_transport_input t whole
 
 let bsd_driver_rx t pkt () =
-  if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then
-    t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
+  if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then begin
+    t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
+    Trace.mbuf_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+  end
   else if t.ipq_len >= t.cfg.ip_queue_limit then begin
     (* The shared IP queue is full: the drop point that couples unrelated
        sockets under BSD (section 2.2). *)
@@ -893,8 +920,10 @@ let edemux_rx t pkt () =
       +. (t.c.Cost.eager_penalty *. t.c.Cost.ip_in)
       +. frag_extra +. transport +. t.c.Cost.sockbuf_append
     in
-    if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then
-      t.stats.mbuf_drops <- t.stats.mbuf_drops + 1
+    if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then begin
+      t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
+      Trace.mbuf_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+    end
     else
       Cpu.post_soft t.cpu ~label:"softnet" ~tpkt:pkt.Packet.ip.Packet.ident
         ~cost (fun () ->
@@ -1131,7 +1160,8 @@ let create engine fabric ~name ~ip cfg =
       stats =
         { rx_frames = 0; ipq_drops = 0; mbuf_drops = 0; no_port_drops = 0;
           demux_drops = 0; edemux_early_drops = 0; udp_delivered = 0;
-          rx_wrong_peer = 0; forwarded = 0; fwd_drops = 0; rsts_sent = 0 } }
+          rx_wrong_peer = 0; forwarded = 0; fwd_drops = 0; rsts_sent = 0;
+          csum_drops = 0 } }
   in
   t.interfaces <- [ (ip, 24, nic) ];
   t.tcp_env <- Some (make_tcp_env t);
@@ -1157,6 +1187,7 @@ let create engine fabric ~name ~ip cfg =
   g "kernel.forwarded" (fun () -> t.stats.forwarded);
   g "kernel.fwd_drops" (fun () -> t.stats.fwd_drops);
   g "kernel.rsts_sent" (fun () -> t.stats.rsts_sent);
+  g "kernel.csum_drops" (fun () -> t.stats.csum_drops);
   g "kernel.ipq_len" (fun () -> t.ipq_len);
   g "kernel.channels" (fun () -> List.length t.all_channels);
   g "kernel.early_discards" (fun () -> early_discards t);

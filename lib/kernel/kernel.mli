@@ -64,6 +64,7 @@ type kstats = {
   mutable forwarded : int;
   mutable fwd_drops : int;
   mutable rsts_sent : int;
+  mutable csum_drops : int;
 }
 type job = Jchan of Lrp_core.Channel.t | Jtimer of (unit -> unit)
 type app = {

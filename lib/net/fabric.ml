@@ -11,12 +11,94 @@
 
 open Lrp_engine
 
+(* --- link fault models ------------------------------------------------- *)
+
+module Faults = struct
+  type t = {
+    loss : float;          (* uniform per-frame loss probability *)
+    ge_loss_good : float;  (* Gilbert–Elliott: loss probability, Good state *)
+    ge_loss_bad : float;   (* loss probability, Bad state (bursty loss) *)
+    ge_p_gb : float;       (* per-frame P(Good -> Bad) *)
+    ge_p_bg : float;       (* per-frame P(Bad -> Good) *)
+    dup : float;           (* per-frame duplication probability *)
+    corrupt : float;       (* per-frame payload-corruption probability *)
+    reorder : float;       (* per-frame probability of being held back *)
+    reorder_span : int;    (* max displacement of a held frame, in frames *)
+    jitter_us : float;     (* max uniform extra per-frame delay *)
+  }
+
+  let none =
+    { loss = 0.; ge_loss_good = 0.; ge_loss_bad = 0.; ge_p_gb = 0.;
+      ge_p_bg = 0.; dup = 0.; corrupt = 0.; reorder = 0.; reorder_span = 3;
+      jitter_us = 0. }
+
+  let make ?(loss = 0.) ?(ge_loss_good = 0.) ?(ge_loss_bad = 0.)
+      ?(ge_p_gb = 0.) ?(ge_p_bg = 0.) ?(dup = 0.) ?(corrupt = 0.)
+      ?(reorder = 0.) ?(reorder_span = 3) ?(jitter_us = 0.) () =
+    { loss; ge_loss_good; ge_loss_bad; ge_p_gb; ge_p_bg; dup; corrupt;
+      reorder; reorder_span; jitter_us }
+
+  let check_prob name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Fabric.Faults: %s=%g outside [0,1]" name p)
+
+  let validate t =
+    check_prob "loss" t.loss;
+    check_prob "ge_loss_good" t.ge_loss_good;
+    check_prob "ge_loss_bad" t.ge_loss_bad;
+    check_prob "ge_p_gb" t.ge_p_gb;
+    check_prob "ge_p_bg" t.ge_p_bg;
+    check_prob "dup" t.dup;
+    check_prob "corrupt" t.corrupt;
+    check_prob "reorder" t.reorder;
+    if t.reorder_span < 1 then
+      invalid_arg "Fabric.Faults: reorder_span must be >= 1";
+    if not (t.jitter_us >= 0.) then
+      invalid_arg "Fabric.Faults: jitter_us must be >= 0"
+
+  let is_none t =
+    t.loss = 0. && t.ge_loss_good = 0. && t.ge_loss_bad = 0.
+    && t.ge_p_gb = 0. && t.ge_p_bg = 0. && t.dup = 0. && t.corrupt = 0.
+    && t.reorder = 0. && t.jitter_us = 0.
+end
+
+(* A frame held back for reordering.  [released] guards against double
+   release (count-based release vs. the idle-link timeout flush). *)
+type held = {
+  hpkt : Packet.t;
+  mutable countdown : int;  (* frames that must overtake before release *)
+  mutable released : bool;
+}
+
+type fault_state = {
+  mutable cfg : Faults.t;
+  frng : Rng.t;             (* this link's private fault stream *)
+  mutable ge_bad : bool;    (* Gilbert–Elliott channel state *)
+  mutable fheld : held list;  (* reorder buffer, oldest first *)
+  flush_tgt : held Lrp_engine.Engine.target;
+      (* timeout release, so a held frame on an idle link still arrives *)
+}
+
 type port = {
   nic : Nic.t;
   rx_tgt : Packet.t Engine.target;  (* closure-free arrival event *)
   mutable busy_until : Time.t;
   mutable rx_frames : int;
   mutable drops : int;
+  mutable fstate : fault_state option;
+      (* [None] until faults are first configured: the fault-free fast path
+         stays byte-for-byte the pre-fault-injection code, with zero extra
+         RNG draws. *)
+}
+
+type fault_stats = {
+  offered : int;      (* frames presented to links (incl. pre-link drops) *)
+  delivered : int;    (* frames scheduled into a destination NIC *)
+  duplicated : int;   (* extra copies created by duplication faults *)
+  fault_lost : int;   (* frames dropped by per-link loss (uniform + GE) *)
+  corrupted : int;    (* frames altered in flight (still delivered) *)
+  reordered : int;    (* frames held back for later release *)
+  held_now : int;     (* frames currently in reorder buffers *)
 }
 
 type t = {
@@ -32,14 +114,25 @@ type t = {
   mutable default_port : Packet.ip option;
       (* where frames for off-link destinations go: the router's
          attachment (a LAN's default gateway) *)
+  mutable offered : int;
+  mutable delivered : int;
+  mutable duplicated : int;
+  mutable fault_lost : int;
+  mutable corrupted : int;
+  mutable reordered : int;
 }
+
+(* How long a held frame may wait for overtaking traffic before the timeout
+   releases it anyway (idle link / end of run). *)
+let reorder_flush_us = 2_000.
 
 let create engine ?(bandwidth_mbps = 155.) ?(prop_delay = 5.)
     ?(switch_latency = 10.) ?(buffer_us = 10_000.) () =
   { engine; bandwidth = Nic.mbps_to_bytes_per_us bandwidth_mbps; prop_delay;
     switch_latency; buffer_us; ports = Hashtbl.create 8; total_drops = 0;
     loss_rate = 0.; loss_rng = Rng.split (Engine.rng engine);
-    default_port = None }
+    default_port = None; offered = 0; delivered = 0; duplicated = 0;
+    fault_lost = 0; corrupted = 0; reordered = 0 }
 
 let rec attach t nic =
   let ip = Nic.ip nic in
@@ -47,16 +140,18 @@ let rec attach t nic =
     invalid_arg "Fabric.attach: duplicate IP address";
   let port =
     { nic; rx_tgt = Engine.target t.engine (fun pkt -> Nic.receive nic pkt);
-      busy_until = Time.zero; rx_frames = 0; drops = 0 }
+      busy_until = Time.zero; rx_frames = 0; drops = 0; fstate = None }
   in
   Hashtbl.replace t.ports ip port;
   Nic.set_deliver nic (fun pkt -> forward t pkt)
 
 and forward t pkt =
   let now = Engine.now t.engine in
-  if t.loss_rate > 0. && Rng.uniform t.loss_rng < t.loss_rate then
+  if t.loss_rate > 0. && Rng.uniform t.loss_rng < t.loss_rate then begin
     (* Injected random loss (fault-injection tests). *)
+    t.offered <- t.offered + 1;
     t.total_drops <- t.total_drops + 1
+  end
   else if Packet.is_multicast pkt then
     (* Multicast: replicate to every port except the sender's. *)
     Hashtbl.iter
@@ -72,11 +167,100 @@ and forward t pkt =
        | Some gw_ip ->
            (match Hashtbl.find_opt t.ports gw_ip with
             | Some port -> deliver_to t port pkt ~now
-            | None -> t.total_drops <- t.total_drops + 1)
-       | None -> t.total_drops <- t.total_drops + 1)
+            | None ->
+                t.offered <- t.offered + 1;
+                t.total_drops <- t.total_drops + 1)
+       | None ->
+           t.offered <- t.offered + 1;
+           t.total_drops <- t.total_drops + 1)
   | Some port -> deliver_to t port pkt ~now
 
 and deliver_to t port pkt ~now =
+  t.offered <- t.offered + 1;
+  match port.fstate with
+  | None -> deliver_frame t port pkt ~now
+  | Some fs -> apply_faults t port fs pkt ~now
+
+(* Link weather, applied per destination link before serialisation.  Each
+   stochastic decision draws from the port's private [frng] only when the
+   corresponding knob is non-zero, so a [Faults.none] configuration draws
+   nothing and behaves exactly like an unconfigured port. *)
+and apply_faults t port fs pkt ~now =
+  let f = fs.cfg in
+  (* Advance the Gilbert–Elliott channel once per frame. *)
+  if f.Faults.ge_p_gb > 0. || f.Faults.ge_p_bg > 0. then begin
+    let flip = if fs.ge_bad then f.Faults.ge_p_bg else f.Faults.ge_p_gb in
+    if flip > 0. && Rng.uniform fs.frng < flip then fs.ge_bad <- not fs.ge_bad
+  end;
+  let ge_loss = if fs.ge_bad then f.Faults.ge_loss_bad else f.Faults.ge_loss_good in
+  let lost_uniform = f.Faults.loss > 0. && Rng.uniform fs.frng < f.Faults.loss in
+  let lost_ge =
+    (not lost_uniform) && ge_loss > 0. && Rng.uniform fs.frng < ge_loss
+  in
+  if lost_uniform || lost_ge then begin
+    t.fault_lost <- t.fault_lost + 1;
+    t.total_drops <- t.total_drops + 1
+  end
+  else begin
+    let pkt =
+      if f.Faults.corrupt > 0. && Rng.uniform fs.frng < f.Faults.corrupt then
+        match
+          Packet.corrupt pkt ~at:(Rng.int fs.frng 65536)
+            ~xor:(Rng.int fs.frng 256)
+        with
+        | Some bad ->
+            t.corrupted <- t.corrupted + 1;
+            bad
+        | None -> pkt
+      else pkt
+    in
+    if f.Faults.dup > 0. && Rng.uniform fs.frng < f.Faults.dup then begin
+      (* The extra copy skips reorder/jitter: it arrives in order, the
+         original may still be held back, which also covers the
+         dup-then-reorder interleaving. *)
+      t.duplicated <- t.duplicated + 1;
+      deliver_frame t port pkt ~now
+    end;
+    if f.Faults.reorder > 0. && Rng.uniform fs.frng < f.Faults.reorder then begin
+      (* Hold the frame until [countdown] later frames have overtaken it
+         (bounded displacement), or the timeout fires on an idle link. *)
+      let h =
+        { hpkt = pkt; countdown = 1 + Rng.int fs.frng f.Faults.reorder_span;
+          released = false }
+      in
+      t.reordered <- t.reordered + 1;
+      fs.fheld <- fs.fheld @ [ h ];
+      ignore
+        (Engine.schedule_to t.engine ~at:(now +. reorder_flush_us)
+           fs.flush_tgt h)
+    end
+    else begin
+      let now =
+        if f.Faults.jitter_us > 0. then
+          now +. Rng.float fs.frng f.Faults.jitter_us
+        else now
+      in
+      deliver_frame t port pkt ~now;
+      (* This frame overtook everything still held; release frames whose
+         displacement bound is reached. *)
+      if fs.fheld <> [] then begin
+        let rec tick acc = function
+          | [] -> List.rev acc
+          | h :: rest ->
+              h.countdown <- h.countdown - 1;
+              if h.countdown <= 0 then begin
+                h.released <- true;
+                deliver_frame t port h.hpkt ~now;
+                tick acc rest
+              end
+              else tick (h :: acc) rest
+        in
+        fs.fheld <- tick [] fs.fheld
+      end
+    end
+  end
+
+and deliver_frame t port pkt ~now =
   let ser = float_of_int (Packet.wire_bytes pkt) /. t.bandwidth in
   let start = Float.max now port.busy_until in
   if start -. now > t.buffer_us then begin
@@ -88,11 +272,61 @@ and deliver_to t port pkt ~now =
     let departure = start +. ser in
     port.busy_until <- departure;
     port.rx_frames <- port.rx_frames + 1;
+    t.delivered <- t.delivered + 1;
     let arrival = departure +. t.switch_latency +. t.prop_delay in
     ignore (Engine.schedule_to t.engine ~at:arrival port.rx_tgt pkt)
   end
 
-let set_loss_rate t r = t.loss_rate <- r
+(* Timeout release of a held frame (idle link or end of run). *)
+let flush_held t port h =
+  if not h.released then begin
+    h.released <- true;
+    (match port.fstate with
+     | Some fs -> fs.fheld <- List.filter (fun h' -> h' != h) fs.fheld
+     | None -> ());
+    deliver_frame t port h.hpkt ~now:(Engine.now t.engine)
+  end
+
+let set_loss_rate t r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Fabric.set_loss_rate: %g outside [0,1]" r);
+  t.loss_rate <- r
+
+let set_link_faults t ~ip f =
+  Faults.validate f;
+  match Hashtbl.find_opt t.ports ip with
+  | None -> invalid_arg "Fabric.set_link_faults: no such port"
+  | Some port -> (
+      match port.fstate with
+      | Some fs -> fs.cfg <- f  (* keep the RNG and channel state *)
+      | None ->
+          let fs =
+            { cfg = f; frng = Rng.split t.loss_rng; ge_bad = false;
+              fheld = [];
+              flush_tgt = Engine.target t.engine (fun h -> flush_held t port h) }
+          in
+          port.fstate <- Some fs)
+
+let set_faults t f =
+  Faults.validate f;
+  (* Deterministic split order regardless of hash-table iteration: sort the
+     attached addresses. *)
+  Hashtbl.fold (fun ip _ acc -> ip :: acc) t.ports []
+  |> List.sort compare
+  |> List.iter (fun ip -> set_link_faults t ~ip f)
+
+let fault_stats t =
+  let held_now =
+    Hashtbl.fold
+      (fun _ port acc ->
+        match port.fstate with
+        | Some fs -> acc + List.length fs.fheld
+        | None -> acc)
+      t.ports 0
+  in
+  { offered = t.offered; delivered = t.delivered; duplicated = t.duplicated;
+    fault_lost = t.fault_lost; corrupted = t.corrupted;
+    reordered = t.reordered; held_now }
 
 (* [set_default_gateway t ~ip] routes frames for unknown destinations to
    the port attached as [ip] (a forwarding host). *)

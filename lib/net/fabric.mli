@@ -9,6 +9,54 @@
     congestion-related loss the paper observed above 19,000 pkts/s on its
     ATM network. *)
 
+(** Per-link fault models for deterministic fault injection.  All
+    stochastic decisions draw from a per-port stream split off the
+    fabric's fault RNG, so sweeps stay byte-identical at any [--jobs]. *)
+module Faults : sig
+  type t = {
+    loss : float;          (** uniform per-frame loss probability *)
+    ge_loss_good : float;  (** Gilbert–Elliott loss probability, Good state *)
+    ge_loss_bad : float;   (** loss probability, Bad state (bursty loss) *)
+    ge_p_gb : float;       (** per-frame P(Good -> Bad) *)
+    ge_p_bg : float;       (** per-frame P(Bad -> Good) *)
+    dup : float;           (** per-frame duplication probability *)
+    corrupt : float;       (** per-frame payload-corruption probability *)
+    reorder : float;       (** per-frame probability of being held back *)
+    reorder_span : int;    (** max displacement of a held frame, in frames *)
+    jitter_us : float;     (** max uniform extra per-frame delay *)
+  }
+
+  val none : t
+  (** All fault probabilities zero; behaves exactly like an unconfigured
+      link (zero extra RNG draws). *)
+
+  val make :
+    ?loss:float ->
+    ?ge_loss_good:float ->
+    ?ge_loss_bad:float ->
+    ?ge_p_gb:float ->
+    ?ge_p_bg:float ->
+    ?dup:float ->
+    ?corrupt:float ->
+    ?reorder:float -> ?reorder_span:int -> ?jitter_us:float -> unit -> t
+
+  val validate : t -> unit
+  (** @raise Invalid_argument when any probability is outside [[0,1]],
+      [reorder_span < 1], or [jitter_us < 0] (NaN included). *)
+
+  val is_none : t -> bool
+end
+
+type held = { hpkt : Packet.t; mutable countdown : int; mutable released : bool; }
+
+type fault_state = {
+  mutable cfg : Faults.t;
+  frng : Lrp_engine.Rng.t;
+  mutable ge_bad : bool;
+  mutable fheld : held list;
+  flush_tgt : held Lrp_engine.Engine.target;
+}
+
 type port = {
   nic : Nic.t;
   rx_tgt : Packet.t Lrp_engine.Engine.target;
@@ -16,7 +64,21 @@ type port = {
   mutable busy_until : Lrp_engine.Time.t;
   mutable rx_frames : int;
   mutable drops : int;
+  mutable fstate : fault_state option;
 }
+
+type fault_stats = {
+  offered : int;      (** frames presented to links (incl. pre-link drops) *)
+  delivered : int;    (** frames scheduled into a destination NIC *)
+  duplicated : int;   (** extra copies created by duplication faults *)
+  fault_lost : int;   (** frames dropped by per-link loss (uniform + GE) *)
+  corrupted : int;    (** frames altered in flight (still delivered) *)
+  reordered : int;    (** frames held back for later release *)
+  held_now : int;     (** frames currently in reorder buffers *)
+}
+(** Conservation: [offered + duplicated
+    = delivered + total fabric drops + held_now]. *)
+
 type t = {
   engine : Lrp_engine.Engine.t;
   bandwidth : float;
@@ -28,6 +90,12 @@ type t = {
   mutable loss_rate : float;
   mutable loss_rng : Lrp_engine.Rng.t;
   mutable default_port : Packet.ip option;
+  mutable offered : int;
+  mutable delivered : int;
+  mutable duplicated : int;
+  mutable fault_lost : int;
+  mutable corrupted : int;
+  mutable reordered : int;
 }
 (** Build the switch; per-port bandwidth defaults to 155 Mbit/s with a
     bounded output buffer (overruns are congestion drops). *)
@@ -43,8 +111,22 @@ val attach : t -> Nic.t -> unit
 val forward : t -> Packet.t -> unit
 val deliver_to :
   t -> port -> Packet.t -> now:Lrp_engine.Time.t -> unit
+
 val set_loss_rate : t -> float -> unit
-(** Random frame loss for fault-injection tests. *)
+(** Uniform random frame loss across the whole fabric, for fault-injection
+    tests.  @raise Invalid_argument outside [[0,1]]. *)
+
+val set_link_faults : t -> ip:Packet.ip -> Faults.t -> unit
+(** Configure link weather on the path {e towards} the port attached as
+    [ip].  The first configuration splits the port's private fault RNG off
+    the fabric's fault stream; reconfiguring keeps RNG and channel state.
+    @raise Invalid_argument on an unknown port or invalid faults. *)
+
+val set_faults : t -> Faults.t -> unit
+(** [set_link_faults] on every attached port, in deterministic (sorted
+    address) order. *)
+
+val fault_stats : t -> fault_stats
 
 val set_default_gateway : t -> ip:Packet.ip -> unit
 (** Route frames for off-link destinations to the port attached as [ip]

@@ -56,6 +56,7 @@ type ip_header = {
   dst : ip;
   ident : int;       (* IP identification, for fragment reassembly *)
   ttl : int;
+  csum : int;        (* sender-computed content checksum, see {!checksum} *)
 }
 
 type body =
@@ -102,6 +103,52 @@ let wire_bytes t =
   | Icmp (_, p) -> ip_header_bytes + 8 + Payload.length p
   | Fragment f -> ip_header_bytes + transport_header_bytes t + f.flen
 
+(* --- content checksum ------------------------------------------------- *)
+
+(* Multiplicative mix over the fields that define a packet's *content*
+   (addresses, transport header, payload bytes).  131 is odd, hence
+   invertible mod 2^30, so two chains that differ in any single mixed value
+   stay different — a one-byte payload flip or a header-field flip is always
+   detected, not just probably detected.  [ident] and [ttl] are deliberately
+   excluded: retransmits and duplicates of the same content must carry the
+   same checksum. *)
+let mix h v = ((h * 131) + v) land 0x3fffffff
+
+let flag_bits f =
+  (if f.syn then 1 else 0)
+  lor (if f.ack then 2 else 0)
+  lor (if f.fin then 4 else 0)
+  lor (if f.rst then 8 else 0)
+  lor (if f.psh then 16 else 0)
+
+let icmp_kind_index = function
+  | Echo_request -> 0
+  | Echo_reply -> 1
+  | Dest_unreachable -> 2
+  | Ttl_exceeded -> 3
+
+let rec body_sum = function
+  | Udp (u, p) ->
+      mix (mix (mix (mix 17 u.usrc_port) u.udst_port) (Payload.length p))
+        (Payload.byte_sum p)
+  | Tcp (h, p) ->
+      let s = mix (mix (mix 6 h.tsrc_port) h.tdst_port) h.seq in
+      let s = mix (mix (mix s h.ack_no) (flag_bits h.flags)) h.window in
+      mix (mix s (Payload.length p)) (Payload.byte_sum p)
+  | Icmp (k, p) ->
+      mix (mix (mix 1 (icmp_kind_index k)) (Payload.length p))
+        (Payload.byte_sum p)
+  | Fragment f ->
+      (* Fragments carry the whole datagram's checksum: it is checked after
+         reassembly, like a real end-to-end transport checksum. *)
+      body_sum f.whole.body
+
+let checksum_of ~src ~dst body = mix (mix (body_sum body) src) dst
+
+let checksum t = checksum_of ~src:t.ip.src ~dst:t.ip.dst t.body
+
+let verify t = checksum t = t.ip.csum
+
 (* --- constructors ---------------------------------------------------- *)
 
 (* Atomic so that simulations running on concurrent domains still draw
@@ -112,19 +159,27 @@ let ident_counter = Atomic.make 0
 let next_ident () = (Atomic.fetch_and_add ident_counter 1 + 1) land 0xffff
 
 let udp ~src ~dst ~src_port ~dst_port payload =
-  { ip = { src; dst; ident = next_ident (); ttl = 64 };
-    body = Udp ({ usrc_port = src_port; udst_port = dst_port }, payload) }
+  let body = Udp ({ usrc_port = src_port; udst_port = dst_port }, payload) in
+  { ip = { src; dst; ident = next_ident (); ttl = 64;
+           csum = checksum_of ~src ~dst body };
+    body }
 
 let tcp ~src ~dst ~src_port ~dst_port ~seq ~ack_no ~flags ~window payload =
-  { ip = { src; dst; ident = next_ident (); ttl = 64 };
-    body =
-      Tcp
-        ( { tsrc_port = src_port; tdst_port = dst_port; seq; ack_no; flags;
-            window },
-          payload ) }
+  let body =
+    Tcp
+      ( { tsrc_port = src_port; tdst_port = dst_port; seq; ack_no; flags;
+          window },
+        payload )
+  in
+  { ip = { src; dst; ident = next_ident (); ttl = 64;
+           csum = checksum_of ~src ~dst body };
+    body }
 
 let icmp ~src ~dst kind payload =
-  { ip = { src; dst; ident = next_ident (); ttl = 64 }; body = Icmp (kind, payload) }
+  let body = Icmp (kind, payload) in
+  { ip = { src; dst; ident = next_ident (); ttl = 64;
+           csum = checksum_of ~src ~dst body };
+    body }
 
 (* --- accessors used by demux and protocol code ----------------------- *)
 
@@ -163,6 +218,55 @@ let is_udp t =
   | Tcp _ | Icmp _ | Fragment _ -> false
 
 let is_fragment t = match t.body with Fragment _ -> true | Udp _ | Tcp _ | Icmp _ -> false
+
+(* --- fault injection: payload corruption ------------------------------ *)
+
+(* Flip one payload byte.  [to_bytes] of a [Bytes] payload returns the
+   underlying buffer, which may be shared with the sender's retransmit
+   queue — copy before mutating. *)
+let flip_byte p ~off ~xor =
+  let b = Bytes.copy (Payload.to_bytes p) in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor xor));
+  Payload.of_bytes b
+
+let corrupt t ~at ~xor =
+  let at = abs at in
+  let xor =
+    let x = xor land 0xff in
+    if x = 0 then 0x55 else x
+  in
+  (* [ip] (and with it the original [csum]) is kept verbatim: corruption
+     changes content under an unchanged checksum, which is exactly what the
+     receiver-side verify-and-drop path must detect. *)
+  match t.body with
+  | Udp (u, p) when Payload.length p > 0 ->
+      Some { t with body = Udp (u, flip_byte p ~off:(at mod Payload.length p) ~xor) }
+  | Tcp (h, p) when Payload.length p > 0 ->
+      Some { t with body = Tcp (h, flip_byte p ~off:(at mod Payload.length p) ~xor) }
+  | Tcp (h, p) ->
+      (* Pure ACK/SYN/FIN: corrupt the acknowledgment number instead. *)
+      Some { t with body = Tcp ({ h with ack_no = h.ack_no lxor xor }, p) }
+  | Icmp (k, p) when Payload.length p > 0 ->
+      Some { t with body = Icmp (k, flip_byte p ~off:(at mod Payload.length p) ~xor) }
+  | Udp _ | Icmp _ -> None
+  | Fragment f ->
+      if f.flen <= 0 then None
+      else
+        (* Flip a byte inside this fragment's slice of the whole datagram's
+           payload, so reassembly reconstitutes a corrupted whole. *)
+        let off = f.foff + (at mod f.flen) in
+        let whole = f.whole in
+        let rebuilt body' =
+          Some { t with body = Fragment { f with whole = { whole with body = body' } } }
+        in
+        (match whole.body with
+         | Udp (u, p) when off < Payload.length p ->
+             rebuilt (Udp (u, flip_byte p ~off ~xor))
+         | Tcp (h, p) when off < Payload.length p ->
+             rebuilt (Tcp (h, flip_byte p ~off ~xor))
+         | Icmp (k, p) when off < Payload.length p ->
+             rebuilt (Icmp (k, flip_byte p ~off ~xor))
+         | Udp _ | Tcp _ | Icmp _ | Fragment _ -> None)
 
 let pp fmt t =
   match t.body with

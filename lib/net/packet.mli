@@ -35,7 +35,13 @@ type tcp_header = {
   window : int;
 }
 type icmp_kind = Echo_request | Echo_reply | Dest_unreachable | Ttl_exceeded
-type ip_header = { src : ip; dst : ip; ident : int; ttl : int; }
+type ip_header = {
+  src : ip;
+  dst : ip;
+  ident : int;
+  ttl : int;
+  csum : int;  (** sender-computed content checksum; see {!checksum} *)
+}
 type body =
     Udp of udp_header * Payload.t
   | Tcp of tcp_header * Payload.t
@@ -59,6 +65,29 @@ val wire_bytes : t -> int
     payload slice). *)
 
 val next_ident : unit -> int
+
+(** {1 Content checksum} *)
+
+val checksum : t -> int
+(** Recompute the content checksum (addresses, transport header fields,
+    payload bytes) of a packet.  [ident] and [ttl] are excluded so that
+    retransmits of the same content checksum identically.  A fragment's
+    checksum is that of the whole datagram, checked after reassembly.
+    Any single-field or single-byte change yields a different value (the
+    mix multiplier is invertible mod 2^30). *)
+
+val verify : t -> bool
+(** [verify t] is [checksum t = t.ip.csum] — true unless the packet was
+    corrupted in flight. *)
+
+val corrupt : t -> at:int -> xor:int -> t option
+(** [corrupt t ~at ~xor] flips one payload byte (position [at mod length],
+    pattern [xor land 0xff], forced non-zero) while keeping the carried
+    checksum, so {!verify} fails on the result.  Payload-less TCP segments
+    get their [ack_no] corrupted instead; fragments are corrupted within
+    their slice of the whole.  [None] when the packet has no corruptible
+    content (e.g. an empty UDP datagram). *)
+
 (** {1 Constructors} *)
 
 val udp :

@@ -15,6 +15,12 @@ val of_bytes : Bytes.t -> t
 val length : t -> int
 val tag : t -> int option
 val to_bytes : t -> Bytes.t
+
+val byte_sum : t -> int
+(** Sum of the payload's byte values; O(1) for synthetic payloads.  Used
+    by {!Packet.checksum} so corruption of any single byte is
+    detectable. *)
+
 val sub : t -> int -> int -> t
 (** [sub t off len] is the slice used by IP fragmentation and TCP
     segmentation.  @raise Invalid_argument when out of range. *)

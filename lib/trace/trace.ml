@@ -16,6 +16,8 @@ type event =
   | Sock_enqueue of { pkt : int; sock : int }
   | Sock_drop of { pkt : int; sock : int }
   | Syscall_copyout of { pkt : int; sock : int; bytes : int }
+  | Csum_drop of { pkt : int }
+  | Mbuf_drop of { pkt : int }
   | Intr_enter of { level : intr_level; label : string }
   | Intr_exit of { level : intr_level; label : string }
   | Ctx_switch of { from_pid : int; to_pid : int }
@@ -27,7 +29,8 @@ type cls = Packet_events | Sched_events | Note_events
 let class_of_event = function
   | Nic_rx _ | Demux _ | Ipq_enqueue _ | Ipq_drop _ | Early_discard _
   | Softint_begin _ | Softint_end _ | Proto_deliver _ | Sock_enqueue _
-  | Sock_drop _ | Syscall_copyout _ -> Packet_events
+  | Sock_drop _ | Syscall_copyout _ | Csum_drop _ | Mbuf_drop _ ->
+      Packet_events
   | Intr_enter _ | Intr_exit _ | Ctx_switch _ | Thread_state _ -> Sched_events
   | Note _ -> Note_events
 
@@ -121,6 +124,12 @@ let sock_drop t ~pkt ~sock =
 let syscall_copyout t ~pkt ~sock ~bytes =
   if want t Packet_events then record t (Syscall_copyout { pkt; sock; bytes })
 
+let csum_drop t ~pkt =
+  if want t Packet_events then record t (Csum_drop { pkt })
+
+let mbuf_drop t ~pkt =
+  if want t Packet_events then record t (Mbuf_drop { pkt })
+
 let intr_enter t ~level ~label =
   if want t Sched_events then record t (Intr_enter { level; label })
 
@@ -168,6 +177,8 @@ let pp_event fmt = function
   | Sock_drop { pkt; sock } -> Format.fprintf fmt "sock-drop pkt=%d sock=%d" pkt sock
   | Syscall_copyout { pkt; sock; bytes } ->
       Format.fprintf fmt "syscall-copyout pkt=%d sock=%d bytes=%d" pkt sock bytes
+  | Csum_drop { pkt } -> Format.fprintf fmt "csum-drop pkt=%d" pkt
+  | Mbuf_drop { pkt } -> Format.fprintf fmt "mbuf-drop pkt=%d" pkt
   | Intr_enter { level; label } ->
       Format.fprintf fmt "intr-enter %s %s" (level_name level) label
   | Intr_exit { level; label } ->
@@ -203,6 +214,8 @@ let csv_fields = function
   | Sock_enqueue { pkt; sock } -> ("sock-enqueue", pkt, sock, -1, "")
   | Sock_drop { pkt; sock } -> ("sock-drop", pkt, sock, -1, "")
   | Syscall_copyout { pkt; sock; bytes } -> ("syscall-copyout", pkt, sock, bytes, "")
+  | Csum_drop { pkt } -> ("csum-drop", pkt, -1, -1, "")
+  | Mbuf_drop { pkt } -> ("mbuf-drop", pkt, -1, -1, "")
   | Intr_enter { level; label } -> ("intr-enter", -1, -1, -1, level_name level ^ ":" ^ label)
   | Intr_exit { level; label } -> ("intr-exit", -1, -1, -1, level_name level ^ ":" ^ label)
   | Ctx_switch { from_pid; to_pid } -> ("ctx-switch", -1, from_pid, to_pid, "")
@@ -338,6 +351,10 @@ let chrome_json t =
           instant
             ~args:[ ("pkt", num pkt); ("bytes", num bytes) ]
             "copyout" (tid_sock sock) ts
+      | Csum_drop { pkt } ->
+          instant ~args:[ ("pkt", num pkt) ] "csum-drop" tid_hard ts
+      | Mbuf_drop { pkt } ->
+          instant ~args:[ ("pkt", num pkt) ] "mbuf-drop" tid_hard ts
       | Intr_enter { level; label } ->
           span_begin label
             (match level with Hard -> tid_hard | Soft -> tid_soft)
@@ -446,8 +463,9 @@ module Report = struct
                   Samples.add (stage "sockq-wait") (ts -. m.m_sock);
                 Samples.add (stage "total") (ts -. m.m_nic)
             | None -> ())
-        | Ipq_drop _ | Early_discard _ | Sock_drop _ | Intr_enter _
-        | Intr_exit _ | Ctx_switch _ | Thread_state _ | Note _ -> ())
+        | Ipq_drop _ | Early_discard _ | Sock_drop _ | Csum_drop _
+        | Mbuf_drop _ | Intr_enter _ | Intr_exit _ | Ctx_switch _
+        | Thread_state _ | Note _ -> ())
       evs;
     { stages; packets = !packets }
 

@@ -34,6 +34,10 @@ type event =
   | Sock_enqueue of { pkt : int; sock : int }
   | Sock_drop of { pkt : int; sock : int }
   | Syscall_copyout of { pkt : int; sock : int; bytes : int }
+  | Csum_drop of { pkt : int }
+      (** Receiver dropped the packet: content checksum mismatch. *)
+  | Mbuf_drop of { pkt : int }
+      (** Receiver dropped the packet: mbuf pool exhausted. *)
   | Intr_enter of { level : intr_level; label : string }
   | Intr_exit of { level : intr_level; label : string }
   | Ctx_switch of { from_pid : int; to_pid : int }
@@ -83,6 +87,8 @@ val proto_deliver : t -> pkt:int -> conn:int -> in_proc:bool -> unit
 val sock_enqueue : t -> pkt:int -> sock:int -> unit
 val sock_drop : t -> pkt:int -> sock:int -> unit
 val syscall_copyout : t -> pkt:int -> sock:int -> bytes:int -> unit
+val csum_drop : t -> pkt:int -> unit
+val mbuf_drop : t -> pkt:int -> unit
 val intr_enter : t -> level:intr_level -> label:string -> unit
 val intr_exit : t -> level:intr_level -> label:string -> unit
 val ctx_switch : t -> from_pid:int -> to_pid:int -> unit

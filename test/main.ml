@@ -18,4 +18,6 @@ let () =
       ("workload", Test_workload.suite);
       ("properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);
-      ("experiments", Test_experiments.suite) ]
+      ("experiments", Test_experiments.suite);
+      ("check", Test_check.suite);
+      ("fuzz", Test_fuzz.suite) ]

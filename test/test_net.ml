@@ -246,10 +246,181 @@ let test_serialization_ordering () =
       Alcotest.(check bool) "order preserved and serialised" true (t2 > t1 +. 50.)
   | _ -> Alcotest.fail "expected two arrivals in order"
 
+(* --- content checksum / corruption -------------------------------------- *)
+
+let test_packet_checksum () =
+  let u = sample_udp () in
+  Alcotest.(check bool) "fresh udp verifies" true (Packet.verify u);
+  (match Packet.corrupt u ~at:17 ~xor:0x40 with
+   | Some bad ->
+       Alcotest.(check bool) "corrupted udp fails verify" false (Packet.verify bad)
+   | None -> Alcotest.fail "udp with payload must be corruptible");
+  let t =
+    Packet.tcp ~src:1 ~dst:2 ~src_port:10 ~dst_port:20 ~seq:5 ~ack_no:9
+      ~flags:(Packet.flags ~ack:true ()) ~window:100 (Payload.synthetic 0)
+  in
+  Alcotest.(check bool) "pure ack verifies" true (Packet.verify t);
+  (match Packet.corrupt t ~at:0 ~xor:0x1 with
+   | Some bad ->
+       Alcotest.(check bool) "corrupted pure ack fails verify" false
+         (Packet.verify bad)
+   | None -> Alcotest.fail "pure ack must be corruptible (ack_no)");
+  let empty = Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2 (Payload.synthetic 0) in
+  Alcotest.(check bool) "empty udp not corruptible" true
+    (Packet.corrupt empty ~at:0 ~xor:1 = None);
+  (* Retransmits of the same content checksum identically (ident differs). *)
+  let mk () = Packet.udp ~src:1 ~dst:2 ~src_port:3 ~dst_port:4 (Payload.synthetic ~tag:9 50) in
+  Alcotest.(check int) "content checksum ident-independent"
+    (Packet.checksum (mk ())) (Packet.checksum (mk ()))
+
+let prop_byte_sum_closed_form =
+  QCheck.Test.make ~count:300 ~name:"payload: synthetic byte_sum matches bytes"
+    QCheck.(pair (int_range 0 1000) (int_range 0 700))
+    (fun (len, tag) ->
+      let p = Payload.synthetic ~tag len in
+      Payload.byte_sum p
+      = Bytes.fold_left (fun acc c -> acc + Char.code c) 0 (Payload.to_bytes p))
+
+let prop_corruption_always_detected =
+  QCheck.Test.make ~count:300 ~name:"packet: any single corruption fails verify"
+    QCheck.(triple (int_range 1 2000) small_nat small_nat)
+    (fun (len, at, xor) ->
+      let pkt =
+        Packet.udp ~src:7 ~dst:8 ~src_port:1 ~dst_port:2
+          (Payload.synthetic ~tag:(at land 0xff) len)
+      in
+      match Packet.corrupt pkt ~at ~xor with
+      | Some bad -> Packet.verify pkt && not (Packet.verify bad)
+      | None -> false)
+
+(* --- fault injection ----------------------------------------------------- *)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_fault_setters_validate () =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng () in
+  let _a = Fabric.make_nic fab ~name:"a" ~ip:1 () in
+  expect_invalid "loss_rate > 1" (fun () -> Fabric.set_loss_rate fab 1.5);
+  expect_invalid "loss_rate < 0" (fun () -> Fabric.set_loss_rate fab (-0.1));
+  expect_invalid "loss_rate nan" (fun () -> Fabric.set_loss_rate fab Float.nan);
+  Fabric.set_loss_rate fab 0.;
+  Fabric.set_loss_rate fab 1.;
+  expect_invalid "faults loss > 1" (fun () ->
+      Fabric.set_faults fab (Fabric.Faults.make ~loss:1.01 ()));
+  expect_invalid "faults dup < 0" (fun () ->
+      Fabric.set_faults fab (Fabric.Faults.make ~dup:(-0.5) ()));
+  expect_invalid "faults corrupt nan" (fun () ->
+      Fabric.set_faults fab (Fabric.Faults.make ~corrupt:Float.nan ()));
+  expect_invalid "reorder_span < 1" (fun () ->
+      Fabric.set_faults fab (Fabric.Faults.make ~reorder_span:0 ()));
+  expect_invalid "jitter < 0" (fun () ->
+      Fabric.set_faults fab (Fabric.Faults.make ~jitter_us:(-1.) ()));
+  expect_invalid "unknown port" (fun () ->
+      Fabric.set_link_faults fab ~ip:99 Fabric.Faults.none)
+
+(* Two-host world: send [n] tagged datagrams from a to b, return the tags
+   in arrival order plus the packets themselves. *)
+let fault_world ?(n = 200) faults =
+  let eng = Engine.create () in
+  let fab = Fabric.create eng () in
+  let a = Fabric.make_nic fab ~name:"a" ~ip:1 ~ifq_limit:1000 () in
+  let b = Fabric.make_nic fab ~name:"b" ~ip:2 () in
+  Fabric.set_link_faults fab ~ip:2 faults;
+  let got = ref [] in
+  Nic.set_rx_handler b (fun pkt -> got := pkt :: !got);
+  for i = 1 to n do
+    ignore
+      (Nic.transmit a
+         (Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2
+            (Payload.synthetic ~tag:i 64)))
+  done;
+  Engine.run eng ~until:(Time.sec 1.);
+  (fab, List.rev !got)
+
+let check_conserved fab =
+  let s = Fabric.fault_stats fab in
+  Alcotest.(check int) "link frame conservation"
+    (s.Fabric.offered + s.Fabric.duplicated)
+    (s.Fabric.delivered + Fabric.drops fab + s.Fabric.held_now);
+  Alcotest.(check int) "no frames parked after run" 0 s.Fabric.held_now
+
+let test_fault_edge_zero () =
+  (* loss 0.0 delivers everything. *)
+  let fab, got = fault_world (Fabric.Faults.make ~loss:0.0 ()) in
+  Alcotest.(check int) "all 200 delivered" 200 (List.length got);
+  Alcotest.(check int) "no fault losses" 0 (Fabric.fault_stats fab).Fabric.fault_lost;
+  check_conserved fab
+
+let test_fault_edge_one () =
+  (* loss 1.0 drops everything, and the counters account for every frame. *)
+  let fab, got = fault_world (Fabric.Faults.make ~loss:1.0 ()) in
+  Alcotest.(check int) "nothing delivered" 0 (List.length got);
+  let s = Fabric.fault_stats fab in
+  Alcotest.(check int) "all 200 counted lost" 200 s.Fabric.fault_lost;
+  check_conserved fab
+
+let test_fault_dup () =
+  let fab, got = fault_world (Fabric.Faults.make ~dup:1.0 ()) in
+  Alcotest.(check int) "every frame doubled" 400 (List.length got);
+  Alcotest.(check int) "dups counted" 200 (Fabric.fault_stats fab).Fabric.duplicated;
+  check_conserved fab
+
+let test_fault_corrupt () =
+  let fab, got = fault_world (Fabric.Faults.make ~corrupt:1.0 ()) in
+  Alcotest.(check int) "all delivered (corruption is not loss)" 200
+    (List.length got);
+  Alcotest.(check int) "corruptions counted" 200
+    (Fabric.fault_stats fab).Fabric.corrupted;
+  Alcotest.(check bool) "every arrival fails verify" true
+    (List.for_all (fun p -> not (Packet.verify p)) got);
+  check_conserved fab
+
+let test_fault_reorder () =
+  let fab, got = fault_world (Fabric.Faults.make ~reorder:0.3 ~reorder_span:4 ()) in
+  (* Reordering must not lose anything: held frames are released by
+     overtaking traffic or the flush timeout. *)
+  Alcotest.(check int) "all 200 delivered" 200 (List.length got);
+  let tags = List.filter_map (fun p -> Payload.tag (match p.Packet.body with
+      | Packet.Udp (_, pl) -> pl
+      | _ -> Payload.synthetic 0)) got in
+  Alcotest.(check bool) "arrival order actually differs" true
+    (tags <> List.sort compare tags);
+  (* Bounded displacement: a frame can arrive at most reorder_span + dups
+     positions late; just sanity-check the multiset is intact. *)
+  Alcotest.(check (list int)) "no tag lost or duplicated"
+    (List.init 200 (fun i -> i + 1))
+    (List.sort compare tags);
+  check_conserved fab
+
+let test_fault_ge_burst_loss () =
+  (* A channel that is perfect in Good state and awful in Bad state must
+     lose something but not everything, and stay conserved. *)
+  let fab, got =
+    fault_world
+      (Fabric.Faults.make ~ge_loss_good:0. ~ge_loss_bad:0.9 ~ge_p_gb:0.1
+         ~ge_p_bg:0.3 ())
+  in
+  let n = List.length got in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty loss in (0, 200) range (%d)" n)
+    true
+    (n > 0 && n < 200);
+  check_conserved fab
+
+let test_fault_jitter_delivers_all () =
+  let fab, got = fault_world (Fabric.Faults.make ~jitter_us:500. ()) in
+  Alcotest.(check int) "all delivered under jitter" 200 (List.length got);
+  check_conserved fab
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_payload_sub_concat; prop_payload_bytes_roundtrip;
-      prop_codec_udp_roundtrip ]
+      prop_codec_udp_roundtrip; prop_byte_sum_closed_form;
+      prop_corruption_always_detected ]
 
 let suite =
   [ Alcotest.test_case "payload basics" `Quick test_payload_basics;
@@ -272,5 +443,20 @@ let suite =
     Alcotest.test_case "unroutable frames dropped" `Quick test_fabric_no_route_drop;
     Alcotest.test_case "loss injection" `Quick test_fabric_loss_injection;
     Alcotest.test_case "serialisation preserves order" `Quick
-      test_serialization_ordering ]
+      test_serialization_ordering;
+    Alcotest.test_case "packet content checksum" `Quick test_packet_checksum;
+    Alcotest.test_case "fault setters validate ranges" `Quick
+      test_fault_setters_validate;
+    Alcotest.test_case "fault edge: loss 0.0 delivers all" `Quick
+      test_fault_edge_zero;
+    Alcotest.test_case "fault edge: loss 1.0 drops all" `Quick
+      test_fault_edge_one;
+    Alcotest.test_case "fault: duplication" `Quick test_fault_dup;
+    Alcotest.test_case "fault: corruption detectable" `Quick test_fault_corrupt;
+    Alcotest.test_case "fault: bounded reorder, nothing lost" `Quick
+      test_fault_reorder;
+    Alcotest.test_case "fault: Gilbert-Elliott burst loss" `Quick
+      test_fault_ge_burst_loss;
+    Alcotest.test_case "fault: jitter delivers all" `Quick
+      test_fault_jitter_delivers_all ]
   @ qsuite

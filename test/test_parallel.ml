@@ -67,6 +67,44 @@ let test_table2_jobs_deterministic () =
   let r3 = Table2.run ~quick:true ~jobs:3 () in
   Alcotest.(check bool) "table2 quick: jobs 1 = jobs 3" true (r1 = r3)
 
+(* The same contract under fault injection: a fault-injected sweep (one
+   seeded fuzz-style run per datapoint) must be identical at any job
+   count.  Each run's fault draws come from its own fabric's split RNG,
+   never from shared state, so domain interleaving cannot leak in. *)
+let faulty_datapoint seed =
+  let open Lrp_engine in
+  let open Lrp_kernel in
+  let open Lrp_workload in
+  let cfg = Kernel.default_config Kernel.Ni_lrp in
+  let w, client, server = World.pair ~seed ~cfg () in
+  let script = Lrp_check.Fault_script.generate ~seed ~duration_us:(Time.ms 100.) in
+  Lrp_check.Fault_script.apply script ~fabric:(World.fabric w)
+    ~engine:(World.engine w);
+  let sink = Blast.start_sink server ~port:9000 () in
+  let src =
+    Blast.start_source (World.engine w) (Kernel.nic client)
+      ~src:(Kernel.ip_address client)
+      ~dst:(Kernel.ip_address server, 9000)
+      ~rate:2_000. ~size:64 ~until:(Time.ms 100.) ()
+  in
+  World.run w ~until:(Time.ms 150.);
+  let fs = Lrp_net.Fabric.fault_stats (World.fabric w) in
+  (seed, src.Blast.sent, sink.Blast.received, fs.Lrp_net.Fabric.fault_lost,
+   fs.Lrp_net.Fabric.duplicated, fs.Lrp_net.Fabric.corrupted,
+   fs.Lrp_net.Fabric.reordered)
+
+let test_fault_sweep_jobs_deterministic () =
+  let seeds = List.init 8 Fun.id in
+  let sweep domains =
+    Pool.with_pool ~domains (fun pool -> Pool.map pool faulty_datapoint seeds)
+  in
+  let r1 = sweep 1 and r4 = sweep 4 in
+  Alcotest.(check bool)
+    "fault-injected sweep: jobs 1 = jobs 4 per datapoint" true (r1 = r4);
+  (* And the runs actually exercised the fault pipeline. *)
+  Alcotest.(check bool) "sweep saw fault activity" true
+    (List.exists (fun (_, _, _, l, d, c, r) -> l + d + c + r > 0) r1)
+
 let suite =
   [ Alcotest.test_case "map keeps submission order" `Quick test_map_order;
     Alcotest.test_case "map on empty and singleton lists" `Quick
@@ -81,4 +119,6 @@ let suite =
     Alcotest.test_case "fig3 results independent of jobs" `Slow
       test_fig3_jobs_deterministic;
     Alcotest.test_case "table2 results independent of jobs" `Slow
-      test_table2_jobs_deterministic ]
+      test_table2_jobs_deterministic;
+    Alcotest.test_case "fault-injected sweep independent of jobs" `Slow
+      test_fault_sweep_jobs_deterministic ]

@@ -70,11 +70,16 @@ let test_handshake_and_echo arch cfg =
     (Printf.sprintf "%s: echo round-trip" (Kernel.arch_name arch))
     (Some "hello, lrp!") !echoed
 
-(* Bulk transfer with byte-level integrity checking. *)
-let bulk_transfer ?(loss = 0.) ~arch ~bytes () =
+(* Bulk transfer with byte-level integrity checking.  [loss] is the
+   legacy whole-fabric uniform loss; [faults] configures the per-link
+   fault-injection pipeline on every link (both directions). *)
+let bulk_transfer ?(loss = 0.) ?faults ~arch ~bytes () =
   let cfg = Kernel.default_config arch in
   let w, client, server = World.pair ~cfg () in
   if loss > 0. then Fabric.set_loss_rate (World.fabric w) loss;
+  (match faults with
+   | Some f -> Fabric.set_faults (World.fabric w) f
+   | None -> ());
   let received = Buffer.create bytes in
   let done_at = ref None in
   ignore
@@ -134,6 +139,28 @@ let test_bulk_integrity_under_loss () =
         true
         (String.equal sent received))
     [ Kernel.Bsd; Kernel.Soft_lrp ]
+
+let test_bulk_integrity_under_faults () =
+  (* 5% loss plus reordering on every link, all four architectures: the
+     retransmission and resequencing machinery must still deliver the
+     exact byte stream. *)
+  let faults =
+    Fabric.Faults.make ~loss:0.05 ~reorder:0.2 ~reorder_span:3 ()
+  in
+  List.iter
+    (fun arch ->
+      let sent, received, done_at =
+        bulk_transfer ~faults ~arch ~bytes:100_000 ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: faulty transfer completed" (Kernel.arch_name arch))
+        true (done_at <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: stream byte-exact under 5%% loss + reordering"
+           (Kernel.arch_name arch))
+        true
+        (String.equal sent received))
+    archs
 
 let test_many_sequential_connections arch cfg =
   (* Exercises TIME_WAIT turnover and port allocation. *)
@@ -289,6 +316,8 @@ let suite =
       (for_all_archs test_bulk_integrity);
     Alcotest.test_case "bulk integrity under 2% loss" `Slow
       test_bulk_integrity_under_loss;
+    Alcotest.test_case "bulk integrity under 5% loss + reordering (all archs)"
+      `Slow test_bulk_integrity_under_faults;
     Alcotest.test_case "sequential connections / TIME_WAIT turnover" `Slow
       (for_all_archs test_many_sequential_connections);
     Alcotest.test_case "connect to dead port is refused" `Quick
