@@ -522,7 +522,7 @@ let measure_micro test =
   in
   let estimate instance =
     let analysed = Analyze.all ols instance results in
-    Hashtbl.fold
+    Lrp_det.Det.fold_sorted
       (fun _name est acc ->
         match Analyze.OLS.estimates est with
         | Some [ v ] -> Some v

@@ -125,26 +125,27 @@ let check ?(require_demux = false) events =
       | Trace.Intr_exit _ | Trace.Ctx_switch _ | Trace.Thread_state _
       | Trace.Note _ -> ())
     events;
-  (* End-of-stream count bounds. *)
-  Hashtbl.iter
+  (* End-of-stream count bounds, in packet-id order so any violation list
+     is reproducible. *)
+  Lrp_det.Det.iter_sorted
     (fun pkt n ->
       if n > count arrivals pkt then
         violate "packet %d demuxed %d times but arrived %d times" pkt n
           (count arrivals pkt))
     demuxes;
-  Hashtbl.iter
+  Lrp_det.Det.iter_sorted
     (fun pkt n ->
       if n > count arrivals pkt then
         violate "packet %d early-discarded %d times but arrived %d times"
           pkt n (count arrivals pkt))
     discards;
-  Hashtbl.iter
+  Lrp_det.Det.iter_sorted
     (fun pkt n ->
       if n > count arrivals pkt then
         violate "packet %d has %d ipq events but arrived %d times" pkt n
           (count arrivals pkt))
     ipq;
-  Hashtbl.iter
+  Lrp_det.Det.iter_sorted
     (fun pkt n ->
       if n > count arrivals pkt then
         violate "packet %d dropped (mbuf/csum) %d times but arrived %d times"

@@ -1,0 +1,27 @@
+(** Deterministic (sorted-key) iteration over [Hashtbl.t].
+
+    Unordered [Hashtbl.iter]/[fold]/[to_seq] are banned outside this module
+    (lint rule D2): any result that can reach output must be derived in a
+    reproducible order.  All helpers snapshot the table first, so the
+    callback may freely add or remove bindings. *)
+
+val bindings : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings sorted by key ([cmp] defaults to [Stdlib.compare]; keys in
+    this repo are ints, strings or tuples of those).  Duplicate-key bindings
+    keep most-recent-first order. *)
+
+val sorted_keys : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Keys in ascending order (one per binding, duplicates included). *)
+
+val iter_sorted :
+  ?cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted f tbl] applies [f] to every binding in ascending key
+    order. *)
+
+val fold_sorted :
+  ?cmp:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** [fold_sorted f tbl init] folds over bindings in ascending key order. *)

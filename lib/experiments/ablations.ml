@@ -63,15 +63,15 @@ let discard ?(rate = 20_000.) ?(duration = Time.sec 2.) ?(jobs = 1)
 
 let print_discard rows =
   Common.print_title "Ablation: early packet discard (NI-LRP, 20k pkts/s)";
-  Printf.printf "  %-22s %12s %10s %10s %12s\n" "channels" "delivered/s"
+  Common.printf "  %-22s %12s %10s %10s %12s\n" "channels" "delivered/s"
     "discards" "backlog" "staleness";
   List.iter
     (fun r ->
-      Printf.printf "  %-22s %12.0f %10d %10d %9.0f ms\n"
+      Common.printf "  %-22s %12.0f %10d %10d %9.0f ms\n"
         (if r.bounded then "bounded (LRP)" else "unbounded (ablated)")
         r.delivered r.discards r.backlog r.queue_delay_ms)
     rows;
-  Printf.printf
+  Common.printf
     "\n  Without early discard, overload is absorbed into queue memory:\n\
     \  every delivered packet is seconds stale and buffering grows without\n\
     \  bound; with discard, excess load is dropped at the NI for free.\n"
@@ -164,17 +164,17 @@ let accounting ?(duration = Time.sec 8.) ?(jobs = 1)
 let print_accounting rows =
   Common.print_title
     "Ablation: APP-thread accounting (TCP sink vs compute-bound bystander)";
-  Printf.printf "  %-26s %14s %16s %16s\n" "accounting" "bystander CPU"
+  Common.printf "  %-26s %14s %16s %16s\n" "accounting" "bystander CPU"
     "sink used CPU" "sink billed";
   List.iter
     (fun r ->
-      Printf.printf "  %-26s %13.1f%% %15.1f%% %15.1f%%\n"
+      Common.printf "  %-26s %13.1f%% %15.1f%% %15.1f%%\n"
         (if r.fair then "charged to receiver (LRP)" else "self-charged (ablated)")
         (100. *. r.hog_progress)
         (100. *. r.receiver_share)
         (100. *. r.receiver_billed))
     rows;
-  Printf.printf
+  Common.printf
     "\n  The receiving pipeline (process + APP thread) consumes the same\n\
     \  CPU either way, but with the ablated accounting the scheduler bills\n\
     \  the receiver for almost none of it: its priority never decays no\n\
@@ -208,11 +208,11 @@ let demux_cost ?(rate = 20_000.) ?(duration = Time.sec 1.5)
 let print_demux_cost rows =
   Common.print_title
     "Ablation: soft-demux cost sensitivity (SOFT-LRP at 20k pkts/s)";
-  Printf.printf "  %-12s %12s\n" "demux (us)" "delivered/s";
+  Common.printf "  %-12s %12s\n" "demux (us)" "delivered/s";
   List.iter
-    (fun r -> Printf.printf "  %-12.0f %12.0f\n" r.demux_us r.delivered)
+    (fun r -> Common.printf "  %-12.0f %12.0f\n" r.demux_us r.delivered)
     rows;
-  Printf.printf
+  Common.printf
     "\n  Soft demultiplexing postpones livelock rather than eliminating it\n\
     \  (paper section 4.2): throughput under overload falls roughly as\n\
     \  1 - rate * demux_cost, and an expensive classifier brings the\n\

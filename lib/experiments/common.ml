@@ -58,21 +58,27 @@ let regroup groups tagged =
 
 (* --- plain-text rendering -------------------------------------------- *)
 
+(* The experiment layer's one stdout sink: every figure/table renderer
+   prints through here, so rule P1 has exactly one audited exemption and
+   redirecting report output later means changing one line. *)
+(* lint: stdout-ok — experiment report sink, the sole audited stdout writer *)
+let printf fmt = Printf.printf fmt
+
 let hr width = String.make width '-'
 
 let print_title title =
-  Printf.printf "\n%s\n%s\n" title (hr (String.length title))
+  printf "\n%s\n%s\n" title (hr (String.length title))
 
-let print_row fmt = Printf.printf fmt
+let print_row fmt = printf fmt
 
 (* Render an ASCII series plot: one line per x value, a bar whose length is
    proportional to y. *)
 let print_series ~xlabel ~ylabel ~ymax rows =
-  Printf.printf "  %-12s %-10s\n" xlabel ylabel;
+  printf "  %-12s %-10s\n" xlabel ylabel;
   List.iter
     (fun (x, y) ->
       let bar_len =
         if ymax <= 0. then 0 else int_of_float (y /. ymax *. 50.)
       in
-      Printf.printf "  %-12.0f %-10.0f %s\n" x y (String.make (max 0 bar_len) '#'))
+      printf "  %-12.0f %-10.0f %s\n" x y (String.make (max 0 bar_len) '#'))
     rows

@@ -137,12 +137,12 @@ let print rows =
   Common.print_title "Figure 3: Throughput versus offered load (14-byte UDP)";
   List.iter
     (fun r ->
-      Printf.printf "\n  [%s]\n" (Common.system_name r.system);
+      Common.printf "\n  [%s]\n" (Common.system_name r.system);
       Common.print_series ~xlabel:"offered(p/s)" ~ylabel:"delivered"
         ~ymax:12_000.
         (List.map (fun p -> (p.offered, p.delivered)) r.points))
     rows;
-  Printf.printf
+  Common.printf
     "\n  Paper shapes: BSD peaks ~7400 then collapses toward 0 by ~20k;\n\
     \  NI-LRP flat at ~11k; SOFT-LRP ~9.8k with a slow decline;\n\
     \  Early-Demux stable but 40-65%% of SOFT-LRP under overload.\n"
@@ -151,6 +151,6 @@ let print_mlfrr results =
   Common.print_title "MLFRR: maximum loss-free receive rate (pkts/s)";
   List.iter
     (fun (sys, rate) ->
-      Printf.printf "  %-12s %8.0f\n" (Common.system_name sys) rate)
+      Common.printf "  %-12s %8.0f\n" (Common.system_name sys) rate)
     results;
-  Printf.printf "  Paper: 4.4BSD 6380, SOFT-LRP 9210 (+44%%).\n"
+  Common.printf "  Paper: 4.4BSD 6380, SOFT-LRP 9210 (+44%%).\n"

@@ -85,23 +85,23 @@ let print rows =
   Common.print_title "Figure 4: Latency with concurrent load (UDP ping-pong RTT)";
   List.iter
     (fun r ->
-      Printf.printf "\n  [%s]\n" (Common.system_name r.system);
-      Printf.printf "  %-12s %-10s %-10s %-8s %s\n" "bg (pkts/s)" "RTT med"
+      Common.printf "\n  [%s]\n" (Common.system_name r.system);
+      Common.printf "  %-12s %-10s %-10s %-8s %s\n" "bg (pkts/s)" "RTT med"
         "RTT p99" "lost" "";
       List.iter
         (fun p ->
           if p.rtt_us = 0. && p.lost > 0 then
-            Printf.printf "  %-12.0f %-10s %-10s %-8d (unmeasurable: all probes lost)\n"
+            Common.printf "  %-12.0f %-10s %-10s %-8d (unmeasurable: all probes lost)\n"
               p.bg_rate "-" "-" p.lost
           else begin
             let bar = int_of_float (p.rtt_us /. 1_500. *. 50.) in
-            Printf.printf "  %-12.0f %-10.0f %-10.0f %-8d %s\n" p.bg_rate
+            Common.printf "  %-12.0f %-10.0f %-10.0f %-8d %s\n" p.bg_rate
               p.rtt_us p.rtt_p99 p.lost
               (String.make (max 0 (min 60 bar)) '#')
           end)
         r.points)
     rows;
-  Printf.printf
+  Common.printf
     "\n  Paper shapes: BSD rises steeply (peak ~1020us, unmeasurable >15k);\n\
     \  SOFT-LRP gentle rise (peak ~750us); NI-LRP nearly flat; LRP loses\n\
     \  no probes (traffic separation).\n"

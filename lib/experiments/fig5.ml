@@ -95,18 +95,18 @@ let print rows =
   Common.print_title "Figure 5: HTTP Server Throughput under SYN flood";
   List.iter
     (fun r ->
-      Printf.printf "\n  [%s]\n" (Common.system_name r.system);
-      Printf.printf "  %-14s %-12s %-10s\n" "SYN (pkts/s)" "HTTP (op/s)" "";
+      Common.printf "\n  [%s]\n" (Common.system_name r.system);
+      Common.printf "  %-14s %-12s %-10s\n" "SYN (pkts/s)" "HTTP (op/s)" "";
       let ymax =
         List.fold_left (fun acc p -> Float.max acc p.http_per_sec) 1. r.points
       in
       List.iter
         (fun p ->
           let bar = int_of_float (p.http_per_sec /. ymax *. 50.) in
-          Printf.printf "  %-14.0f %-12.1f %s\n" p.syn_rate p.http_per_sec
+          Common.printf "  %-14.0f %-12.1f %s\n" p.syn_rate p.http_per_sec
             (String.make (max 0 bar) '#'))
         r.points)
     rows;
-  Printf.printf
+  Common.printf
     "\n  Paper shapes: BSD collapses into livelock near 10k SYN/s;\n\
     \  SOFT-LRP still serves ~50%% of its maximum at 20k SYN/s.\n"

@@ -95,7 +95,7 @@ let paper =
 let print rows =
   Common.print_title
     "Table 1: Throughput and Latency (measured | paper)";
-  Printf.printf "  %-12s %22s %22s %22s\n" "System" "RTT (us)"
+  Common.printf "  %-12s %22s %22s %22s\n" "System" "RTT (us)"
     "UDP (Mbit/s)" "TCP (Mbit/s)";
   List.iter
     (fun r ->
@@ -104,7 +104,7 @@ let print rows =
         | Some v -> v
         | None -> (nan, nan, nan)
       in
-      Printf.printf "  %-12s %12.0f | %6.0f %12.1f | %6.1f %12.1f | %6.1f\n"
+      Common.printf "  %-12s %12.0f | %6.0f %12.1f | %6.1f %12.1f | %6.1f\n"
         (Common.system_name r.system) r.rtt_us p_rtt r.udp_mbps p_udp
         r.tcp_mbps p_tcp)
     rows

@@ -58,7 +58,7 @@ let paper =
 
 let print rows =
   Common.print_title "Table 2: Synthetic RPC Server Workload (measured | paper)";
-  Printf.printf "  %-8s %-12s %20s %22s %14s\n" "RPC" "System"
+  Common.printf "  %-8s %-12s %20s %22s %14s\n" "RPC" "System"
     "Worker elapsed (s)" "Server (RPCs/sec)" "Worker share";
   List.iter
     (fun r ->
@@ -67,13 +67,13 @@ let print rows =
         | Some v -> v
         | None -> (nan, nan)
       in
-      Printf.printf "  %-8s %-12s %10.1f | %6.1f %12.0f | %6.0f %13.0f%%\n"
+      Common.printf "  %-8s %-12s %10.1f | %6.1f %12.0f | %6.0f %13.0f%%\n"
         (Rpc.cls_name r.cls)
         (Common.system_name r.system)
         r.worker_elapsed_s p_elapsed r.rpcs_per_sec p_rate
         (100. *. r.worker_share))
     rows;
-  Printf.printf
+  Common.printf
     "\n  Paper: worker share 23-26%% under BSD vs 29-33%% under LRP\n\
     \  (ideal 1/3); LRP completes the worker 20-30%% sooner at equal or\n\
     \  better RPC rates.\n"

@@ -202,7 +202,7 @@ let tracing t = Trace.enabled t.tracer
    interleaved arbitrarily across domains under [--jobs N]; debug notes now
    land in the per-kernel ring buffer instead (dump with
    [Trace.to_text]). *)
-let debug_trace = ref false
+let debug_trace = Atomic.make false
 
 let trc t fmt =
   if Trace.enabled t.tracer then
@@ -445,7 +445,7 @@ let deregister_conn t conn =
         Chantab.remove_tcp t.chantab ~src:rip ~src_port:rport
           ~dst_port:conn.Tcp.local_port;
         let stale =
-          Hashtbl.fold
+          Lrp_det.Det.fold_sorted
             (fun chid c acc -> if c.Tcp.id = conn.Tcp.id then chid :: acc else acc)
             t.chan_conn []
         in
@@ -541,7 +541,7 @@ let make_tcp_env t =
               Chantab.remove_tcp t.chantab ~src:rip ~src_port:rport
                 ~dst_port:conn.Tcp.local_port;
               let stale =
-                Hashtbl.fold
+                Lrp_det.Det.fold_sorted
                   (fun chid c acc ->
                     if c.Tcp.id = conn.Tcp.id then chid :: acc else acc)
                   t.chan_conn []
@@ -1171,7 +1171,7 @@ let create engine fabric ~name ~ip cfg =
   Nic.set_rx_handler nic (fun pkt -> rx_dispatch t pkt);
   Cpu.set_tracer cpu tracer;
   Nic.set_tracer nic tracer;
-  if !debug_trace then Trace.set_enabled tracer true;
+  if Atomic.get debug_trace then Trace.set_enabled tracer true;
   (* Expose kernel state as pull gauges; components register their own
      instruments under their prefixes.  All callbacks read only this
      kernel's state, so snapshots stay race-free under parallel sweeps. *)
@@ -1194,7 +1194,7 @@ let create engine fabric ~name ~ip cfg =
   List.iter
     (fun key ->
       g ("tcp." ^ key) (fun () ->
-          Hashtbl.fold
+          Lrp_det.Det.fold_sorted
             (fun _ conn acc -> acc + List.assoc key (Tcp.counters conn))
             t.tcp_conns 0))
     [ "segs_sent"; "segs_rcvd"; "bytes_sent"; "bytes_rcvd"; "retransmits";

@@ -145,11 +145,11 @@ val metrics : t -> Lrp_trace.Metrics.t
 val set_tracing : t -> bool -> unit
 val tracing : t -> bool
 
-val debug_trace : bool ref
+val debug_trace : bool Atomic.t
 (** Deprecated shim for the old global debug flag: kernels created while
     it is set start with structured tracing enabled.  Prefer
-    {!set_tracing} on the specific kernel — a global flag is racy under
-    parallel sweeps. *)
+    {!set_tracing} on the specific kernel — a global flag is shared by
+    every domain in a parallel sweep, hence atomic (lint rule C1). *)
 
 val trc : t -> ('a, unit, string, unit) format4 -> 'a
 (** Formatted note into the kernel's tracer ([Note] event class); a no-op

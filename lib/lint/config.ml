@@ -1,0 +1,92 @@
+(* Per-rule configuration for lrp_lint.
+
+   Paths are matched by suffix after '/'-normalisation ("lib/core/det.ml"
+   matches "../lib/core/det.ml" and "/abs/repo/lib/core/det.ml"), and
+   scopes by path *component* ("lib" matches any file with a "lib"
+   directory component), so the linter gives identical answers whether it
+   is run from the repo root, from _build, or on absolute paths. *)
+
+type t = {
+  rng_files : string list;
+      (* D1: the one module allowed to own ambient nondeterminism. *)
+  wallclock_files : string list;
+      (* D1: wall-clock reads (Sys.time / Unix.gettimeofday) allowed —
+         benchmark harnesses measure real elapsed time by design.
+         Random.* stays banned here. *)
+  det_files : string list;
+      (* D2: the sorted-iteration helper implementation itself. *)
+  d3_files : (string * string list) list;
+      (* D3: files whose float-carrying or mutable record types make
+         polymorphic compare/(=) hazardous, with the type names for the
+         message.  In these files, bare [compare], [Stdlib.compare],
+         [Hashtbl.hash] and unapplied [(=)]/[(<>)] are banned. *)
+  stateful_scope : string list;
+      (* C1/P1 apply only under these path components (library code);
+         executables under bin/ and bench/ may print and hold state. *)
+  sink_files : string list;
+      (* P1: trace/report sink modules allowed to write stdout. *)
+  layer_rank : (string * int) list;
+      (* L1: library name -> layer rank.  A library may only depend on
+         strictly lower ranks.  Unknown lrp_* names are findings, so new
+         libraries must be placed in the DAG explicitly. *)
+}
+
+let default =
+  {
+    rng_files = [ "lib/engine/rng.ml" ];
+    wallclock_files = [ "bench/main.ml" ];
+    det_files = [ "lib/core/det.ml" ];
+    d3_files =
+      [
+        ("lib/stats/stats.ml", [ "summary"; "Samples.t"; "Rate.t" ]);
+        ("lib/proto/tcp.ml", [ "conn"; "timer" ]);
+        ("lib/sched/sched.ml", [ "thread" ]);
+        ("lib/trace/trace.ml", [ "entry"; "Report.marks" ]);
+        ("lib/engine/eheap.ml", [ "t" ]);
+      ];
+    stateful_scope = [ "lib" ];
+    sink_files = [];
+    layer_rank =
+      [
+        (* leaves: no lrp dependencies *)
+        ("lrp_det", 0);
+        ("lrp_stats", 0);
+        ("lrp_parallel", 0);
+        ("lrp_lint", 0);
+        (* the simulation core *)
+        ("lrp_engine", 1);
+        ("lrp_trace", 2);
+        ("lrp_net", 3);
+        ("lrp_sched", 3);
+        ("lrp_proto", 4);
+        ("lrp_sim", 4);
+        ("lrp_core", 5);
+        ("lrp_kernel", 6);
+        (* observers and drivers *)
+        ("lrp_workload", 7);
+        ("lrp_check", 7);
+        ("lrp_experiments", 8);
+      ];
+  }
+
+(* '/'-normalise a path (Windows-proof and cheap). *)
+let normalize p = String.map (fun c -> if c = '\\' then '/' else c) p
+
+let has_suffix_path file entry =
+  let file = normalize file and entry = normalize entry in
+  file = entry
+  || String.length file > String.length entry
+     && String.sub file (String.length file - String.length entry - 1)
+          (String.length entry + 1)
+        = "/" ^ entry
+
+let in_files file entries = List.exists (has_suffix_path file) entries
+
+let in_scope file scopes =
+  let parts = String.split_on_char '/' (normalize file) in
+  List.exists (fun s -> List.mem s parts) scopes
+
+let d3_types_of config file =
+  List.find_map
+    (fun (f, tys) -> if has_suffix_path file f then Some tys else None)
+    config.d3_files

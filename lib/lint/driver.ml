@@ -1,0 +1,97 @@
+(* File discovery and the analysis pipeline.
+
+   [run config paths] walks the given files/directories, parses every
+   .ml/.mli with compiler-libs and every file named `dune` with the
+   s-expression reader, applies the rules, and returns globally sorted
+   findings plus scan statistics.  Directory entries are visited in
+   sorted order and findings are sorted at the end, so the report is
+   byte-stable across filesystems. *)
+
+type stats = { ml_files : int; mli_files : int; dune_files : int }
+
+let skip_dirs = [ "_build"; "_opam"; ".git"; "node_modules" ]
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry skip_dirs || (entry <> "" && entry.[0] = '.') then
+             acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else
+    let base = Filename.basename path in
+    if Filename.check_suffix base ".ml" then `Ml path :: acc
+    else if Filename.check_suffix base ".mli" then `Mli path :: acc
+    else if base = "dune" then `Dune path :: acc
+    else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_error_finding ~file exn =
+  let line =
+    match exn with
+    | Syntaxerr.Error err ->
+        (Syntaxerr.location_of_error err).Location.loc_start.Lexing.pos_lnum
+    | _ -> 1
+  in
+  Finding.v ~rule:"PARSE" ~file ~line ~col:0
+    (Printf.sprintf "cannot parse: %s" (Printexc.to_string exn))
+
+let check_ml ~config file =
+  let text = read_file file in
+  let supp = Suppress.scan text in
+  let lb = Lexing.from_string text in
+  Location.init lb file;
+  match Parse.implementation lb with
+  | ast ->
+      (* Rules must run (and claim suppressions) before the unused-
+         suppression sweep — keep the sequencing explicit. *)
+      let fs = Srcrules.check_impl ~config ~file ~supp ast in
+      fs @ Suppress.unused supp ~file
+  | exception exn -> [ parse_error_finding ~file exn ]
+
+let check_mli file =
+  let text = read_file file in
+  let lb = Lexing.from_string text in
+  Location.init lb file;
+  match Parse.interface lb with
+  | _ -> []
+  | exception exn -> [ parse_error_finding ~file exn ]
+
+let check_dune ~config file =
+  match Dunefile.stanzas_of (read_file file) with
+  | stanzas -> Layers.check ~config ~file stanzas
+  | exception Dunefile.Parse_error (msg, line) ->
+      [
+        Finding.v ~rule:"PARSE" ~file ~line ~col:0
+          (Printf.sprintf "cannot parse dune file: %s" msg);
+      ]
+
+let run ?(config = Config.default) paths : Finding.t list * stats =
+  let files = List.fold_left collect [] paths |> List.rev in
+  let stats =
+    {
+      ml_files =
+        List.length (List.filter (function `Ml _ -> true | _ -> false) files);
+      mli_files =
+        List.length (List.filter (function `Mli _ -> true | _ -> false) files);
+      dune_files =
+        List.length (List.filter (function `Dune _ -> true | _ -> false) files);
+    }
+  in
+  let findings =
+    List.concat_map
+      (function
+        | `Ml f -> check_ml ~config f
+        | `Mli f -> check_mli f
+        | `Dune f -> check_dune ~config f)
+      files
+  in
+  (Finding.sort findings, stats)

@@ -1,0 +1,87 @@
+(* In-source lint suppressions.
+
+   Syntax: a comment of the form
+
+     (* lint: <tag> — <reason> *)
+
+   where <tag> is one of the known tags below.  The comment suppresses a
+   matching finding on the same line or on the line immediately after it
+   (so it can sit above the offending binding or trail the expression).
+   A suppression that suppresses nothing is itself a finding (rule SUP):
+   stale exemptions must not accumulate. *)
+
+type entry = { tag : string; line : int; mutable used : bool }
+
+type t = entry list
+
+let known_tags = [ "domain-local"; "unordered-ok"; "stdout-ok"; "wallclock-ok" ]
+
+(* Tag a rule id to the suppression tag that can silence it. *)
+let tag_for_rule = function
+  | "C1" -> Some "domain-local"
+  | "D2" -> Some "unordered-ok"
+  | "P1" -> Some "stdout-ok"
+  | "D1" -> Some "wallclock-ok"
+  | _ -> None
+
+(* Scan raw source text for suppression comments.  A plain substring scan
+   is enough here: "(* lint:" inside a string literal would be a strange
+   thing to write, and the worst case is an unused-suppression finding
+   pointing at it. *)
+let scan text : t =
+  let n = String.length text in
+  let entries = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let starts_with at s =
+    at + String.length s <= n && String.sub text at (String.length s) = s
+  in
+  while !i < n do
+    (match text.[!i] with
+    | '\n' -> incr line
+    | '(' when starts_with !i "(* lint:" ->
+        let j = ref (!i + String.length "(* lint:") in
+        while !j < n && text.[!j] = ' ' do
+          incr j
+        done;
+        let start = !j in
+        while
+          !j < n && text.[!j] <> ' ' && text.[!j] <> '\n' && text.[!j] <> '*'
+        do
+          incr j
+        done;
+        let tag = String.sub text start (!j - start) in
+        if List.mem tag known_tags then
+          entries := { tag; line = !line; used = false } :: !entries
+    | _ -> ());
+    incr i
+  done;
+  List.rev !entries
+
+(* [claim t ~rule ~line] returns true (and burns the suppression) when a
+   matching tag covers [line]. *)
+let claim t ~rule ~line =
+  match tag_for_rule rule with
+  | None -> false
+  | Some tag ->
+      let matching e =
+        e.tag = tag && (e.line = line || e.line = line - 1)
+      in
+      (match List.find_opt matching t with
+      | Some e ->
+          e.used <- true;
+          true
+      | None -> false)
+
+let unused t ~file =
+  List.filter_map
+    (fun e ->
+      if e.used then None
+      else
+        Some
+          (Finding.v ~rule:"SUP" ~file ~line:e.line ~col:0
+             (Printf.sprintf
+                "unused lint suppression '%s': nothing on this or the next \
+                 line needs it"
+                e.tag)))
+    t

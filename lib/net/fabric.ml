@@ -153,8 +153,10 @@ and forward t pkt =
     t.total_drops <- t.total_drops + 1
   end
   else if Packet.is_multicast pkt then
-    (* Multicast: replicate to every port except the sender's. *)
-    Hashtbl.iter
+    (* Multicast: replicate to every port except the sender's, in address
+       order so the replication (and any induced queueing) is independent
+       of hash-table layout. *)
+    Lrp_det.Det.iter_sorted
       (fun ip port ->
         if ip <> Packet.src pkt then deliver_to t port pkt ~now)
       t.ports
@@ -309,15 +311,14 @@ let set_link_faults t ~ip f =
 
 let set_faults t f =
   Faults.validate f;
-  (* Deterministic split order regardless of hash-table iteration: sort the
-     attached addresses. *)
-  Hashtbl.fold (fun ip _ acc -> ip :: acc) t.ports []
-  |> List.sort compare
+  (* Deterministic split order regardless of hash-table iteration: visit the
+     attached addresses in sorted order. *)
+  Lrp_det.Det.sorted_keys t.ports
   |> List.iter (fun ip -> set_link_faults t ~ip f)
 
 let fault_stats t =
   let held_now =
-    Hashtbl.fold
+    Lrp_det.Det.fold_sorted
       (fun _ port acc ->
         match port.fstate with
         | Some fs -> acc + List.length fs.fheld

@@ -97,7 +97,7 @@ module Reasm = struct
   (* Drop incomplete datagrams older than the timeout. *)
   let prune t ~now =
     let stale =
-      Hashtbl.fold
+      Lrp_det.Det.fold_sorted
         (fun key p acc -> if now -. p.first_seen > t.timeout then key :: acc else acc)
         t.table []
     in

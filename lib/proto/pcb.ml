@@ -84,4 +84,9 @@ let udp_count t = Hashtbl.length t.udp_bound
 let tcp_count t = Hashtbl.length t.tcp_exact
 let lookup_cost_cells t = t.cells_touched
 
-let iter_tcp t f = Hashtbl.iter (fun (remote, port) v -> f ~remote ~port v) t.tcp_exact
+(* Sorted by (remote, port) so callers observe PCBs in a reproducible
+   order regardless of hash-table layout. *)
+let iter_tcp t f =
+  Lrp_det.Det.iter_sorted
+    (fun (remote, port) v -> f ~remote ~port v)
+    t.tcp_exact

@@ -477,7 +477,8 @@ let utilization t =
   let elapsed = Engine.now t.engine -. t.created_at in
   if elapsed <= 0. then 0. else (t.t_hard +. t.t_soft +. t.t_user) /. elapsed
 
-let iter_procs t f = Hashtbl.iter (fun _ p -> f p) t.procs
+(* Sorted by pid so callers observe processes in a reproducible order. *)
+let iter_procs t f = Lrp_det.Det.iter_sorted (fun _ p -> f p) t.procs
 
 let register_metrics t m ~prefix =
   let module Metrics = Lrp_trace.Metrics in

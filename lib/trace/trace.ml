@@ -374,7 +374,9 @@ let chrome_json t =
   (* Close spans still open at the end of the buffered window so every
      "B" has a matching "E" (a run can end mid-interrupt). *)
   let last_ts = match List.rev evs with (ts, _, _) :: _ -> ts | [] -> 0. in
-  Hashtbl.iter
+  (* Sorted by track id: the synthetic close events land in the JSON in a
+     stable order, keeping the sink byte-reproducible. *)
+  Lrp_det.Det.iter_sorted
     (fun tid d ->
       for _ = 1 to d do
         emit (base "E" "trace-end" tid last_ts [])

@@ -1,0 +1,20 @@
+(* Fixture: rule C1 — module-level mutable state. *)
+
+let hits = ref 0
+
+let cache : (int, string) Hashtbl.t = Hashtbl.create 16
+
+(* The sanctioned form: *)
+let total = Atomic.make 0
+
+(* A justified exemption: *)
+(* lint: domain-local — scratch buffer, reset at the start of every run *)
+let scratch = Buffer.create 64
+
+(* Function-local state is not module state: *)
+let count xs =
+  let n = ref 0 in
+  List.iter (fun _ -> incr n) xs;
+  !n
+
+let use () = (hits, cache, total, scratch)

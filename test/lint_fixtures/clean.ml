@@ -1,0 +1,9 @@
+(* Fixture: a clean module — zero findings expected. *)
+
+type t = { mutable n : int }
+
+let make () = { n = 0 }
+
+let bump t = t.n <- t.n + 1
+
+let sum tbl = List.fold_left ( + ) 0 (List.map snd tbl)

@@ -1,0 +1,7 @@
+(* Fixture: rule D1 — ambient time and randomness. *)
+
+let wall () = Sys.time ()
+
+let stamp () = Unix.gettimeofday ()
+
+let roll () = Random.int 6

@@ -1,0 +1,7 @@
+(* Fixture: rule D2 — unordered hash-table iteration. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump tbl f = Hashtbl.iter f tbl
+
+let stream tbl = Hashtbl.to_seq tbl

@@ -1,0 +1,3 @@
+(* Fixture: rule D3 — Marshal is never representation-stable. *)
+
+let save x = Marshal.to_string x []

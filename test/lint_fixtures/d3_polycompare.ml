@@ -1,0 +1,12 @@
+(* Fixture: rule D3 — polymorphic comparison in a module whose record
+   type carries floats (this file is named in the per-rule config by the
+   test; without that config entry the rule stays quiet). *)
+
+type pt = { x : float; mutable hits : int }
+
+let sort_pts pts = List.sort compare pts
+
+let eq_pt : pt -> pt -> bool = ( = )
+
+(* Applied scalar comparison is fine even here: *)
+let positive p = p.x > 0. && p.hits = 0

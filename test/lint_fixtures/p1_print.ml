@@ -1,0 +1,5 @@
+(* Fixture: rule P1 — stdout writes in library code. *)
+
+let report x = Printf.printf "result: %d\n" x
+
+let shout () = print_endline "done"

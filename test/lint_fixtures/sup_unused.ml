@@ -1,0 +1,5 @@
+(* Fixture: rule SUP — a suppression that suppresses nothing is itself a
+   finding. *)
+
+(* lint: unordered-ok — stale: the Hashtbl.iter below was removed *)
+let nothing_here = 42

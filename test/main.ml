@@ -20,4 +20,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("lint", Test_lint.suite) ]
