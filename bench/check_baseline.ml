@@ -1,21 +1,28 @@
 (* CI regression gate: compare a fresh perf-baseline snapshot against the
-   committed BENCH_3.json.
+   committed BENCH_6.json.
 
-     dune exec bench/check_baseline.exe -- BENCH_3.json BENCH_run3.json
+     dune exec bench/check_baseline.exe -- BENCH_6.json BENCH_run6.json
 
-   Tolerances are deliberately generous — CI machines are noisy and shared
-   — so only order-of-magnitude regressions fail the build:
+   Per-entry tolerances are deliberately generous — CI machines are noisy
+   and shared — so only order-of-magnitude regressions fail the build:
 
    - per-event time may grow up to [time_ratio]x the committed value;
    - per-event minor allocation may grow by at most [words_slack] words
      (this is the tight one: the typed fast path's whole point is 0.0
-     words/event, and an accidental closure would add 3+);
-   - engine throughput may fall to 1/[time_ratio] of the committed value;
+     words/event, and an accidental closure would add 3+; the
+     capturing_thunk entry gates the one path that is *allowed* to
+     allocate, so a second accidental closure there also fails);
    - fig3 wall-clock may grow up to [time_ratio]x.
+
+   Aggregate engine throughput gets a tighter leash ([eps_ratio]): it is
+   the min-of-trials estimator over the hottest loop in the tree, much
+   less noisy than any single entry, so a drop past base/[eps_ratio]
+   means a real regression, not scheduler jitter.
 
    Exit status: 0 all checks pass, 1 regression, 2 usage/parse error. *)
 
 let time_ratio = 4.0
+let eps_ratio = 1.5
 let words_slack = 0.5
 
 open Lrp_trace
@@ -86,8 +93,8 @@ let () =
     base_entries;
   let base_eps = num committed_path committed "events_per_sec" in
   let eps = num fresh_path fresh "events_per_sec" in
-  check ~label:"events_per_sec" ~ok:(eps >= base_eps /. time_ratio)
-    "%.0f vs %.0f (floor 1/%.0f)" eps base_eps time_ratio;
+  check ~label:"events_per_sec" ~ok:(eps >= base_eps /. eps_ratio)
+    "%.0f vs %.0f (floor 1/%.1f)" eps base_eps eps_ratio;
   let base_wall = num committed_path committed "fig3_quick_wall_s" in
   let wall = num fresh_path fresh "fig3_quick_wall_s" in
   check ~label:"fig3_quick_wall_s" ~ok:(wall <= base_wall *. time_ratio)

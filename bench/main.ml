@@ -19,7 +19,7 @@ open Lrp_experiments
 let quick = ref false
 let jobs = ref (Domain.recommended_domain_count ())
 let json_path = ref None
-let baseline_out = ref "BENCH_3.json"
+let baseline_out = ref "BENCH_6.json"
 let seed = Common.default_seed
 
 (* ------------------------------------------------------------------ *)
@@ -466,7 +466,7 @@ let micro_tests () =
            ignore (Lrp_core.Channel.dequeue chan)));
     Test.make ~name:"eheap/add+pop"
       (Staged.stage (fun () ->
-           Eheap.add heap ~key:(Rng.uniform rng) ();
+           Eheap.add heap ~key:(Rng.uniform rng) 0;
            ignore (Eheap.pop heap)));
     Test.make ~name:"engine/schedule+fire (slot reuse)"
       (Staged.stage (fun () ->
@@ -555,7 +555,78 @@ let bench_micro () =
   in
   Arr rows
 
-(* Committed perf baseline (BENCH_3.json).  Measures the engine hot paths
+(* Flow-table scaling: the packed-key robin-hood table under the four
+   operations the demultiplexer performs, at populations from a busy
+   server (1 K flows) to a pathological one (1 M).  Keys are synthetic
+   but distinct; the miss probes use keys guaranteed absent.  Per-op
+   times are loop averages — at these iteration counts a timer read per
+   op would dominate. *)
+let bench_demux () =
+  Common.print_title "Flow-table scaling (packed-key robin-hood probes)";
+  let sizes =
+    if !quick then [ 1_000; 100_000 ] else [ 1_000; 100_000; 1_000_000 ]
+  in
+  Printf.printf "  %-10s %12s %12s %12s %12s\n" "flows" "insert" "hit"
+    "miss" "delete";
+  let sink = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let tab = Lrp_core.Flowtab.create ~dummy:0 () in
+        (* hi is unique per key, so the pairs are distinct even when the
+           packed ports in lo collide. *)
+        let key_hi i = i + 1 in
+        let key_lo i =
+          ((i * 7 land 0xffff) lsl 16) lor (i * 13 land 0xffff)
+        in
+        let per_op f =
+          let t0 = Unix.gettimeofday () in
+          f ();
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+        in
+        let insert_ns =
+          per_op (fun () ->
+              for i = 0 to n - 1 do
+                Lrp_core.Flowtab.add_new tab ~hi:(key_hi i) ~lo:(key_lo i) i
+              done)
+        in
+        let hit_ns =
+          per_op (fun () ->
+              for i = 0 to n - 1 do
+                sink :=
+                  !sink + Lrp_core.Flowtab.find tab ~hi:(key_hi i) ~lo:(key_lo i)
+              done)
+        in
+        let miss_ns =
+          per_op (fun () ->
+              for i = 0 to n - 1 do
+                (* key_hi never exceeds n, so hi + n + 1 is always absent *)
+                sink :=
+                  !sink
+                  + Lrp_core.Flowtab.find tab ~hi:(key_hi i + n + 1)
+                      ~lo:(key_lo i)
+              done)
+        in
+        let delete_ns =
+          per_op (fun () ->
+              for i = 0 to n - 1 do
+                ignore
+                  (Lrp_core.Flowtab.remove tab ~hi:(key_hi i) ~lo:(key_lo i))
+              done)
+        in
+        if Lrp_core.Flowtab.length tab <> 0 then
+          failwith "bench demux: table not empty after delete pass";
+        Printf.printf "  %-10d %9.1f ns %9.1f ns %9.1f ns %9.1f ns\n" n
+          insert_ns hit_ns miss_ns delete_ns;
+        Obj
+          [ ("flows", Int n); ("insert_ns", Num insert_ns);
+            ("hit_ns", Num hit_ns); ("miss_ns", Num miss_ns);
+            ("delete_ns", Num delete_ns) ])
+      sizes
+  in
+  Arr rows
+
+(* Committed perf baseline (BENCH_6.json).  Measures the engine hot paths
    that the two-tier scheduler is responsible for, plus one end-to-end
    wall-clock figure, and writes them to [!baseline_out] for the CI
    regression gate (bench/check_baseline.ml compares a fresh snapshot
@@ -569,7 +640,14 @@ let bench_baseline () =
   let open Lrp_engine in
   Common.print_title "Perf baseline (engine hot paths + fig3 wall-clock)";
   let time_and_words ~n f =
-    ignore (f ()) (* warm-up: grow the slot table outside the window *);
+    (* Warm-up: enough cycles that every one-time growth — slot table,
+       wheel bucket arrays, heap arrays — happens outside the measured
+       window.  One call is not enough: the first *bucketed* event may
+       come thousands of cycles in (due-tick events heap-route), and its
+       bucket array growth would otherwise read as steady-state alloc. *)
+    for _ = 1 to 20_000 do
+      ignore (f ())
+    done;
     let w0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     for _ = 1 to n do
@@ -605,6 +683,51 @@ let bench_baseline () =
     ignore
       (Engine.schedule_after eng_thunk ~delay:1.0 (fun () -> thunk_sink := v));
     Engine.step eng_thunk
+  in
+  (* Demux probe: the per-packet classification + packed-key flow-table
+     lookup the NI (or interrupt handler) performs on every arrival.  The
+     table holds a realistic server port set; the probe hits. *)
+  let demux_tab = Lrp_core.Chantab.create () in
+  let () =
+    for p = 1 to 64 do
+      Lrp_core.Chantab.add_udp demux_tab ~port:p
+        (Lrp_core.Channel.create ~name:(Printf.sprintf "bench-p%d" p) ())
+    done
+  in
+  let demux_pkt =
+    Lrp_net.Packet.udp
+      ~src:(Lrp_net.Packet.ip_of_quad 10 0 0 1)
+      ~dst:(Lrp_net.Packet.ip_of_quad 10 0 0 2)
+      ~src_port:1234 ~dst_port:7
+      (Lrp_net.Payload.synthetic 64)
+  in
+  let demux_probe () =
+    ignore (Lrp_core.Chantab.resolve_packet demux_tab demux_pkt)
+  in
+  (* Arena RX: NI-channel admission and consumption through the handle
+     ring — descriptor acquire into the shared arena, FIFO pop, release.
+     The whole cycle must stay at 0.0 words/packet. *)
+  let rx_arena = Lrp_net.Parena.create () in
+  let rx_chan =
+    Lrp_core.Channel.create ~arena:rx_arena ~limit:64 ~name:"bench-rx" ()
+  in
+  let arena_rx () =
+    ignore (Lrp_core.Channel.enqueue_code rx_chan demux_pkt);
+    ignore (Lrp_core.Channel.pop rx_chan)
+  in
+  (* Batched dispatch: 64 same-deadline events admitted through the typed
+     path and drained by one [Engine.drain] call — the engine dispatches
+     equal-key runs as a batch, so the per-event cost amortises the pop
+     machinery across the run.  Reported per event. *)
+  let eng_batch = Engine.create () in
+  let batch_sink = ref 0 in
+  let batch_tgt = Engine.target eng_batch (fun v -> batch_sink := v) in
+  let batch_n = 64 in
+  let batch_dispatch () =
+    for i = 1 to batch_n do
+      ignore (Engine.schedule_to_after eng_batch ~delay:1.0 batch_tgt i)
+    done;
+    Engine.drain eng_batch
   in
   (* Periodic re-arm: one slot and one thunk for the clock's lifetime. *)
   let eng_rearm = Engine.create () in
@@ -661,6 +784,15 @@ let bench_baseline () =
     Printf.printf "  %-44s %9.1f ns %8.1f words\n" label ns words;
     (key, ns, words)
   in
+  (* Like [measure], but [f] performs [per] events per call; report per
+     event so the entry is comparable with the others. *)
+  let measure_scaled key label ~per f =
+    let ns, words = time_and_words ~n:(reps / per) f in
+    let per = float_of_int per in
+    let ns = ns /. per and words = words /. per in
+    Printf.printf "  %-44s %9.1f ns %8.1f words\n" label ns words;
+    (key, ns, words)
+  in
   let entries =
     [ measure "schedule_fire" "engine/schedule+fire (static thunk)"
         schedule_fire;
@@ -668,6 +800,11 @@ let bench_baseline () =
         typed_fastpath;
       measure "capturing_thunk" "engine/schedule+fire (capturing thunk)"
         capturing_thunk;
+      measure "demux_probe" "demux/classify+flow-table probe (hit)"
+        demux_probe;
+      measure "arena_rx" "channel/arena enqueue_code+pop" arena_rx;
+      measure_scaled "batch_dispatch" "engine/batched dispatch (64-run)"
+        ~per:batch_n batch_dispatch;
       measure "periodic_rearm" "engine/periodic re-arm (reschedule_after)"
         periodic_rearm;
       (let ns = bulk_churn ~pure_heap:false () in
@@ -720,7 +857,7 @@ let all_benches =
     ("ablate-accounting", bench_ablate_accounting);
     ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);
     ("trace", bench_trace); ("micro", bench_micro);
-    ("baseline", bench_baseline) ]
+    ("demux", bench_demux); ("baseline", bench_baseline) ]
 
 let usage () =
   Printf.eprintf

@@ -23,10 +23,21 @@
 
 open Lrp_net
 
+(* The queue is a fixed ring of {!Parena} handles: the NI admits a frame
+   into the (usually kernel-shared) descriptor arena and pushes the
+   handle — an immediate int — into a flat ring sized exactly [limit]
+   (enqueue early-discards at [limit], so the ring can never overflow).
+   Compared with the previous [Packet.t Queue.t] this removes, per
+   packet: the queue-cell allocation on enqueue, the option allocation
+   of [Queue.take_opt], and the boxed packet sitting behind one more
+   pointer indirection on the hottest per-packet loop in the system. *)
 type t = {
   id : int;
   chan_name : string;
-  queue : Packet.t Queue.t;
+  arena : Parena.t;
+  ring : int array; (* Parena handles *)
+  mutable head : int; (* index of the oldest entry *)
+  mutable count : int;
   limit : int;
   mutable intr_requested : bool;
   mutable processing_enabled : bool;
@@ -40,9 +51,15 @@ type t = {
    domains (they key per-kernel tables). *)
 let id_counter = Atomic.make 0
 
-let create ?(limit = 32) ~name () =
+let create ?arena ?(limit = 32) ~name () =
+  let arena =
+    (* Real kernels share one arena across all their channels; a channel
+       created standalone (tests, microbenches) gets a private one. *)
+    match arena with Some a -> a | None -> Parena.create ()
+  in
   { id = Atomic.fetch_and_add id_counter 1 + 1; chan_name = name;
-    queue = Queue.create (); limit;
+    arena; ring = Array.make (max 1 limit) Parena.none; head = 0; count = 0;
+    limit;
     intr_requested = false; processing_enabled = true; enqueued = 0;
     discarded = 0; discarded_disabled = 0 }
 
@@ -53,40 +70,92 @@ type enqueue_result =
   | Queued of [ `Was_empty | `Was_nonempty ]
   | Discarded
 
-(* [enqueue t pkt] is what the NI does on packet arrival: early discard when
-   the queue is full or processing is disabled, FIFO append otherwise. *)
-let enqueue t pkt =
+(* Alloc-free result codes for the per-packet fast path; {!enqueue} wraps
+   them in the structured variant for callers that prefer pattern
+   matching. *)
+let discarded_code = 0
+let queued_was_empty = 1
+let queued_was_nonempty = 2
+
+(* [enqueue_code t pkt] is what the NI does on packet arrival: early
+   discard when the queue is full or processing is disabled, FIFO append
+   otherwise.  Returns one of the codes above; together with the handle
+   ring this keeps the admission path free of per-packet allocation. *)
+let enqueue_code t pkt =
   if not t.processing_enabled then begin
     t.discarded_disabled <- t.discarded_disabled + 1;
-    Discarded
+    discarded_code
   end
-  else if Queue.length t.queue >= t.limit then begin
+  else if t.count >= t.limit then begin
     t.discarded <- t.discarded + 1;
-    Discarded
+    discarded_code
   end
   else begin
-    let was_empty = Queue.is_empty t.queue in
-    Queue.add pkt t.queue;
+    let was_empty = t.count = 0 in
+    let cap = Array.length t.ring in
+    let tail = t.head + t.count in
+    let tail = if tail >= cap then tail - cap else tail in
+    t.ring.(tail) <- Parena.acquire t.arena pkt;
+    t.count <- t.count + 1;
     t.enqueued <- t.enqueued + 1;
-    Queued (if was_empty then `Was_empty else `Was_nonempty)
+    if was_empty then queued_was_empty else queued_was_nonempty
   end
 
-let dequeue t = Queue.take_opt t.queue
+let enqueue t pkt =
+  let c = enqueue_code t pkt in
+  if c = discarded_code then Discarded
+  else Queued (if c = queued_was_empty then `Was_empty else `Was_nonempty)
 
-let peek t = Queue.peek_opt t.queue
+(* [pop t] dequeues without boxing: [Lrp_net.Packet.null] (compare with
+   [==]) means the queue was empty.  The consumer-side twin of
+   {!enqueue_code}. *)
+let pop t =
+  if t.count = 0 then Packet.null
+  else begin
+    let h = t.ring.(t.head) in
+    t.ring.(t.head) <- Parena.none;
+    let head' = t.head + 1 in
+    t.head <- (if head' >= Array.length t.ring then 0 else head');
+    t.count <- t.count - 1;
+    let pkt = Parena.pkt t.arena h in
+    Parena.release t.arena h;
+    pkt
+  end
 
-let length t = Queue.length t.queue
+let dequeue t = if t.count = 0 then None else Some (pop t)
 
-let is_empty t = Queue.is_empty t.queue
+let peek t =
+  if t.count = 0 then None else Some (Parena.pkt t.arena t.ring.(t.head))
+
+let length t = t.count
+
+let is_empty t = t.count = 0
 
 (* Remove queued packets matching [pred]; used by IP reassembly to fish
-   missing fragments out of the special fragment channel. *)
+   missing fragments out of the special fragment channel.  Cold path:
+   compacts the surviving handles back to the front of the ring. *)
 let extract t pred =
-  let keep = Queue.create () in
+  let cap = Array.length t.ring in
+  let n = t.count in
   let out = ref [] in
-  Queue.iter (fun p -> if pred p then out := p :: !out else Queue.add p keep) t.queue;
-  Queue.clear t.queue;
-  Queue.transfer keep t.queue;
+  let kept = ref 0 in
+  let keep = Array.make (max 1 n) Parena.none in
+  for i = 0 to n - 1 do
+    let h = t.ring.((t.head + i) mod cap) in
+    let p = Parena.pkt t.arena h in
+    if pred p then begin
+      out := p :: !out;
+      Parena.release t.arena h
+    end
+    else begin
+      keep.(!kept) <- h;
+      incr kept
+    end
+  done;
+  Array.fill t.ring 0 cap Parena.none;
+  Array.blit keep 0 t.ring 0 !kept;
+  t.head <- 0;
+  t.count <- !kept;
   List.rev !out
 
 let request_interrupt t = t.intr_requested <- true
@@ -107,4 +176,4 @@ let discarded_disabled t = t.discarded_disabled
 
 let pp fmt t =
   Fmt.pf fmt "chan %s#%d [%d/%d] in=%d drop=%d" t.chan_name t.id
-    (Queue.length t.queue) t.limit t.enqueued (t.discarded + t.discarded_disabled)
+    t.count t.limit t.enqueued (t.discarded + t.discarded_disabled)

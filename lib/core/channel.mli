@@ -26,9 +26,12 @@ type t
     below, which is what lets the NI (or interrupt handler) and the kernel
     share it safely. *)
 
-val create : ?limit:int -> name:string -> unit -> t
+val create : ?arena:Lrp_net.Parena.t -> ?limit:int -> name:string -> unit -> t
 (** Fresh empty channel; [limit] (default 32 packets) is the early-discard
-    threshold. *)
+    threshold.  Queued frames live as descriptors in [arena] (the kernel
+    passes its shared arena so every channel draws from one descriptor
+    pool; standalone channels get a private arena), and the queue itself
+    is a flat ring of handles sized exactly [limit]. *)
 
 val name : t -> string
 
@@ -41,6 +44,22 @@ val enqueue : t -> Lrp_net.Packet.t -> enqueue_result
 (** What the NI does on packet arrival: early discard when the queue is
     full or processing is disabled, FIFO append otherwise.  The transition
     tag lets the caller implement interrupt suppression. *)
+
+(** {2 Alloc-free fast path}
+
+    The per-packet hot path uses integer result codes and a null-packet
+    sentinel so that admission and consumption allocate nothing. *)
+
+val discarded_code : int
+val queued_was_empty : int
+val queued_was_nonempty : int
+
+val enqueue_code : t -> Lrp_net.Packet.t -> int
+(** {!enqueue} returning one of the codes above instead of a variant. *)
+
+val pop : t -> Lrp_net.Packet.t
+(** Dequeue without boxing: [Lrp_net.Packet.null] (compare with [==])
+    means the queue was empty. *)
 
 val dequeue : t -> Lrp_net.Packet.t option
 

@@ -1,5 +1,5 @@
-(** Channel table: maps a demultiplexed {!Lrp_proto.Demux.flow} to the NI
-    channel that should receive the packet.
+(** Channel table: maps a demultiplexed flow to the NI channel that
+    should receive the packet.
 
     Resolution rules (mirroring the PCB rules, executed by the NI / the
     interrupt handler):
@@ -16,46 +16,105 @@
 open Lrp_net
 open Lrp_proto
 
+(* All endpoint mappings live in ONE packed-key {!Flowtab} instead of
+   three polymorphic Hashtbls.  A flow key packs into two ints:
+
+     hi = (namespace lsl 32) lor source-ip
+     lo = (source-port lsl 16) lor destination-port
+
+   The namespace tag keeps the three historic tables (UDP-by-port, TCP
+   exact, TCP listen) disjoint inside the shared array; fields a rule
+   does not match on are zero (UDP and listen entries carry no source).
+   IPs are 32-bit and ports 16-bit, so both words are immediate ints and
+   a demux probe is a single integer-keyed lookup — no tuple allocation,
+   no structural hashing of a boxed [Packet.ip * int * int]. *)
+let ns_udp = 0
+let ns_tcp = 1
+let ns_listen = 2
+
+let[@inline] hi_of ~ns ~src = (ns lsl 32) lor src
+let[@inline] lo_of ~src_port ~dst_port = (src_port lsl 16) lor dst_port
+
 type t = {
-  udp : (int, Channel.t) Hashtbl.t;                         (* local port *)
-  tcp_exact : (Packet.ip * int * int, Channel.t) Hashtbl.t; (* src, sport, dport *)
-  tcp_listen : (int, Channel.t) Hashtbl.t;
+  tab : Channel.t Flowtab.t;
   frag : Channel.t;
   icmp : Channel.t;
-  fwd : Channel.t;  (* IP-forwarding daemon's channel (section 3.5) *)
+  fwd : Channel.t; (* IP-forwarding daemon's channel (section 3.5) *)
+  mutable udp_count : int;
+  mutable tcp_count : int;
   mutable unmatched : int;
 }
 
-let create ?(frag_limit = 64) ?(icmp_limit = 32) ?(fwd_limit = 64) () =
-  { udp = Hashtbl.create 64; tcp_exact = Hashtbl.create 256;
-    tcp_listen = Hashtbl.create 16;
-    frag = Channel.create ~limit:frag_limit ~name:"frag" ();
-    icmp = Channel.create ~limit:icmp_limit ~name:"icmp" ();
-    fwd = Channel.create ~limit:fwd_limit ~name:"ipfwd" ();
-    unmatched = 0 }
+let create ?arena ?(frag_limit = 64) ?(icmp_limit = 32) ?(fwd_limit = 64) () =
+  let frag = Channel.create ?arena ~limit:frag_limit ~name:"frag" () in
+  let icmp = Channel.create ?arena ~limit:icmp_limit ~name:"icmp" () in
+  let fwd = Channel.create ?arena ~limit:fwd_limit ~name:"ipfwd" () in
+  { tab = Flowtab.create ~dummy:fwd ();
+    frag; icmp; fwd;
+    udp_count = 0; tcp_count = 0; unmatched = 0 }
 
 let frag_channel t = t.frag
 let icmp_channel t = t.icmp
 let fwd_channel t = t.fwd
 
 let add_udp t ~port ch =
-  if Hashtbl.mem t.udp port then invalid_arg "Chantab.add_udp: port in use";
-  Hashtbl.replace t.udp port ch
+  let hi = hi_of ~ns:ns_udp ~src:0 and lo = lo_of ~src_port:0 ~dst_port:port in
+  if Flowtab.mem t.tab ~hi ~lo then invalid_arg "Chantab.add_udp: port in use";
+  Flowtab.add_new t.tab ~hi ~lo ch;
+  t.udp_count <- t.udp_count + 1
 
-let remove_udp t ~port = Hashtbl.remove t.udp port
+let remove_udp t ~port =
+  if
+    Flowtab.remove t.tab ~hi:(hi_of ~ns:ns_udp ~src:0)
+      ~lo:(lo_of ~src_port:0 ~dst_port:port)
+  then t.udp_count <- t.udp_count - 1
 
 let add_tcp t ~src ~src_port ~dst_port ch =
-  Hashtbl.replace t.tcp_exact (src, src_port, dst_port) ch
+  let hi = hi_of ~ns:ns_tcp ~src and lo = lo_of ~src_port ~dst_port in
+  if not (Flowtab.mem t.tab ~hi ~lo) then t.tcp_count <- t.tcp_count + 1;
+  Flowtab.add t.tab ~hi ~lo ch
 
 let remove_tcp t ~src ~src_port ~dst_port =
-  Hashtbl.remove t.tcp_exact (src, src_port, dst_port)
+  if
+    Flowtab.remove t.tab ~hi:(hi_of ~ns:ns_tcp ~src)
+      ~lo:(lo_of ~src_port ~dst_port)
+  then t.tcp_count <- t.tcp_count - 1
 
 let add_tcp_listen t ~port ch =
-  if Hashtbl.mem t.tcp_listen port then
+  let hi = hi_of ~ns:ns_listen ~src:0
+  and lo = lo_of ~src_port:0 ~dst_port:port in
+  if Flowtab.mem t.tab ~hi ~lo then
     invalid_arg "Chantab.add_tcp_listen: port in use";
-  Hashtbl.replace t.tcp_listen port ch
+  Flowtab.add_new t.tab ~hi ~lo ch
 
-let remove_tcp_listen t ~port = Hashtbl.remove t.tcp_listen port
+let remove_tcp_listen t ~port =
+  ignore
+    (Flowtab.remove t.tab ~hi:(hi_of ~ns:ns_listen ~src:0)
+       ~lo:(lo_of ~src_port:0 ~dst_port:port))
+
+(* The TCP probe order: exact four-tuple first, then — for
+   connection-establishment requests only — the listening socket. *)
+let[@inline] resolve_tcp t ~src ~src_port ~dst_port ~syn_only =
+  let slot =
+    Flowtab.find t.tab ~hi:(hi_of ~ns:ns_tcp ~src)
+      ~lo:(lo_of ~src_port ~dst_port)
+  in
+  if slot >= 0 then Some (Flowtab.value t.tab slot)
+  else if syn_only then begin
+    let slot =
+      Flowtab.find t.tab ~hi:(hi_of ~ns:ns_listen ~src:0)
+        ~lo:(lo_of ~src_port:0 ~dst_port)
+    in
+    if slot >= 0 then Some (Flowtab.value t.tab slot) else None
+  end
+  else None
+
+let[@inline] resolve_udp t ~dst_port =
+  let slot =
+    Flowtab.find t.tab ~hi:(hi_of ~ns:ns_udp ~src:0)
+      ~lo:(lo_of ~src_port:0 ~dst_port)
+  in
+  if slot >= 0 then Some (Flowtab.value t.tab slot) else None
 
 (* [resolve t flow] finds the destination channel, or [None] when no
    endpoint matches (the packet is then dropped — with zero host investment
@@ -63,12 +122,9 @@ let remove_tcp_listen t ~port = Hashtbl.remove t.tcp_listen port
 let resolve t flow =
   let result =
     match (flow : Demux.flow) with
-    | Demux.Udp_flow { dst_port; _ } -> Hashtbl.find_opt t.udp dst_port
+    | Demux.Udp_flow { dst_port; _ } -> resolve_udp t ~dst_port
     | Demux.Tcp_flow { src; src_port; dst_port; syn_only } ->
-        (match Hashtbl.find_opt t.tcp_exact (src, src_port, dst_port) with
-         | Some ch -> Some ch
-         | None ->
-             if syn_only then Hashtbl.find_opt t.tcp_listen dst_port else None)
+        resolve_tcp t ~src ~src_port ~dst_port ~syn_only
     | Demux.Frag_flow _ -> Some t.frag
     | Demux.Icmp_flow -> Some t.icmp
     | Demux.Other_flow _ -> None
@@ -76,7 +132,42 @@ let resolve t flow =
   if Option.is_none result then t.unmatched <- t.unmatched + 1;
   result
 
+(* Packet-direct resolution: classify and probe in one pass, without
+   materialising the {!Demux.flow} variant the classifier allocates per
+   packet.  Must agree with [resolve] ∘ [Demux.flow_of_packet] — the
+   demux equivalence test runs the two side by side. *)
+let resolve_packet t (pkt : Packet.t) =
+  let result =
+    match pkt.Packet.body with
+    | Packet.Udp (u, _) -> resolve_udp t ~dst_port:u.Packet.udst_port
+    | Packet.Tcp (h, _) ->
+        resolve_tcp t ~src:pkt.Packet.ip.Packet.src
+          ~src_port:h.Packet.tsrc_port ~dst_port:h.Packet.tdst_port
+          ~syn_only:
+            (h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack)
+    | Packet.Icmp _ -> Some t.icmp
+    | Packet.Fragment f ->
+        if f.Packet.foff <> 0 then Some t.frag
+        else begin
+          (* First fragment: the transport header is present, demultiplex
+             as the whole datagram would. *)
+          match f.Packet.whole.Packet.body with
+          | Packet.Udp (u, _) -> resolve_udp t ~dst_port:u.Packet.udst_port
+          | Packet.Tcp (h, _) ->
+              resolve_tcp t ~src:pkt.Packet.ip.Packet.src
+                ~src_port:h.Packet.tsrc_port ~dst_port:h.Packet.tdst_port
+                ~syn_only:
+                  (h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack)
+          | Packet.Icmp _ -> Some t.icmp
+          | Packet.Fragment _ ->
+              (* degenerate nesting: classified as a fragment flow *)
+              Some t.frag
+        end
+  in
+  if Option.is_none result then t.unmatched <- t.unmatched + 1;
+  result
+
 let unmatched t = t.unmatched
 
-let udp_channel_count t = Hashtbl.length t.udp
-let tcp_channel_count t = Hashtbl.length t.tcp_exact
+let udp_channel_count t = t.udp_count
+let tcp_channel_count t = t.tcp_count

@@ -11,33 +11,57 @@
     - non-first IP fragments: a dedicated fragment channel that the IP
       reassembly code checks when it is missing pieces (section 3.2);
     - ICMP and other non-endpoint protocols: the proxy daemon's channel
-      (section 3.5). *)
+      (section 3.5).
 
-type t = {
-  udp : (int, Channel.t) Hashtbl.t;
-  tcp_exact : (Lrp_net.Packet.ip * int * int, Channel.t) Hashtbl.t;
-  tcp_listen : (int, Channel.t) Hashtbl.t;
-  frag : Channel.t;
-  icmp : Channel.t;
-  fwd : Channel.t;
-  mutable unmatched : int;
-}
+    Endpoint mappings are stored in a single packed-key {!Flowtab}: a
+    flow key is [(namespace lsl 32) lor src-ip] / [(src-port lsl 16) lor
+    dst-port], so a demux probe is one integer-keyed robin-hood lookup —
+    no tuple allocation, no structural hashing. *)
+
+type t
+
 val create :
+  ?arena:Lrp_net.Parena.t ->
   ?frag_limit:int -> ?icmp_limit:int -> ?fwd_limit:int -> unit -> t
+(** [arena] is the descriptor arena the dedicated channels (and, by
+    convention, every per-socket channel registered here) draw from;
+    kernels pass their shared arena. *)
+
 val frag_channel : t -> Channel.t
 val icmp_channel : t -> Channel.t
 val fwd_channel : t -> Channel.t
+
 val add_udp : t -> port:int -> Channel.t -> unit
+(** @raise Invalid_argument if the port is already bound. *)
+
 val remove_udp : t -> port:int -> unit
+
 val add_tcp :
   t ->
   src:Lrp_net.Packet.ip ->
   src_port:int -> dst_port:int -> Channel.t -> unit
+(** Bind a connection's four-tuple, replacing any previous binding. *)
+
 val remove_tcp :
   t -> src:Lrp_net.Packet.ip -> src_port:int -> dst_port:int -> unit
+
 val add_tcp_listen : t -> port:int -> Channel.t -> unit
+(** @raise Invalid_argument if the port is already listened on. *)
+
 val remove_tcp_listen : t -> port:int -> unit
+
 val resolve : t -> Lrp_proto.Demux.flow -> Channel.t option
+(** Find the destination channel for a classified flow; [None] (counted
+    in {!unmatched}) when no endpoint matches. *)
+
+val resolve_packet : t -> Lrp_net.Packet.t -> Channel.t option
+(** Classify and probe in one pass: behaves exactly like
+    [resolve t (Demux.flow_of_packet pkt)] but allocates no intermediate
+    flow value — one packed-key probe per packet on the demux hot
+    path. *)
+
 val unmatched : t -> int
+(** Packets that matched no endpoint. *)
+
 val udp_channel_count : t -> int
 val tcp_channel_count : t -> int

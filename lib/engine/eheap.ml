@@ -7,10 +7,10 @@
    a hole through the tree and write the inserted entry exactly once,
    instead of swapping triples at every level. *)
 
-type 'a t = {
+type t = {
   mutable keys : float array;
   mutable seqs : int array;
-  mutable vals : 'a array;
+  mutable vals : int array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -24,14 +24,14 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-(* Ensure room for one more entry; [v] seeds fresh value slots. *)
-let reserve t v =
+(* Ensure room for one more entry. *)
+let reserve t =
   let cap = Array.length t.seqs in
   if t.size = cap then begin
     let cap' = max initial_capacity (2 * cap) in
     let keys = Array.make cap' 0. in
     let seqs = Array.make cap' 0 in
-    let vals = Array.make cap' v in
+    let vals = Array.make cap' 0 in
     Array.blit t.keys 0 keys 0 t.size;
     Array.blit t.seqs 0 seqs 0 t.size;
     Array.blit t.vals 0 vals 0 t.size;
@@ -47,8 +47,8 @@ let reserve t v =
 (* [add_pre] with the key read out of [cell.(0)]: a float array load stays
    unboxed, where a float argument would be boxed at every call — this is
    the wheel's pour path, traversed once per event. *)
-let add_pre_cell t ~cell ~seq value =
-  reserve t value;
+let[@inline] add_pre_cell t ~cell ~seq value =
+  if t.size = Array.length t.seqs then reserve t;
   let key = cell.(0) in
   let i = ref t.size in
   t.size <- t.size + 1;
@@ -69,7 +69,7 @@ let add_pre_cell t ~cell ~seq value =
   t.vals.(!i) <- value
 
 let add_pre t ~key ~seq value =
-  reserve t value;
+  if t.size = Array.length t.seqs then reserve t;
   (* Walk the hole up from the new leaf, pulling parents down until the
      inserted entry fits. *)
   let i = ref t.size in
@@ -102,7 +102,7 @@ let[@inline] min_key_or t ~default =
 
 (* Allocation-free variant: the smallest key is written into [cell.(0)]
    (float-array-to-float-array, no box) instead of being returned. *)
-let min_key_into t ~cell =
+let[@inline] min_key_into t ~cell =
   if t.size = 0 then false
   else begin
     cell.(0) <- t.keys.(0);
@@ -159,6 +159,44 @@ let pop_min t =
   let top_val = t.vals.(0) in
   remove_top t;
   top_val
+
+(* Conditional pop: if the root's key is <= [bound], pop it — key into
+   [cell.(0)], value returned; otherwise [default].  Fuses the
+   min-compare and the pop that event loops would otherwise run as two
+   separate root accesses. *)
+let[@inline] pop_leq_into t ~bound ~cell ~default =
+  if t.size = 0 || t.keys.(0) > bound then default
+  else begin
+    cell.(0) <- t.keys.(0);
+    let top_val = t.vals.(0) in
+    remove_top t;
+    top_val
+  end
+
+(* [pop_leq_into] with the bound read out of [cell.(1)] instead of a
+   float argument: the batched event loop pops once per event, and a
+   float argument to a non-inlined call is boxed at every call site —
+   two minor words per event that the cell load avoids. *)
+let[@inline] pop_boundcell_into t ~cell ~default =
+  if t.size = 0 || t.keys.(0) > cell.(1) then default
+  else begin
+    cell.(0) <- t.keys.(0);
+    let top_val = t.vals.(0) in
+    remove_top t;
+    top_val
+  end
+
+(* Combined min-read + pop: writes the root's key into [cell.(0)] and
+   returns its value, or [default] when the heap is empty.  One root
+   access where the [min_key_into]-then-[pop_min] sequence pays two. *)
+let[@inline] pop_min_into t ~cell ~default =
+  if t.size = 0 then default
+  else begin
+    cell.(0) <- t.keys.(0);
+    let top_val = t.vals.(0) in
+    remove_top t;
+    top_val
+  end
 
 let clear t =
   t.keys <- [||];

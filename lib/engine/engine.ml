@@ -86,6 +86,12 @@ type t = {
   mutable gens : int array;
   mutable free : int array; (* stack of free slots *)
   mutable free_top : int;
+  (* scratch column for {!run_batch}: handles of an equal-key run, popped
+     together and dispatched through one loop.  Per-engine (engines run in
+     separate domains during parallel sweeps) and reused across batches —
+     it only ever grows, so the steady state allocates nothing. *)
+  mutable batch : int array;
+  mutable batch_active : bool;
 }
 
 let no_fn () = ()
@@ -99,7 +105,8 @@ let create ?(seed = 42) ?(pure_heap = false) () =
       live_count = 0; executed = 0; n_scheduled = 0; n_cancelled = 0;
       dispatchers = [||]; n_dispatchers = 0;
       fns = [||]; disp = [||]; args = [||]; state = Bytes.empty; gens = [||];
-      free = [||]; free_top = 0 }
+      free = [||]; free_top = 0;
+      batch = Array.make 16 0; batch_active = false }
   in
   (* Wheel buckets drop events cancelled before their horizon comes up;
      the filter recycles the slot, mirroring what [step] does when it pops
@@ -168,26 +175,40 @@ let grow t =
     t.free_top <- t.free_top + 1
   done
 
-let alloc_slot t =
+let[@inline] alloc_slot t =
   if t.free_top = 0 then grow t;
   t.free_top <- t.free_top - 1;
-  let slot = t.free.(t.free_top) in
-  Bytes.set t.state slot st_pending;
+  let slot = Array.unsafe_get t.free t.free_top in
+  Bytes.unsafe_set t.state slot st_pending;
   slot
 
-let free_slot t slot =
-  t.gens.(slot) <- t.gens.(slot) + 1;
-  t.fns.(slot) <- no_fn;
-  t.disp.(slot) <- -1;
-  t.args.(slot) <- no_arg;
-  Bytes.set t.state slot st_free;
-  t.free.(t.free_top) <- slot;
+(* Clearing [args] prevents the freed slot from pinning the last event's
+   payload (packets can be large); [fns] is left in place and overwritten
+   by the slot's next thunk occupant — a steady-state loop re-arming the
+   same static thunk through the same slot then skips the [caml_modify]
+   write barrier entirely (see [schedule_cell]'s physical-equality check).
+   The pinned closure is bounded by the slot table's size and is typically
+   a static function.  [disp]/[args] are only dirty for typed events, so
+   only that side is cleared. *)
+let[@inline] free_slot t slot =
+  Array.unsafe_set t.gens slot (Array.unsafe_get t.gens slot + 1);
+  if Array.unsafe_get t.disp slot >= 0 then begin
+    Array.unsafe_set t.disp slot (-1);
+    Array.unsafe_set t.args slot no_arg
+  end;
+  Bytes.unsafe_set t.state slot st_free;
+  Array.unsafe_set t.free t.free_top slot;
   t.free_top <- t.free_top + 1
 
 (* The event's firing time arrives in [cell.(0)] (written by the public
    wrappers below); an [~at : float] parameter would be boxed at every
    call.  The error paths may allocate freely. *)
-let enqueue_cell t slot =
+let[@inline never] schedule_in_past name t =
+  invalid_arg
+    (Printf.sprintf "Engine.%s: at=%.3f is before now=%.3f" name
+       t.cell.(0) t.clock.fv)
+
+let[@inline] enqueue_cell t slot =
   let h = (t.gens.(slot) lsl slot_bits) lor slot in
   t.cell.(1) <- t.clock.fv;
   Twheel.add_cell t.queue h;
@@ -195,13 +216,11 @@ let enqueue_cell t slot =
   t.n_scheduled <- t.n_scheduled + 1;
   h
 
-let schedule_cell t fn =
-  if t.cell.(0) < t.clock.fv then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule: at=%.3f is before now=%.3f"
-         t.cell.(0) t.clock.fv);
+let[@inline] schedule_cell t fn =
+  if t.cell.(0) < t.clock.fv then schedule_in_past "schedule" t;
   let slot = alloc_slot t in
-  t.fns.(slot) <- fn;
+  (* the recycled slot often still holds this exact (static) thunk *)
+  if Array.unsafe_get t.fns slot != fn then t.fns.(slot) <- fn;
   enqueue_cell t slot
 
 let schedule t ~at fn =
@@ -212,11 +231,8 @@ let schedule_after t ~delay fn =
   t.cell.(0) <- t.clock.fv +. delay;
   schedule_cell t fn
 
-let schedule_to_cell t tid v =
-  if t.cell.(0) < t.clock.fv then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule_to: at=%.3f is before now=%.3f"
-         t.cell.(0) t.clock.fv);
+let[@inline] schedule_to_cell t tid v =
+  if t.cell.(0) < t.clock.fv then schedule_in_past "schedule_to" t;
   let slot = alloc_slot t in
   t.disp.(slot) <- tid;
   t.args.(slot) <- Obj.repr v;
@@ -252,10 +268,7 @@ let is_pending t h =
 
 (* As with [schedule_cell], the new firing time arrives in [cell.(0)]. *)
 let reschedule_cell t h =
-  if t.cell.(0) < t.clock.fv then
-    invalid_arg
-      (Printf.sprintf "Engine.reschedule: at=%.3f is before now=%.3f"
-         t.cell.(0) t.clock.fv);
+  if t.cell.(0) < t.clock.fv then schedule_in_past "reschedule" t;
   let slot = h land slot_mask in
   if not (valid t h) || Bytes.get t.state slot <> st_firing then
     invalid_arg "Engine.reschedule: handle is not the currently-firing event";
@@ -284,42 +297,148 @@ let timer_stats t =
     routed_heap = Twheel.scheduled_heap t.queue;
     pour_skipped = Twheel.skipped_at_pour t.queue }
 
-let step t =
+(* Fire one popped handle whose key sits in [cell.(0)]: the shared body
+   of [step] and [run_while].  Unsafe accesses: a popped handle's slot was
+   written by [alloc_slot], so it is always below the table's capacity. *)
+let[@inline] fire_popped t h =
+  let slot = h land slot_mask in
+  if Bytes.unsafe_get t.state slot = st_pending then begin
+    Bytes.unsafe_set t.state slot st_firing;
+    t.live_count <- t.live_count - 1;
+    (* Read the key out of the scratch cell before dispatching — the
+       work item may schedule and clobber it. *)
+    t.clock.fv <- t.cell.(0);
+    t.executed <- t.executed + 1;
+    let d = Array.unsafe_get t.disp slot in
+    if d >= 0 then
+      (Array.unsafe_get t.dispatchers d) (Array.unsafe_get t.args slot)
+    else (Array.unsafe_get t.fns slot) ();
+    (* Unless the work item re-armed itself, recycle the record. *)
+    if Bytes.unsafe_get t.state slot = st_firing then free_slot t slot
+  end
+  else free_slot t slot (* cancelled: drop the queue entry *)
+
+let[@inline] step t =
   (* [pop_min_cell] turns the wheel first, so cancelled bucket entries
      are filter-dropped before emptiness is decided: -1 here means truly
      nothing left, even if [is_empty] said otherwise a moment ago. *)
   let h = Twheel.pop_min_cell t.queue in
   if h < 0 then false
   else begin
-    let slot = h land slot_mask in
-    if Bytes.get t.state slot = st_pending then begin
-      Bytes.set t.state slot st_firing;
-      t.live_count <- t.live_count - 1;
-      (* Read the key out of the scratch cell before dispatching — the
-         work item may schedule and clobber it. *)
-      t.clock.fv <- t.cell.(0);
-      t.executed <- t.executed + 1;
-      let d = t.disp.(slot) in
-      if d >= 0 then t.dispatchers.(d) t.args.(slot) else t.fns.(slot) ();
-      (* Unless the work item re-armed itself, recycle the record. *)
-      if Bytes.get t.state slot = st_firing then free_slot t slot
-    end
-    else free_slot t slot (* cancelled: drop the queue entry *);
+    fire_popped t h;
     true
   end
 
 let run_while t pred ~until =
+  (* [pop_leq_cell] fuses the bound check and the pop into one wheel sync
+     and one heap-root access per iteration. *)
   let rec loop () =
-    if pred () then
-      if Twheel.min_key_leq t.queue until then begin
-        ignore (step t);
+    if pred () then begin
+      let h = Twheel.pop_leq_cell t.queue ~bound:until in
+      if h >= 0 then begin
+        fire_popped t h;
         loop ()
       end
       else if
         (* Queue exhausted up to [until]: the virtual interval elapsed. *)
         t.clock.fv < until
       then t.clock.fv <- until
+    end
   in
   loop ()
 
-let run t ~until = run_while t (fun () -> true) ~until
+(* Dispatch one batched handle: the body of [step] minus the pop and the
+   clock write (the whole batch shares one key, written once). *)
+let[@inline] dispatch_handle t h =
+  let slot = h land slot_mask in
+  if Bytes.unsafe_get t.state slot = st_pending then begin
+    Bytes.unsafe_set t.state slot st_firing;
+    t.live_count <- t.live_count - 1;
+    t.executed <- t.executed + 1;
+    let d = Array.unsafe_get t.disp slot in
+    if d >= 0 then
+      (Array.unsafe_get t.dispatchers d) (Array.unsafe_get t.args slot)
+    else (Array.unsafe_get t.fns slot) ();
+    if Bytes.unsafe_get t.state slot = st_firing then free_slot t slot
+  end
+  else free_slot t slot (* cancelled under the popped entry: drop it *)
+
+(* Batched dispatch.  Pops the maximal run of *equal-key* ready events
+   into the scratch column in one go, then dispatches them through a
+   single loop — the wheel/heap bookkeeping (sync, root reads) is paid
+   once per key instead of once per event.
+
+   An equal-key run is the largest slice that can be pre-popped without
+   risking reorder: the next queue minimum after popping key [k] is
+   >= k, so [min_key_leq queue k] means *equal* — and anything a batched
+   handler schedules at [k] receives a larger FIFO seq, placing it after
+   the whole batch exactly as the one-at-a-time loop would.  A handler
+   cancelling a not-yet-dispatched batch member is also preserved: the
+   slot is marked cancelled and [dispatch_handle] frees it without firing,
+   just as [step] does when it pops a cancelled entry.  Firing order is
+   therefore byte-identical to [run]'s un-batched semantics.
+
+   [batch_active] guards re-entrancy: an event that itself calls
+   [run]/[run_batch] (nested simulation) falls back to the un-batched
+   loop rather than clobbering the scratch column mid-iteration. *)
+(* [snap] distinguishes {!run_batch} (clock advances to [until] when the
+   queue runs dry first) from {!drain} ([until] is [infinity]; the clock
+   stays at the last fired event). *)
+let run_loop t ~until ~snap =
+  if t.batch_active then run_while t (fun () -> true) ~until
+  else begin
+    t.batch_active <- true;
+    (try
+       let continue = ref true in
+       while !continue do
+         (* Bounds travel through [cell.(1)] ([Twheel.pop_boundcell]): a
+            float argument to the pop would be re-boxed at every call —
+            two minor words per event on the hottest loop in the tree.
+            [cell.(1)] must be re-written here because dispatched work
+            may have scheduled (which stores virtual time into it). *)
+         t.cell.(1) <- until;
+         let h0 = Twheel.pop_boundcell t.queue in
+         if h0 < 0 then continue := false
+         else begin
+           let k = t.cell.(0) in
+           t.batch.(0) <- h0;
+           let n = ref 1 in
+           let more = ref true in
+           (* popping with the batch key as the bound: the queue minimum
+              after popping [k] is >= k, so a hit means *equal* key.  No
+              handler runs during collection, so one write suffices. *)
+           t.cell.(1) <- k;
+           while !more do
+             let h = Twheel.pop_boundcell t.queue in
+             if h < 0 then more := false
+             else begin
+               if !n = Array.length t.batch then begin
+                 let b = Array.make (2 * !n) 0 in
+                 Array.blit t.batch 0 b 0 !n;
+                 t.batch <- b
+               end;
+               t.batch.(!n) <- h;
+               incr n
+             end
+           done;
+           t.clock.fv <- k;
+           let n = !n in
+           for i = 0 to n - 1 do
+             dispatch_handle t t.batch.(i)
+           done
+         end
+       done
+     with e ->
+       t.batch_active <- false;
+       raise e);
+    t.batch_active <- false;
+    if snap && t.clock.fv < until then t.clock.fv <- until
+  end
+
+let run_batch t ~until = run_loop t ~until ~snap:true
+let run t ~until = run_loop t ~until ~snap:true
+
+(* Takes no float argument ([infinity] is a static constant), so a hot
+   caller pays no boxing for the bound — the whole
+   schedule-batch-then-drain cycle stays at zero words per event. *)
+let drain t = run_loop t ~until:infinity ~snap:false

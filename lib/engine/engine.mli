@@ -107,7 +107,25 @@ val timer_stats : t -> timer_stats
 val run : t -> until:Time.t -> unit
 (** Execute events in timestamp order until the queue is exhausted or the
     next event lies beyond [until].  The clock is left at the time of the
-    last executed event, or at [until] if that is later. *)
+    last executed event, or at [until] if that is later.  Equivalent to —
+    and implemented as — {!run_batch}. *)
+
+val run_batch : t -> until:Time.t -> unit
+(** Like {!run}, but pops each maximal run of equal-key ready events into
+    a reusable scratch column and dispatches them through a single loop,
+    paying the queue bookkeeping once per distinct timestamp instead of
+    once per event.  Firing order is exactly (key, FIFO-seq) — an
+    equal-key run is the largest pre-poppable slice that cannot be
+    reordered by anything its own handlers schedule or cancel — so
+    results are byte-identical to an un-batched event loop at any
+    [--jobs] setting. *)
+
+val drain : t -> unit
+(** {!run} with an unbounded horizon: execute queued events until none
+    remain, leaving the clock at the last executed event.  Beware
+    self-re-arming handlers — they keep the queue non-empty and [drain]
+    will not return.  Unlike {!run} this takes no time argument, so a
+    caller in an allocation-free loop pays no float boxing. *)
 
 val run_while : t -> (unit -> bool) -> until:Time.t -> unit
 (** Like [run] but also stops (after the current event) once the predicate

@@ -42,6 +42,7 @@ let bucket_mask = wheel_size - 1
 let levels = 3
 
 let granularity = 16.0 (* us: level-0 bucket width *)
+let inv_granularity = 1. /. granularity (* exact: granularity is a power of 2 *)
 
 (* Level spans, in ticks: level 0 holds delta in [0, 2^8), level 1
    [2^8, 2^16), level 2 [2^16, 2^24); anything farther overflows. *)
@@ -56,7 +57,7 @@ type bucket = {
 }
 
 type t = {
-  heap : int Eheap.t; (* poured + overflow events, ordered by (key, seq) *)
+  heap : Eheap.t; (* poured + overflow events, ordered by (key, seq) *)
   wheels : bucket array array; (* [level].(index) *)
   lcounts : int array; (* live entries per level, for empty-stretch jumps *)
   cell : float array;
@@ -67,6 +68,15 @@ type t = {
      boxed at every call — this is what makes the steady-state
      schedule/fire cycle allocate zero minor words. *)
   mutable cur_tick : int;
+  (* tick boundaries cached as floats, maintained by [set_tick]: the
+     schedule and sync paths compare keys against them on every call, and
+     recomputing [float_of_int cur_tick *. granularity] per operation is
+     measurable on the hot path.  [edges] rather than mutable float fields:
+     a float array keeps the stores unboxed in this mixed record.
+       edges.(0) = low edge   = cur_tick * granularity
+       edges.(1) = due edge   = (cur_tick + 1) * granularity
+       edges.(2) = horizon    = (cur_tick + top_span) * granularity *)
+  edges : float array;
   mutable wheel_count : int; (* entries currently resident in buckets *)
   mutable next_seq : int;
   mutable filter : int -> bool; (* false at pour time = drop the entry *)
@@ -80,16 +90,28 @@ type t = {
 let empty_bucket () =
   { bkeys = [||]; bseqs = [||]; bvals = [||]; blen = 0 }
 
+let[@inline] set_tick t tick =
+  t.cur_tick <- tick;
+  let f = float_of_int tick in
+  t.edges.(0) <- f *. granularity;
+  t.edges.(1) <- (f +. 1.) *. granularity;
+  t.edges.(2) <- float_of_int (tick + top_span) *. granularity
+
 let create ?(wheel = true) () =
-  { heap = Eheap.create ();
-    wheels =
-      Array.init levels (fun _ ->
-          Array.init wheel_size (fun _ -> empty_bucket ()));
-    lcounts = Array.make levels 0;
-    cell = Array.make 2 0.;
-    cur_tick = 0; wheel_count = 0; next_seq = 0;
-    filter = (fun _ -> true); use_wheel = wheel;
-    n_wheel = 0; n_heap = 0; n_skipped = 0 }
+  let t =
+    { heap = Eheap.create ();
+      wheels =
+        Array.init levels (fun _ ->
+            Array.init wheel_size (fun _ -> empty_bucket ()));
+      lcounts = Array.make levels 0;
+      cell = Array.make 2 0.;
+      cur_tick = 0; edges = Array.make 3 0.;
+      wheel_count = 0; next_seq = 0;
+      filter = (fun _ -> true); use_wheel = wheel;
+      n_wheel = 0; n_heap = 0; n_skipped = 0 }
+  in
+  set_tick t 0;
+  t
 
 let cell t = t.cell
 
@@ -127,16 +149,25 @@ let bucket_push b ~key ~seq v =
    redistribution.  The key travels in the scratch cell: a float-array
    load is unboxed where a float argument is boxed at every call.  The
    horizon test runs in floats before any int conversion, so huge keys
-   never reach [int_of_float]. *)
-let place_cell t ~seq v =
+   never reach [int_of_float].
+
+   Keys below the *due* edge — already expired, or expiring within the
+   current tick — go straight to the heap: the bucket they would land in
+   is the very next one poured, so bucketing them only adds a push, a
+   pour, and a filter call to the path of every due-now event.  The sync
+   invariant is unchanged: [sync] still pours the current tick's bucket
+   before any key >= low edge is popped, so a heap-resident due event can
+   never overtake an earlier (smaller seq) bucket resident with the same
+   key. *)
+let[@inline] place_cell t ~seq v =
   let key = t.cell.(0) in
-  let horizon = float_of_int (t.cur_tick + top_span) *. granularity in
-  if key < float_of_int t.cur_tick *. granularity || key >= horizon then begin
+  if key < t.edges.(1) || key >= t.edges.(2) then begin
     t.n_heap <- t.n_heap + 1;
     Eheap.add_pre_cell t.heap ~cell:t.cell ~seq v
   end
   else begin
-    let tick = int_of_float (Float.floor (key /. granularity)) in
+    (* key >= 0 here (it is >= due edge >= 0), so truncation is floor *)
+    let tick = int_of_float (key *. inv_granularity) in
     let delta = tick - t.cur_tick in
     let level =
       if delta < wheel_size then 0
@@ -155,8 +186,11 @@ let place_cell t ~seq v =
    [cell.(1)].  The time only matters when the wheel is idle: the
    current tick may lag far behind virtual time after a heap-only
    stretch, and snapping it forward (legal exactly when no bucket holds
-   anything) keeps near-horizon schedules in the cheap path. *)
-let add_cell t v =
+   anything) keeps near-horizon schedules in the cheap path.  The snap
+   itself is guarded by the cached due edge so the common case — virtual
+   time still inside the current tick — costs one float compare, no
+   conversion. *)
+let[@inline] add_cell t v =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   if not t.use_wheel then begin
@@ -164,10 +198,8 @@ let add_cell t v =
     Eheap.add_pre_cell t.heap ~cell:t.cell ~seq v
   end
   else begin
-    if t.wheel_count = 0 then begin
-      let now_tick = int_of_float (Float.floor (t.cell.(1) /. granularity)) in
-      if now_tick > t.cur_tick then t.cur_tick <- now_tick
-    end;
+    if t.wheel_count = 0 && t.cell.(1) >= t.edges.(1) then
+      set_tick t (int_of_float (t.cell.(1) *. inv_granularity));
     place_cell t ~seq v
   end
 
@@ -209,10 +241,10 @@ let drain_bucket t ~level ~into_heap =
    an empty level means nothing can be due before that boundary. *)
 let advance t =
   drain_bucket t ~level:0 ~into_heap:true;
-  if t.lcounts.(0) > 0 then t.cur_tick <- t.cur_tick + 1
+  if t.lcounts.(0) > 0 then set_tick t (t.cur_tick + 1)
   else if t.lcounts.(1) > 0 then
-    t.cur_tick <- (t.cur_tick lor bucket_mask) + 1
-  else t.cur_tick <- (t.cur_tick lor ((1 lsl span_bits 1) - 1)) + 1;
+    set_tick t ((t.cur_tick lor bucket_mask) + 1)
+  else set_tick t ((t.cur_tick lor ((1 lsl span_bits 1) - 1)) + 1);
   if t.cur_tick land bucket_mask = 0 then begin
     drain_bucket t ~level:1 ~into_heap:false;
     if t.cur_tick land ((1 lsl span_bits 1) - 1) = 0 then
@@ -224,14 +256,16 @@ let advance t =
    or the wheel is empty.  The heap minimum is read through the scratch
    cell — [Eheap.min_key_or]'s boxed float return would cost two minor
    words per step. *)
-let rec sync t =
-  if t.wheel_count > 0
-     && (not (Eheap.min_key_into t.heap ~cell:t.cell)
-        || t.cell.(0) >= float_of_int t.cur_tick *. granularity)
-  then begin
-    advance t;
-    sync t
-  end
+(* A loop (not recursion) so the all-heap fast case — wheel empty, one
+   compare — inlines into the pop path. *)
+let[@inline] sync t =
+  while
+    t.wheel_count > 0
+    && (not (Eheap.min_key_into t.heap ~cell:t.cell)
+       || t.cell.(0) >= t.edges.(0))
+  do
+    advance t
+  done
 
 let min_key_or t ~default =
   sync t;
@@ -240,7 +274,7 @@ let min_key_or t ~default =
 (* [true] iff the queue is non-empty and its minimal key is <= [bound].
    Allocation-free replacement for [min_key_or t ~default:infinity <=
    bound] (whose float return is boxed). *)
-let min_key_leq t bound =
+let[@inline] min_key_leq t bound =
   sync t;
   Eheap.min_key_into t.heap ~cell:t.cell && t.cell.(0) <= bound
 
@@ -248,10 +282,28 @@ let min_key_leq t bound =
    Returns -1 when the queue is empty (after filtered entries have been
    dropped) — values stored in the wheel must therefore be >= 0, which
    engine handles always are. *)
-let pop_min_cell t =
+let[@inline] pop_min_cell t =
   sync t;
-  if Eheap.min_key_into t.heap ~cell:t.cell then Eheap.pop_min t.heap
-  else -1
+  Eheap.pop_min_into t.heap ~cell:t.cell ~default:(-1)
+
+(* Pop the globally-minimal entry iff its key is <= [bound]; -1
+   otherwise.  Fuses [min_key_leq] and [pop_min_cell] into one sync and
+   one heap-root access — this is the event loop's per-iteration
+   operation, so halving the queue traffic is directly visible in
+   events/sec. *)
+let[@inline] pop_leq_cell t ~bound =
+  sync t;
+  Eheap.pop_leq_into t.heap ~bound ~cell:t.cell ~default:(-1)
+
+(* [pop_leq_cell] with the bound passed through [cell.(1)] instead of a
+   float argument: the batched dispatch loop pops once per event with a
+   bound freshly loaded from the scratch cell, and boxing that bound at
+   every call would cost two minor words per event.  [cell.(1)] is
+   otherwise only read by [add_cell] at schedule time, so the caller just
+   re-writes it before any pop that follows dispatched work. *)
+let[@inline] pop_boundcell t =
+  sync t;
+  Eheap.pop_boundcell_into t.heap ~cell:t.cell ~default:(-1)
 
 let pop_min t ~key_ref =
   let v = pop_min_cell t in

@@ -70,6 +70,20 @@ val pop_min_cell : t -> int
     entries may be dropped on the way, so a non-[is_empty] queue can still
     come up empty here).  Stored values must be [>= 0]. *)
 
+val pop_leq_cell : t -> bound:float -> int
+(** {!pop_min_cell} gated on the bound: pops the globally-minimal entry
+    iff its key is [<= bound], returning [-1] otherwise (empty queue, or
+    minimum beyond the bound).  One wheel sync and one heap-root access
+    where a {!min_key_leq} / {!pop_min_cell} pair pays two of each — the
+    event loop's per-iteration operation. *)
+
+val pop_boundcell : t -> int
+(** {!pop_leq_cell} with the bound read out of [cell.(1)] instead of a
+    float argument (boxed at every non-inlined call): the batched
+    dispatch loop's per-event pop.  [cell.(1)] is only read by
+    {!add_cell} at schedule time; re-write it before any pop that
+    follows dispatched work. *)
+
 (** {2 Routing statistics} — cumulative, for the metrics registry. *)
 
 val scheduled_wheel : t -> int

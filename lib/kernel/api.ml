@@ -23,6 +23,7 @@ type dgram = Socket.udp_datagram = {
   dg_payload : Payload.t;
   dg_from : Packet.ip * int;
   dg_pkt : int;
+  dg_mbuf : int;
 }
 
 exception Socket_closed
@@ -64,7 +65,8 @@ let bind k (sock : Socket.t) ~owner ~port =
   Hashtbl.replace k.Kernel.udp_ports port sock;
   if Kernel.lrp_mode k then begin
     let ch =
-      Channel.create ~limit:(Kernel.config k).Kernel.channel_limit
+      Channel.create ~arena:k.Kernel.parena
+        ~limit:(Kernel.config k).Kernel.channel_limit
         ~name:(Printf.sprintf "udp:%d" port) ()
     in
     Chantab.add_udp (Kernel.chantab k) ~port ch;
@@ -100,7 +102,8 @@ let join_group k (sock : Socket.t) ~owner ~group ~port =
         if Kernel.lrp_mode k then begin
           (* One shared channel for the whole group. *)
           let ch =
-            Channel.create ~limit:(Kernel.config k).Kernel.channel_limit
+            Channel.create ~arena:k.Kernel.parena
+              ~limit:(Kernel.config k).Kernel.channel_limit
               ~name:(Printf.sprintf "udp-mcast:%d" port) ()
           in
           Chantab.add_udp (Kernel.chantab k) ~port ch;
@@ -184,7 +187,10 @@ let pop_ready k (sock : Socket.t) =
       in
       Proc.compute
         (dequeue_cost +. ((c k).Cost.copy_per_byte *. float_of_int len));
-      Kernel.free_rx_mbufs k
+      (* The copyout frees the mbuf chain: by the handle carried from the
+         driver's allocation when the datagram has one, else by its wire
+         footprint (non-fragment UDP: IP + UDP headers + payload). *)
+      Kernel.free_rx_pkt k ~mh:dg.Socket.dg_mbuf
         (len + Packet.ip_header_bytes + Packet.udp_header_bytes);
       sock.Socket.stats.Socket.rx_delivered <-
         sock.Socket.stats.Socket.rx_delivered + 1;
@@ -208,17 +214,19 @@ let recvfrom k ~(self : Proc.t) (sock : Socket.t) =
          | Some ch when Kernel.lrp_mode k ->
              (* LRP: take a raw packet off the NI channel and process it
                 now, in our own context. *)
-             (match Channel.dequeue ch with
-              | Some pkt ->
-                  let completed =
-                    Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
-                  in
-                  List.iter (Kernel.deliver_udp_ready k) completed;
-                  loop ()
-              | None ->
-                  Channel.request_interrupt ch;
-                  Proc.block sock.Socket.recv_wait;
-                  loop ())
+             (let pkt = Channel.pop ch in
+              if pkt != Packet.null then begin
+                let completed =
+                  Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+                in
+                List.iter (Kernel.deliver_udp_ready k) completed;
+                loop ()
+              end
+              else begin
+                Channel.request_interrupt ch;
+                Proc.block sock.Socket.recv_wait;
+                loop ()
+              end)
          | Some _ | None ->
              Proc.block sock.Socket.recv_wait;
              loop ())
@@ -233,10 +241,11 @@ let recvfrom_timeout k ~(self : Proc.t) (sock : Socket.t) ~timeout =
   let engine = Kernel.engine k in
   let deadline = Lrp_engine.Engine.now engine +. timeout in
   let expired = ref false in
+  (* Typed fast path: the expiry event carries (sock, expired) to a
+     per-kernel dispatcher instead of capturing them in a closure. *)
   let timer =
-    Lrp_engine.Engine.schedule engine ~at:deadline (fun () ->
-        expired := true;
-        Kernel.wake_all k sock.Socket.recv_wait)
+    Lrp_engine.Engine.schedule_to engine ~at:deadline
+      (Kernel.recv_timeout_target k) (sock, expired)
   in
   let finish v =
     Lrp_engine.Engine.cancel engine timer;
@@ -252,17 +261,19 @@ let recvfrom_timeout k ~(self : Proc.t) (sock : Socket.t) ~timeout =
           else
             (match sock.Socket.chan with
              | Some ch when Kernel.lrp_mode k ->
-                 (match Lrp_core.Channel.dequeue ch with
-                  | Some pkt ->
-                      let completed =
-                        Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
-                      in
-                      List.iter (Kernel.deliver_udp_ready k) completed;
-                      loop ()
-                  | None ->
-                      Lrp_core.Channel.request_interrupt ch;
-                      Proc.block sock.Socket.recv_wait;
-                      loop ())
+                 (let pkt = Lrp_core.Channel.pop ch in
+                  if pkt != Packet.null then begin
+                    let completed =
+                      Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+                    in
+                    List.iter (Kernel.deliver_udp_ready k) completed;
+                    loop ()
+                  end
+                  else begin
+                    Lrp_core.Channel.request_interrupt ch;
+                    Proc.block sock.Socket.recv_wait;
+                    loop ()
+                  end)
              | Some _ | None ->
                  Proc.block sock.Socket.recv_wait;
                  loop ())
@@ -276,16 +287,17 @@ let try_recvfrom k ~(self : Proc.t) (sock : Socket.t) =
   let rec drain_chan () =
     match sock.Socket.chan with
     | Some ch when Kernel.lrp_mode k ->
-        (match Channel.dequeue ch with
-         | Some pkt ->
-             let completed =
-               Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
-             in
-             List.iter (Kernel.deliver_udp_ready k) completed;
-             (match pop_ready k sock with
-              | Some dg -> Some dg
-              | None -> drain_chan ())
-         | None -> None)
+        (let pkt = Channel.pop ch in
+         if pkt != Packet.null then begin
+           let completed =
+             Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+           in
+           List.iter (Kernel.deliver_udp_ready k) completed;
+           match pop_ready k sock with
+           | Some dg -> Some dg
+           | None -> drain_chan ()
+         end
+         else None)
     | Some _ | None -> None
   in
   match pop_ready k sock with Some dg -> Some dg | None -> drain_chan ()
@@ -314,7 +326,7 @@ let tcp_listen k ~(self : Proc.t) (sock : Socket.t) ~port ~backlog =
   Hashtbl.replace k.Kernel.conn_owner listener.Tcp.id self;
   if Kernel.lrp_mode k then begin
     let ch =
-      Channel.create ~limit:cfg.Kernel.channel_limit
+      Channel.create ~arena:k.Kernel.parena ~limit:cfg.Kernel.channel_limit
         ~name:(Printf.sprintf "tcp-listen:%d" port) ()
     in
     Chantab.add_tcp_listen (Kernel.chantab k) ~port ch;

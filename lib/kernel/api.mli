@@ -19,6 +19,9 @@ type dgram =
   dg_payload : Lrp_net.Payload.t;
   dg_from : Lrp_net.Packet.ip * int;
   dg_pkt : int;  (** originating packet's IP ident, for tracing *)
+  dg_mbuf : int;
+      (** mbuf-pool handle backing this datagram until copyout, or
+          [Lrp_net.Mbuf.no_handle] on paths that account by bytes *)
 }
 (** A received datagram: payload plus source address. *)
 

@@ -118,6 +118,9 @@ type t = {
   conn_sock : (int, Socket.t) Hashtbl.t;   (* conn id -> socket *)
   conn_owner : (int, Proc.t) Hashtbl.t;    (* conn id -> owning process *)
   (* --- LRP state --- *)
+  parena : Parena.t;
+      (* shared RX descriptor arena; every NI channel's ring draws its
+         frame descriptors from here *)
   chantab : Chantab.t;
   chan_sock : (int, Socket.t) Hashtbl.t;   (* channel id -> socket (UDP) *)
   mcast_members : (int, Socket.t list ref) Hashtbl.t;
@@ -137,6 +140,11 @@ type t = {
   mutable tcp_env : Tcp.env option;
   mutable timer_tgt : Tcp.timer Engine.target option;
       (* closure-free TCP timer expiry event; registered on first arm *)
+  mutable rcvto_tgt : (Socket.t * bool ref) Engine.target option;
+      (* closure-free recvfrom-timeout expiry event; registered on first
+         use.  The argument pairs the blocked socket with the caller's
+         expiry flag, so arming a timeout allocates one pair instead of a
+         capturing closure. *)
   mutable eph_port : int;
   stats : kstats;
   (* --- observability (per-kernel: parallel sweeps never share these) --- *)
@@ -236,6 +244,18 @@ let free_rx_mbufs t bytes =
   | Bsd | Early_demux -> Mbuf.free t.mbufs ~bytes
   | Soft_lrp | Ni_lrp -> ()
 
+(* Handle-aware variant: the mbuf kernels' non-fragment receive path
+   carries the pool handle from the driver's {!Mbuf.alloc_h} all the way
+   to the free site, so the count returned is the count reserved — no
+   per-site byte recomputation to drift.  Fragments (whose reassembled
+   whole has a different wire footprint than the sum of its pieces) stay
+   on byte accounting with [mh = Mbuf.no_handle]. *)
+let free_rx_pkt t ~mh bytes =
+  match t.cfg.arch with
+  | Bsd | Early_demux ->
+      if mh >= 0 then Mbuf.free_h t.mbufs mh else Mbuf.free t.mbufs ~bytes
+  | Soft_lrp | Ni_lrp -> ()
+
 (* Receiver-side content-checksum verification.  Corrupted packets die at
    the first transport-level touch: counted, traced, and never delivered,
    never answered (no RST / ICMP reply for garbage). *)
@@ -304,20 +324,20 @@ let rec app_loop t app =
       end
 
 and drain_tcp_channel t ch =
-  match Channel.dequeue ch with
-  | None -> ()
-  | Some pkt ->
-      Proc.compute
-        ((match t.cfg.arch with
-          | Ni_lrp -> t.c.Cost.ni_channel_access
-          | Bsd | Soft_lrp | Early_demux -> 0.)
-         +. (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)));
-      (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
-       | None -> () (* connection vanished: discard *)
-       | Some conn ->
-           tcp_deliver t conn pkt ~ctx:`Proc;
-           if Tcp.state conn = Tcp.Listen then update_listen_gate t conn);
-      drain_tcp_channel t ch
+  let pkt = Channel.pop ch in
+  if pkt != Packet.null then begin
+    Proc.compute
+      ((match t.cfg.arch with
+        | Ni_lrp -> t.c.Cost.ni_channel_access
+        | Bsd | Soft_lrp | Early_demux -> 0.)
+       +. (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)));
+    (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
+     | None -> () (* connection vanished: discard *)
+     | Some conn ->
+         tcp_deliver t conn pkt ~ctx:`Proc;
+         if Tcp.state conn = Tcp.Listen then update_listen_gate t conn);
+    drain_tcp_channel t ch
+  end
 
 (* Deliver a (non-fragment) TCP segment to its connection, charging for any
    extra segments the state machine emitted beyond the one emission already
@@ -364,17 +384,17 @@ and app_for t (owner : Proc.t) =
    their protocol processing falls back to software-interrupt level, as in
    the paper's prototype where a kernel process owns TCP processing. *)
 let rec orphan_drain t ch () =
-  match Channel.dequeue ch with
-  | None -> ()
-  | Some pkt ->
-      (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
-       | Some conn -> tcp_deliver t conn pkt ~ctx:`Soft
-       | None -> ());
-      if not (Channel.is_empty ch) then
-        Cpu.post_soft t.cpu ~label:"tcp-orphan"
-          ~cost:(t.c.Cost.soft_dispatch
-                 +. (t.c.Cost.eager_penalty *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)))
-          (orphan_drain t ch)
+  let pkt = Channel.pop ch in
+  if pkt != Packet.null then begin
+    (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
+     | Some conn -> tcp_deliver t conn pkt ~ctx:`Soft
+     | None -> ());
+    if not (Channel.is_empty ch) then
+      Cpu.post_soft t.cpu ~label:"tcp-orphan"
+        ~cost:(t.c.Cost.soft_dispatch
+               +. (t.c.Cost.eager_penalty *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)))
+        (orphan_drain t ch)
+  end
 
 let app_post_chan t conn ch =
   let fallback () =
@@ -423,7 +443,7 @@ let register_conn t conn ~owner =
        | None -> ());
       if lrp_mode t then begin
         let ch =
-          Channel.create ~limit:t.cfg.channel_limit
+          Channel.create ~arena:t.parena ~limit:t.cfg.channel_limit
             ~name:(Printf.sprintf "tcp:%d<-%d" conn.Tcp.local_port rport) ()
         in
         Chantab.add_tcp t.chantab ~src:rip ~src_port:rport
@@ -473,6 +493,21 @@ let fire_tcp_timer t tm =
         (fun () -> Tcp.timer_fired tm ~gen)
   | Soft_lrp | Ni_lrp ->
       app_post_timer t (Tcp.timer_conn tm) (fun () -> Tcp.timer_fired tm ~gen)
+
+(* Typed dispatcher for [Api.recvfrom_timeout] deadlines: registered once
+   per kernel, so arming a timeout allocates a (socket, flag) pair instead
+   of a capturing closure (the engine's typed fast path). *)
+let recv_timeout_target t =
+  match t.rcvto_tgt with
+  | Some g -> g
+  | None ->
+      let g =
+        Engine.target t.engine (fun (sock, expired) ->
+            expired := true;
+            wake_all t sock.Socket.recv_wait)
+      in
+      t.rcvto_tgt <- Some g;
+      g
 
 let timer_target t =
   match t.timer_tgt with
@@ -567,12 +602,13 @@ let make_tcp_env t =
 (* Shared delivery helpers                                              *)
 (* ------------------------------------------------------------------ *)
 
-let datagram_of (pkt : Packet.t) =
+let datagram_of ?(mh = Mbuf.no_handle) (pkt : Packet.t) =
   match pkt.Packet.body with
   | Packet.Udp (u, payload) ->
       { Socket.dg_payload = payload;
         dg_from = (pkt.Packet.ip.Packet.src, u.Packet.usrc_port);
-        dg_pkt = pkt.Packet.ip.Packet.ident }
+        dg_pkt = pkt.Packet.ip.Packet.ident;
+        dg_mbuf = mh }
   | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ ->
       invalid_arg "datagram_of: not a UDP datagram"
 
@@ -604,8 +640,8 @@ let deposit_and_wake t sock dg =
     end
   end
 
-let deliver_udp_ready t (pkt : Packet.t) =
-  if not (csum_ok t pkt) then free_rx_mbufs t (Packet.wire_bytes pkt)
+let deliver_udp_ready ?(mh = Mbuf.no_handle) t (pkt : Packet.t) =
+  if not (csum_ok t pkt) then free_rx_pkt t ~mh (Packet.wire_bytes pkt)
   else
   match pkt.Packet.body with
   | Packet.Udp (u, _) ->
@@ -614,7 +650,7 @@ let deliver_udp_ready t (pkt : Packet.t) =
            the mbuf-based kernels the original chain is released and a
            duplicate is allocated per deposited copy, so each receiver's
            copyout frees exactly one chain. *)
-        free_rx_mbufs t (Packet.wire_bytes pkt);
+        free_rx_pkt t ~mh (Packet.wire_bytes pkt);
         match Hashtbl.find_opt t.mcast_members u.Packet.udst_port with
         | None -> t.stats.no_port_drops <- t.stats.no_port_drops + 1
         | Some members ->
@@ -622,20 +658,26 @@ let deliver_udp_ready t (pkt : Packet.t) =
               (fun sock ->
                 let dg = datagram_of pkt in
                 if peer_accepts t sock dg then begin
-                  let dup_ok =
+                  let dup_h =
                     match t.cfg.arch with
                     | Bsd | Early_demux ->
-                        Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)
+                        Mbuf.alloc_h t.mbufs ~bytes:(Packet.wire_bytes pkt)
+                    | Soft_lrp | Ni_lrp -> Mbuf.no_handle
+                  in
+                  let dup_ok =
+                    match t.cfg.arch with
+                    | Bsd | Early_demux -> dup_h >= 0
                     | Soft_lrp | Ni_lrp -> true
                   in
                   if dup_ok then begin
+                    let dg = { dg with Socket.dg_mbuf = dup_h } in
                     let ok = Socket.deposit_udp sock dg in
                     trace_deposit t sock dg ok;
                     if ok then begin
                       t.stats.udp_delivered <- t.stats.udp_delivered + 1;
                       wake_one t sock.Socket.recv_wait
                     end
-                    else free_rx_mbufs t (Packet.wire_bytes pkt)
+                    else free_rx_pkt t ~mh:dup_h (Packet.wire_bytes pkt)
                   end
                   else begin
                     t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
@@ -648,11 +690,11 @@ let deliver_udp_ready t (pkt : Packet.t) =
         (match Hashtbl.find_opt t.udp_ports u.Packet.udst_port with
          | None ->
              t.stats.no_port_drops <- t.stats.no_port_drops + 1;
-             free_rx_mbufs t (Packet.wire_bytes pkt)
+             free_rx_pkt t ~mh (Packet.wire_bytes pkt)
          | Some sock ->
-             let dg = datagram_of pkt in
+             let dg = datagram_of ~mh pkt in
              if not (peer_accepts t sock dg) then
-               free_rx_mbufs t (Packet.wire_bytes pkt)
+               free_rx_pkt t ~mh (Packet.wire_bytes pkt)
              else begin
                let ok = Socket.deposit_udp sock dg in
                trace_deposit t sock dg ok;
@@ -662,7 +704,7 @@ let deliver_udp_ready t (pkt : Packet.t) =
                end
                else
                  (* Socket queue overflow: the BSD drop point. *)
-                 free_rx_mbufs t (Packet.wire_bytes pkt)
+                 free_rx_pkt t ~mh (Packet.wire_bytes pkt)
              end)
   | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ -> ()
 
@@ -694,17 +736,17 @@ let deliver_tcp t (pkt : Packet.t) ~ctx =
 
 (* Transport-level processing of a complete (reassembled) datagram; runs in
    softint context under BSD / Early-Demux. *)
-let bsd_transport_input t (pkt : Packet.t) =
+let bsd_transport_input ?(mh = Mbuf.no_handle) t (pkt : Packet.t) =
   match pkt.Packet.body with
   | Packet.Udp _ ->
       Trace.proto_deliver t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~conn:(-1)
         ~in_proc:false;
-      deliver_udp_ready t pkt
+      deliver_udp_ready ~mh t pkt
   | Packet.Tcp _ ->
-      free_rx_mbufs t (Packet.wire_bytes pkt);
+      free_rx_pkt t ~mh (Packet.wire_bytes pkt);
       deliver_tcp t pkt ~ctx:`Soft
   | Packet.Icmp _ ->
-      free_rx_mbufs t (Packet.wire_bytes pkt);
+      free_rx_pkt t ~mh (Packet.wire_bytes pkt);
       icmp_reply t pkt
   | Packet.Fragment _ -> assert false
 
@@ -743,11 +785,11 @@ let bsd_soft_cost t (pkt : Packet.t) =
   +. (t.c.Cost.eager_penalty *. t.c.Cost.ip_in)
   +. frag_extra +. transport +. t.c.Cost.sockbuf_append
 
-let bsd_softnet t pkt () =
+let bsd_softnet ?(mh = Mbuf.no_handle) t pkt () =
   t.ipq_len <- t.ipq_len - 1;
   if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
   then begin
-    free_rx_mbufs t (Packet.wire_bytes pkt);
+    free_rx_pkt t ~mh (Packet.wire_bytes pkt);
     if t.cfg.forwarding then begin
       t.stats.forwarded <- t.stats.forwarded + 1;
       ip_output t pkt
@@ -760,15 +802,30 @@ let bsd_softnet t pkt () =
   | Some whole ->
       if Packet.is_fragment pkt then
         (* Completion discovered while processing a fragment: the transport
-           processing is a separate softint activation. *)
+           processing is a separate softint activation.  Fragments arrive
+           without a handle ([mh = no_handle]); the whole is freed by
+           bytes, as its pieces were allocated. *)
         Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
           ~tpkt:whole.Packet.ip.Packet.ident
           ~cost:(transport_cost t whole ~skip_pcb:false)
           (fun () -> bsd_transport_input t whole)
-      else bsd_transport_input t whole
+      else bsd_transport_input ~mh t whole
 
 let bsd_driver_rx t pkt () =
-  if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then begin
+  (* Non-fragment datagrams carry their mbuf reservation as a handle from
+     here to the copyout (or drop) site; fragment reservations are
+     recounted by bytes because the reassembled whole's footprint differs
+     from the sum of its pieces. *)
+  let is_frag = Packet.is_fragment pkt in
+  let mh =
+    if is_frag then Mbuf.no_handle
+    else Mbuf.alloc_h t.mbufs ~bytes:(Packet.wire_bytes pkt)
+  in
+  let alloc_ok =
+    if is_frag then Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)
+    else mh >= 0
+  in
+  if not alloc_ok then begin
     t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
     Trace.mbuf_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
   end
@@ -777,14 +834,14 @@ let bsd_driver_rx t pkt () =
        sockets under BSD (section 2.2). *)
     t.stats.ipq_drops <- t.stats.ipq_drops + 1;
     Trace.ipq_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~qlen:t.ipq_len;
-    Mbuf.free t.mbufs ~bytes:(Packet.wire_bytes pkt)
+    free_rx_pkt t ~mh (Packet.wire_bytes pkt)
   end
   else begin
     t.ipq_len <- t.ipq_len + 1;
     Trace.ipq_enqueue t.tracer ~pkt:pkt.Packet.ip.Packet.ident
       ~qlen:t.ipq_len;
     Cpu.post_soft t.cpu ~label:"softnet" ~tpkt:pkt.Packet.ip.Packet.ident
-      ~cost:(bsd_soft_cost t pkt) (bsd_softnet t pkt)
+      ~cost:(bsd_soft_cost t pkt) (bsd_softnet ~mh t pkt)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -805,40 +862,46 @@ let lrp_classify_rx t pkt =
     (* Transit packet: demultiplexed straight onto the IP-forwarding
        daemon's channel (section 3.5), or discarded if this host is not a
        gateway. *)
-    if t.cfg.forwarding then
-      match Channel.enqueue (Chantab.fwd_channel t.chantab) pkt with
-      | Channel.Queued `Was_empty -> ni_wake t (fun () -> wake_one t t.fwd_wq)
-      | Channel.Queued `Was_nonempty | Channel.Discarded -> ()
+    if t.cfg.forwarding then begin
+      if Channel.enqueue_code (Chantab.fwd_channel t.chantab) pkt
+         = Channel.queued_was_empty
+      then ni_wake t (fun () -> wake_one t t.fwd_wq)
+    end
     else t.stats.fwd_drops <- t.stats.fwd_drops + 1
   end
   else
-  let flow = Demux.flow_of_packet pkt in
-  match Chantab.resolve t.chantab flow with
+  (* Classification runs without materialising the [Demux.flow] variant:
+     [resolve_packet] does the packed-key probe straight off the packet
+     fields, and the constant-constructor class drives the wake logic —
+     the whole demux decision allocates nothing. *)
+  let cls = Demux.class_of_packet pkt in
+  match Chantab.resolve_packet t.chantab pkt with
   | None ->
       Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~chan:(-1)
-        ~flow:(Demux.flow_id flow);
-      (match flow with
-       | Demux.Tcp_flow _ ->
+        ~flow:(Demux.flow_id_of_packet pkt);
+      (match cls with
+       | Demux.Tcp_class ->
            (* No endpoint: the protocol-proxy daemon answers with an RST on
               its own time (section 3.5). *)
-           (match Channel.enqueue (Chantab.icmp_channel t.chantab) pkt with
-            | Channel.Queued `Was_empty when t.cfg.udp_helper ->
-                ni_wake t (fun () -> wake_one t t.helper_wq)
-            | Channel.Queued _ | Channel.Discarded -> ())
-       | Demux.Udp_flow _ | Demux.Frag_flow _ | Demux.Icmp_flow
-       | Demux.Other_flow _ ->
+           if Channel.enqueue_code (Chantab.icmp_channel t.chantab) pkt
+              = Channel.queued_was_empty
+              && t.cfg.udp_helper
+           then ni_wake t (fun () -> wake_one t t.helper_wq)
+       | Demux.Udp_class | Demux.Frag_class | Demux.Icmp_class ->
            t.stats.demux_drops <- t.stats.demux_drops + 1)
   | Some ch ->
       Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident
-        ~chan:(Channel.id ch) ~flow:(Demux.flow_id flow);
-      (match Channel.enqueue ch pkt with
-       | Channel.Discarded ->
-           (* Early packet discard, counted per channel. *)
-           Trace.early_discard t.tracer ~pkt:pkt.Packet.ip.Packet.ident
-             ~chan:(Channel.id ch)
-       | Channel.Queued transition ->
-           (match flow with
-            | Demux.Udp_flow { dst_port = dst_port_of_flow; _ } ->
+        ~chan:(Channel.id ch) ~flow:(Demux.flow_id_of_packet pkt);
+      let code = Channel.enqueue_code ch pkt in
+      (if code = Channel.discarded_code then
+         (* Early packet discard, counted per channel. *)
+         Trace.early_discard t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+           ~chan:(Channel.id ch)
+       else
+         let was_empty = code = Channel.queued_was_empty in
+         (match cls with
+            | Demux.Udp_class ->
+                let dst_port_of_flow = Demux.udp_dst_port_of_packet pkt in
                 if Channel.interrupt_requested ch then begin
                   Channel.clear_interrupt_request ch;
                   match Hashtbl.find_opt t.mcast_members dst_port_of_flow with
@@ -855,31 +918,30 @@ let lrp_classify_rx t pkt =
                                wake_one t sock.Socket.recv_wait)
                        | None -> ())
                 end
-                else if t.cfg.udp_helper && transition = `Was_empty then
+                else if t.cfg.udp_helper && was_empty then
                   (* Nobody is waiting: let the minimal-priority protocol
                      thread pick it up if the CPU is otherwise idle
                      (section 3.3). *)
                   ni_wake t (fun () -> wake_one t t.helper_wq)
-            | Demux.Tcp_flow _ ->
+            | Demux.Tcp_class ->
                 trc t "rx tcp chan %d len=%d trans=%s" (Channel.id ch)
                   (Channel.length ch)
-                  (match transition with `Was_empty -> "empty" | `Was_nonempty -> "ne");
+                  (if was_empty then "empty" else "ne");
                 (* The APP thread drains until empty, so only the
                    empty-to-non-empty transition needs a notification —
                    under NI demux that keeps host interrupts rare. *)
-                if transition = `Was_empty then
+                if was_empty then
                   (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
                    | Some conn -> ni_wake t (fun () -> app_post_chan t conn ch)
                    | None -> trc t "rx tcp chan %d: NO CONN" (Channel.id ch))
-            | Demux.Frag_flow _ ->
+            | Demux.Frag_class ->
                 (* Fragments needing reassembly: the helper integrates them
                    if no receiver does it lazily first. *)
-                if t.cfg.udp_helper && transition = `Was_empty then
+                if t.cfg.udp_helper && was_empty then
                   ni_wake t (fun () -> wake_one t t.helper_wq)
-            | Demux.Icmp_flow ->
-                if t.cfg.udp_helper && transition = `Was_empty then
-                  ni_wake t (fun () -> wake_one t t.helper_wq)
-            | Demux.Other_flow _ -> ()))
+            | Demux.Icmp_class ->
+                if t.cfg.udp_helper && was_empty then
+                  ni_wake t (fun () -> wake_one t t.helper_wq)))
 
 (* ------------------------------------------------------------------ *)
 (* Early-Demux receive path                                             *)
@@ -920,7 +982,16 @@ let edemux_rx t pkt () =
       +. (t.c.Cost.eager_penalty *. t.c.Cost.ip_in)
       +. frag_extra +. transport +. t.c.Cost.sockbuf_append
     in
-    if not (Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)) then begin
+    let is_frag = Packet.is_fragment pkt in
+    let mh =
+      if is_frag then Mbuf.no_handle
+      else Mbuf.alloc_h t.mbufs ~bytes:(Packet.wire_bytes pkt)
+    in
+    let alloc_ok =
+      if is_frag then Mbuf.alloc t.mbufs ~bytes:(Packet.wire_bytes pkt)
+      else mh >= 0
+    in
+    if not alloc_ok then begin
       t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
       Trace.mbuf_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
     end
@@ -930,12 +1001,12 @@ let edemux_rx t pkt () =
           match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
           | None -> ()
           | Some whole ->
-              if Packet.is_fragment pkt then
+              if is_frag then
                 Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
                   ~tpkt:whole.Packet.ip.Packet.ident
                   ~cost:(transport_cost t whole ~skip_pcb)
                   (fun () -> bsd_transport_input t whole)
-              else bsd_transport_input t whole)
+              else bsd_transport_input ~mh t whole)
   in
   match flow with
   | Demux.Udp_flow { dst_port; _ } ->
@@ -1076,29 +1147,30 @@ let helper_loop t =
               Queue.length sock.Socket.udp_rcv < sock.Socket.udp_rcv_limit
           | None -> false
         in
-        if room then
-          match Channel.dequeue ch with
-          | None -> ()
-          | Some pkt ->
-              worked := true;
-              let completed = lrp_process_udp_raw t ~charge pkt in
-              List.iter (deliver_udp_ready t) completed)
+        if room then begin
+          let pkt = Channel.pop ch in
+          if pkt != Packet.null then begin
+            worked := true;
+            let completed = lrp_process_udp_raw t ~charge pkt in
+            List.iter (deliver_udp_ready t) completed
+          end
+        end)
       t.udp_channels;
     (* Protocol-proxy daemon duties: ICMP echo and RSTs for TCP segments
        with no endpoint (section 3.5). *)
-    (match Channel.dequeue (Chantab.icmp_channel t.chantab) with
-     | Some pkt ->
-         worked := true;
-         charge (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.udp_in));
-         (match pkt.Packet.body with
-          | Packet.Tcp _ ->
-              t.stats.rsts_sent <- t.stats.rsts_sent + 1;
-              Tcp.send_rst_for pkt ~emit:(fun p -> ip_output t p)
-          | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ ->
-              (match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
-               | Some whole -> icmp_reply t whole
-               | None -> ()))
-     | None -> ());
+    (let pkt = Channel.pop (Chantab.icmp_channel t.chantab) in
+     if pkt != Packet.null then begin
+       worked := true;
+       charge (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.udp_in));
+       match pkt.Packet.body with
+       | Packet.Tcp _ ->
+           t.stats.rsts_sent <- t.stats.rsts_sent + 1;
+           Tcp.send_rst_for pkt ~emit:(fun p -> ip_output t p)
+       | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ ->
+           (match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+            | Some whole -> icmp_reply t whole
+            | None -> ())
+     end);
     if !worked then pass ()
     else begin
       Proc.block t.helper_wq;
@@ -1117,16 +1189,18 @@ let helper_loop t =
 let fwd_daemon_loop t =
   let ch = Chantab.fwd_channel t.chantab in
   let rec loop () =
-    match Channel.dequeue ch with
-    | Some pkt ->
-        Proc.compute
-          (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.ip_forward));
-        t.stats.forwarded <- t.stats.forwarded + 1;
-        ip_output t pkt;
-        loop ()
-    | None ->
-        Proc.block t.fwd_wq;
-        loop ()
+    let pkt = Channel.pop ch in
+    if pkt != Packet.null then begin
+      Proc.compute
+        (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.ip_forward));
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      ip_output t pkt;
+      loop ()
+    end
+    else begin
+      Proc.block t.fwd_wq;
+      loop ()
+    end
   in
   loop ()
 
@@ -1141,14 +1215,16 @@ let create engine fabric ~name ~ip cfg =
   let nic = Fabric.make_nic fabric ~name:(name ^ ".nic") ~ip () in
   let tracer = Trace.create ~name ~now:(Engine.clock engine) () in
   let metrics = Metrics.create () in
+  let parena = Parena.create () in
   let t =
     { kname = name; engine; cpu; nic; cfg; c = cfg.costs; ip_addr = ip;
       tracer; metrics;
       ipq_len = 0; mbufs = Mbuf.create ~capacity:cfg.mbuf_capacity ();
+      parena;
       interfaces = [];
       udp_ports = Hashtbl.create 64; tcp_conns = Hashtbl.create 256;
       tcp_listeners = Hashtbl.create 16; conn_sock = Hashtbl.create 256;
-      conn_owner = Hashtbl.create 256; chantab = Chantab.create ();
+      conn_owner = Hashtbl.create 256; chantab = Chantab.create ~arena:parena ();
       chan_sock = Hashtbl.create 64; mcast_members = Hashtbl.create 8;
       chan_conn = Hashtbl.create 256;
       conn_chan = Hashtbl.create 256;
@@ -1156,7 +1232,8 @@ let create engine fabric ~name ~ip cfg =
       helper_wq = Proc.waitq (name ^ ".udp-helper"); helper_proc = None;
       fwd_wq = Proc.waitq (name ^ ".ipfwdd"); fwd_proc = None;
       udp_channels = []; reasm = Ip.Reasm.create ();
-      tcp_env = None; timer_tgt = None; eph_port = 20_000;
+      tcp_env = None; timer_tgt = None; rcvto_tgt = None;
+      eph_port = 20_000;
       stats =
         { rx_frames = 0; ipq_drops = 0; mbuf_drops = 0; no_port_drops = 0;
           demux_drops = 0; edemux_early_drops = 0; udp_delivered = 0;

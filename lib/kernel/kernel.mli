@@ -90,6 +90,8 @@ type t = {
   tcp_listeners : (int, Lrp_proto.Tcp.conn) Hashtbl.t;
   conn_sock : (int, Socket.t) Hashtbl.t;
   conn_owner : (int, Lrp_sim.Proc.t) Hashtbl.t;
+  parena : Lrp_net.Parena.t;
+      (** shared RX descriptor arena backing every NI channel's ring *)
   chantab : Lrp_core.Chantab.t;
   chan_sock : (int, Socket.t) Hashtbl.t;
   mcast_members : (int, Socket.t list ref) Hashtbl.t;
@@ -105,6 +107,7 @@ type t = {
   reasm : Lrp_proto.Ip.Reasm.t;
   mutable tcp_env : Lrp_proto.Tcp.env option;
   mutable timer_tgt : Lrp_proto.Tcp.timer Lrp_engine.Engine.target option;
+  mutable rcvto_tgt : (Socket.t * bool ref) Lrp_engine.Engine.target option;
   mutable eph_port : int;
   stats : kstats;
   tracer : Lrp_trace.Trace.t;
@@ -159,8 +162,16 @@ val tcp_env_exn : t -> Lrp_proto.Tcp.env
 val ip_output : t -> Lrp_net.Packet.t -> unit
 val seg_out_cost : t -> float
 val free_rx_mbufs : t -> int -> unit
+val free_rx_pkt : t -> mh:Lrp_net.Mbuf.handle -> int -> unit
+(* Free a received packet's mbuf reservation: by handle when the receive
+   path carried one, by bytes otherwise.  A no-op under the LRP
+   architectures, which never draw RX packets from the mbuf pool. *)
 val udp_send_cost : t -> frags:int -> float
 val wake_all : t -> Lrp_sim.Proc.waitq -> unit
+val recv_timeout_target :
+  t -> (Socket.t * bool ref) Lrp_engine.Engine.target
+(* Typed recvfrom-timeout expiry dispatcher (registered on first use):
+   sets the flag and wakes the socket's receive waiters. *)
 val wake_one : t -> Lrp_sim.Proc.waitq -> unit
 val sock_of_conn : t -> Lrp_proto.Tcp.conn -> Socket.t option
 val update_listen_gate : t -> Lrp_proto.Tcp.conn -> unit
@@ -178,19 +189,23 @@ val register_conn :
   t -> Lrp_proto.Tcp.conn -> owner:Lrp_sim.Proc.t option -> unit
 val deregister_conn : t -> Lrp_proto.Tcp.conn -> unit
 val make_tcp_env : t -> Lrp_proto.Tcp.env
-val datagram_of : Lrp_net.Packet.t -> Socket.udp_datagram
+val datagram_of :
+  ?mh:Lrp_net.Mbuf.handle -> Lrp_net.Packet.t -> Socket.udp_datagram
 val peer_accepts :
   t -> Socket.t -> Socket.udp_datagram -> bool
 val deposit_and_wake :
   t -> Socket.t -> Socket.udp_datagram -> unit
-val deliver_udp_ready : t -> Lrp_net.Packet.t -> unit
+val deliver_udp_ready :
+  ?mh:Lrp_net.Mbuf.handle -> t -> Lrp_net.Packet.t -> unit
 val icmp_reply : t -> Lrp_net.Packet.t -> unit
 val deliver_tcp :
   t -> Lrp_net.Packet.t -> ctx:[< `Proc | `Soft > `Proc ] -> unit
-val bsd_transport_input : t -> Lrp_net.Packet.t -> unit
+val bsd_transport_input :
+  ?mh:Lrp_net.Mbuf.handle -> t -> Lrp_net.Packet.t -> unit
 val transport_cost : t -> Lrp_net.Packet.t -> skip_pcb:bool -> float
 val bsd_soft_cost : t -> Lrp_net.Packet.t -> float
-val bsd_softnet : t -> Lrp_net.Packet.t -> unit -> unit
+val bsd_softnet :
+  ?mh:Lrp_net.Mbuf.handle -> t -> Lrp_net.Packet.t -> unit -> unit
 val bsd_driver_rx : t -> Lrp_net.Packet.t -> unit -> unit
 val ni_wake : t -> (unit -> unit) -> unit
 val lrp_classify_rx : t -> Lrp_net.Packet.t -> unit

@@ -20,6 +20,9 @@ type udp_datagram = {
   dg_payload : Payload.t;
   dg_from : Packet.ip * int;
   dg_pkt : int;  (* originating packet's IP ident, for tracing *)
+  dg_mbuf : int;
+      (* mbuf-pool handle backing this datagram until copyout, or
+         [Mbuf.no_handle] on paths that account by bytes *)
 }
 
 type stats = {

@@ -20,6 +20,18 @@ type t = {
          polymorphic compare/(=) hazardous, with the type names for the
          message.  In these files, bare [compare], [Stdlib.compare],
          [Hashtbl.hash] and unapplied [(=)]/[(<>)] are banned. *)
+  d4_dirs : string list;
+      (* D4: hot-path layer directories where a polymorphic [Hashtbl]
+         probe with a structural (tuple/record) key is banned —
+         structural hashing allocates and chases pointers per packet;
+         pack the key into ints ({!Lrp_core.Flowtab}). *)
+  d4_exempt_files : string list;
+      (* D4: files inside [d4_dirs] allowed to keep structural keys.
+         lib/proto/pcb.ml models the *BSD* PCB lookup the paper singles
+         out as a known performance problem — its cost is the point, it
+         is not on any LRP fast path, and its generic value type cannot
+         use the packed-key Flowtab (lib/core) without inverting the
+         layer DAG (proto ranks below core). *)
   stateful_scope : string list;
       (* C1/P1 apply only under these path components (library code);
          executables under bin/ and bench/ may print and hold state. *)
@@ -44,6 +56,8 @@ let default =
         ("lib/trace/trace.ml", [ "entry"; "Report.marks" ]);
         ("lib/engine/eheap.ml", [ "t" ]);
       ];
+    d4_dirs = [ "lib/engine"; "lib/net"; "lib/proto"; "lib/core" ];
+    d4_exempt_files = [ "lib/proto/pcb.ml" ];
     stateful_scope = [ "lib" ];
     sink_files = [];
     layer_rank =
@@ -85,6 +99,26 @@ let in_files file entries = List.exists (has_suffix_path file) entries
 let in_scope file scopes =
   let parts = String.split_on_char '/' (normalize file) in
   List.exists (fun s -> List.mem s parts) scopes
+
+(* Directory matching for scoped rules: "lib/net" matches
+   "lib/net/nic.ml" and "/abs/repo/lib/net/nic.ml", but not
+   "otherlib/network/x.ml" — the entry must appear as a consecutive
+   run of path components. *)
+let in_dirs file entries =
+  let file = normalize file in
+  let lf = String.length file in
+  let matches entry =
+    let d = normalize entry ^ "/" in
+    let ld = String.length d in
+    let rec at i =
+      if i + ld > lf then false
+      else if (i = 0 || file.[i - 1] = '/') && String.sub file i ld = d then
+        true
+      else at (i + 1)
+    in
+    at 0
+  in
+  List.exists matches entries
 
 let d3_types_of config file =
   List.find_map

@@ -11,6 +11,7 @@
      D1  ambient time/randomness outside lib/engine/rng.ml
      D2  unordered Hashtbl iteration outside lib/core/det.ml
      D3  Marshal anywhere; polymorphic compare in configured files
+     D4  structural (tuple/record) Hashtbl keys on hot-path layers
      P1  stdout printing inside lib/ outside designated sinks
      C1  non-atomic module-level mutable state inside lib/ *)
 
@@ -137,6 +138,47 @@ let check_ident ctx ~loc lid =
           sink or return data to the caller"
          name)
 
+(* --- D4: structural Hashtbl keys on hot-path layers -------------------- *)
+
+(* A polymorphic [Hashtbl] probed with a tuple or record key pays
+   structural hashing — a recursive walk over the key and its boxed
+   fields — plus a key allocation at every call site, per packet on the
+   layers the demultiplexer lives in.  Detection is syntactic, like the
+   rest of the linter: a [Hashtbl] operation whose argument is a literal
+   tuple or record is exactly the pattern that builds a fresh structural
+   key per probe.  (A key built elsewhere and passed by name escapes
+   this rule, but the construction site is then flagged instead the next
+   time it is a literal — in practice the literal form is how every such
+   table is used.)  The fix is a packed-key table: Lrp_core.Flowtab. *)
+let d4_keyed_ops =
+  [ "add"; "replace"; "find"; "find_opt"; "find_all"; "mem"; "remove" ]
+
+let rec is_structural_key e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ -> true
+  | Pexp_constraint (e, _) -> is_structural_key e
+  | _ -> false
+
+let check_apply ctx ~loc fn args =
+  match fn.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten_longident txt with
+      | [ "Hashtbl"; op ]
+        when List.mem op d4_keyed_ops
+             && Config.in_dirs ctx.file ctx.config.Config.d4_dirs
+             && not
+                  (Config.in_files ctx.file ctx.config.Config.d4_exempt_files)
+             && List.exists (fun (_, a) -> is_structural_key a) args ->
+          emit ctx ~rule:"D4" ~loc
+            (Printf.sprintf
+               "structural key in Hashtbl.%s on a hot-path layer: \
+                polymorphic hashing walks the tuple/record (and allocates \
+                it) on every probe; pack the key into ints and use \
+                Lrp_core.Flowtab"
+               op)
+      | _ -> ())
+  | _ -> ()
+
 (* Infix scalar comparisons [a = b] are fine even in D3 files (they compare
    whatever the site compares, usually ints); only the *unapplied* operator
    — passed to List.mem, sort, etc., where it closes over whole structures —
@@ -155,6 +197,9 @@ let iterator ctx =
         ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, args)
       when List.mem op scalar_infix ->
         List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+    | Pexp_apply (fn, args) ->
+        check_apply ctx ~loc:e.pexp_loc fn args;
+        default.expr it e
     | _ -> default.expr it e
   in
   { default with expr }

@@ -9,13 +9,7 @@
 (** The pool; a packet of [n] bytes consumes [ceil (n / mbuf_size)]
     mbufs (minimum 1) until freed. *)
 
-type t = {
-  capacity : int;
-  mbuf_size : int;
-  mutable in_use : int;
-  mutable peak : int;
-  mutable failures : int;
-}
+type t
 val create : ?mbuf_size:int -> capacity:int -> unit -> t
 val mbufs_for : t -> int -> int
 val alloc : t -> bytes:int -> bool
@@ -24,6 +18,28 @@ val alloc : t -> bytes:int -> bool
 
 val free : t -> bytes:int -> unit
 (** Release a packet's mbufs.  @raise Invalid_argument on over-free. *)
+
+(** {1 Handle-based reservations}
+
+    A reservation can be held as a generation-checked handle whose slot
+    remembers the mbuf count, so the free site needs no byte
+    recomputation and cannot drift from the alloc site.  Stale handles
+    (double free, use-after-free) raise. *)
+
+type handle = int
+
+val no_handle : handle
+(** Never valid. *)
+
+val alloc_h : t -> bytes:int -> handle
+(** {!alloc} returning a handle, or [no_handle] on pool exhaustion (the
+    failure is counted). *)
+
+val free_h : t -> handle -> unit
+(** Release a handle's reservation and invalidate the handle.
+    @raise Invalid_argument on a stale handle. *)
+
+val valid_h : t -> handle -> bool
 
 val in_use : t -> int
 val peak : t -> int

@@ -32,7 +32,12 @@ type t = {
   bandwidth : float;        (* bytes per microsecond *)
   cellify : bool;           (* AAL5: pad to 48-byte cells, 53 on the wire *)
   ifq_limit : int;
-  ifq : Packet.t Queue.t;
+  (* Interface queue as a flat ring sized exactly [ifq_limit] (transmit
+     drops at the limit, so it cannot overflow).  Emptied slots are reset
+     to [Packet.null] so the ring never pins a transmitted frame. *)
+  ifq : Packet.t array;
+  mutable ifq_head : int;
+  mutable ifq_count : int;
   mutable tx_busy : bool;
   mutable rx_handler : Packet.t -> unit;
   mutable deliver : Packet.t -> unit;  (* wired to the fabric *)
@@ -48,7 +53,8 @@ let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
     ?(ifq_limit = 64) () =
   { nic_name = name; engine; ip;
     bandwidth = mbps_to_bytes_per_us bandwidth_mbps; cellify; ifq_limit;
-    ifq = Queue.create (); tx_busy = false;
+    ifq = Array.make (max 1 ifq_limit) Packet.null;
+    ifq_head = 0; ifq_count = 0; tx_busy = false;
     rx_handler = (fun _ -> ());
     deliver = (fun _ -> ());
     tx_done = None;
@@ -67,7 +73,7 @@ let register_metrics t m ~prefix =
   gauge ".tx_bytes" (fun () -> float_of_int t.stats.tx_bytes);
   gauge ".rx_packets" (fun () -> float_of_int t.stats.rx_packets);
   gauge ".tx_drops" (fun () -> float_of_int t.stats.tx_drops);
-  gauge ".ifq_len" (fun () -> float_of_int (Queue.length t.ifq))
+  gauge ".ifq_len" (fun () -> float_of_int t.ifq_count)
 
 let set_rx_handler t f = t.rx_handler <- f
 
@@ -85,14 +91,19 @@ let wire_footprint t pkt =
 let serialization_time t pkt = float_of_int (wire_footprint t pkt) /. t.bandwidth
 
 let rec drain t =
-  match Queue.take_opt t.ifq with
-  | None -> t.tx_busy <- false
-  | Some pkt ->
-      t.tx_busy <- true;
-      let d = serialization_time t pkt in
-      t.stats.tx_packets <- t.stats.tx_packets + 1;
-      t.stats.tx_bytes <- t.stats.tx_bytes + Packet.wire_bytes pkt;
-      ignore (Engine.schedule_to_after t.engine ~delay:d (tx_target t) pkt)
+  if t.ifq_count = 0 then t.tx_busy <- false
+  else begin
+    let pkt = t.ifq.(t.ifq_head) in
+    t.ifq.(t.ifq_head) <- Packet.null;
+    let head' = t.ifq_head + 1 in
+    t.ifq_head <- (if head' >= Array.length t.ifq then 0 else head');
+    t.ifq_count <- t.ifq_count - 1;
+    t.tx_busy <- true;
+    let d = serialization_time t pkt in
+    t.stats.tx_packets <- t.stats.tx_packets + 1;
+    t.stats.tx_bytes <- t.stats.tx_bytes + Packet.wire_bytes pkt;
+    ignore (Engine.schedule_to_after t.engine ~delay:d (tx_target t) pkt)
+  end
 
 (* Tx-complete dispatcher, registered on the first transmission: deliver
    the frame to the fabric and start the next one.  One registration per
@@ -112,17 +123,21 @@ and tx_target t =
 (* [transmit t pkt] is the driver's if_output: enqueue on the interface
    queue and kick the transmitter.  Returns [false] on queue overflow. *)
 let transmit t pkt =
-  if Queue.length t.ifq >= t.ifq_limit then begin
+  if t.ifq_count >= t.ifq_limit then begin
     t.stats.tx_drops <- t.stats.tx_drops + 1;
     false
   end
   else begin
-    Queue.add pkt t.ifq;
+    let cap = Array.length t.ifq in
+    let tail = t.ifq_head + t.ifq_count in
+    let tail = if tail >= cap then tail - cap else tail in
+    t.ifq.(tail) <- pkt;
+    t.ifq_count <- t.ifq_count + 1;
     if not t.tx_busy then drain t;
     true
   end
 
-let ifq_length t = Queue.length t.ifq
+let ifq_length t = t.ifq_count
 
 (* Called by the fabric when a frame reaches this NIC. *)
 let receive t pkt =

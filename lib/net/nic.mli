@@ -29,7 +29,10 @@ type t = {
   bandwidth : float;
   cellify : bool;
   ifq_limit : int;
-  ifq : Packet.t Queue.t;
+  ifq : Packet.t array;
+      (** flat ring sized [ifq_limit]; empty slots hold [Packet.null] *)
+  mutable ifq_head : int;
+  mutable ifq_count : int;
   mutable tx_busy : bool;
   mutable rx_handler : Packet.t -> unit;
   mutable deliver : Packet.t -> unit;

@@ -181,6 +181,13 @@ let icmp ~src ~dst kind payload =
            csum = checksum_of ~src ~dst body };
     body }
 
+(* A statically-allocated placeholder packet: ring buffers and arenas use
+   it to fill slots that hold no frame, so an emptied slot never pins the
+   last real packet that passed through it.  Never enters the data path. *)
+let null =
+  { ip = { src = 0; dst = 0; ident = 0; ttl = 0; csum = 0 };
+    body = Icmp (Echo_request, Payload.synthetic 0) }
+
 (* --- accessors used by demux and protocol code ----------------------- *)
 
 let src t = t.ip.src

@@ -101,6 +101,12 @@ val tcp :
   seq:int ->
   ack_no:int -> flags:tcp_flags -> window:int -> Payload.t -> t
 val icmp : src:ip -> dst:ip -> icmp_kind -> Payload.t -> t
+
+val null : t
+(** Statically-allocated placeholder: ring buffers and arenas fill empty
+    slots with it so they never pin a real packet.  Never enters the data
+    path. *)
+
 (** {1 Accessors used by demultiplexing and protocol code} *)
 
 val src : t -> ip

@@ -1,0 +1,100 @@
+(* Struct-of-arrays descriptor arena for in-flight received frames.
+
+   Every frame sitting in an NI channel (or any other receive-side queue)
+   is represented by a *descriptor*: a slot across parallel columns — the
+   structured packet, its cached wire footprint — identified by a
+   generation-checked integer handle.  Queues then carry plain ints
+   through flat int rings instead of boxed packets through linked
+   [Queue.t] cells: the per-packet costs this removes are the queue-cell
+   allocation, the [take_opt] option allocation, and the repeated
+   [Packet.wire_bytes] traversal (cached here in a column at admission).
+
+   Handles pack (generation, slot) like {!Lrp_engine.Engine}'s event
+   handles: the generation is bumped when a descriptor is released, so a
+   stale handle held after release can never reach the slot's next
+   occupant — double-release and use-after-release raise instead of
+   corrupting another frame.  Slots are recycled through a free stack;
+   the columns only ever grow, so the steady state allocates nothing per
+   frame. *)
+
+let slot_bits = 20
+let slot_mask = (1 lsl slot_bits) - 1
+
+type handle = int
+
+let none = -1
+
+type t = {
+  mutable pkts : Packet.t array; (* the frame itself *)
+  mutable bytes : int array; (* cached [Packet.wire_bytes] *)
+  mutable gens : int array;
+  mutable free : int array; (* stack of free slots *)
+  mutable free_top : int;
+  mutable live : int;
+  mutable peak : int;
+}
+
+let create () =
+  { pkts = [||]; bytes = [||]; gens = [||]; free = [||]; free_top = 0;
+    live = 0; peak = 0 }
+
+let grow t =
+  let cap = Array.length t.gens in
+  let cap' = max 16 (2 * cap) in
+  if cap' > slot_mask then failwith "Parena: too many live frames";
+  let pkts = Array.make cap' Packet.null in
+  let bytes = Array.make cap' 0 in
+  let gens = Array.make cap' 0 in
+  let free = Array.make cap' 0 in
+  Array.blit t.pkts 0 pkts 0 cap;
+  Array.blit t.bytes 0 bytes 0 cap;
+  Array.blit t.gens 0 gens 0 cap;
+  t.pkts <- pkts;
+  t.bytes <- bytes;
+  t.gens <- gens;
+  t.free <- free;
+  t.free_top <- 0;
+  for slot = cap' - 1 downto cap do
+    t.free.(t.free_top) <- slot;
+    t.free_top <- t.free_top + 1
+  done
+
+let[@inline] acquire t pkt =
+  if t.free_top = 0 then grow t;
+  t.free_top <- t.free_top - 1;
+  let slot = Array.unsafe_get t.free t.free_top in
+  t.pkts.(slot) <- pkt;
+  Array.unsafe_set t.bytes slot (Packet.wire_bytes pkt);
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live;
+  ((Array.unsafe_get t.gens slot) lsl slot_bits) lor slot
+
+let[@inline] valid t h =
+  h >= 0
+  &&
+  let slot = h land slot_mask in
+  slot < Array.length t.gens && Array.unsafe_get t.gens slot = h lsr slot_bits
+
+let[@inline never] stale name =
+  invalid_arg (Printf.sprintf "Parena.%s: stale or invalid handle" name)
+
+let[@inline] pkt t h =
+  if not (valid t h) then stale "pkt";
+  Array.unsafe_get t.pkts (h land slot_mask)
+
+let[@inline] wire_bytes t h =
+  if not (valid t h) then stale "wire_bytes";
+  Array.unsafe_get t.bytes (h land slot_mask)
+
+let[@inline] release t h =
+  if not (valid t h) then stale "release";
+  let slot = h land slot_mask in
+  Array.unsafe_set t.gens slot (Array.unsafe_get t.gens slot + 1);
+  t.pkts.(slot) <- Packet.null (* do not pin the released frame *);
+  t.live <- t.live - 1;
+  Array.unsafe_set t.free t.free_top slot;
+  t.free_top <- t.free_top + 1
+
+let live t = t.live
+let peak t = t.peak
+let capacity t = Array.length t.gens

@@ -81,6 +81,56 @@ let flow_of_packet (pkt : Packet.t) =
         | Packet.Fragment _ -> Frag_flow { src = pkt.Packet.ip.Packet.src; ident = pkt.Packet.ip.Packet.ident }
       end
 
+(* --- Allocation-free classification --------------------------------- *)
+
+(* The receive hot path needs three facts about a packet — its protocol
+   class, its trace id, and (for UDP) its destination port — but not the
+   boxed {!flow} value.  These mirror [flow_of_packet] exactly (the demux
+   equivalence property test pins the agreement); all constructors below
+   are constant, so classification allocates nothing. *)
+
+type flow_class = Udp_class | Tcp_class | Frag_class | Icmp_class
+
+let[@inline] class_of_body = function
+  | Packet.Udp _ -> Udp_class
+  | Packet.Tcp _ -> Tcp_class
+  | Packet.Icmp _ -> Icmp_class
+  | Packet.Fragment _ -> Frag_class
+
+let class_of_packet (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Fragment f when f.Packet.foff = 0 -> (
+      (* first fragment: classified as the whole datagram *)
+      match class_of_body f.Packet.whole.Packet.body with
+      | Frag_class -> Frag_class (* degenerate nesting stays a fragment *)
+      | c -> c)
+  | body -> class_of_body body
+
+(* [flow_id (flow_of_packet pkt)] without the intermediate flow. *)
+let flow_id_of_packet (pkt : Packet.t) =
+  let id_of_body ~ident = function
+    | Packet.Udp (u, _) -> u.Packet.udst_port
+    | Packet.Tcp (h, _) -> 100_000 + h.Packet.tdst_port
+    | Packet.Icmp _ -> 300_000
+    | Packet.Fragment _ -> 200_000 + ident
+  in
+  let ident = pkt.Packet.ip.Packet.ident in
+  match pkt.Packet.body with
+  | Packet.Fragment f when f.Packet.foff = 0 ->
+      id_of_body ~ident f.Packet.whole.Packet.body
+  | body -> id_of_body ~ident body
+
+(* Destination port of a UDP packet (first-fragment aware); -1 when the
+   packet is not UDP-classified. *)
+let udp_dst_port_of_packet (pkt : Packet.t) =
+  match pkt.Packet.body with
+  | Packet.Udp (u, _) -> u.Packet.udst_port
+  | Packet.Fragment f when f.Packet.foff = 0 -> (
+      match f.Packet.whole.Packet.body with
+      | Packet.Udp (u, _) -> u.Packet.udst_port
+      | _ -> -1)
+  | _ -> -1
+
 (* Byte-level classifier: mirrors what would run on the adaptor's embedded
    CPU.  Raises nothing: malformed packets classify as [Other_flow]. *)
 let flow_of_bytes b =

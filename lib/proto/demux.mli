@@ -36,3 +36,23 @@ val flow_of_bytes : bytes -> flow
     [Other_flow]. *)
 
 val equal_flow : flow -> flow -> bool
+
+(** {2 Allocation-free classification}
+
+    The receive hot path needs a packet's protocol class, trace id, and
+    (for UDP) destination port — but not the boxed {!flow} value.  These
+    agree with [flow_of_packet] by construction; the demux equivalence
+    property test pins the agreement. *)
+
+type flow_class = Udp_class | Tcp_class | Frag_class | Icmp_class
+
+val class_of_packet : Lrp_net.Packet.t -> flow_class
+(** Protocol class, first-fragment aware.  Constant constructors only —
+    allocates nothing. *)
+
+val flow_id_of_packet : Lrp_net.Packet.t -> int
+(** [flow_id (flow_of_packet pkt)] without the intermediate flow. *)
+
+val udp_dst_port_of_packet : Lrp_net.Packet.t -> int
+(** Destination port of a UDP-classified packet (first-fragment aware);
+    [-1] otherwise. *)

@@ -12,7 +12,14 @@
     feeds the cost model: the paper notes BSD's PCB lookup is linear and was
     a known performance problem for HTTP servers (it cites Mogul [16] and
     shortens TIME_WAIT in the Figure-5 experiment for exactly this
-    reason). *)
+    reason).
+
+    The tuple-keyed tables here are D4-exempt (see {!Lrp_lint.Config}):
+    this module models the {e BSD} lookup whose cost the paper
+    criticises — it is not on any LRP fast path (the NI demultiplexer
+    uses the packed-key {!Lrp_core.Chantab}/[Flowtab] instead), and its
+    generic value type cannot reuse [Flowtab] without inverting the
+    layer DAG. *)
 
 open Lrp_net
 

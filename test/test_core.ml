@@ -138,6 +138,107 @@ let test_chantab_removal () =
     (Chantab.resolve tab (Demux.flow_of_packet (pkt ())) = None);
   Alcotest.(check int) "no channels left" 0 (Chantab.udp_channel_count tab)
 
+(* --- flowtab ------------------------------------------------------------ *)
+
+let test_flowtab_million () =
+  let tab = Flowtab.create ~dummy:(-1) () in
+  let n = 1_000_000 in
+  for i = 0 to n - 1 do
+    Flowtab.add_new tab ~hi:i ~lo:(i * 31) i
+  done;
+  Alcotest.(check int) "length" n (Flowtab.length tab);
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let s = Flowtab.find tab ~hi:i ~lo:(i * 31) in
+    if s < 0 || Flowtab.value tab s <> i then ok := false
+  done;
+  Alcotest.(check bool) "all million keys present with their values" true !ok;
+  (* robin hood keeps the longest probe sequence short even at 7/8 load *)
+  Alcotest.(check bool) "clustering bound" true (Flowtab.max_probe tab < 64);
+  for i = 0 to n - 1 do
+    if i land 1 = 0 then ignore (Flowtab.remove tab ~hi:i ~lo:(i * 31))
+  done;
+  Alcotest.(check int) "half removed" (n / 2) (Flowtab.length tab);
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let found = Flowtab.find tab ~hi:i ~lo:(i * 31) >= 0 in
+    if found <> (i land 1 = 1) then ok := false
+  done;
+  Alcotest.(check bool) "survivors exactly the odd keys" true !ok
+
+(* Iteration must be a pure function of the insert/remove sequence: the
+   demux table is iterated for reporting, and a parallel sweep (--jobs 4)
+   must observe the same order as a serial one (--jobs 1).  Build the
+   same table on the main domain and on spawned domains and compare the
+   full iteration transcript. *)
+let test_flowtab_iteration_deterministic () =
+  let build () =
+    let tab = Flowtab.create ~dummy:(-1) () in
+    let r = ref 12345 in
+    let next () =
+      r := ((!r * 1103515245) + 12345) land 0x3FFFFFFF;
+      !r
+    in
+    for i = 0 to 4_999 do
+      let hi = next () land 0xFFFF and lo = next () land 0xFFFF in
+      if i land 7 = 3 then ignore (Flowtab.remove tab ~hi ~lo)
+      else Flowtab.add tab ~hi ~lo i
+    done;
+    let out = ref [] in
+    Flowtab.iter (fun ~hi ~lo v -> out := (hi, lo, v) :: !out) tab;
+    List.rev !out
+  in
+  let here = build () in
+  Alcotest.(check bool) "non-trivial table" true (List.length here > 1_000);
+  let domains = Array.init 3 (fun _ -> Domain.spawn build) in
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "iteration order identical on a spawned domain"
+        true (Domain.join d = here))
+    domains
+
+(* Property: a flowtab driven by a random add/remove/find script agrees
+   with an association-list model at every step and in its final
+   contents. *)
+let prop_flowtab_matches_model =
+  let op = QCheck.(triple (int_range 0 2) (int_range 0 15) (int_range 0 15)) in
+  QCheck.Test.make ~count:300 ~name:"flowtab agrees with an assoc-list model"
+    (QCheck.list op)
+    (fun ops ->
+      let tab = Flowtab.create ~dummy:(-1) () in
+      let model = ref [] in
+      let drop hi lo =
+        List.filter (fun (h, l, _) -> not (h = hi && l = lo)) !model
+      in
+      List.iteri
+        (fun i (op, hi, lo) ->
+          match op with
+          | 0 ->
+              Flowtab.add tab ~hi ~lo i;
+              model := (hi, lo, i) :: drop hi lo
+          | 1 ->
+              let removed = Flowtab.remove tab ~hi ~lo in
+              let present =
+                List.exists (fun (h, l, _) -> h = hi && l = lo) !model
+              in
+              if removed <> present then
+                QCheck.Test.fail_report "remove disagrees with model";
+              model := drop hi lo
+          | _ ->
+              let got = Flowtab.find_opt tab ~hi ~lo in
+              let want =
+                List.find_map
+                  (fun (h, l, v) -> if h = hi && l = lo then Some v else None)
+                  !model
+              in
+              if got <> want then
+                QCheck.Test.fail_report "find disagrees with model")
+        ops;
+      let dump = ref [] in
+      Flowtab.iter (fun ~hi ~lo v -> dump := (hi, lo, v) :: !dump) tab;
+      let sort = List.sort compare in
+      Flowtab.length tab = List.length !model && sort !dump = sort !model)
+
 (* Property: resolution of a UDP flow agrees with a plain PCB lookup oracle
    over random bind sets. *)
 let prop_chantab_matches_pcb =
@@ -156,7 +257,9 @@ let prop_chantab_matches_pcb =
       let flow = Demux.flow_of_packet (pkt ~dport:probe ()) in
       (Chantab.resolve tab flow <> None) = Hashtbl.mem oracle probe)
 
-let qsuite = [ QCheck_alcotest.to_alcotest prop_chantab_matches_pcb ]
+let qsuite =
+  [ QCheck_alcotest.to_alcotest prop_chantab_matches_pcb;
+    QCheck_alcotest.to_alcotest prop_flowtab_matches_model ]
 
 let suite =
   [ Alcotest.test_case "channel FIFO + transitions" `Quick test_channel_fifo;
@@ -168,5 +271,8 @@ let suite =
     Alcotest.test_case "chantab tcp exact/listen" `Quick test_chantab_tcp_resolution;
     Alcotest.test_case "chantab fragment channel" `Quick test_chantab_fragment_channel;
     Alcotest.test_case "chantab icmp daemon channel" `Quick test_chantab_icmp_channel;
-    Alcotest.test_case "chantab removal" `Quick test_chantab_removal ]
+    Alcotest.test_case "chantab removal" `Quick test_chantab_removal;
+    Alcotest.test_case "flowtab at a million flows" `Quick test_flowtab_million;
+    Alcotest.test_case "flowtab iteration is deterministic across domains"
+      `Quick test_flowtab_iteration_deterministic ]
   @ qsuite

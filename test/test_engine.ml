@@ -152,7 +152,7 @@ let prop_heap_sorted =
     QCheck.(list (float_bound_exclusive 1e6))
     (fun keys ->
       let h = Eheap.create () in
-      List.iter (fun k -> Eheap.add h ~key:k k) keys;
+      List.iteri (fun i k -> Eheap.add h ~key:k i) keys;
       let rec drain acc =
         match Eheap.pop h with
         | None -> List.rev acc

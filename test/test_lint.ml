@@ -32,6 +32,7 @@ let fixture_config =
     Config.stateful_scope = [ "lib"; "lint_fixtures" ];
     Config.d3_files =
       ("lint_fixtures/d3_polycompare.ml", [ "pt" ]) :: Config.default.Config.d3_files;
+    Config.d4_dirs = "test/lint_fixtures" :: Config.default.Config.d4_dirs;
   }
 
 let run_fixture ?(config = fixture_config) name =
@@ -65,6 +66,17 @@ let test_d3_polycompare () =
   (* The rule is config-driven: without the per-file entry it is silent. *)
   let fs' = run_fixture ~config:Config.default "d3_polycompare.ml" in
   check_rules "not in config: no findings" [] fs'
+
+let test_d4 () =
+  let fs = run_fixture "d4_hashkey.ml" in
+  check_rules "tuple and record keys fire; named and int keys do not"
+    [ "D4"; "D4" ] fs;
+  Alcotest.(check (list int))
+    "at the two literal-key probes" [ 5; 7 ]
+    (List.map (fun f -> f.Finding.line) fs);
+  (* Scope-driven: outside the hot-path directories the rule is silent. *)
+  let fs' = run_fixture ~config:Config.default "d4_hashkey.ml" in
+  check_rules "out of scope: no findings" [] fs'
 
 let test_c1 () =
   let fs = run_fixture "c1_ref.ml" in
@@ -229,6 +241,7 @@ let suite =
     Alcotest.test_case "D3 fires on Marshal" `Quick test_d3_marshal;
     Alcotest.test_case "D3 poly compare is config-driven" `Quick
       test_d3_polycompare;
+    Alcotest.test_case "D4 fires on structural Hashtbl keys" `Quick test_d4;
     Alcotest.test_case "C1 fires on module-level state" `Quick test_c1;
     Alcotest.test_case "P1 fires on stdout writes in scope" `Quick test_p1;
     Alcotest.test_case "unused suppression is a finding" `Quick test_sup_unused;

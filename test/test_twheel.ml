@@ -24,7 +24,8 @@ let test_horizon_boundary () =
   let s0 = stats eng in
   let log = ref [] in
   let ev tag = fun () -> log := (tag, Engine.now eng) :: !log in
-  ignore (Engine.schedule eng ~at:5. (ev "near"));
+  (* 20 us: tick 1 from tick 0 — past the due edge, so it buckets. *)
+  ignore (Engine.schedule eng ~at:20. (ev "near"));
   ignore (Engine.schedule eng ~at:(horizon -. 16.) (ev "last-bucket"));
   ignore (Engine.schedule eng ~at:horizon (ev "at-horizon"));
   ignore (Engine.schedule eng ~at:(horizon +. 1.) (ev "past-horizon"));
@@ -39,6 +40,25 @@ let test_horizon_boundary () =
     (List.rev_map fst !log);
   check_float "horizon event fired on time" horizon
     (List.assoc "at-horizon" !log)
+
+let test_due_tick_routes_to_heap () =
+  (* Keys inside the current 16-us tick are due "now": they skip the
+     bucket they would immediately be poured out of and go straight to
+     the heap.  Keys in the next tick still ride the wheel. *)
+  let eng = Engine.create () in
+  let s0 = stats eng in
+  let log = ref [] in
+  ignore (Engine.schedule eng ~at:0. (fun () -> log := "t0" :: !log));
+  ignore (Engine.schedule eng ~at:15.9 (fun () -> log := "t15.9" :: !log));
+  ignore (Engine.schedule eng ~at:16. (fun () -> log := "t16" :: !log));
+  let s1 = stats eng in
+  Alcotest.(check int) "due-tick schedules go straight to the heap" 2
+    (s1.Engine.routed_heap - s0.Engine.routed_heap);
+  Alcotest.(check int) "next-tick schedule rides the wheel" 1
+    (s1.Engine.routed_wheel - s0.Engine.routed_wheel);
+  Engine.run eng ~until:100.;
+  Alcotest.(check (list string)) "fired in key order"
+    [ "t0"; "t15.9"; "t16" ] (List.rev !log)
 
 let test_reschedule_across_boundary () =
   (* One periodic event that re-arms itself from the wheel into the
@@ -107,9 +127,12 @@ let test_handle_valid_across_cascade () =
 
 let test_step_on_all_cancelled_queue () =
   (* A queue holding only cancelled wheel residents: [step] must report
-     emptiness, not trip over the filter draining the last live entry. *)
+     emptiness, not trip over the filter draining the last live entry.
+     The key sits in tick 1 (20 us) so the entry is a bucket resident —
+     due-tick keys route straight to the heap and are lazily dropped at
+     pop instead. *)
   let eng = Engine.create () in
-  let h = Engine.schedule eng ~at:10. (fun () -> ()) in
+  let h = Engine.schedule eng ~at:20. (fun () -> ()) in
   Engine.cancel eng h;
   Alcotest.(check bool) "step sees an (effectively) empty queue" false
     (Engine.step eng);
@@ -189,6 +212,8 @@ let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_wheel_heap_equivalent ]
 let suite =
   [ Alcotest.test_case "routing splits exactly at the wheel horizon" `Quick
       test_horizon_boundary;
+    Alcotest.test_case "due-tick schedules route straight to the heap" `Quick
+      test_due_tick_routes_to_heap;
     Alcotest.test_case "reschedule crosses the wheel/heap boundary" `Quick
       test_reschedule_across_boundary;
     Alcotest.test_case "cancelled bucket resident is dropped at pour" `Quick
