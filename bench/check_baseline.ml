@@ -1,7 +1,7 @@
 (* CI regression gate: compare a fresh perf-baseline snapshot against the
-   committed BENCH_6.json.
+   committed BENCH_7.json.
 
-     dune exec bench/check_baseline.exe -- BENCH_6.json BENCH_run6.json
+     dune exec bench/check_baseline.exe -- BENCH_7.json BENCH_run7.json
 
    Per-entry tolerances are deliberately generous — CI machines are noisy
    and shared — so only order-of-magnitude regressions fail the build:
@@ -19,11 +19,19 @@
    less noisy than any single entry, so a drop past base/[eps_ratio]
    means a real regression, not scheduler jitter.
 
+   Two flight-recorder invariants are additionally checked *within* the
+   fresh snapshot (immune to machine-to-machine drift): the traced arena
+   RX cycle must allocate nothing (the packed recorder is plain word
+   stores) and may cost at most [recorder_ratio]x the bare cycle plus a
+   small absolute slack for timer granularity.
+
    Exit status: 0 all checks pass, 1 regression, 2 usage/parse error. *)
 
 let time_ratio = 4.0
 let eps_ratio = 1.5
 let words_slack = 0.5
+let recorder_ratio = 1.5
+let recorder_slack_ns = 5.0
 
 open Lrp_trace
 
@@ -91,6 +99,23 @@ let () =
             "%.2f words vs %.2f words (slack %.1f)" words base_words
             words_slack)
     base_entries;
+  (* Flight-recorder hot-path invariants, judged within the fresh run so
+     they hold on any machine, not just one resembling the committed
+     baseline's. *)
+  (match
+     ( List.assoc_opt "arena_rx" fresh_entries,
+       List.assoc_opt "tracing_on_arena_rx" fresh_entries )
+   with
+  | Some (bare_ns, _), Some (ns, words) ->
+      check ~label:"recorder alloc" ~ok:(words <= 0.05)
+        "%.2f words/event (must stay ~0)" words;
+      check ~label:"recorder overhead"
+        ~ok:(ns <= (bare_ns *. recorder_ratio) +. recorder_slack_ns)
+        "%.1f ns vs %.1f ns bare (limit %.1fx + %.0f ns)" ns bare_ns
+        recorder_ratio recorder_slack_ns
+  | _ ->
+      check ~label:"recorder entries" ~ok:false
+        "arena_rx / tracing_on_arena_rx missing from fresh snapshot");
   let base_eps = num committed_path committed "events_per_sec" in
   let eps = num fresh_path fresh "events_per_sec" in
   check ~label:"events_per_sec" ~ok:(eps >= base_eps /. eps_ratio)

@@ -19,7 +19,7 @@ open Lrp_experiments
 let quick = ref false
 let jobs = ref (Domain.recommended_domain_count ())
 let json_path = ref None
-let baseline_out = ref "BENCH_6.json"
+let baseline_out = ref "BENCH_7.json"
 let seed = Common.default_seed
 
 (* ------------------------------------------------------------------ *)
@@ -215,6 +215,47 @@ let bench_ablate_accounting () =
              ("receiver_share", Num r.Ablations.receiver_share);
              ("receiver_billed", Num r.Ablations.receiver_billed) ])
        rows)
+
+let bench_accounting () =
+  let r = Accounting.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Accounting.print r;
+  let module Overload = Lrp_check.Overload in
+  Obj
+    [ ( "ledger",
+        Arr
+          (List.map
+             (fun (a : Accounting.arch_row) ->
+               Obj
+                 [ ("system", Str (sysname a.Accounting.system));
+                   ("offered", Int a.Accounting.offered);
+                   ("delivered", Int a.Accounting.delivered);
+                   ("intr_total_us", Num a.Accounting.intr_total);
+                   ("mischarged_us", Num a.Accounting.mischarged);
+                   ("victim_mis_us", Num a.Accounting.victim_mis);
+                   ("receiver_proto_us", Num a.Accounting.receiver_proto);
+                   ("app_total_us", Num a.Accounting.app_total) ])
+             r.Accounting.arch_rows) );
+      ( "detector",
+        Arr
+          (List.map
+             (fun (d : Accounting.det_row) ->
+               let rep = d.Accounting.d_report in
+               Obj
+                 [ ("system", Str (sysname d.Accounting.d_system));
+                   ("rate", Num d.Accounting.d_rate);
+                   ("offered", Int d.Accounting.d_offered);
+                   ("delivered", Int d.Accounting.d_delivered);
+                   ("windows", Int rep.Overload.samples);
+                   ("judged", Int rep.Overload.judged);
+                   ("overload_windows", Int rep.Overload.overload_windows);
+                   ("livelock_windows", Int rep.Overload.livelock_windows);
+                   ("starved_windows", Int rep.Overload.starved_windows);
+                   ("worst_delivery", Num rep.Overload.worst_delivery);
+                   ("peak_intr_share", Num rep.Overload.peak_intr_share);
+                   ("ipq_hwm", Int rep.Overload.ipq_hwm);
+                   ("chan_hwm", Int rep.Overload.chan_hwm);
+                   ("sock_hwm", Int rep.Overload.sock_hwm) ])
+             r.Accounting.det_rows) ) ]
 
 let bench_ablate_demux () =
   let rows = Ablations.demux_cost ~jobs:!jobs ~seed () in
@@ -702,7 +743,7 @@ let bench_baseline () =
       (Lrp_net.Payload.synthetic 64)
   in
   let demux_probe () =
-    ignore (Lrp_core.Chantab.resolve_packet demux_tab demux_pkt)
+    ignore (Lrp_core.Chantab.resolve_slot demux_tab demux_pkt)
   in
   (* Arena RX: NI-channel admission and consumption through the handle
      ring — descriptor acquire into the shared arena, FIFO pop, release.
@@ -714,6 +755,40 @@ let bench_baseline () =
   let arena_rx () =
     ignore (Lrp_core.Channel.enqueue_code rx_chan demux_pkt);
     ignore (Lrp_core.Channel.pop rx_chan)
+  in
+  (* Recorder on the hot path: the same arena RX cycle plus the packed
+     flight-recorder emit the NIC path performs per packet.  The packed
+     backend is four word stores into SoA ring columns, so the whole
+     traced cycle must stay at 0.0 words/event and close to bare
+     [arena_rx] time (check_baseline pins the ratio). *)
+  let rec_clock = [| 0. |] in
+  let rec_tracer =
+    Lrp_trace.Trace.create ~name:"bench-recorder"
+      ~now:(fun () -> rec_clock.(0))
+      ()
+  in
+  let () =
+    Lrp_trace.Trace.use_packed rec_tracer ~clock:rec_clock;
+    Lrp_trace.Trace.set_enabled rec_tracer true
+  in
+  let tracing_on_arena_rx () =
+    ignore (Lrp_core.Channel.enqueue_code rx_chan demux_pkt);
+    Lrp_trace.Trace.nic_rx rec_tracer ~pkt:42 ~bytes:64;
+    ignore (Lrp_core.Channel.pop rx_chan)
+  in
+  (* Ledger charge: the always-on accounting write behind every CPU
+     charge — float-array arithmetic plus one int-keyed probe, with the
+     row already warmed so the steady state is allocation-free. *)
+  let bench_ledger = Lrp_sim.Ledger.create () in
+  let () =
+    Lrp_sim.Ledger.charge bench_ledger Lrp_sim.Ledger.Proto ~pid:1 ~flow:3 0.;
+    Lrp_sim.Ledger.charge bench_ledger Lrp_sim.Ledger.Intr ~pid:(-1) ~flow:(-1)
+      0.
+  in
+  let ledger_overhead () =
+    Lrp_sim.Ledger.charge bench_ledger Lrp_sim.Ledger.Proto ~pid:1 ~flow:3 0.1;
+    Lrp_sim.Ledger.charge bench_ledger Lrp_sim.Ledger.Intr ~pid:(-1) ~flow:(-1)
+      0.1
   in
   (* Batched dispatch: 64 same-deadline events admitted through the typed
      path and drained by one [Engine.drain] call — the engine dispatches
@@ -803,6 +878,10 @@ let bench_baseline () =
       measure "demux_probe" "demux/classify+flow-table probe (hit)"
         demux_probe;
       measure "arena_rx" "channel/arena enqueue_code+pop" arena_rx;
+      measure "tracing_on_arena_rx" "channel/arena rx + packed recorder"
+        tracing_on_arena_rx;
+      measure "ledger_overhead" "cpu/ledger charge (warm rows, x2)"
+        ledger_overhead;
       measure_scaled "batch_dispatch" "engine/batched dispatch (64-run)"
         ~per:batch_n batch_dispatch;
       measure "periodic_rearm" "engine/periodic re-arm (reschedule_after)"
@@ -853,6 +932,7 @@ let bench_baseline () =
 let all_benches =
   [ ("table1", bench_table1); ("fig3", bench_fig3); ("mlfrr", bench_mlfrr);
     ("fig4", bench_fig4); ("table2", bench_table2); ("fig5", bench_fig5);
+    ("accounting", bench_accounting);
     ("ablate-discard", bench_ablate_discard);
     ("ablate-accounting", bench_ablate_accounting);
     ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);

@@ -81,6 +81,10 @@ let fig5_cmd =
   experiment "fig5" "HTTP throughput under SYN flood (Figure 5)"
     (fun quick jobs -> Fig5.print (Fig5.run ~quick ~jobs ()))
 
+let accounting_cmd =
+  experiment "accounting" "CPU accounting ledger and livelock detector"
+    (fun quick jobs -> Accounting.print (Accounting.run ~quick ~jobs ()))
+
 let ablations_cmd =
   let run jobs =
     Ablations.print_discard (Ablations.discard ~jobs ());
@@ -266,6 +270,101 @@ let trace_cmd =
     Term.(
       const run $ arch $ rate $ duration $ trace_file $ trace_format $ classes)
 
+let top_cmd =
+  let module Trace = Lrp_trace.Trace in
+  let module Overload = Lrp_check.Overload in
+  let module Ledger = Lrp_sim.Ledger in
+  let dump_file =
+    let doc =
+      "Also write the server's packed flight-recorder dump to $(docv) \
+       (binary; reload with Lrp_trace.Precorder.read_dump)."
+    in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let run arch rate duration dump_file =
+    let cfg = Kernel.default_config arch in
+    let w, client, server = World.pair ~cfg () in
+    Kernel.set_tracing server true;
+    let det = Lrp_check.Overload.attach server in
+    let sink = Blast.start_sink server ~port:9000 () in
+    let src =
+      Blast.start_source (World.engine w) (Kernel.nic client)
+        ~src:(Kernel.ip_address client)
+        ~dst:(Kernel.ip_address server, 9000)
+        ~rate ~size:14 ~until:(Time.sec duration) ()
+    in
+    World.run w ~until:(Time.sec duration);
+    Overload.detach det;
+    let cpu = Kernel.cpu server in
+    let led = Lrp_sim.Cpu.ledger cpu in
+    Printf.printf "%s: offered %.0f pkts/s for %.1fs; sent %d, delivered %d\n"
+      (Kernel.arch_name arch) rate duration src.Blast.sent sink.Blast.received;
+    Printf.printf "\nCPU ledger (us charged per process):\n";
+    Printf.printf "  %5s %-16s %10s %10s %10s %10s %12s\n" "pid" "name"
+      "intr-vict" "soft-vict" "proto" "app" "misaccounted";
+    List.iter
+      (fun (r : Ledger.row) ->
+        Printf.printf "  %5d %-16s %10.0f %10.0f %10.0f %10.0f %12.0f\n"
+          r.Ledger.pid r.Ledger.name r.Ledger.intr_victim r.Ledger.soft_victim
+          r.Ledger.proto r.Ledger.app (Ledger.misaccounted r))
+      (Ledger.rows led);
+    (match Ledger.flow_rows led with
+    | [] -> ()
+    | flows ->
+        Printf.printf "\nPer-flow protocol cycles:\n";
+        Printf.printf "  %6s %10s\n" "chan" "proto";
+        List.iter
+          (fun (f : Ledger.flow_row) ->
+            Printf.printf "  %6d %10.0f\n" f.Ledger.flow f.Ledger.f_proto)
+          flows);
+    Printf.printf "\nOverload detector: %s\n"
+      (Format.asprintf "%a" Overload.pp_report (Overload.report det));
+    (match dump_file with
+    | None -> ()
+    | Some file ->
+        (match Trace.packed (Kernel.tracer server) with
+        | Some p ->
+            Lrp_trace.Precorder.write_dump p file;
+            Printf.printf "\nflight recorder: %d events -> %s\n"
+              (Lrp_trace.Precorder.length p) file
+        | None -> Printf.printf "\nflight recorder: no packed backend\n"))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run one UDP overload point and report the per-process CPU \
+          accounting ledger, per-flow protocol cycles and the livelock \
+          detector's verdict")
+    Term.(const run $ arch $ rate $ duration $ dump_file)
+
+let dump_cmd =
+  let module Trace = Lrp_trace.Trace in
+  let module Precorder = Lrp_trace.Precorder in
+  let file =
+    let doc = "Flight-recorder binary dump (written by top --dump, or by a \
+               failing fuzz run)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Precorder.read_dump file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+    | Ok p ->
+        Printf.printf "# %s: %d events (%d overwritten before the dump)\n"
+          file (Precorder.length p) (Precorder.dropped p);
+        List.iter
+          (fun (ts, seq, ev) ->
+            Format.printf "%12.1f %8d  %a@." ts seq Trace.pp_event ev)
+          (Trace.events_of_precorder p)
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Decode a packed flight-recorder binary dump back to typed events, \
+          one per line")
+    Term.(const run $ file)
+
 let main () =
   let info = Cmd.info "lrp_sim" ~doc:"LRP (OSDI'96) reproduction harness" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -273,6 +372,7 @@ let main () =
     (Cmd.eval
        (Cmd.group ~default info
           [ table1_cmd; fig3_cmd; mlfrr_cmd; fig4_cmd; table2_cmd; fig5_cmd;
-            ablations_cmd; blast_cmd; gateway_cmd; trace_cmd ]))
+            accounting_cmd; ablations_cmd; blast_cmd; gateway_cmd; trace_cmd;
+            top_cmd; dump_cmd ]))
 
 let () = main ()

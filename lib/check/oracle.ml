@@ -123,7 +123,7 @@ let check ?(require_demux = false) events =
               (count enq (pkt, sock))
       | Trace.Softint_begin _ | Trace.Softint_end _ | Trace.Intr_enter _
       | Trace.Intr_exit _ | Trace.Ctx_switch _ | Trace.Thread_state _
-      | Trace.Note _ -> ())
+      | Trace.Note _ | Trace.Alarm _ -> ())
     events;
   (* End-of-stream count bounds, in packet-id order so any violation list
      is reproducible. *)

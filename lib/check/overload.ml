@@ -1,0 +1,177 @@
+(** Livelock / overload detector (paper sections 2.2 and 6.1).
+
+    Samples a kernel at a fixed virtual-time period and compares, per
+    window, the work the network {e offered} (frames reaching the
+    receive path) against the work the host {e delivered} (datagrams and
+    segments handed to endpoints, plus forwarded packets):
+
+    - {b overload}: offered load is substantial and delivery collapsed
+      below a configured fraction of it.  This fires for any
+      architecture shedding load — including LRP doing early discard,
+      which is the intended behaviour under overload;
+    - {b livelock}: an overloaded window in which interrupt-level
+      processing also monopolised the CPU.  This is the BSD-specific
+      pathology the paper demonstrates (figures 4–6): the host is
+      saturated with eager interrupt work while useful throughput drops
+      toward zero.  LRP keeps interrupt share small at the same offered
+      load, so this alarm separates the architectures;
+    - {b starvation}: substantial offered load while the ledger shows
+      process-context work (application + receiver protocol) got almost
+      no CPU — the user-visible face of livelock.
+
+    Verdicts are emitted into the kernel's flight recorder as
+    {!Lrp_trace.Trace.Alarm} events, so a post-mortem dump shows when
+    the collapse began; queue high-watermarks (shared IP queue, NI
+    channels, socket queues) are tracked for the same forensic use.
+    The detector only reads counters the kernel already maintains — it
+    never touches packets or scheduling, so it cannot perturb the
+    simulation beyond its own (constant, per-window) sampling event. *)
+
+open Lrp_engine
+open Lrp_sim
+open Lrp_kernel
+module Trace = Lrp_trace.Trace
+
+type config = {
+  window : float;         (* sampling period, simulated microseconds *)
+  min_offered : int;      (* frames/window below which no verdict is made *)
+  collapse_frac : float;  (* delivered < frac * offered  =>  overload *)
+  livelock_share : float; (* overloaded + intr share >= this => livelock *)
+  starve_share : float;   (* process-work share <= this => starvation *)
+}
+
+let default_config =
+  { window = 10_000.; min_offered = 20; collapse_frac = 0.5;
+    livelock_share = 0.8; starve_share = 0.05 }
+
+type report = {
+  mutable samples : int;           (* windows examined *)
+  mutable judged : int;            (* windows with offered >= min_offered *)
+  mutable overload_windows : int;
+  mutable livelock_windows : int;
+  mutable starved_windows : int;
+  mutable peak_offered : int;      (* max offered frames in one window *)
+  mutable worst_delivery : float;
+      (* min delivered/offered across judged windows; 1. if none judged *)
+  mutable peak_intr_share : float; (* max interrupt share across judged *)
+  mutable ipq_hwm : int;
+  mutable chan_hwm : int;          (* deepest NI channel occupancy *)
+  mutable sock_hwm : int;          (* deepest socket-queue occupancy *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  cfg : config;
+  rep : report;
+  mutable ev : Engine.handle;
+  (* previous-sample counters, delta'd each window *)
+  mutable p_offered : int;
+  mutable p_delivered : int;
+  mutable p_hard : float;
+  mutable p_soft : float;
+  mutable p_proc : float;  (* ledger App + Proto *)
+}
+
+let report t = t.rep
+let livelocked t = t.rep.livelock_windows > 0
+let overloaded t = t.rep.overload_windows > 0
+
+let delivered_count (s : Kernel.kstats) =
+  s.Kernel.udp_delivered + s.Kernel.tcp_delivered + s.Kernel.forwarded
+
+(* One sampling window: delta the kernel's counters and classify. *)
+let sample t =
+  let k = t.kernel in
+  let s = Kernel.stats k in
+  let cpu = Kernel.cpu k in
+  let led = Cpu.ledger cpu in
+  let rep = t.rep in
+  let cfg = t.cfg in
+  let offered = s.Kernel.rx_frames in
+  let delivered = delivered_count s in
+  let hard = Cpu.time_hard cpu and soft = Cpu.time_soft cpu in
+  let proc = Ledger.total led Ledger.App +. Ledger.total led Ledger.Proto in
+  let d_off = offered - t.p_offered in
+  let d_del = delivered - t.p_delivered in
+  let d_intr = hard -. t.p_hard +. (soft -. t.p_soft) in
+  let d_proc = proc -. t.p_proc in
+  t.p_offered <- offered;
+  t.p_delivered <- delivered;
+  t.p_hard <- hard;
+  t.p_soft <- soft;
+  t.p_proc <- proc;
+  rep.samples <- rep.samples + 1;
+  if d_off > rep.peak_offered then rep.peak_offered <- d_off;
+  (* Queue high-watermarks (new maxima recorded as alarm events). *)
+  let tracer = Kernel.tracer k in
+  if s.Kernel.ipq_hwm > rep.ipq_hwm then begin
+    rep.ipq_hwm <- s.Kernel.ipq_hwm;
+    Trace.alarm tracer ~alarm:Trace.Queue_watermark ~a:0 ~b:rep.ipq_hwm
+  end;
+  List.iter
+    (fun ch ->
+      let h = Lrp_core.Channel.high_watermark ch in
+      if h > rep.chan_hwm then begin
+        rep.chan_hwm <- h;
+        Trace.alarm tracer ~alarm:Trace.Queue_watermark ~a:1 ~b:h
+      end)
+    (Kernel.channels k);
+  Lrp_det.Det.iter_sorted
+    (fun _port (sock : Socket.t) ->
+      let h = sock.Socket.stats.Socket.rx_hwm in
+      if h > rep.sock_hwm then begin
+        rep.sock_hwm <- h;
+        Trace.alarm tracer ~alarm:Trace.Queue_watermark ~a:2 ~b:h
+      end)
+    k.Kernel.udp_ports;
+  if d_off >= cfg.min_offered then begin
+    rep.judged <- rep.judged + 1;
+    let ratio = float_of_int d_del /. float_of_int d_off in
+    if ratio < rep.worst_delivery then rep.worst_delivery <- ratio;
+    let intr_share = d_intr /. cfg.window in
+    let proc_share = d_proc /. cfg.window in
+    if intr_share > rep.peak_intr_share then rep.peak_intr_share <- intr_share;
+    if ratio < cfg.collapse_frac then begin
+      rep.overload_windows <- rep.overload_windows + 1;
+      Trace.alarm tracer ~alarm:Trace.Overload ~a:d_off ~b:d_del;
+      if intr_share >= cfg.livelock_share then begin
+        rep.livelock_windows <- rep.livelock_windows + 1;
+        Trace.alarm tracer ~alarm:Trace.Livelock ~a:d_off
+          ~b:(int_of_float (intr_share *. 100.))
+      end
+    end;
+    if proc_share <= cfg.starve_share then begin
+      rep.starved_windows <- rep.starved_windows + 1;
+      Trace.alarm tracer ~alarm:Trace.Starvation
+        ~a:(int_of_float (proc_share *. 100.))
+        ~b:(int_of_float (intr_share *. 100.))
+    end
+  end
+
+let attach ?(config = default_config) k =
+  let t =
+    { kernel = k; cfg = config;
+      rep =
+        { samples = 0; judged = 0; overload_windows = 0; livelock_windows = 0;
+          starved_windows = 0; peak_offered = 0; worst_delivery = 1.;
+          peak_intr_share = 0.; ipq_hwm = 0; chan_hwm = 0; sock_hwm = 0 };
+      ev = Engine.none;
+      p_offered = 0; p_delivered = 0; p_hard = 0.; p_soft = 0.; p_proc = 0. }
+  in
+  let engine = Kernel.engine k in
+  t.ev <-
+    Engine.schedule_after engine ~delay:config.window (fun () ->
+        sample t;
+        Engine.reschedule_after engine t.ev ~delay:config.window);
+  t
+
+let detach t = Engine.cancel (Kernel.engine t.kernel) t.ev
+
+let pp_report fmt (r : report) =
+  Fmt.pf fmt
+    "windows=%d judged=%d overload=%d livelock=%d starved=%d \
+     peak_offered=%d worst_delivery=%.2f peak_intr_share=%.2f \
+     hwm(ipq=%d chan=%d sock=%d)"
+    r.samples r.judged r.overload_windows r.livelock_windows
+    r.starved_windows r.peak_offered r.worst_delivery r.peak_intr_share
+    r.ipq_hwm r.chan_hwm r.sock_hwm

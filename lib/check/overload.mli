@@ -1,0 +1,66 @@
+(** Livelock / overload detector.
+
+    Attach to a kernel to sample it every [window] simulated
+    microseconds and classify each window from counters the kernel
+    already maintains:
+
+    - {b overload} — offered load was substantial ([>= min_offered]
+      frames) but delivered work (UDP datagrams + TCP segments +
+      forwarded packets) fell below [collapse_frac] of it.  Any
+      load-shedding architecture triggers this, including LRP early
+      discard doing its job;
+    - {b livelock} — an overloaded window whose interrupt-level CPU
+      share (hard + soft) was at least [livelock_share].  Only the
+      eager architectures exhibit this; it is the detector's
+      BSD-vs-LRP discriminator;
+    - {b starvation} — substantial offered load while process-context
+      work (ledger [App] + [Proto]) got at most [starve_share] of the
+      window.
+
+    Each verdict (and each new queue high-watermark) is emitted into
+    the kernel's tracer as an {!Lrp_trace.Trace.Alarm} event, so the
+    flight recorder shows when the collapse began. *)
+
+type config = {
+  window : float;         (** sampling period, simulated microseconds *)
+  min_offered : int;      (** frames/window below which no verdict is made *)
+  collapse_frac : float;  (** delivered < frac × offered ⇒ overload *)
+  livelock_share : float; (** overloaded ∧ intr share ≥ this ⇒ livelock *)
+  starve_share : float;   (** process-work share ≤ this ⇒ starvation *)
+}
+
+val default_config : config
+(** 10 ms window, 20 frames minimum, collapse below 50 % delivery,
+    livelock at ≥ 80 % interrupt share, starvation at ≤ 5 % process
+    share. *)
+
+type report = {
+  mutable samples : int;
+  mutable judged : int;  (** windows with offered ≥ [min_offered] *)
+  mutable overload_windows : int;
+  mutable livelock_windows : int;
+  mutable starved_windows : int;
+  mutable peak_offered : int;
+  mutable worst_delivery : float;
+      (** min delivered/offered over judged windows ([1.] if none) *)
+  mutable peak_intr_share : float;
+  mutable ipq_hwm : int;
+  mutable chan_hwm : int;
+  mutable sock_hwm : int;
+}
+
+type t
+
+val attach : ?config:config -> Lrp_kernel.Kernel.t -> t
+(** Install the periodic sampler on the kernel's engine.  The detector
+    reads counters only; its sole simulation footprint is one timer
+    event per window. *)
+
+val detach : t -> unit
+(** Cancel the sampling event. *)
+
+val report : t -> report
+val overloaded : t -> bool
+val livelocked : t -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -45,6 +45,7 @@ type t = {
   mutable enqueued : int;
   mutable discarded : int;        (* early discards: queue full *)
   mutable discarded_disabled : int; (* discards due to disabled processing *)
+  mutable hwm : int;              (* deepest queue occupancy observed *)
 }
 
 (* Atomic: channel ids must stay unique when simulations run on concurrent
@@ -61,7 +62,7 @@ let create ?arena ?(limit = 32) ~name () =
     arena; ring = Array.make (max 1 limit) Parena.none; head = 0; count = 0;
     limit;
     intr_requested = false; processing_enabled = true; enqueued = 0;
-    discarded = 0; discarded_disabled = 0 }
+    discarded = 0; discarded_disabled = 0; hwm = 0 }
 
 let name t = t.chan_name
 let id t = t.id
@@ -97,6 +98,7 @@ let enqueue_code t pkt =
     let tail = if tail >= cap then tail - cap else tail in
     t.ring.(tail) <- Parena.acquire t.arena pkt;
     t.count <- t.count + 1;
+    if t.count > t.hwm then t.hwm <- t.count;
     t.enqueued <- t.enqueued + 1;
     if was_empty then queued_was_empty else queued_was_nonempty
   end
@@ -173,6 +175,7 @@ let processing_enabled t = t.processing_enabled
 let enqueued t = t.enqueued
 let discarded t = t.discarded
 let discarded_disabled t = t.discarded_disabled
+let high_watermark t = t.hwm
 
 let pp fmt t =
   Fmt.pf fmt "chan %s#%d [%d/%d] in=%d drop=%d" t.chan_name t.id

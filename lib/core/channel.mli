@@ -98,4 +98,9 @@ val discarded : t -> int
 val discarded_disabled : t -> int
 (** Discards while processing was disabled (e.g. SYN-flood victims). *)
 
+val high_watermark : t -> int
+(** Deepest queue occupancy observed since creation (overload
+    forensics: a high watermark near [limit] means the channel has been
+    on the edge of early discard). *)
+
 val pp : Format.formatter -> t -> unit

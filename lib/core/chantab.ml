@@ -92,28 +92,36 @@ let remove_tcp_listen t ~port =
     (Flowtab.remove t.tab ~hi:(hi_of ~ns:ns_listen ~src:0)
        ~lo:(lo_of ~src_port:0 ~dst_port:port))
 
+(* Slot codes: the alloc-free twin of [Channel.t option].  Non-negative
+   values are {!Flowtab} slots (valid until the next table mutation);
+   the dedicated channels, which live outside the Flowtab, get their own
+   negative codes so a probe can name them without boxing. *)
+let slot_none = -1
+let slot_frag = -2
+let slot_icmp = -3
+
 (* The TCP probe order: exact four-tuple first, then — for
    connection-establishment requests only — the listening socket. *)
-let[@inline] resolve_tcp t ~src ~src_port ~dst_port ~syn_only =
+let[@inline] resolve_tcp_slot t ~src ~src_port ~dst_port ~syn_only =
   let slot =
     Flowtab.find t.tab ~hi:(hi_of ~ns:ns_tcp ~src)
       ~lo:(lo_of ~src_port ~dst_port)
   in
-  if slot >= 0 then Some (Flowtab.value t.tab slot)
-  else if syn_only then begin
-    let slot =
-      Flowtab.find t.tab ~hi:(hi_of ~ns:ns_listen ~src:0)
-        ~lo:(lo_of ~src_port:0 ~dst_port)
-    in
-    if slot >= 0 then Some (Flowtab.value t.tab slot) else None
-  end
-  else None
+  if slot >= 0 || not syn_only then slot
+  else
+    Flowtab.find t.tab ~hi:(hi_of ~ns:ns_listen ~src:0)
+      ~lo:(lo_of ~src_port:0 ~dst_port)
+
+let[@inline] resolve_udp_slot t ~dst_port =
+  Flowtab.find t.tab ~hi:(hi_of ~ns:ns_udp ~src:0)
+    ~lo:(lo_of ~src_port:0 ~dst_port)
+
+let[@inline] resolve_tcp t ~src ~src_port ~dst_port ~syn_only =
+  let slot = resolve_tcp_slot t ~src ~src_port ~dst_port ~syn_only in
+  if slot >= 0 then Some (Flowtab.value t.tab slot) else None
 
 let[@inline] resolve_udp t ~dst_port =
-  let slot =
-    Flowtab.find t.tab ~hi:(hi_of ~ns:ns_udp ~src:0)
-      ~lo:(lo_of ~src_port:0 ~dst_port)
-  in
+  let slot = resolve_udp_slot t ~dst_port in
   if slot >= 0 then Some (Flowtab.value t.tab slot) else None
 
 (* [resolve t flow] finds the destination channel, or [None] when no
@@ -134,38 +142,51 @@ let resolve t flow =
 
 (* Packet-direct resolution: classify and probe in one pass, without
    materialising the {!Demux.flow} variant the classifier allocates per
-   packet.  Must agree with [resolve] ∘ [Demux.flow_of_packet] — the
-   demux equivalence test runs the two side by side. *)
-let resolve_packet t (pkt : Packet.t) =
-  let result =
+   packet — or anything else: the result is a slot code, so the NI demux
+   probe is allocation-free end to end.  Must agree with
+   [resolve] ∘ [Demux.flow_of_packet] — the demux equivalence test runs
+   the two side by side. *)
+let resolve_slot t (pkt : Packet.t) =
+  let slot =
     match pkt.Packet.body with
-    | Packet.Udp (u, _) -> resolve_udp t ~dst_port:u.Packet.udst_port
+    | Packet.Udp (u, _) -> resolve_udp_slot t ~dst_port:u.Packet.udst_port
     | Packet.Tcp (h, _) ->
-        resolve_tcp t ~src:pkt.Packet.ip.Packet.src
+        resolve_tcp_slot t ~src:pkt.Packet.ip.Packet.src
           ~src_port:h.Packet.tsrc_port ~dst_port:h.Packet.tdst_port
           ~syn_only:
             (h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack)
-    | Packet.Icmp _ -> Some t.icmp
+    | Packet.Icmp _ -> slot_icmp
     | Packet.Fragment f ->
-        if f.Packet.foff <> 0 then Some t.frag
+        if f.Packet.foff <> 0 then slot_frag
         else begin
           (* First fragment: the transport header is present, demultiplex
              as the whole datagram would. *)
           match f.Packet.whole.Packet.body with
-          | Packet.Udp (u, _) -> resolve_udp t ~dst_port:u.Packet.udst_port
+          | Packet.Udp (u, _) ->
+              resolve_udp_slot t ~dst_port:u.Packet.udst_port
           | Packet.Tcp (h, _) ->
-              resolve_tcp t ~src:pkt.Packet.ip.Packet.src
+              resolve_tcp_slot t ~src:pkt.Packet.ip.Packet.src
                 ~src_port:h.Packet.tsrc_port ~dst_port:h.Packet.tdst_port
                 ~syn_only:
                   (h.Packet.flags.Packet.syn && not h.Packet.flags.Packet.ack)
-          | Packet.Icmp _ -> Some t.icmp
+          | Packet.Icmp _ -> slot_icmp
           | Packet.Fragment _ ->
               (* degenerate nesting: classified as a fragment flow *)
-              Some t.frag
+              slot_frag
         end
   in
-  if Option.is_none result then t.unmatched <- t.unmatched + 1;
-  result
+  if slot = slot_none then t.unmatched <- t.unmatched + 1;
+  slot
+
+let channel_of_slot t slot =
+  if slot >= 0 then Flowtab.value t.tab slot
+  else if slot = slot_frag then t.frag
+  else if slot = slot_icmp then t.icmp
+  else invalid_arg "Chantab.channel_of_slot: no channel for slot_none"
+
+let resolve_packet t pkt =
+  let slot = resolve_slot t pkt in
+  if slot = slot_none then None else Some (channel_of_slot t slot)
 
 let unmatched t = t.unmatched
 

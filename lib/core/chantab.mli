@@ -58,7 +58,37 @@ val resolve_packet : t -> Lrp_net.Packet.t -> Channel.t option
 (** Classify and probe in one pass: behaves exactly like
     [resolve t (Demux.flow_of_packet pkt)] but allocates no intermediate
     flow value — one packed-key probe per packet on the demux hot
-    path. *)
+    path.  (Cold-path convenience over {!resolve_slot}; the option
+    result still boxes.) *)
+
+(** {2 Allocation-free resolution}
+
+    The per-packet demux probe used by the NI and interrupt handlers.
+    [resolve_slot] returns an int slot code instead of a
+    [Channel.t option], so the probe allocates nothing at all:
+    non-negative codes are {!Flowtab} slots (valid until the next table
+    mutation), negative codes name the dedicated channels or a miss. *)
+
+val slot_none : int
+(** No endpoint matched (the packet will be dropped); counted in
+    {!unmatched}. *)
+
+val slot_frag : int
+(** The dedicated fragment channel. *)
+
+val slot_icmp : int
+(** The dedicated ICMP/proxy channel. *)
+
+val resolve_slot : t -> Lrp_net.Packet.t -> int
+(** Classify and probe in one pass, returning a slot code.  Agrees with
+    {!resolve_packet}: [resolve_slot] returns {!slot_none} exactly when
+    [resolve_packet] returns [None], and otherwise
+    [channel_of_slot t (resolve_slot t pkt)] is the channel
+    [resolve_packet] would box. *)
+
+val channel_of_slot : t -> int -> Channel.t
+(** Decode a slot code returned by {!resolve_slot}.
+    @raise Invalid_argument on {!slot_none}. *)
 
 val unmatched : t -> int
 (** Packets that matched no endpoint. *)

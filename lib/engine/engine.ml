@@ -55,14 +55,16 @@ type timer_stats = {
   pour_skipped : int;     (* cancelled entries dropped at bucket pour *)
 }
 
-(* The clock lives in a single-field float record: all-float records are
-   flat, so reads and writes of [fv] stay unboxed, where a [mutable clock
-   : float] field in the mixed record below would allocate a fresh box on
-   every store (once per fired event). *)
-type fclock = { mutable fv : float }
-
+(* The clock lives in a 1-slot float array: float arrays store doubles
+   flat, so reads and writes of slot 0 stay unboxed, where a [mutable
+   clock : float] field in the mixed record below would allocate a fresh
+   box on every store (once per fired event).  The array (rather than a
+   flat record) is deliberate: {!clock_cell} hands it to observers — the
+   packed flight recorder stamps events by copying [cell.(0)] straight
+   into its own float column, where the boxed-closure clock ({!clock})
+   would allocate two words per read. *)
 type t = {
-  clock : fclock;
+  clock : float array;
   queue : Twheel.t;
   (* the queue's scratch cell ({!Twheel.cell}), cached here: keys travel
      through it instead of float arguments/returns, which non-flambda
@@ -100,7 +102,7 @@ let no_arg = Obj.repr 0
 let create ?(seed = 42) ?(pure_heap = false) () =
   let queue = Twheel.create ~wheel:(not pure_heap) () in
   let t =
-    { clock = { fv = Time.zero }; queue; cell = Twheel.cell queue;
+    { clock = [| Time.zero |]; queue; cell = Twheel.cell queue;
       root_rng = Rng.create seed;
       live_count = 0; executed = 0; n_scheduled = 0; n_cancelled = 0;
       dispatchers = [||]; n_dispatchers = 0;
@@ -126,8 +128,9 @@ let create ?(seed = 42) ?(pure_heap = false) () =
       else true);
   t
 
-let now t = t.clock.fv
-let clock t () = t.clock.fv
+let now t = t.clock.(0)
+let clock t () = t.clock.(0)
+let clock_cell t = t.clock
 
 let rng t = t.root_rng
 
@@ -206,18 +209,18 @@ let[@inline] free_slot t slot =
 let[@inline never] schedule_in_past name t =
   invalid_arg
     (Printf.sprintf "Engine.%s: at=%.3f is before now=%.3f" name
-       t.cell.(0) t.clock.fv)
+       t.cell.(0) t.clock.(0))
 
 let[@inline] enqueue_cell t slot =
   let h = (t.gens.(slot) lsl slot_bits) lor slot in
-  t.cell.(1) <- t.clock.fv;
+  t.cell.(1) <- t.clock.(0);
   Twheel.add_cell t.queue h;
   t.live_count <- t.live_count + 1;
   t.n_scheduled <- t.n_scheduled + 1;
   h
 
 let[@inline] schedule_cell t fn =
-  if t.cell.(0) < t.clock.fv then schedule_in_past "schedule" t;
+  if t.cell.(0) < t.clock.(0) then schedule_in_past "schedule" t;
   let slot = alloc_slot t in
   (* the recycled slot often still holds this exact (static) thunk *)
   if Array.unsafe_get t.fns slot != fn then t.fns.(slot) <- fn;
@@ -228,11 +231,11 @@ let schedule t ~at fn =
   schedule_cell t fn
 
 let schedule_after t ~delay fn =
-  t.cell.(0) <- t.clock.fv +. delay;
+  t.cell.(0) <- t.clock.(0) +. delay;
   schedule_cell t fn
 
 let[@inline] schedule_to_cell t tid v =
-  if t.cell.(0) < t.clock.fv then schedule_in_past "schedule_to" t;
+  if t.cell.(0) < t.clock.(0) then schedule_in_past "schedule_to" t;
   let slot = alloc_slot t in
   t.disp.(slot) <- tid;
   t.args.(slot) <- Obj.repr v;
@@ -243,7 +246,7 @@ let schedule_to t ~at (tid : _ target) v =
   schedule_to_cell t tid v
 
 let schedule_to_after t ~delay tgt v =
-  t.cell.(0) <- t.clock.fv +. delay;
+  t.cell.(0) <- t.clock.(0) +. delay;
   schedule_to_cell t tgt v
 
 (* A handle is valid while its generation matches the slot's: from
@@ -268,12 +271,12 @@ let is_pending t h =
 
 (* As with [schedule_cell], the new firing time arrives in [cell.(0)]. *)
 let reschedule_cell t h =
-  if t.cell.(0) < t.clock.fv then schedule_in_past "reschedule" t;
+  if t.cell.(0) < t.clock.(0) then schedule_in_past "reschedule" t;
   let slot = h land slot_mask in
   if not (valid t h) || Bytes.get t.state slot <> st_firing then
     invalid_arg "Engine.reschedule: handle is not the currently-firing event";
   Bytes.set t.state slot st_pending;
-  t.cell.(1) <- t.clock.fv;
+  t.cell.(1) <- t.clock.(0);
   Twheel.add_cell t.queue h;
   t.live_count <- t.live_count + 1;
   t.n_scheduled <- t.n_scheduled + 1
@@ -283,7 +286,7 @@ let reschedule t h ~at =
   reschedule_cell t h
 
 let reschedule_after t h ~delay =
-  t.cell.(0) <- t.clock.fv +. delay;
+  t.cell.(0) <- t.clock.(0) +. delay;
   reschedule_cell t h
 
 let pending_events t = t.live_count
@@ -307,7 +310,7 @@ let[@inline] fire_popped t h =
     t.live_count <- t.live_count - 1;
     (* Read the key out of the scratch cell before dispatching — the
        work item may schedule and clobber it. *)
-    t.clock.fv <- t.cell.(0);
+    t.clock.(0) <- t.cell.(0);
     t.executed <- t.executed + 1;
     let d = Array.unsafe_get t.disp slot in
     if d >= 0 then
@@ -341,8 +344,8 @@ let run_while t pred ~until =
       end
       else if
         (* Queue exhausted up to [until]: the virtual interval elapsed. *)
-        t.clock.fv < until
-      then t.clock.fv <- until
+        t.clock.(0) < until
+      then t.clock.(0) <- until
     end
   in
   loop ()
@@ -421,7 +424,7 @@ let run_loop t ~until ~snap =
                incr n
              end
            done;
-           t.clock.fv <- k;
+           t.clock.(0) <- k;
            let n = !n in
            for i = 0 to n - 1 do
              dispatch_handle t t.batch.(i)
@@ -432,7 +435,7 @@ let run_loop t ~until ~snap =
        t.batch_active <- false;
        raise e);
     t.batch_active <- false;
-    if snap && t.clock.fv < until then t.clock.fv <- until
+    if snap && t.clock.(0) < until then t.clock.(0) <- until
   end
 
 let run_batch t ~until = run_loop t ~until ~snap:true

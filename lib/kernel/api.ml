@@ -217,7 +217,7 @@ let recvfrom k ~(self : Proc.t) (sock : Socket.t) =
              (let pkt = Channel.pop ch in
               if pkt != Packet.null then begin
                 let completed =
-                  Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+                  Kernel.lrp_process_udp_raw k ~charge:(Kernel.proto_charge k ch) pkt
                 in
                 List.iter (Kernel.deliver_udp_ready k) completed;
                 loop ()
@@ -264,7 +264,7 @@ let recvfrom_timeout k ~(self : Proc.t) (sock : Socket.t) ~timeout =
                  (let pkt = Lrp_core.Channel.pop ch in
                   if pkt != Packet.null then begin
                     let completed =
-                      Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+                      Kernel.lrp_process_udp_raw k ~charge:(Kernel.proto_charge k ch) pkt
                     in
                     List.iter (Kernel.deliver_udp_ready k) completed;
                     loop ()
@@ -290,7 +290,7 @@ let try_recvfrom k ~(self : Proc.t) (sock : Socket.t) =
         (let pkt = Channel.pop ch in
          if pkt != Packet.null then begin
            let completed =
-             Kernel.lrp_process_udp_raw k ~charge:Proc.compute pkt
+             Kernel.lrp_process_udp_raw k ~charge:(Kernel.proto_charge k ch) pkt
            in
            List.iter (Kernel.deliver_udp_ready k) completed;
            match pop_ready k sock with

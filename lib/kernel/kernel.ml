@@ -81,11 +81,13 @@ type kstats = {
   mutable demux_drops : int;        (* no endpoint (LRP, at demux time) *)
   mutable edemux_early_drops : int; (* Early-Demux interrupt-time discards *)
   mutable udp_delivered : int;      (* datagrams deposited for applications *)
+  mutable tcp_delivered : int;      (* TCP segments fed to their connection *)
   mutable rx_wrong_peer : int;      (* dropped by connected-UDP filtering *)
   mutable forwarded : int;          (* packets forwarded to another network *)
   mutable fwd_drops : int;          (* not ours and not forwarding *)
   mutable rsts_sent : int;
   mutable csum_drops : int;         (* content-checksum mismatches *)
+  mutable ipq_hwm : int;            (* deepest shared-IP-queue depth seen *)
 }
 
 type job = Jchan of Channel.t | Jtimer of (unit -> unit)
@@ -205,13 +207,6 @@ let metrics t = t.metrics
 let set_tracing t on = Trace.set_enabled t.tracer on
 let tracing t = Trace.enabled t.tracer
 
-(* Deprecated shim: kernels created while this is set start with tracing
-   enabled.  It used to route debug printf's straight to stdout, which
-   interleaved arbitrarily across domains under [--jobs N]; debug notes now
-   land in the per-kernel ring buffer instead (dump with
-   [Trace.to_text]). *)
-let debug_trace = Atomic.make false
-
 let trc t fmt =
   if Trace.enabled t.tracer then
     Printf.ksprintf (fun s -> Trace.note t.tracer s) fmt
@@ -310,7 +305,7 @@ let rec app_loop t app =
              (Channel.id ch) (Channel.length ch);
            drain_tcp_channel t ch
        | Jtimer f ->
-           Proc.compute (t.c.Cost.lazy_locality *. t.c.Cost.tcp_in);
+           Cpu.compute_proto t.cpu (t.c.Cost.lazy_locality *. t.c.Cost.tcp_in);
            f ());
       app_loop t app
   | None ->
@@ -326,7 +321,7 @@ let rec app_loop t app =
 and drain_tcp_channel t ch =
   let pkt = Channel.pop ch in
   if pkt != Packet.null then begin
-    Proc.compute
+    Cpu.compute_proto t.cpu ~flow:(Channel.id ch)
       ((match t.cfg.arch with
         | Ni_lrp -> t.c.Cost.ni_channel_access
         | Bsd | Soft_lrp | Early_demux -> 0.)
@@ -349,11 +344,12 @@ and tcp_deliver t conn pkt ~ctx =
       ~in_proc:(match ctx with `Proc -> true | `Soft -> false);
     let before = conn.Tcp.segs_sent in
     Tcp.input conn pkt;
+    t.stats.tcp_delivered <- t.stats.tcp_delivered + 1;
     let extra = conn.Tcp.segs_sent - before - 1 in
     if extra > 0 then begin
       let cost = float_of_int extra *. seg_out_cost t in
       match ctx with
-      | `Proc -> Proc.compute (t.c.Cost.lazy_locality *. cost)
+      | `Proc -> Cpu.compute_proto t.cpu (t.c.Cost.lazy_locality *. cost)
       | `Soft -> Cpu.post_soft t.cpu ~label:"tcp-tx" ~cost (fun () -> ())
     end
   end
@@ -838,6 +834,7 @@ let bsd_driver_rx t pkt () =
   end
   else begin
     t.ipq_len <- t.ipq_len + 1;
+    if t.ipq_len > t.stats.ipq_hwm then t.stats.ipq_hwm <- t.ipq_len;
     Trace.ipq_enqueue t.tracer ~pkt:pkt.Packet.ip.Packet.ident
       ~qlen:t.ipq_len;
     Cpu.post_soft t.cpu ~label:"softnet" ~tpkt:pkt.Packet.ip.Packet.ident
@@ -871,12 +868,13 @@ let lrp_classify_rx t pkt =
   end
   else
   (* Classification runs without materialising the [Demux.flow] variant:
-     [resolve_packet] does the packed-key probe straight off the packet
-     fields, and the constant-constructor class drives the wake logic —
-     the whole demux decision allocates nothing. *)
+     [resolve_slot] does the packed-key probe straight off the packet
+     fields and answers with an int slot code, and the
+     constant-constructor class drives the wake logic — the whole demux
+     decision allocates nothing. *)
   let cls = Demux.class_of_packet pkt in
-  match Chantab.resolve_packet t.chantab pkt with
-  | None ->
+  let slot = Chantab.resolve_slot t.chantab pkt in
+  if slot = Chantab.slot_none then begin
       Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident ~chan:(-1)
         ~flow:(Demux.flow_id_of_packet pkt);
       (match cls with
@@ -889,7 +887,9 @@ let lrp_classify_rx t pkt =
            then ni_wake t (fun () -> wake_one t t.helper_wq)
        | Demux.Udp_class | Demux.Frag_class | Demux.Icmp_class ->
            t.stats.demux_drops <- t.stats.demux_drops + 1)
-  | Some ch ->
+  end
+  else
+      let ch = Chantab.channel_of_slot t.chantab slot in
       Trace.demux t.tracer ~pkt:pkt.Packet.ip.Packet.ident
         ~chan:(Channel.id ch) ~flow:(Demux.flow_id_of_packet pkt);
       let code = Channel.enqueue_code ch pkt in
@@ -1118,8 +1118,14 @@ let lrp_process_udp_raw t ~charge pkt =
 (* LRP helper thread (minimal priority, section 3.3)                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Receiver-context protocol charge: a {!Proc.compute} whose segment the
+   ledger attributes to protocol work on channel [ch] (section 3.3's
+   accounting claim made measurable).  Syscall-path callers pass this as
+   the [~charge] of {!lrp_process_udp_raw}. *)
+let proto_charge t ch d = Cpu.compute_proto t.cpu ~flow:(Channel.id ch) d
+
 let helper_loop t =
-  let charge = Proc.compute in
+  let charge d = Cpu.compute_proto t.cpu d in
   let rec pass () =
     let worked = ref false in
     (* Integrate any stray fragments. *)
@@ -1151,7 +1157,9 @@ let helper_loop t =
           let pkt = Channel.pop ch in
           if pkt != Packet.null then begin
             worked := true;
-            let completed = lrp_process_udp_raw t ~charge pkt in
+            let completed =
+              lrp_process_udp_raw t ~charge:(proto_charge t ch) pkt
+            in
             List.iter (deliver_udp_ready t) completed
           end
         end)
@@ -1191,7 +1199,7 @@ let fwd_daemon_loop t =
   let rec loop () =
     let pkt = Channel.pop ch in
     if pkt != Packet.null then begin
-      Proc.compute
+      Cpu.compute_proto t.cpu ~flow:(Channel.id ch)
         (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.ip_forward));
       t.stats.forwarded <- t.stats.forwarded + 1;
       ip_output t pkt;
@@ -1214,6 +1222,10 @@ let create engine fabric ~name ~ip cfg =
   in
   let nic = Fabric.make_nic fabric ~name:(name ^ ".nic") ~ip () in
   let tracer = Trace.create ~name ~now:(Engine.clock engine) () in
+  (* Flight recorder: every kernel records into the packed SoA ring, so
+     enabling tracing costs no per-event allocation (the timestamp is
+     read straight from the engine's clock cell). *)
+  Trace.use_packed tracer ~clock:(Engine.clock_cell engine);
   let metrics = Metrics.create () in
   let parena = Parena.create () in
   let t =
@@ -1237,8 +1249,9 @@ let create engine fabric ~name ~ip cfg =
       stats =
         { rx_frames = 0; ipq_drops = 0; mbuf_drops = 0; no_port_drops = 0;
           demux_drops = 0; edemux_early_drops = 0; udp_delivered = 0;
+          tcp_delivered = 0;
           rx_wrong_peer = 0; forwarded = 0; fwd_drops = 0; rsts_sent = 0;
-          csum_drops = 0 } }
+          csum_drops = 0; ipq_hwm = 0 } }
   in
   t.interfaces <- [ (ip, 24, nic) ];
   t.tcp_env <- Some (make_tcp_env t);
@@ -1248,7 +1261,6 @@ let create engine fabric ~name ~ip cfg =
   Nic.set_rx_handler nic (fun pkt -> rx_dispatch t pkt);
   Cpu.set_tracer cpu tracer;
   Nic.set_tracer nic tracer;
-  if Atomic.get debug_trace then Trace.set_enabled tracer true;
   (* Expose kernel state as pull gauges; components register their own
      instruments under their prefixes.  All callbacks read only this
      kernel's state, so snapshots stay race-free under parallel sweeps. *)
@@ -1260,6 +1272,8 @@ let create engine fabric ~name ~ip cfg =
   g "kernel.demux_drops" (fun () -> t.stats.demux_drops);
   g "kernel.edemux_early_drops" (fun () -> t.stats.edemux_early_drops);
   g "kernel.udp_delivered" (fun () -> t.stats.udp_delivered);
+  g "kernel.tcp_delivered" (fun () -> t.stats.tcp_delivered);
+  g "kernel.ipq_hwm" (fun () -> t.stats.ipq_hwm);
   g "kernel.rx_wrong_peer" (fun () -> t.stats.rx_wrong_peer);
   g "kernel.forwarded" (fun () -> t.stats.forwarded);
   g "kernel.fwd_drops" (fun () -> t.stats.fwd_drops);

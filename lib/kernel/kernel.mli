@@ -60,11 +60,17 @@ type kstats = {
   mutable demux_drops : int;
   mutable edemux_early_drops : int;
   mutable udp_delivered : int;
+  mutable tcp_delivered : int;
+      (** TCP segments fed to their connection's state machine (with
+          {!kstats.udp_delivered} and [forwarded], the "delivered work"
+          numerator of the overload detector) *)
   mutable rx_wrong_peer : int;
   mutable forwarded : int;
   mutable fwd_drops : int;
   mutable rsts_sent : int;
   mutable csum_drops : int;
+  mutable ipq_hwm : int;
+      (** deepest shared-IP-queue depth observed (BSD path) *)
 }
 type job = Jchan of Lrp_core.Channel.t | Jtimer of (unit -> unit)
 type app = {
@@ -148,12 +154,6 @@ val metrics : t -> Lrp_trace.Metrics.t
 val set_tracing : t -> bool -> unit
 val tracing : t -> bool
 
-val debug_trace : bool Atomic.t
-(** Deprecated shim for the old global debug flag: kernels created while
-    it is set start with structured tracing enabled.  Prefer
-    {!set_tracing} on the specific kernel — a global flag is shared by
-    every domain in a parallel sweep, hence atomic (lint rule C1). *)
-
 val trc : t -> ('a, unit, string, unit) format4 -> 'a
 (** Formatted note into the kernel's tracer ([Note] event class); a no-op
     when tracing is disabled. *)
@@ -214,6 +214,12 @@ val rx_dispatch : t -> Lrp_net.Packet.t -> unit
 val drain_frag_channel : t -> charge:(float -> unit) -> Lrp_net.Packet.t list
 val lrp_process_udp_raw :
   t -> charge:(float -> unit) -> Lrp_net.Packet.t -> Lrp_net.Packet.t list
+
+(** [proto_charge t ch] is the [~charge] function receiver-context
+    callers should pass: {!Lrp_sim.Proc.compute} with the segment
+    attributed as protocol work on channel [ch] in the CPU's
+    {!Lrp_sim.Ledger}. *)
+val proto_charge : t -> Lrp_core.Channel.t -> float -> unit
 val helper_loop : t -> 'a
 val fwd_daemon_loop : t -> 'a
 val create :

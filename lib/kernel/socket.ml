@@ -29,6 +29,7 @@ type stats = {
   mutable rx_delivered : int;   (* datagrams handed to the application *)
   mutable rx_sockq_drops : int; (* datagrams dropped at a full socket queue *)
   mutable tx_packets : int;
+  mutable rx_hwm : int;         (* deepest socket-queue occupancy observed *)
 }
 
 type t = {
@@ -60,7 +61,8 @@ let create ?(udp_rcv_limit = 64) kind =
     send_wait = Proc.waitq (Printf.sprintf "sock%d.send" id);
     accept_wait = Proc.waitq (Printf.sprintf "sock%d.accept" id);
     chan = None; tcp = None; owner = None; closed = false;
-    stats = { rx_delivered = 0; rx_sockq_drops = 0; tx_packets = 0 } }
+    stats = { rx_delivered = 0; rx_sockq_drops = 0; tx_packets = 0;
+              rx_hwm = 0 } }
 
 let port_exn t =
   match t.port with
@@ -76,6 +78,8 @@ let deposit_udp t dg =
   end
   else begin
     Queue.add dg t.udp_rcv;
+    let depth = Queue.length t.udp_rcv in
+    if depth > t.stats.rx_hwm then t.stats.rx_hwm <- depth;
     true
   end
 

@@ -24,6 +24,7 @@ type stats = {
   mutable rx_delivered : int;
   mutable rx_sockq_drops : int;
   mutable tx_packets : int;
+  mutable rx_hwm : int;  (** deepest socket-queue occupancy observed *)
 }
 type t = {
   id : int;

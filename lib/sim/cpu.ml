@@ -43,6 +43,11 @@ type t = {
   mutable n_hard_dispatch : int;
   created_at : Time.t;
   mutable tracer : Trace.t;  (* owning kernel's tracer; disabled by default *)
+  ledger : Ledger.t;
+  (* class hints for the next [Proc.Compute] segment, set by
+     [compute_proto] and latched into the process by the effect handler *)
+  mutable hint_proto : bool;
+  mutable hint_flow : int;
 }
 
 let name t = t.cpu_name
@@ -67,15 +72,31 @@ let trace_work_end t level (w : work) =
 (* Accounting                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* BSD's curproc at the instant interrupt cycles are charged: the ledger's
+   "victim" pid, or -1 when the interrupt preempted an idle CPU. *)
+let victim_pid t =
+  match t.cur with Some p -> p.Proc.pid | None -> -1
+
 let charge t who elapsed =
   if elapsed > 0. then
     match who with
-    | Whard _ -> t.t_hard <- t.t_hard +. elapsed
-    | Wsoft _ -> t.t_soft <- t.t_soft +. elapsed
+    | Whard _ ->
+        t.t_hard <- t.t_hard +. elapsed;
+        Ledger.charge t.ledger Ledger.Intr ~pid:(victim_pid t) ~flow:(-1)
+          elapsed
+    | Wsoft _ ->
+        t.t_soft <- t.t_soft +. elapsed;
+        Ledger.charge t.ledger Ledger.Soft ~pid:(victim_pid t) ~flow:(-1)
+          elapsed
     | Wuser p ->
         t.t_user <- t.t_user +. elapsed;
         p.Proc.cpu_time <- p.Proc.cpu_time +. elapsed;
-        p.Proc.last_on_cpu <- Engine.now t.engine
+        p.Proc.last_on_cpu <- Engine.now t.engine;
+        if p.Proc.lcls = 1 then
+          Ledger.charge t.ledger Ledger.Proto ~pid:p.Proc.pid
+            ~flow:p.Proc.lflow elapsed
+        else
+          Ledger.charge t.ledger Ledger.App ~pid:p.Proc.pid ~flow:(-1) elapsed
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch machinery                                                  *)
@@ -191,6 +212,13 @@ and handler : type r. t -> Proc.t -> (r, unit) Effect.Deep.handler =
               (fun (k : (a, unit) continuation) ->
                 p.Proc.k <- Some k;
                 p.Proc.work_left <- d;
+                (* Latch the ledger class for this segment; it survives
+                   preemption splits because [charge] reads it from the
+                   process, not from the (consumed) hint. *)
+                p.Proc.lcls <- (if t.hint_proto then 1 else 0);
+                p.Proc.lflow <- t.hint_flow;
+                t.hint_proto <- false;
+                t.hint_flow <- -1;
                 p.Proc.pending <- Proc.Work)
         | Proc.Block wq ->
             Some
@@ -388,7 +416,8 @@ let create engine ?(ctx_switch_cost = 0.) ?(start_clock = true) ~name () =
       last_user = -1; in_dispatch = false; redo = false; force_resched = false;
       t_hard = 0.; t_soft = 0.; t_user = 0.; n_ctx_switch = 0;
       n_soft_dispatch = 0; n_hard_dispatch = 0; created_at = Engine.now engine;
-      tracer = Trace.null (); seg_tgt = None; wake_tgt = None }
+      tracer = Trace.null (); seg_tgt = None; wake_tgt = None;
+      ledger = Ledger.create (); hint_proto = false; hint_flow = -1 }
   in
   (* One dispatcher per work-item kind, registered once; [segment_done t]
      is hoisted so firing a segment allocates nothing either. *)
@@ -414,10 +443,11 @@ let spawn t ?(nice = 0) ?(working_set = 0.) ~name body =
       cpu_time = 0.; overhead_time = 0.;
       exit_waiters = Proc.waitq (name ^ ".exit");
       started_at = Engine.now t.engine; exited_at = Time.zero;
-      last_on_cpu = Engine.now t.engine }
+      last_on_cpu = Engine.now t.engine; lcls = 0; lflow = -1 }
   in
   t.next_pid <- t.next_pid + 1;
   Hashtbl.add t.procs (Sched.tid thread) p;
+  Ledger.set_name t.ledger ~pid:p.Proc.pid name;
   Trace.thread_state t.tracer ~pid:p.Proc.pid ~state:Trace.Spawned;
   guarded t (fun () ->
       Sched.make_runnable t.sched ~now:(Engine.now t.engine) thread);
@@ -448,6 +478,20 @@ let post_hard t ?(label = "hardintr") ?(tpkt = -1) ~cost action =
 let post_soft t ?(label = "softintr") ?(tpkt = -1) ~cost action =
   guarded t (fun () ->
       Deque.push_back t.softq { label; left = cost; tpkt; action })
+
+(* [compute_proto] is [Proc.compute] with ledger attribution: the segment
+   is receiver-context protocol work serving [flow].  The hint is consumed
+   synchronously by the Compute effect handler (or cleared below when the
+   cost is zero and no effect fires), so it cannot leak onto another
+   process's segment. *)
+let compute_proto t ?(flow = -1) cost =
+  t.hint_proto <- true;
+  t.hint_flow <- flow;
+  Proc.compute cost;
+  t.hint_proto <- false;
+  t.hint_flow <- -1
+
+let ledger t = t.ledger
 
 let set_account t (p : Proc.t) ~owner =
   ignore t;

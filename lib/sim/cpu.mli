@@ -78,6 +78,21 @@ val set_account : t -> Proc.t -> owner:Proc.t option -> unit
 (** Redirect scheduler charging for a process (LRP's APP thread runs at its
     owning process's priority and charges CPU to it). *)
 
+(** {1 Accounting ledger} *)
+
+val compute_proto : t -> ?flow:int -> float -> unit
+(** [compute_proto t ~flow d] is {!Proc.compute}[ d] with the segment
+    attributed to receiver-context protocol work serving channel [flow]
+    in the CPU's {!Ledger} (LRP's lazy protocol processing, the UDP
+    helper, the forwarding daemon).  Plain [Proc.compute] segments are
+    attributed as application work.  Process context only. *)
+
+val ledger : t -> Ledger.t
+(** The CPU's always-on cycle-accounting ledger.  Interrupt-level cycles
+    are recorded against the interrupted victim ({!curproc}), reproducing
+    BSD's mis-accounting; process cycles split into protocol vs
+    application work. *)
+
 (** {1 Introspection / statistics} *)
 
 val self_running : t -> Proc.t option

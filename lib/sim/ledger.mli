@@ -1,0 +1,56 @@
+(** Per-cycle CPU accounting ledger.
+
+    Mirrors every microsecond the CPU model charges into
+    {class} × {process} × {flow} cells, making the paper's resource-
+    accounting claim measurable: under BSD, receive-side protocol cycles
+    accrue at interrupt level against the *interrupted* process (the
+    [intr_victim]/[soft_victim] columns — "charged but not mine"), while
+    under NI-LRP/SOFT-LRP they accrue as [proto] cycles against the
+    process that actually receives the data, attributed to its channel.
+
+    The ledger is always on: {!charge} is float-array arithmetic plus one
+    int-keyed hash probe, allocation-free after a pid/flow's first
+    sighting (the [ledger_overhead] bench entry pins this).  It observes
+    accounting only — it never schedules — so it cannot perturb results. *)
+
+type t
+
+(** Charge classes.  [Intr]/[Soft] cycles are recorded against the
+    interrupted victim (BSD [curproc], or pid [-1] when the CPU was
+    idle); [Proto] is protocol work in a process's own context; [App] is
+    everything else. *)
+type cls = Intr | Soft | Proto | App
+
+val create : unit -> t
+
+val charge : t -> cls -> pid:int -> flow:int -> float -> unit
+(** [charge t cls ~pid ~flow d] adds [d] microseconds.  [flow] is the
+    served channel id, or [-1] for none (interrupt and plain app work). *)
+
+val set_name : t -> pid:int -> string -> unit
+(** Attach a display name to a pid (done at spawn, so rows outlive their
+    processes). *)
+
+val total : t -> cls -> float
+val grand_total : t -> float
+
+type row = {
+  pid : int;
+  name : string;
+  intr_victim : float;  (** hard-interrupt cycles charged while this pid was curproc *)
+  soft_victim : float;  (** soft-interrupt cycles charged while this pid was curproc *)
+  proto : float;        (** receiver-context protocol cycles of this pid *)
+  app : float;          (** this pid's own application cycles *)
+}
+
+val misaccounted : row -> float
+(** Cycles charged to this process that belong to interrupt-level work —
+    the paper's mis-accounting metric ([intr_victim + soft_victim]). *)
+
+type flow_row = { flow : int; f_soft : float; f_proto : float }
+
+val rows : t -> row list
+(** Per-process rows, pid-sorted (pid [-1] is the idle context). *)
+
+val flow_rows : t -> flow_row list
+(** Per-flow/channel rows, id-sorted. *)

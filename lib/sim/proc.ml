@@ -16,6 +16,8 @@ type t = {
   mutable started_at : Time.t;
   mutable exited_at : Time.t;
   mutable last_on_cpu : Time.t;
+  mutable lcls : int;
+  mutable lflow : int;
 }
 
 and pending = Start of (t -> unit) | Work | Resume | Blocked | Done

@@ -40,6 +40,11 @@ type t = {
   mutable last_on_cpu : Time.t;
       (** last instant this process occupied the CPU (for the cache-reload
           model: eviction grows with absence) *)
+  mutable lcls : int;
+      (** ledger class of the current compute segment: 0 = app, 1 =
+          receiver-context protocol work (set by {!Cpu.compute_proto}) *)
+  mutable lflow : int;
+      (** channel/flow id the current protocol segment serves, or [-1] *)
 }
 
 and pending =

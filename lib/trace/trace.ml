@@ -4,6 +4,8 @@ type intr_level = Hard | Soft
 
 type thread_state = Spawned | Runnable | Sleeping | Exited
 
+type alarm = Overload | Livelock | Starvation | Queue_watermark
+
 type event =
   | Nic_rx of { pkt : int; bytes : int }
   | Demux of { pkt : int; chan : int; flow : int }
@@ -23,6 +25,7 @@ type event =
   | Ctx_switch of { from_pid : int; to_pid : int }
   | Thread_state of { pid : int; state : thread_state }
   | Note of string
+  | Alarm of { alarm : alarm; a : int; b : int }
 
 type cls = Packet_events | Sched_events | Note_events
 
@@ -32,7 +35,7 @@ let class_of_event = function
   | Sock_drop _ | Syscall_copyout _ | Csum_drop _ | Mbuf_drop _ ->
       Packet_events
   | Intr_enter _ | Intr_exit _ | Ctx_switch _ | Thread_state _ -> Sched_events
-  | Note _ -> Note_events
+  | Note _ | Alarm _ -> Note_events
 
 let bit = function Packet_events -> 1 | Sched_events -> 2 | Note_events -> 4
 let all_mask = 7
@@ -52,11 +55,15 @@ type t = {
   mutable count : int;        (* live entries, <= cap *)
   mutable seq : int;
   mutable lost : int;
+  mutable packed : Precorder.t option;
+      (* when set, events go into the packed SoA ring (zero allocation per
+         record) instead of the typed entry ring; [events] decodes them
+         back, so every sink below works unchanged *)
 }
 
 let create ?(capacity = 65536) ~name ~now () =
   { tr_name = name; now; cap = max 1 capacity; on = false; mask = all_mask;
-    buf = [||]; head = 0; count = 0; seq = 0; lost = 0 }
+    buf = [||]; head = 0; count = 0; seq = 0; lost = 0; packed = None }
 
 let null () = create ~capacity:1 ~name:"null" ~now:(fun () -> 0.) ()
 
@@ -64,10 +71,20 @@ let name t = t.tr_name
 let enabled t = t.on
 let set_enabled t b = t.on <- b
 let set_filter t classes = t.mask <- List.fold_left (fun m c -> m lor bit c) 0 classes
-let length t = t.count
-let dropped t = t.lost
+
+let use_packed t ~clock =
+  t.packed <- Some (Precorder.create ~capacity:t.cap ~clock ())
+
+let packed t = t.packed
+
+let length t =
+  match t.packed with Some p -> Precorder.length p | None -> t.count
+
+let dropped t =
+  match t.packed with Some p -> Precorder.dropped p | None -> t.lost
 
 let clear t =
+  (match t.packed with Some p -> Precorder.clear p | None -> ());
   t.head <- 0;
   t.count <- 0;
   t.seq <- 0;
@@ -80,72 +97,238 @@ let record t ev =
   t.seq <- t.seq + 1;
   t.head <- (t.head + 1) mod t.cap
 
+(* --- packed encoding ---------------------------------------------------- *)
+
+(* Kind codes for the packed backend.  These are part of the binary dump
+   format (DESIGN.md §13): never renumber, only append. *)
+
+let k_nic_rx = 0
+let k_demux = 1
+let k_ipq_enqueue = 2
+let k_ipq_drop = 3
+let k_early_discard = 4
+let k_softint_begin = 5
+let k_softint_end = 6
+let k_proto_deliver = 7
+let k_sock_enqueue = 8
+let k_sock_drop = 9
+let k_syscall_copyout = 10
+let k_csum_drop = 11
+let k_mbuf_drop = 12
+let k_intr_enter = 13
+let k_intr_exit = 14
+let k_ctx_switch = 15
+let k_thread_state = 16
+let k_note = 17
+let k_alarm = 18
+
+let level_code = function Hard -> 0 | Soft -> 1
+let level_of_code c = if c = 0 then Hard else Soft
+
+let state_code = function
+  | Spawned -> 0
+  | Runnable -> 1
+  | Sleeping -> 2
+  | Exited -> 3
+
+let state_of_code = function
+  | 0 -> Spawned
+  | 1 -> Runnable
+  | 2 -> Sleeping
+  | _ -> Exited
+
+let alarm_code = function
+  | Overload -> 0
+  | Livelock -> 1
+  | Starvation -> 2
+  | Queue_watermark -> 3
+
+let alarm_of_code = function
+  | 0 -> Overload
+  | 1 -> Livelock
+  | 2 -> Starvation
+  | _ -> Queue_watermark
+
+(* Lossless packed -> typed decode; the inverse of the emitters below. *)
+let event_of_packed p ~kind ~ident ~a ~b =
+  match kind with
+  | 0 -> Nic_rx { pkt = ident; bytes = a }
+  | 1 -> Demux { pkt = ident; chan = a; flow = b }
+  | 2 -> Ipq_enqueue { pkt = ident; qlen = a }
+  | 3 -> Ipq_drop { pkt = ident; qlen = a }
+  | 4 -> Early_discard { pkt = ident; chan = a }
+  | 5 -> Softint_begin { pkt = ident }
+  | 6 -> Softint_end { pkt = ident }
+  | 7 -> Proto_deliver { pkt = ident; conn = a; in_proc = b = 1 }
+  | 8 -> Sock_enqueue { pkt = ident; sock = a }
+  | 9 -> Sock_drop { pkt = ident; sock = a }
+  | 10 -> Syscall_copyout { pkt = ident; sock = a; bytes = b }
+  | 11 -> Csum_drop { pkt = ident }
+  | 12 -> Mbuf_drop { pkt = ident }
+  | 13 ->
+      Intr_enter { level = level_of_code a; label = Precorder.get_string p b }
+  | 14 ->
+      Intr_exit { level = level_of_code a; label = Precorder.get_string p b }
+  | 15 -> Ctx_switch { from_pid = a; to_pid = b }
+  | 16 -> Thread_state { pid = a; state = state_of_code b }
+  | 17 -> Note (Precorder.get_string p a)
+  | 18 -> Alarm { alarm = alarm_of_code ident; a; b }
+  | k -> Note (Printf.sprintf "unknown-kind-%d" k)
+
+let events_of_precorder p =
+  let acc = ref [] in
+  Precorder.iter p (fun ~ts ~seq ~kind ~ident ~a ~b ->
+      acc := (ts, seq, event_of_packed p ~kind ~ident ~a ~b) :: !acc);
+  List.rev !acc
+
 let events t =
-  let start = (t.head - t.count + t.cap * 2) mod t.cap in
-  List.init t.count (fun i ->
-      let e = t.buf.((start + i) mod t.cap) in
-      (e.ts, e.seq, e.ev))
+  match t.packed with
+  | Some p -> events_of_precorder p
+  | None ->
+      let start = (t.head - t.count + t.cap * 2) mod t.cap in
+      List.init t.count (fun i ->
+          let e = t.buf.((start + i) mod t.cap) in
+          (e.ts, e.seq, e.ev))
 
 (* Emitters check [on] and the class filter before allocating the event, so
-   a disabled tracer costs one branch and zero allocation per call site. *)
+   a disabled tracer costs one branch and zero allocation per call site.
+   With the packed backend installed, an *enabled* tracer also allocates
+   nothing: each emitter writes four words into the SoA ring instead of
+   building the variant (the typed branch remains for tracers without a
+   packed ring — tests, mock clocks). *)
 
 let want t c = t.on && t.mask land bit c <> 0
 
 let nic_rx t ~pkt ~bytes =
-  if want t Packet_events then record t (Nic_rx { pkt; bytes })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_nic_rx ~ident:pkt ~a:bytes ~b:(-1)
+    | None -> record t (Nic_rx { pkt; bytes })
 
 let demux t ~pkt ~chan ~flow =
-  if want t Packet_events then record t (Demux { pkt; chan; flow })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_demux ~ident:pkt ~a:chan ~b:flow
+    | None -> record t (Demux { pkt; chan; flow })
 
 let ipq_enqueue t ~pkt ~qlen =
-  if want t Packet_events then record t (Ipq_enqueue { pkt; qlen })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_ipq_enqueue ~ident:pkt ~a:qlen ~b:(-1)
+    | None -> record t (Ipq_enqueue { pkt; qlen })
 
 let ipq_drop t ~pkt ~qlen =
-  if want t Packet_events then record t (Ipq_drop { pkt; qlen })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_ipq_drop ~ident:pkt ~a:qlen ~b:(-1)
+    | None -> record t (Ipq_drop { pkt; qlen })
 
 let early_discard t ~pkt ~chan =
-  if want t Packet_events then record t (Early_discard { pkt; chan })
+  if want t Packet_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_early_discard ~ident:pkt ~a:chan ~b:(-1)
+    | None -> record t (Early_discard { pkt; chan })
 
 let softint_begin t ~pkt =
-  if want t Packet_events then record t (Softint_begin { pkt })
+  if want t Packet_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_softint_begin ~ident:pkt ~a:(-1) ~b:(-1)
+    | None -> record t (Softint_begin { pkt })
 
 let softint_end t ~pkt =
-  if want t Packet_events then record t (Softint_end { pkt })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_softint_end ~ident:pkt ~a:(-1) ~b:(-1)
+    | None -> record t (Softint_end { pkt })
 
 let proto_deliver t ~pkt ~conn ~in_proc =
-  if want t Packet_events then record t (Proto_deliver { pkt; conn; in_proc })
+  if want t Packet_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_proto_deliver ~ident:pkt ~a:conn
+          ~b:(if in_proc then 1 else 0)
+    | None -> record t (Proto_deliver { pkt; conn; in_proc })
 
 let sock_enqueue t ~pkt ~sock =
-  if want t Packet_events then record t (Sock_enqueue { pkt; sock })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_sock_enqueue ~ident:pkt ~a:sock ~b:(-1)
+    | None -> record t (Sock_enqueue { pkt; sock })
 
 let sock_drop t ~pkt ~sock =
-  if want t Packet_events then record t (Sock_drop { pkt; sock })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_sock_drop ~ident:pkt ~a:sock ~b:(-1)
+    | None -> record t (Sock_drop { pkt; sock })
 
 let syscall_copyout t ~pkt ~sock ~bytes =
-  if want t Packet_events then record t (Syscall_copyout { pkt; sock; bytes })
+  if want t Packet_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_syscall_copyout ~ident:pkt ~a:sock ~b:bytes
+    | None -> record t (Syscall_copyout { pkt; sock; bytes })
 
 let csum_drop t ~pkt =
-  if want t Packet_events then record t (Csum_drop { pkt })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_csum_drop ~ident:pkt ~a:(-1) ~b:(-1)
+    | None -> record t (Csum_drop { pkt })
 
 let mbuf_drop t ~pkt =
-  if want t Packet_events then record t (Mbuf_drop { pkt })
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_mbuf_drop ~ident:pkt ~a:(-1) ~b:(-1)
+    | None -> record t (Mbuf_drop { pkt })
 
 let intr_enter t ~level ~label =
-  if want t Sched_events then record t (Intr_enter { level; label })
+  if want t Sched_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_intr_enter ~ident:(-1)
+          ~a:(level_code level) ~b:(Precorder.intern p label)
+    | None -> record t (Intr_enter { level; label })
 
 let intr_exit t ~level ~label =
-  if want t Sched_events then record t (Intr_exit { level; label })
+  if want t Sched_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_intr_exit ~ident:(-1) ~a:(level_code level)
+          ~b:(Precorder.intern p label)
+    | None -> record t (Intr_exit { level; label })
 
 let ctx_switch t ~from_pid ~to_pid =
-  if want t Sched_events then record t (Ctx_switch { from_pid; to_pid })
+  if want t Sched_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_ctx_switch ~ident:(-1) ~a:from_pid ~b:to_pid
+    | None -> record t (Ctx_switch { from_pid; to_pid })
 
 let thread_state t ~pid ~state =
-  if want t Sched_events then record t (Thread_state { pid; state })
+  if want t Sched_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_thread_state ~ident:(-1) ~a:pid
+          ~b:(state_code state)
+    | None -> record t (Thread_state { pid; state })
 
-let note t s = if want t Note_events then record t (Note s)
+let alarm t ~alarm:al ~a ~b =
+  if want t Note_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_alarm ~ident:(alarm_code al) ~a ~b
+    | None -> record t (Alarm { alarm = al; a; b })
+
+let note t s =
+  if want t Note_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_note ~ident:(-1) ~a:(Precorder.intern p s)
+          ~b:(-1)
+    | None -> record t (Note s)
 
 let notef t fmt =
-  if want t Note_events then Printf.ksprintf (fun s -> record t (Note s)) fmt
+  if want t Note_events then Printf.ksprintf (fun s -> note t s) fmt
   else Printf.ifprintf () fmt
 
 (* --- sinks ------------------------------------------------------------- *)
@@ -157,6 +340,12 @@ let state_name = function
   | Runnable -> "runnable"
   | Sleeping -> "sleeping"
   | Exited -> "exited"
+
+let alarm_name = function
+  | Overload -> "overload"
+  | Livelock -> "livelock"
+  | Starvation -> "starvation"
+  | Queue_watermark -> "queue-watermark"
 
 let pp_event fmt = function
   | Nic_rx { pkt; bytes } -> Format.fprintf fmt "nic-rx pkt=%d bytes=%d" pkt bytes
@@ -188,6 +377,8 @@ let pp_event fmt = function
   | Thread_state { pid; state } ->
       Format.fprintf fmt "thread %d %s" pid (state_name state)
   | Note s -> Format.fprintf fmt "note %s" s
+  | Alarm { alarm; a; b } ->
+      Format.fprintf fmt "alarm %s a=%d b=%d" (alarm_name alarm) a b
 
 let to_text buf t =
   let fmt = Format.formatter_of_buffer buf in
@@ -221,6 +412,7 @@ let csv_fields = function
   | Ctx_switch { from_pid; to_pid } -> ("ctx-switch", -1, from_pid, to_pid, "")
   | Thread_state { pid; state } -> ("thread-state", -1, pid, -1, state_name state)
   | Note s -> ("note", -1, -1, -1, s)
+  | Alarm { alarm; a; b } -> ("alarm", -1, a, b, alarm_name alarm)
 
 let cls_name = function
   | Packet_events -> "packet"
@@ -369,7 +561,11 @@ let chrome_json t =
           instant
             ~args:[ ("pid", num p); ("state", Json.Str (state_name state)) ]
             "thread-state" tid_proc ts
-      | Note s -> instant ~args:[ ("text", Json.Str s) ] "note" tid_proc ts)
+      | Note s -> instant ~args:[ ("text", Json.Str s) ] "note" tid_proc ts
+      | Alarm { alarm; a; b } ->
+          instant
+            ~args:[ ("a", num a); ("b", num b) ]
+            ("alarm:" ^ alarm_name alarm) tid_proc ts)
     evs;
   (* Close spans still open at the end of the buffered window so every
      "B" has a matching "E" (a run can end mid-interrupt). *)
@@ -467,7 +663,7 @@ module Report = struct
             | None -> ())
         | Ipq_drop _ | Early_discard _ | Sock_drop _ | Csum_drop _
         | Mbuf_drop _ | Intr_enter _ | Intr_exit _ | Ctx_switch _
-        | Thread_state _ | Note _ -> ())
+        | Thread_state _ | Note _ | Alarm _ -> ())
       evs;
     { stages; packets = !packets }
 

@@ -19,6 +19,13 @@ type intr_level = Hard | Soft
 
 type thread_state = Spawned | Runnable | Sleeping | Exited
 
+(** Overload-detector alarm kinds (see {!Lrp_check.Overload}): sliding
+    windows where delivered throughput collapsed against offered load
+    ([Overload]), with the CPU additionally saturated at interrupt level
+    ([Livelock]) or user progress starved ([Starvation]); queue
+    high-watermark reports ([Queue_watermark]). *)
+type alarm = Overload | Livelock | Starvation | Queue_watermark
+
 (** Packet lifecycle events carry the packet's IP ident ([pkt]); [chan],
     [conn] and [sock] are channel / connection / socket ids, [-1] when not
     applicable. *)
@@ -43,6 +50,13 @@ type event =
   | Ctx_switch of { from_pid : int; to_pid : int }
   | Thread_state of { pid : int; state : thread_state }
   | Note of string
+  | Alarm of { alarm : alarm; a : int; b : int }
+      (** Structured detector alarm.  For [Overload]/[Livelock]: [a] =
+          offered packets in the window, [b] = delivered (or for
+          [Livelock], interrupt CPU share in percent).  For [Starvation]:
+          [a] = user CPU share in percent, [b] = interrupt share in
+          percent.  For [Queue_watermark]: [a] = queue code (0 = shared IP
+          queue, 1 = channel, 2 = socket), [b] = high-watermark. *)
 
 (** Event classes, for filtering at record time. *)
 type cls = Packet_events | Sched_events | Note_events
@@ -64,6 +78,23 @@ val set_enabled : t -> bool -> unit
 
 val set_filter : t -> cls list -> unit
 (** Record only the given classes (default: all). *)
+
+val use_packed : t -> clock:float array -> unit
+(** Install the packed flight-recorder backend: subsequent events are
+    encoded into a {!Precorder} SoA ring (four word stores, zero minor
+    allocation per event) instead of the typed entry ring, with
+    timestamps copied from [clock.(0)] (pass the owning engine's
+    {!Lrp_engine.Engine.clock_cell}).  {!events} decodes packed entries
+    back to typed ones, so every sink works unchanged.  Events recorded
+    before the switch are discarded. *)
+
+val packed : t -> Precorder.t option
+(** The packed backend, when installed — for binary dumps
+    ({!Precorder.write_dump}). *)
+
+val events_of_precorder : Precorder.t -> (float * int * event) list
+(** Decode a packed ring (e.g. one read back from a binary dump) to typed
+    events, oldest first. *)
 
 val clear : t -> unit
 val length : t -> int
@@ -93,6 +124,7 @@ val intr_enter : t -> level:intr_level -> label:string -> unit
 val intr_exit : t -> level:intr_level -> label:string -> unit
 val ctx_switch : t -> from_pid:int -> to_pid:int -> unit
 val thread_state : t -> pid:int -> state:thread_state -> unit
+val alarm : t -> alarm:alarm -> a:int -> b:int -> unit
 val note : t -> string -> unit
 
 val notef : t -> ('a, unit, string, unit) format4 -> 'a

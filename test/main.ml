@@ -20,5 +20,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
+      ("recorder", Test_recorder.suite);
       ("fuzz", Test_fuzz.suite);
       ("lint", Test_lint.suite) ]

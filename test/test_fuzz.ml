@@ -29,17 +29,27 @@ let n_seeds =
 
 let failures_dir = "_fuzz_failures"
 
-let save_failure script arch =
+(* Repro artifacts: the fault script as JSON, and — when the kernel's
+   tracer runs on the packed backend (the default) — the flight
+   recorder's binary dump, so the post-mortem event stream ships with
+   the failing seed. *)
+let save_failure ?tracer script arch =
   if not (Sys.file_exists failures_dir) then Sys.mkdir failures_dir 0o755;
-  let path =
-    Printf.sprintf "%s/seed_%d_%s.json" failures_dir script.Fault_script.seed
+  let base =
+    Printf.sprintf "%s/seed_%d_%s" failures_dir script.Fault_script.seed
       (Kernel.arch_name arch)
   in
-  Fault_script.save script path;
-  path
+  Fault_script.save script (base ^ ".json");
+  (match tracer with
+  | Some tr -> (
+      match Trace.packed tr with
+      | Some p -> Lrp_trace.Precorder.write_dump p (base ^ ".lrprec")
+      | None -> ())
+  | None -> ());
+  base ^ ".json"
 
-let fail_run script arch what =
-  let path = save_failure script arch in
+let fail_run ?tracer script arch what =
+  let path = save_failure ?tracer script arch in
   Alcotest.fail
     (Printf.sprintf "seed %d on %s: %s (script saved to %s)"
        script.Fault_script.seed (Kernel.arch_name arch) what path)
@@ -64,17 +74,18 @@ let udp_fuzz_run ~arch ~seed =
   (* Slack past the send window so reorder-held frames flush. *)
   World.run w ~until:(Time.ms 150.);
   let v = Oracle.check_tracer ~require_demux:(require_demux arch) tr in
-  (script, v, src.Blast.sent, sink.Blast.received)
+  (script, v, src.Blast.sent, sink.Blast.received, tr)
 
 let test_udp_fuzz_matrix () =
   for seed = 0 to n_seeds - 1 do
     List.iter
       (fun arch ->
-        let script, v, sent, _received = udp_fuzz_run ~arch ~seed in
-        if sent = 0 then fail_run script arch "source sent nothing";
-        if v.Oracle.ring_wrapped then fail_run script arch "trace ring wrapped";
+        let script, v, sent, _received, tr = udp_fuzz_run ~arch ~seed in
+        if sent = 0 then fail_run ~tracer:tr script arch "source sent nothing";
+        if v.Oracle.ring_wrapped then
+          fail_run ~tracer:tr script arch "trace ring wrapped";
         if not v.Oracle.ok then
-          fail_run script arch
+          fail_run ~tracer:tr script arch
             (Format.asprintf "oracle violation: %a" Oracle.pp_verdict v))
       archs
   done
@@ -126,7 +137,7 @@ let tcp_fuzz_run ~arch ~seed ~bytes =
              Api.close client ~self sock));
   World.run w ~until:(Time.sec 30.);
   let v = Oracle.check_tracer ~require_demux:(require_demux arch) tr in
-  (script, v, Bytes.to_string data, Buffer.contents received, !done_at)
+  (script, v, Bytes.to_string data, Buffer.contents received, !done_at, tr)
 
 let is_prefix ~full s =
   String.length s <= String.length full
@@ -139,18 +150,19 @@ let test_tcp_fuzz_matrix () =
   for seed = 0 to tcp_seeds - 1 do
     List.iter
       (fun arch ->
-        let script, v, sent, received, done_at =
+        let script, v, sent, received, done_at, tr =
           tcp_fuzz_run ~arch ~seed ~bytes:20_000
         in
-        if v.Oracle.ring_wrapped then fail_run script arch "trace ring wrapped";
+        if v.Oracle.ring_wrapped then
+          fail_run ~tracer:tr script arch "trace ring wrapped";
         if not v.Oracle.ok then
-          fail_run script arch
+          fail_run ~tracer:tr script arch
             (Format.asprintf "oracle violation: %a" Oracle.pp_verdict v);
         if not (is_prefix ~full:sent received) then
-          fail_run script arch
+          fail_run ~tracer:tr script arch
             "received stream is not a prefix of the sent stream";
         if done_at <> None && not (String.equal sent received) then
-          fail_run script arch
+          fail_run ~tracer:tr script arch
             (Printf.sprintf
                "transfer completed but only %d/%d bytes match"
                (String.length received) (String.length sent)))
@@ -201,7 +213,7 @@ let canon_events evs =
         | Trace.Csum_drop e -> Trace.Csum_drop { pkt = c e.pkt }
         | Trace.Mbuf_drop e -> Trace.Mbuf_drop { pkt = c e.pkt }
         | (Trace.Intr_enter _ | Trace.Intr_exit _ | Trace.Ctx_switch _
-          | Trace.Thread_state _ | Trace.Note _) as other -> other
+          | Trace.Thread_state _ | Trace.Note _ | Trace.Alarm _) as other -> other
       in
       (t, seq, ev))
     evs
@@ -251,8 +263,8 @@ let test_none_faults_byte_identical () =
 let test_fuzz_run_reproducible () =
   List.iter
     (fun arch ->
-      let _, v1, s1, r1 = udp_fuzz_run ~arch ~seed:7 in
-      let _, v2, s2, r2 = udp_fuzz_run ~arch ~seed:7 in
+      let _, v1, s1, r1, _ = udp_fuzz_run ~arch ~seed:7 in
+      let _, v2, s2, r2, _ = udp_fuzz_run ~arch ~seed:7 in
       Alcotest.(check (pair int int))
         (Printf.sprintf "%s: replayed run identical" (Kernel.arch_name arch))
         (s1, r1) (s2, r2);
