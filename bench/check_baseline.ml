@@ -1,7 +1,7 @@
 (* CI regression gate: compare a fresh perf-baseline snapshot against the
-   committed BENCH_7.json.
+   committed BENCH_8.json.
 
-     dune exec bench/check_baseline.exe -- BENCH_7.json BENCH_run7.json
+     dune exec bench/check_baseline.exe -- BENCH_8.json BENCH_run8.json
 
    Per-entry tolerances are deliberately generous — CI machines are noisy
    and shared — so only order-of-magnitude regressions fail the build:
@@ -32,6 +32,12 @@ let eps_ratio = 1.5
 let words_slack = 0.5
 let recorder_ratio = 1.5
 let recorder_slack_ns = 5.0
+
+(* Cluster gates: the deterministic critical-path speedup the 8-shard
+   partition must expose (machine-independent), and the wall-clock
+   speedup required when the runner actually has >= 8 cores. *)
+let min_speedup_available = 4.0
+let min_speedup_measured = 2.0
 
 open Lrp_trace
 
@@ -124,6 +130,48 @@ let () =
   let wall = num fresh_path fresh "fig3_quick_wall_s" in
   check ~label:"fig3_quick_wall_s" ~ok:(wall <= base_wall *. time_ratio)
     "%.2f s vs %.2f s (limit %.0fx)" wall base_wall time_ratio;
+  (* Sharded-cluster gates.  Digest parity and the critical-path speedup
+     are deterministic and machine-independent, so they are judged hard
+     on any runner; the measured wall speedup depends on the core count,
+     so it is gated only when the fresh snapshot was taken on a machine
+     with enough cores to show it. *)
+  let cluster_of path doc =
+    match Json.member "cluster" doc with
+    | Some c -> c
+    | None -> die "%s: missing cluster object" path
+  in
+  let str path doc key =
+    match Json.member key doc with
+    | Some (Json.Str s) -> s
+    | _ -> die "%s: missing string field %S" path key
+  in
+  let base_cluster = cluster_of committed_path committed in
+  let fresh_cluster = cluster_of fresh_path fresh in
+  let d1 = str fresh_path fresh_cluster "digest_shards1" in
+  let d8 = str fresh_path fresh_cluster "digest_shards8" in
+  check ~label:"cluster digest parity" ~ok:(String.equal d1 d8)
+    "shards1=%s shards8=%s (must be byte-identical)" d1 d8;
+  let base_avail = num committed_path base_cluster "speedup_available" in
+  let avail = num fresh_path fresh_cluster "speedup_available" in
+  check ~label:"cluster speedup available (committed)"
+    ~ok:(base_avail >= min_speedup_available)
+    "%.2fx (floor %.1fx)" base_avail min_speedup_available;
+  check ~label:"cluster speedup available (fresh)"
+    ~ok:(avail >= min_speedup_available)
+    "%.2fx (floor %.1fx)" avail min_speedup_available;
+  let base_ceps = num committed_path base_cluster "events_per_sec_shards1" in
+  let ceps = num fresh_path fresh_cluster "events_per_sec_shards1" in
+  check ~label:"cluster events_per_sec" ~ok:(ceps >= base_ceps /. time_ratio)
+    "%.0f vs %.0f (floor 1/%.0f)" ceps base_ceps time_ratio;
+  let cores = num fresh_path fresh_cluster "cores" in
+  let measured = num fresh_path fresh_cluster "speedup_measured" in
+  if cores >= 8. then
+    check ~label:"cluster speedup measured"
+      ~ok:(measured >= min_speedup_measured)
+      "%.2fx on %.0f cores (floor %.1fx)" measured cores min_speedup_measured
+  else
+    Printf.printf "  skip  %-38s %.2fx on %.0f cores (gated at >= 8)\n"
+      "cluster speedup measured" measured cores;
   if !failures > 0 then begin
     Printf.printf "%d regression check(s) failed.\n" !failures;
     exit 1

@@ -19,7 +19,7 @@ open Lrp_experiments
 let quick = ref false
 let jobs = ref (Domain.recommended_domain_count ())
 let json_path = ref None
-let baseline_out = ref "BENCH_7.json"
+let baseline_out = ref "BENCH_8.json"
 let seed = Common.default_seed
 
 (* ------------------------------------------------------------------ *)
@@ -756,6 +756,19 @@ let bench_baseline () =
     ignore (Lrp_core.Channel.enqueue_code rx_chan demux_pkt);
     ignore (Lrp_core.Channel.pop rx_chan)
   in
+  (* Arena TX: the driver's if_output through the NIC's descriptor arena
+     — handle-ring push, cached-footprint drain, tx-done fire into a
+     no-op fabric.  Like arena RX, the whole cycle must stay at 0.0
+     words/packet. *)
+  let eng_tx = Engine.create () in
+  let tx_nic =
+    Lrp_net.Nic.create eng_tx ~name:"bench-tx"
+      ~ip:(Lrp_net.Packet.ip_of_quad 10 0 0 9) ()
+  in
+  let tx_arena () =
+    ignore (Lrp_net.Nic.transmit tx_nic demux_pkt);
+    Engine.step eng_tx
+  in
   (* Recorder on the hot path: the same arena RX cycle plus the packed
      flight-recorder emit the NIC path performs per packet.  The packed
      backend is four word stores into SoA ring columns, so the whole
@@ -878,6 +891,8 @@ let bench_baseline () =
       measure "demux_probe" "demux/classify+flow-table probe (hit)"
         demux_probe;
       measure "arena_rx" "channel/arena enqueue_code+pop" arena_rx;
+      measure "tx_arena" "nic/arena transmit+tx-done (cached bytes)"
+        tx_arena;
       measure "tracing_on_arena_rx" "channel/arena rx + packed recorder"
         tracing_on_arena_rx;
       measure "ledger_overhead" "cpu/ledger charge (warm rows, x2)"
@@ -903,6 +918,32 @@ let bench_baseline () =
   let fig3_wall = Unix.gettimeofday () -. t0 in
   Printf.printf "  %-44s %9.0f events/s\n" "engine throughput" events_per_sec;
   Printf.printf "  %-44s %11.2f s\n" "fig3 (quick, 1 job) wall-clock" fig3_wall;
+  (* Sharded cluster: the 64-host spine-leaf topology at 1 and 8 shards.
+     The digests must match — byte-identical results are the shard
+     engine's contract.  [speedup_available] (total events over the epoch
+     schedule's critical path) is deterministic and machine-independent,
+     so CI gates on it even on a 1-core runner; measured wall speedup is
+     recorded with the core count for context and only judged on
+     machines with enough cores to show it. *)
+  let run_cluster shards =
+    let t0 = Unix.gettimeofday () in
+    let r = Cluster.run ~shards ~duration:(if !quick then 50_000. else 200_000.) () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let c1, cwall1 = run_cluster 1 in
+  let c8, cwall8 = run_cluster 8 in
+  let ceps1 = float_of_int c1.Cluster.events /. cwall1 in
+  let ceps8 = float_of_int c8.Cluster.events /. cwall8 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  %-44s %9.0f events/s\n" "cluster 8x8 (1 shard)" ceps1;
+  Printf.printf "  %-44s %9.0f events/s\n" "cluster 8x8 (8 shards)" ceps8;
+  Printf.printf "  %-44s %11s\n" "cluster digests (1 vs 8 shards)"
+    (if Int64.equal c1.Cluster.digest c8.Cluster.digest then "identical"
+     else "MISMATCH");
+  Printf.printf "  %-44s %10.2fx (measured %.2fx on %d cores)\n"
+    "cluster speedup available"
+    (Cluster.speedup_available c8)
+    (cwall1 /. cwall8) cores;
   let doc =
     Obj
       [ ("schema", Int 1);
@@ -916,7 +957,19 @@ let bench_baseline () =
                      ("minor_words_per_event", Num words) ])
                entries) );
         ("events_per_sec", Num events_per_sec);
-        ("fig3_quick_wall_s", Num fig3_wall) ]
+        ("fig3_quick_wall_s", Num fig3_wall);
+        ( "cluster",
+          Obj
+            [ ("racks", Int c1.Cluster.racks);
+              ("hosts_per_rack", Int c1.Cluster.hosts_per_rack);
+              ("events", Int c1.Cluster.events);
+              ("digest_shards1", Str (Printf.sprintf "%Lx" c1.Cluster.digest));
+              ("digest_shards8", Str (Printf.sprintf "%Lx" c8.Cluster.digest));
+              ("events_per_sec_shards1", Num ceps1);
+              ("events_per_sec_shards8", Num ceps8);
+              ("speedup_available", Num (Cluster.speedup_available c8));
+              ("speedup_measured", Num (cwall1 /. cwall8));
+              ("cores", Int cores) ] ) ]
   in
   let oc = open_out !baseline_out in
   output_string oc (json_to_string doc);
@@ -929,6 +982,33 @@ let bench_baseline () =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Shard-count sweep of the cluster experiment: the digest column must be
+   constant (byte-identical results at any shard count) while the
+   critical path shrinks with the partition. *)
+let bench_cluster () =
+  Common.print_title "Sharded cluster (spine-leaf, shard-count sweep)";
+  let duration = if !quick then 50_000. else 200_000. in
+  Printf.printf "  %-8s %12s %14s %12s %16s\n" "shards" "wall" "events/s"
+    "avail." "digest";
+  let rows =
+    List.map
+      (fun shards ->
+        let t0 = Unix.gettimeofday () in
+        let r = Cluster.run ~shards ~duration () in
+        let wall = Unix.gettimeofday () -. t0 in
+        let eps = float_of_int r.Cluster.events /. wall in
+        Printf.printf "  %-8d %10.3f s %12.0f %10.2fx %16Lx\n" shards wall
+          eps (Cluster.speedup_available r) r.Cluster.digest;
+        Obj
+          [ ("shards", Int shards);
+            ("wall_s", Num wall);
+            ("events_per_sec", Num eps);
+            ("speedup_available", Num (Cluster.speedup_available r));
+            ("digest", Str (Printf.sprintf "%Lx" r.Cluster.digest)) ])
+      [ 1; 2; 4; 8 ]
+  in
+  Arr rows
+
 let all_benches =
   [ ("table1", bench_table1); ("fig3", bench_fig3); ("mlfrr", bench_mlfrr);
     ("fig4", bench_fig4); ("table2", bench_table2); ("fig5", bench_fig5);
@@ -937,7 +1017,8 @@ let all_benches =
     ("ablate-accounting", bench_ablate_accounting);
     ("ablate-demux", bench_ablate_demux); ("gateway", bench_gateway);
     ("trace", bench_trace); ("micro", bench_micro);
-    ("demux", bench_demux); ("baseline", bench_baseline) ]
+    ("demux", bench_demux); ("cluster", bench_cluster);
+    ("baseline", bench_baseline) ]
 
 let usage () =
   Printf.eprintf

@@ -337,6 +337,69 @@ let top_cmd =
           detector's verdict")
     Term.(const run $ arch $ rate $ duration $ dump_file)
 
+let cluster_cmd =
+  let module Cluster = Lrp_experiments.Cluster in
+  let shards =
+    let doc = "Domains to shard the cluster across (1 = sequential)." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let racks =
+    let doc = "Racks (= shardable cells) in the spine-leaf topology." in
+    Arg.(value & opt int Cluster.default_racks & info [ "racks" ] ~doc)
+  in
+  let hosts =
+    let doc = "Hosts per rack." in
+    Arg.(value
+         & opt int Cluster.default_hosts_per_rack
+         & info [ "hosts" ] ~doc)
+  in
+  let rate =
+    let doc = "Per-host intra-rack blast rate, pkts/s (cross-rack runs at \
+               half this)." in
+    Arg.(value & opt float 2000. & info [ "rate" ] ~doc)
+  in
+  let duration_ms =
+    let doc = "Simulated duration, milliseconds." in
+    Arg.(value & opt float 200. & info [ "duration-ms" ] ~doc)
+  in
+  let out_file =
+    let doc =
+      "Write the shard-invariant report to $(docv); files produced at \
+       different --shards must be byte-identical (CI diffs them)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let dump_file =
+    let doc = "Write the merged per-rack recorder dump to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let write file s =
+    let oc = open_out file in
+    output_string oc s;
+    close_out oc
+  in
+  let run shards racks hosts rate duration_ms out_file dump_file =
+    let r =
+      Cluster.run ~racks ~hosts_per_rack:hosts ~shards ~rate
+        ~duration:(Time.ms duration_ms) ()
+    in
+    Cluster.print r;
+    (match out_file with
+     | Some f -> write f (Cluster.report r)
+     | None -> ());
+    match dump_file with
+    | Some f -> write f r.Cluster.dump
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the sharded spine-leaf cluster experiment; results are \
+          byte-identical at any --shards")
+    Term.(
+      const run $ shards $ racks $ hosts $ rate $ duration_ms $ out_file
+      $ dump_file)
+
 let dump_cmd =
   let module Trace = Lrp_trace.Trace in
   let module Precorder = Lrp_trace.Precorder in
@@ -373,6 +436,6 @@ let main () =
        (Cmd.group ~default info
           [ table1_cmd; fig3_cmd; mlfrr_cmd; fig4_cmd; table2_cmd; fig5_cmd;
             accounting_cmd; ablations_cmd; blast_cmd; gateway_cmd; trace_cmd;
-            top_cmd; dump_cmd ]))
+            top_cmd; cluster_cmd; dump_cmd ]))
 
 let () = main ()

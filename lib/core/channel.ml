@@ -48,9 +48,9 @@ type t = {
   mutable hwm : int;              (* deepest queue occupancy observed *)
 }
 
-(* Atomic: channel ids must stay unique when simulations run on concurrent
-   domains (they key per-kernel tables). *)
-let id_counter = Atomic.make 0
+(* Channel ids come from the per-engine id space installed on this domain
+   (Lrp_engine.Idspace), so a cell's id sequence is independent of other
+   simulations — and other shards — allocating concurrently. *)
 
 let create ?arena ?(limit = 32) ~name () =
   let arena =
@@ -58,7 +58,7 @@ let create ?arena ?(limit = 32) ~name () =
        created standalone (tests, microbenches) gets a private one. *)
     match arena with Some a -> a | None -> Parena.create ()
   in
-  { id = Atomic.fetch_and_add id_counter 1 + 1; chan_name = name;
+  { id = Lrp_engine.Idspace.next_chan_id (); chan_name = name;
     arena; ring = Array.make (max 1 limit) Parena.none; head = 0; count = 0;
     limit;
     intr_requested = false; processing_enabled = true; enqueued = 0;

@@ -94,6 +94,10 @@ type t = {
      it only ever grows, so the steady state allocates nothing. *)
   mutable batch : int array;
   mutable batch_active : bool;
+  (* this engine's identifier streams (packet idents, channel / conn /
+     socket ids); installed as the domain's current space at creation and
+     re-installed by Shardsim before each advance window *)
+  ids : Idspace.t;
 }
 
 let no_fn () = ()
@@ -108,8 +112,10 @@ let create ?(seed = 42) ?(pure_heap = false) () =
       dispatchers = [||]; n_dispatchers = 0;
       fns = [||]; disp = [||]; args = [||]; state = Bytes.empty; gens = [||];
       free = [||]; free_top = 0;
-      batch = Array.make 16 0; batch_active = false }
+      batch = Array.make 16 0; batch_active = false;
+      ids = Idspace.create () }
   in
+  Idspace.use t.ids;
   (* Wheel buckets drop events cancelled before their horizon comes up;
      the filter recycles the slot, mirroring what [step] does when it pops
      a cancelled entry from the heap. *)
@@ -133,6 +139,11 @@ let clock t () = t.clock.(0)
 let clock_cell t = t.clock
 
 let rng t = t.root_rng
+let ids t = t.ids
+
+(* Earliest pending key, [infinity] when idle — the per-cell deadline
+   Shardsim folds into its global epoch bound. *)
+let next_key t = Twheel.min_key_or t.queue ~default:Float.infinity
 
 let target (type a) t (f : a -> unit) : a target =
   let id = t.n_dispatchers in
@@ -248,6 +259,12 @@ let schedule_to t ~at (tid : _ target) v =
 let schedule_to_after t ~delay tgt v =
   t.cell.(0) <- t.clock.(0) +. delay;
   schedule_to_cell t tgt v
+
+(* Unboxed deadline path: the caller stores the deadline straight into
+   [t.cell] (a float-array write never boxes) and schedules from it. *)
+let deadline_cell t = t.cell
+
+let schedule_to_staged t (tid : _ target) v = schedule_to_cell t tid v
 
 (* A handle is valid while its generation matches the slot's: from
    [schedule] until the slot is freed (event fired without re-arm, or its

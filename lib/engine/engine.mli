@@ -53,6 +53,18 @@ val rng : t -> Rng.t
 (** The engine's root RNG.  Long-lived components should [Rng.split] their
     own stream off it at setup time. *)
 
+val ids : t -> Idspace.t
+(** The engine's identifier streams (packet idents, channel / connection /
+    socket ids).  [create] installs them as the creating domain's current
+    {!Idspace}; {!Shardsim} re-installs each cell's space before advancing
+    it, so ids stay a function of the cell's own allocation order at any
+    shard count. *)
+
+val next_key : t -> float
+(** Virtual time of the earliest pending event, or [infinity] when the
+    queue is empty — the per-cell deadline a sharded coordinator folds
+    into its global epoch bound.  Allocation-free. *)
+
 val schedule : t -> at:Time.t -> (unit -> unit) -> handle
 (** [schedule t ~at f] runs [f] at virtual time [at].
     @raise Invalid_argument if [at] is before [now t]. *)
@@ -75,6 +87,20 @@ val schedule_to : t -> at:Time.t -> 'a target -> 'a -> handle
 val schedule_to_after : t -> delay:float -> 'a target -> 'a -> handle
 (** [schedule_to_after t ~delay tgt v] is
     [schedule_to t ~at:(now t +. delay) tgt v]. *)
+
+val deadline_cell : t -> float array
+(** 1-slot staging cell for {!schedule_to_staged}.  A computed float
+    passed as a [~delay]/[~at] argument is boxed at the call boundary (2
+    minor words per event); a float-array store is not.  Zero-allocation
+    senders write the absolute deadline into slot 0 and then call
+    {!schedule_to_staged}.  The slot is consumed by the next schedule
+    call of any kind — write it immediately before scheduling. *)
+
+val schedule_to_staged : t -> 'a target -> 'a -> handle
+(** [schedule_to_staged t tgt v] is
+    [schedule_to t ~at:(deadline_cell t).(0) tgt v] without the float
+    boxing.
+    @raise Invalid_argument if the staged deadline is before [now t]. *)
 
 val cancel : t -> handle -> unit
 (** Cancel a pending event.  Cancelling an already-run or already-cancelled

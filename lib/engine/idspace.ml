@@ -1,0 +1,55 @@
+(* Per-engine identifier streams (packet idents, channel / connection /
+   socket ids).
+
+   These used to be process-global [Atomic] counters: unique across
+   domains, but the *values* then depended on how many simulations were
+   interleaving allocations.  That was harmless while idents only keyed
+   per-host tables — but a sharded simulation (Shardsim) promises
+   byte-identical recorder dumps at any shard count, and idents appear in
+   the dumps.  So every engine now owns an id space, and installs it as
+   the current one for the domain that is advancing it: a cell's ident
+   sequence depends only on its own allocation order, never on what other
+   cells (or other domains) are doing.
+
+   The "current" space is domain-local state (Domain.DLS), not a global:
+   two domains advancing different cells concurrently each see their own
+   cell's space.  [Engine.create] installs the new engine's space, and
+   Shardsim re-installs each cell's space before advancing it, so
+   single-simulation code never has to think about this module. *)
+
+type t = {
+  mutable pkt_ident : int;
+  mutable chan_id : int;
+  mutable conn_id : int;
+  mutable sock_id : int;
+}
+
+let create () = { pkt_ident = 0; chan_id = 0; conn_id = 0; sock_id = 0 }
+
+(* Components created before any engine exists (standalone channels in
+   unit tests, packets built at top level) draw from a per-domain default
+   space. *)
+let key = Domain.DLS.new_key create
+
+let current () = Domain.DLS.get key
+let use t = Domain.DLS.set key t
+
+let next_pkt_ident () =
+  let t = Domain.DLS.get key in
+  t.pkt_ident <- t.pkt_ident + 1;
+  t.pkt_ident
+
+let next_chan_id () =
+  let t = Domain.DLS.get key in
+  t.chan_id <- t.chan_id + 1;
+  t.chan_id
+
+let next_conn_id () =
+  let t = Domain.DLS.get key in
+  t.conn_id <- t.conn_id + 1;
+  t.conn_id
+
+let next_sock_id () =
+  let t = Domain.DLS.get key in
+  t.sock_id <- t.sock_id + 1;
+  t.sock_id

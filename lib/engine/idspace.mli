@@ -1,0 +1,32 @@
+(** Per-engine identifier streams.
+
+    Packet idents and channel / connection / socket ids are drawn from the
+    engine that owns the simulation, not from process-global counters, so a
+    cell's id sequences depend only on its own allocation order.  This is
+    what makes sharded runs ({!Shardsim}) byte-identical at any shard
+    count: idents appear in recorder dumps, and a global counter would
+    interleave differently under every domain schedule.
+
+    The current space is domain-local: {!Engine.create} installs the new
+    engine's space for the creating domain, and {!Shardsim} re-installs
+    each cell's space before advancing it.  Single-simulation code never
+    touches this module directly. *)
+
+type t
+
+val create : unit -> t
+(** A fresh space with every stream at zero. *)
+
+val current : unit -> t
+(** The space installed on the calling domain (a per-domain default until
+    the first {!use} / {!Engine.create}). *)
+
+val use : t -> unit
+(** Install [t] as the calling domain's current space. *)
+
+val next_pkt_ident : unit -> int
+(** Next IP ident from the current space (starting at 1). *)
+
+val next_chan_id : unit -> int
+val next_conn_id : unit -> int
+val next_sock_id : unit -> int

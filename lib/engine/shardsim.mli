@@ -1,0 +1,52 @@
+(** Deterministic conservative-lookahead coordinator for sharded
+    simulation.
+
+    A simulation is split into {e cells} — self-contained engines plus
+    whatever the caller hangs off them — that interact only through a
+    single-threaded [exchange] step at epoch barriers.  A {e shard} is a
+    contiguous block of cells advanced by one domain per epoch; the epoch
+    schedule (global min deadline [d], safe bound [d + lookahead]) depends
+    only on cell states, so results are byte-identical at any shard count,
+    including 1.  See shardsim.ml for the safety argument and the
+    determinism obligations on [exchange]. *)
+
+type t
+
+val create :
+  ?shards:int -> lookahead:float -> exchange:(unit -> int) ->
+  Engine.t array -> t
+(** [create ~shards ~lookahead ~exchange cells] partitions [cells] into
+    [shards] contiguous blocks ([shards] is clamped to [1 .. #cells]).
+    [lookahead] must lower-bound the virtual-time distance from sending a
+    cross-cell message to its earliest effect (minimum cross-link
+    latency); [exchange] moves all pending cross-cell messages, returning
+    how many it moved — it runs only at barriers, on the coordinating
+    domain.
+    @raise Invalid_argument on zero cells or a non-positive lookahead. *)
+
+val run : t -> until:float -> unit
+(** Advance every cell to exactly [until] in lookahead-bounded epochs,
+    exchanging cross-cell messages at each barrier and draining in-flight
+    messages before returning.  Teams of domains are created per run and
+    released on return (the underlying domains are pooled, so repeated
+    runs do not respawn them). *)
+
+val shards : t -> int
+
+val epochs : t -> int
+(** Barrier epochs executed so far — a function of cell states only,
+    identical at every shard count. *)
+
+val messages : t -> int
+(** Cross-cell messages moved by [exchange] so far. *)
+
+val events_total : t -> int
+(** Events executed under this coordinator — shard-count-invariant. *)
+
+val events_critical : t -> int
+(** Critical path of the epoch schedule: per epoch, the maximum events a
+    single shard executed, summed.  [events_total / events_critical] is
+    the parallel speedup the decomposition exposes given enough cores —
+    deterministic and machine-independent (unlike measured wall time), so
+    perf gates can enforce it on any CI runner.  Depends on the partition:
+    meaningful for [shards > 1]. *)

@@ -49,12 +49,12 @@ type t = {
   stats : stats;
 }
 
-(* Atomic: socket ids must stay unique when simulations run on concurrent
-   domains (they key per-kernel tables; the values never affect behavior). *)
-let counter = Atomic.make 0
+(* Socket ids come from the per-engine id space installed on this domain
+   (Lrp_engine.Idspace): per-cell sequences, independent of other
+   simulations or shards allocating concurrently. *)
 
 let create ?(udp_rcv_limit = 64) kind =
-  let id = Atomic.fetch_and_add counter 1 + 1 in
+  let id = Lrp_engine.Idspace.next_sock_id () in
   { id; kind; port = None; remote = None; udp_rcv = Queue.create ();
     udp_rcv_limit;
     recv_wait = Proc.waitq (Printf.sprintf "sock%d.recv" id);

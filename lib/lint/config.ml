@@ -35,6 +35,14 @@ type t = {
   stateful_scope : string list;
       (* C1/P1 apply only under these path components (library code);
          executables under bin/ and bench/ may print and hold state. *)
+  c2_dirs : string list;
+      (* C2: directories whose code runs cell-parallel under Shardsim —
+         module-level bindings there must not hold mutable state even
+         nested inside records/closures ([Atomic.t] included: a shared
+         counter still couples cells and breaks shard-count invariance).
+         Mutable state must hang off a per-cell context record (Engine.t,
+         Fabric.t, Idspace.t).  lib/parallel is deliberately absent: it
+         is the one sanctioned home for cross-domain module state. *)
   sink_files : string list;
       (* P1: trace/report sink modules allowed to write stdout. *)
   layer_rank : (string * int) list;
@@ -59,6 +67,7 @@ let default =
     d4_dirs = [ "lib/engine"; "lib/net"; "lib/proto"; "lib/core" ];
     d4_exempt_files = [ "lib/proto/pcb.ml" ];
     stateful_scope = [ "lib" ];
+    c2_dirs = [ "lib/engine"; "lib/net" ];
     sink_files = [];
     layer_rank =
       [

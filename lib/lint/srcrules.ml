@@ -13,7 +13,10 @@
      D3  Marshal anywhere; polymorphic compare in configured files
      D4  structural (tuple/record) Hashtbl keys on hot-path layers
      P1  stdout printing inside lib/ outside designated sinks
-     C1  non-atomic module-level mutable state inside lib/ *)
+     C1  non-atomic module-level mutable state inside lib/
+     C2  module-level mutable state (however nested, Atomic included) on
+         cell-parallel layers; shard-local state must live in per-cell
+         context records *)
 
 open Parsetree
 
@@ -231,6 +234,63 @@ let rec mutable_maker_of e =
       if List.mem name mutable_makers then Some name else None
   | _ -> None
 
+(* --- C2: shard-shared mutable state on cell-parallel layers ------------ *)
+
+(* Code in [c2_dirs] (lib/engine, lib/net) runs cell-parallel under
+   Shardsim: one domain per shard, every domain executing the same
+   modules against different cells.  Any module-level binding holding
+   mutable state — however deeply nested in a record, tuple or array
+   literal, and *including* [Atomic.make], whose per-process counter
+   would couple cells and break shard-count invariance (the bug the
+   per-engine Idspace removed) — is therefore shared across shards.
+   Mutable state on these layers must be reachable only through a
+   per-cell context record (Engine.t, Fabric.t, Nic.t, Idspace.t).
+
+   C1 already flags a *head-level* maker ([let t = Hashtbl.create ..]);
+   C2 looks inside the bound expression, where C1 cannot see (a record
+   of arrays like a module-level SoA pool, an array literal, a nested
+   [ref]).  Function bodies are skipped: state allocated at call time is
+   per-call, not a module-level singleton.  lib/parallel is deliberately
+   outside [c2_dirs] — it is the one sanctioned home for cross-domain
+   module state (the shared worker pool), guarded by its own locks. *)
+
+let c2_makers = "Atomic.make" :: mutable_makers
+
+let check_c2_binding ctx vb =
+  let rec strip e =
+    match e.pexp_desc with Pexp_constraint (e, _) -> strip e | _ -> e
+  in
+  let head = strip vb.pvb_expr in
+  (* a head-level maker is C1's finding; don't report it twice *)
+  let head_is_c1 = mutable_maker_of vb.pvb_expr <> None in
+  let emit_c2 ~loc what =
+    emit ctx ~rule:"C2" ~loc
+      (Printf.sprintf
+         "shard-shared mutable state (%s) at module level on a \
+          cell-parallel layer: one copy is visible to every shard domain \
+          and breaks shard-count invariance; hang it off a per-cell \
+          context record (Engine.t / Fabric.t / Idspace.t) or justify \
+          with (* lint: \
+          shared-ok — reason *)"
+         what)
+  in
+  let default = Ast_iterator.default_iterator in
+  let expr it e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> () (* per-call state, not shared *)
+    | Pexp_array (_ :: _) ->
+        emit_c2 ~loc:e.pexp_loc "array literal";
+        default.expr it e
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+        let name = String.concat "." (flatten_longident txt) in
+        if List.mem name c2_makers && not (head_is_c1 && e == head) then
+          emit_c2 ~loc:e.pexp_loc name;
+        default.expr it e
+    | _ -> default.expr it e
+  in
+  let it = { default with expr } in
+  it.Ast_iterator.expr it vb.pvb_expr
+
 let rec check_structure ctx items = List.iter (check_structure_item ctx) items
 
 and check_structure_item ctx item =
@@ -238,7 +298,7 @@ and check_structure_item ctx item =
   | Pstr_value (_, vbs) ->
       List.iter
         (fun vb ->
-          match mutable_maker_of vb.pvb_expr with
+          (match mutable_maker_of vb.pvb_expr with
           | Some maker ->
               emit ctx ~rule:"C1" ~loc:vb.pvb_loc
                 (Printf.sprintf
@@ -246,7 +306,9 @@ and check_structure_item ctx item =
                     in a pool; use Atomic.t or justify with (* lint: \
                     domain-local — reason *)"
                    maker)
-          | None -> ())
+          | None -> ());
+          if Config.in_dirs ctx.file ctx.config.Config.c2_dirs then
+            check_c2_binding ctx vb)
         vbs
   | Pstr_module mb -> check_module_expr ctx mb.pmb_expr
   | Pstr_recmodule mbs ->

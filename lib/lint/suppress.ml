@@ -14,11 +14,13 @@ type entry = { tag : string; line : int; mutable used : bool }
 
 type t = entry list
 
-let known_tags = [ "domain-local"; "unordered-ok"; "stdout-ok"; "wallclock-ok" ]
+let known_tags =
+  [ "domain-local"; "unordered-ok"; "stdout-ok"; "wallclock-ok"; "shared-ok" ]
 
 (* Tag a rule id to the suppression tag that can silence it. *)
 let tag_for_rule = function
   | "C1" -> Some "domain-local"
+  | "C2" -> Some "shared-ok"
   | "D2" -> Some "unordered-ok"
   | "P1" -> Some "stdout-ok"
   | "D1" -> Some "wallclock-ok"

@@ -91,6 +91,43 @@ type port = {
          RNG draws. *)
 }
 
+(* Cross-cell uplink: the spine side of a leaf fabric when the simulation
+   is partitioned into cells (Lrp_engine.Shardsim).  A frame whose
+   destination resolves to another cell serialises through the uplink
+   port, then sits in the SoA outbox until the coordinator's barrier
+   drains it towards the destination cell's fabric; [up_min_latency] is
+   the conservative-lookahead bound the coordinator relies on, so every
+   route latency [up_latency] returns must be >= it.  All uplink state is
+   written only by the owning cell (while it advances) or at barriers —
+   never by two domains at once. *)
+type uplink = {
+  up_cell : int;                    (* this fabric's cell id *)
+  up_resolve : Packet.ip -> int;    (* destination cell, or -1 = off-net *)
+  up_latency : int -> float;        (* spine route latency to a cell, us *)
+  up_min_latency : float;
+  up_bandwidth : float;             (* bytes/us *)
+  up_buffer_us : float;             (* max uplink backlog, us *)
+  mutable up_busy : Time.t;
+  (* SoA outbox: parallel columns, drained at barriers in index order so
+     per-source FIFO order is the column order. *)
+  mutable ob_ready : float array;   (* earliest effect on the dest cell *)
+  mutable ob_dst : int array;       (* destination cell *)
+  mutable ob_pkt : Packet.t array;
+  mutable ob_len : int;
+  mutable up_tx : int;              (* frames sent cross-cell *)
+  mutable up_rx : int;              (* frames injected from other cells *)
+  mutable up_drops : int;           (* uplink backlog overflow *)
+  inject_tgt : Packet.t Engine.target;
+      (* closure-free arrival event for injected frames *)
+}
+
+type uplink_stats = {
+  up_sent : int;
+  up_received : int;
+  up_dropped : int;
+  up_backlog : int;   (* outbox entries awaiting the next barrier *)
+}
+
 type fault_stats = {
   offered : int;      (* frames presented to links (incl. pre-link drops) *)
   delivered : int;    (* frames scheduled into a destination NIC *)
@@ -114,6 +151,10 @@ type t = {
   mutable default_port : Packet.ip option;
       (* where frames for off-link destinations go: the router's
          attachment (a LAN's default gateway) *)
+  mutable uplink : uplink option;
+      (* cross-cell path, when this fabric is a leaf of a sharded
+         topology; consulted for off-link destinations before the
+         default gateway *)
   mutable offered : int;
   mutable delivered : int;
   mutable duplicated : int;
@@ -131,8 +172,8 @@ let create engine ?(bandwidth_mbps = 155.) ?(prop_delay = 5.)
   { engine; bandwidth = Nic.mbps_to_bytes_per_us bandwidth_mbps; prop_delay;
     switch_latency; buffer_us; ports = Hashtbl.create 8; total_drops = 0;
     loss_rate = 0.; loss_rng = Rng.split (Engine.rng engine);
-    default_port = None; offered = 0; delivered = 0; duplicated = 0;
-    fault_lost = 0; corrupted = 0; reordered = 0 }
+    default_port = None; uplink = None; offered = 0; delivered = 0;
+    duplicated = 0; fault_lost = 0; corrupted = 0; reordered = 0 }
 
 let rec attach t nic =
   let ip = Nic.ip nic in
@@ -163,19 +204,64 @@ and forward t pkt =
   else
   match Hashtbl.find_opt t.ports (Packet.dst pkt) with
   | None ->
-      (* Off-link destination: hand the frame to the default gateway's
-         port if one is configured, else drop as a real switch would. *)
-      (match t.default_port with
-       | Some gw_ip ->
-           (match Hashtbl.find_opt t.ports gw_ip with
-            | Some port -> deliver_to t port pkt ~now
-            | None ->
-                t.offered <- t.offered + 1;
-                t.total_drops <- t.total_drops + 1)
+      (* Off-link destination: try the cross-cell uplink first (sharded
+         topologies), then the default gateway, else drop as a real
+         switch would. *)
+      (match t.uplink with
+       | Some up when
+           (let c = up.up_resolve (Packet.dst pkt) in
+            c >= 0 && c <> up.up_cell) ->
+           uplink_forward t up pkt ~now
+       | _ -> gateway_or_drop t pkt ~now)
+  | Some port -> deliver_to t port pkt ~now
+
+and gateway_or_drop t pkt ~now =
+  match t.default_port with
+  | Some gw_ip ->
+      (match Hashtbl.find_opt t.ports gw_ip with
+       | Some port -> deliver_to t port pkt ~now
        | None ->
            t.offered <- t.offered + 1;
            t.total_drops <- t.total_drops + 1)
-  | Some port -> deliver_to t port pkt ~now
+  | None ->
+      t.offered <- t.offered + 1;
+      t.total_drops <- t.total_drops + 1
+
+(* Cross-cell transmit: serialise on the uplink port, then park the frame
+   in the outbox with its earliest effect time on the destination cell.
+   The local offered/delivered/drop counters are left alone — their
+   conservation invariant is per-fabric, and the cross-cell flow has its
+   own conservation: sum of up_tx = sum of up_rx + outbox backlog. *)
+and uplink_forward _t up pkt ~now =
+  let dstc = up.up_resolve (Packet.dst pkt) in
+  let ser = float_of_int (Packet.wire_bytes pkt) /. up.up_bandwidth in
+  let start = Float.max now up.up_busy in
+  if start -. now > up.up_buffer_us then
+    up.up_drops <- up.up_drops + 1
+  else begin
+    let departure = start +. ser in
+    up.up_busy <- departure;
+    up.up_tx <- up.up_tx + 1;
+    let ready = departure +. up.up_latency dstc in
+    let n = up.ob_len in
+    let cap = Array.length up.ob_ready in
+    if n = cap then begin
+      let cap' = if cap = 0 then 64 else cap * 2 in
+      let ready' = Array.make cap' 0. in
+      let dst' = Array.make cap' 0 in
+      let pkt' = Array.make cap' Packet.null in
+      Array.blit up.ob_ready 0 ready' 0 n;
+      Array.blit up.ob_dst 0 dst' 0 n;
+      Array.blit up.ob_pkt 0 pkt' 0 n;
+      up.ob_ready <- ready';
+      up.ob_dst <- dst';
+      up.ob_pkt <- pkt'
+    end;
+    up.ob_ready.(n) <- ready;
+    up.ob_dst.(n) <- dstc;
+    up.ob_pkt.(n) <- pkt;
+    up.ob_len <- n + 1
+  end
 
 and deliver_to t port pkt ~now =
   t.offered <- t.offered + 1;
@@ -340,6 +426,75 @@ let drops t = t.total_drops
 
 let port_drops t ip =
   match Hashtbl.find_opt t.ports ip with Some p -> p.drops | None -> 0
+
+(* --- cross-cell path (sharded topologies) ------------------------------ *)
+
+(* Arrival of an injected frame on the destination cell: from here on it
+   is an ordinary local delivery (destination leaf serialisation, faults,
+   propagation), on the destination cell's own engine. *)
+let inject_now t pkt =
+  (match t.uplink with
+   | Some up -> up.up_rx <- up.up_rx + 1
+   | None -> ());
+  let now = Engine.now t.engine in
+  match Hashtbl.find_opt t.ports (Packet.dst pkt) with
+  | Some port -> deliver_to t port pkt ~now
+  | None -> gateway_or_drop t pkt ~now
+
+let set_uplink t ~cell ~resolve ~latency ~min_latency
+    ?(bandwidth_mbps = 622.) ?(buffer_us = 10_000.) () =
+  if not (min_latency > 0. && min_latency < Float.infinity) then
+    invalid_arg "Fabric.set_uplink: min_latency must be positive and finite";
+  if cell < 0 then invalid_arg "Fabric.set_uplink: negative cell id";
+  t.uplink <-
+    Some
+      { up_cell = cell; up_resolve = resolve; up_latency = latency;
+        up_min_latency = min_latency;
+        up_bandwidth = Nic.mbps_to_bytes_per_us bandwidth_mbps;
+        up_buffer_us = buffer_us; up_busy = Time.zero;
+        ob_ready = [||]; ob_dst = [||]; ob_pkt = [||]; ob_len = 0;
+        up_tx = 0; up_rx = 0; up_drops = 0;
+        inject_tgt = Engine.target t.engine (fun pkt -> inject_now t pkt) }
+
+let uplink_exn t =
+  match t.uplink with
+  | Some up -> up
+  | None -> invalid_arg "Fabric: no uplink configured"
+
+let cell_id t = (uplink_exn t).up_cell
+
+let uplink_min_latency t = (uplink_exn t).up_min_latency
+
+(* Barrier-side drain: visit outbox entries in transmit order ([seq] is
+   the per-source FIFO sequence the coordinator sorts on), then reset the
+   columns.  Emptied packet slots are cleared so the outbox never pins a
+   delivered frame.  Only the coordinating domain may call this, at a
+   barrier. *)
+let drain_outbox t f =
+  match t.uplink with
+  | None -> 0
+  | Some up ->
+      let n = up.ob_len in
+      for i = 0 to n - 1 do
+        f ~ready:up.ob_ready.(i) ~dst:up.ob_dst.(i) ~seq:i up.ob_pkt.(i);
+        up.ob_pkt.(i) <- Packet.null
+      done;
+      up.ob_len <- 0;
+      n
+
+(* Barrier-side injection: schedule the frame's arrival on this (the
+   destination) cell's engine at its ready time.  Safe because the
+   coordinator only injects at barriers, when every cell clock is <= the
+   ready time (the lookahead invariant). *)
+let inject_remote t ~at pkt =
+  ignore (Engine.schedule_to t.engine ~at (uplink_exn t).inject_tgt pkt)
+
+let uplink_stats t =
+  match t.uplink with
+  | None -> { up_sent = 0; up_received = 0; up_dropped = 0; up_backlog = 0 }
+  | Some up ->
+      { up_sent = up.up_tx; up_received = up.up_rx;
+        up_dropped = up.up_drops; up_backlog = up.ob_len }
 
 (* Convenience: build a NIC and attach it in one step. *)
 let make_nic t ~name ~ip ?bandwidth_mbps ?cellify ?ifq_limit () =

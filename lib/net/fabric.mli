@@ -67,6 +67,44 @@ type port = {
   mutable fstate : fault_state option;
 }
 
+(** Cross-cell uplink for sharded topologies ({!Lrp_engine.Shardsim}).
+
+    A fabric with an uplink is one {e cell}'s leaf switch: frames whose
+    destination resolves to another cell are serialised onto the uplink
+    (own bandwidth and bounded buffer) and appended to a per-cell SoA
+    {e outbox} instead of being delivered locally.  The coordinator
+    drains outboxes at epoch barriers ({!drain_outbox}) and injects each
+    frame into the destination cell ({!inject_remote}) at its ready
+    time; [up_min_latency] lower-bounds send-to-effect distance and is
+    the shard scheduler's lookahead window. *)
+type uplink = {
+  up_cell : int;                       (** this fabric's cell id *)
+  up_resolve : Packet.ip -> int;       (** destination cell, -1 = unknown *)
+  up_latency : int -> float;           (** cross-link latency to a cell *)
+  up_min_latency : float;              (** infimum of [up_latency] *)
+  up_bandwidth : float;                (** uplink rate, bytes/us *)
+  up_buffer_us : float;                (** uplink queue bound, us of backlog *)
+  mutable up_busy : Lrp_engine.Time.t;
+  mutable ob_ready : float array;      (** outbox: arrival deadline *)
+  mutable ob_dst : int array;          (** outbox: destination cell *)
+  mutable ob_pkt : Packet.t array;
+  mutable ob_len : int;
+  mutable up_tx : int;
+  mutable up_rx : int;
+  mutable up_drops : int;
+  inject_tgt : Packet.t Lrp_engine.Engine.target;
+}
+
+type uplink_stats = {
+  up_sent : int;      (** frames serialised onto the uplink *)
+  up_received : int;  (** frames injected from other cells *)
+  up_dropped : int;   (** uplink buffer overruns *)
+  up_backlog : int;   (** outbox entries awaiting a barrier drain *)
+}
+(** Cross-cell conservation (over all cells): sum of [up_sent] = sum of
+    [up_received] + sum of [up_backlog].  Deliberately separate from
+    {!fault_stats} so the per-fabric conservation law is unchanged. *)
+
 type fault_stats = {
   offered : int;      (** frames presented to links (incl. pre-link drops) *)
   delivered : int;    (** frames scheduled into a destination NIC *)
@@ -90,6 +128,7 @@ type t = {
   mutable loss_rate : float;
   mutable loss_rng : Lrp_engine.Rng.t;
   mutable default_port : Packet.ip option;
+  mutable uplink : uplink option;
   mutable offered : int;
   mutable delivered : int;
   mutable duplicated : int;
@@ -134,7 +173,44 @@ val set_default_gateway : t -> ip:Packet.ip -> unit
 
 val drops : t -> int
 val port_drops : t -> Packet.ip -> int
-(** Build a NIC and [attach] it in one step. *)
+
+val set_uplink :
+  t ->
+  cell:int ->
+  resolve:(Packet.ip -> int) ->
+  latency:(int -> float) ->
+  min_latency:float ->
+  ?bandwidth_mbps:float -> ?buffer_us:float -> unit -> unit
+(** Make this fabric a cell's leaf switch.  [resolve ip] gives the owning
+    cell of an address (negative = not in the topology; falls back to the
+    default-gateway/drop path), [latency c] the cross-link latency to cell
+    [c], and [min_latency] a positive lower bound on [latency] — the
+    shard scheduler's lookahead.  Uplink bandwidth defaults to 622 Mbit/s
+    (OC-12 spine vs the 155 Mbit/s OC-3 leaves).
+    @raise Invalid_argument on a non-positive or non-finite
+    [min_latency]. *)
+
+val cell_id : t -> int
+(** @raise Invalid_argument when no uplink is configured (also below). *)
+
+val uplink_min_latency : t -> float
+
+val drain_outbox :
+  t ->
+  (ready:float -> dst:int -> seq:int -> Packet.t -> unit) -> int
+(** Visit and clear this cell's outbox in transmit order; [seq] is the
+    per-source FIFO sequence number, [ready] the frame's arrival deadline
+    on cell [dst].  Returns the number of entries drained.  Coordinator
+    only, at an epoch barrier. *)
+
+val inject_remote : t -> at:float -> Packet.t -> unit
+(** Schedule a frame drained from another cell's outbox to arrive on this
+    (the destination) cell at its ready time.  Coordinator only, at a
+    barrier: requires [at >=] every cell clock (the lookahead
+    invariant). *)
+
+val uplink_stats : t -> uplink_stats
+(** All-zero when no uplink is configured. *)
 
 val make_nic :
   t ->

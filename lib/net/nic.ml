@@ -32,10 +32,14 @@ type t = {
   bandwidth : float;        (* bytes per microsecond *)
   cellify : bool;           (* AAL5: pad to 48-byte cells, 53 on the wire *)
   ifq_limit : int;
-  (* Interface queue as a flat ring sized exactly [ifq_limit] (transmit
-     drops at the limit, so it cannot overflow).  Emptied slots are reset
-     to [Packet.null] so the ring never pins a transmitted frame. *)
-  ifq : Packet.t array;
+  (* Transmit descriptors live in a private SoA arena; the interface
+     queue is a flat ring of arena handles sized exactly [ifq_limit]
+     (transmit drops at the limit, so it cannot overflow).  The arena
+     caches each frame's [Packet.wire_bytes] at enqueue, so the drain
+     loop computes serialisation time without re-walking the body.
+     Emptied slots are reset to [Parena.none]. *)
+  txa : Parena.t;
+  ifq : Parena.handle array;
   mutable ifq_head : int;
   mutable ifq_count : int;
   mutable tx_busy : bool;
@@ -53,7 +57,8 @@ let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
     ?(ifq_limit = 64) () =
   { nic_name = name; engine; ip;
     bandwidth = mbps_to_bytes_per_us bandwidth_mbps; cellify; ifq_limit;
-    ifq = Array.make (max 1 ifq_limit) Packet.null;
+    txa = Parena.create ();
+    ifq = Array.make (max 1 ifq_limit) Parena.none;
     ifq_head = 0; ifq_count = 0; tx_busy = false;
     rx_handler = (fun _ -> ());
     deliver = (fun _ -> ());
@@ -81,28 +86,37 @@ let set_deliver t f = t.deliver <- f
 
 (* Wire footprint of a datagram: AAL5 packs the PDU (plus an 8-byte
    trailer) into 48-byte cells, each costing 53 bytes of line time. *)
-let wire_footprint t pkt =
-  let b = Packet.wire_bytes pkt in
+let footprint_of_bytes t b =
   if t.cellify then
     let cells = (b + 8 + 47) / 48 in
     cells * 53
   else b
+
+let wire_footprint t pkt = footprint_of_bytes t (Packet.wire_bytes pkt)
 
 let serialization_time t pkt = float_of_int (wire_footprint t pkt) /. t.bandwidth
 
 let rec drain t =
   if t.ifq_count = 0 then t.tx_busy <- false
   else begin
-    let pkt = t.ifq.(t.ifq_head) in
-    t.ifq.(t.ifq_head) <- Packet.null;
+    let h = t.ifq.(t.ifq_head) in
+    t.ifq.(t.ifq_head) <- Parena.none;
     let head' = t.ifq_head + 1 in
     t.ifq_head <- (if head' >= Array.length t.ifq then 0 else head');
     t.ifq_count <- t.ifq_count - 1;
     t.tx_busy <- true;
-    let d = serialization_time t pkt in
+    let pkt = Parena.pkt t.txa h in
+    let bytes = Parena.wire_bytes t.txa h in
     t.stats.tx_packets <- t.stats.tx_packets + 1;
-    t.stats.tx_bytes <- t.stats.tx_bytes + Packet.wire_bytes pkt;
-    ignore (Engine.schedule_to_after t.engine ~delay:d (tx_target t) pkt)
+    t.stats.tx_bytes <- t.stats.tx_bytes + bytes;
+    (* Staged deadline: the serialisation delay is computed per frame, and
+       passing it as a [~delay] argument would box it — the staging cell
+       keeps the whole transmit cycle at 0.0 minor words. *)
+    (Engine.deadline_cell t.engine).(0) <-
+      (Engine.clock_cell t.engine).(0)
+      +. (float_of_int (footprint_of_bytes t bytes) /. t.bandwidth);
+    ignore (Engine.schedule_to_staged t.engine (tx_target t) pkt);
+    Parena.release t.txa h
   end
 
 (* Tx-complete dispatcher, registered on the first transmission: deliver
@@ -120,8 +134,10 @@ and tx_target t =
       t.tx_done <- Some g;
       g
 
-(* [transmit t pkt] is the driver's if_output: enqueue on the interface
-   queue and kick the transmitter.  Returns [false] on queue overflow. *)
+(* [transmit t pkt] is the driver's if_output: admit the frame into the
+   TX arena, enqueue its handle and kick the transmitter.  Returns
+   [false] on queue overflow (checked before acquiring, so a dropped
+   frame never touches the arena). *)
 let transmit t pkt =
   if t.ifq_count >= t.ifq_limit then begin
     t.stats.tx_drops <- t.stats.tx_drops + 1;
@@ -131,13 +147,15 @@ let transmit t pkt =
     let cap = Array.length t.ifq in
     let tail = t.ifq_head + t.ifq_count in
     let tail = if tail >= cap then tail - cap else tail in
-    t.ifq.(tail) <- pkt;
+    t.ifq.(tail) <- Parena.acquire t.txa pkt;
     t.ifq_count <- t.ifq_count + 1;
     if not t.tx_busy then drain t;
     true
   end
 
 let ifq_length t = t.ifq_count
+
+let tx_arena t = t.txa
 
 (* Called by the fabric when a frame reaches this NIC. *)
 let receive t pkt =

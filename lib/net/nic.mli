@@ -29,8 +29,11 @@ type t = {
   bandwidth : float;
   cellify : bool;
   ifq_limit : int;
-  ifq : Packet.t array;
-      (** flat ring sized [ifq_limit]; empty slots hold [Packet.null] *)
+  txa : Parena.t;
+      (** private TX descriptor arena; caches wire footprints at enqueue *)
+  ifq : Parena.handle array;
+      (** flat handle ring sized [ifq_limit]; empty slots hold
+          [Parena.none] *)
   mutable ifq_head : int;
   mutable ifq_count : int;
   mutable tx_busy : bool;
@@ -66,9 +69,14 @@ val set_rx_handler : t -> (Packet.t -> unit) -> unit
     architectural difference the paper studies. *)
 
 val set_deliver : t -> (Packet.t -> unit) -> unit
+val footprint_of_bytes : t -> int -> int
+(** Line bytes for a [wire_bytes]-sized datagram; with [cellify], AAL5
+    cell quantisation (48 payload bytes per 53-byte cell).  Takes the
+    byte count rather than the packet so the drain loop can reuse the
+    arena-cached footprint. *)
+
 val wire_footprint : t -> Packet.t -> int
-(** Line bytes for a datagram; with [cellify], AAL5 cell quantisation
-    (48 payload bytes per 53-byte cell). *)
+(** [footprint_of_bytes] of the packet's [Packet.wire_bytes]. *)
 
 val serialization_time : t -> Packet.t -> float
 val drain : t -> unit
@@ -77,4 +85,8 @@ val transmit : t -> Packet.t -> bool
     transmitter; [false] on queue overflow. *)
 
 val ifq_length : t -> int
+
+val tx_arena : t -> Parena.t
+(** The TX descriptor arena, for allocation accounting ([live]/[peak]). *)
+
 val receive : t -> Packet.t -> unit

@@ -151,12 +151,13 @@ let verify t = checksum t = t.ip.csum
 
 (* --- constructors ---------------------------------------------------- *)
 
-(* Atomic so that simulations running on concurrent domains still draw
-   unique idents (the values themselves never influence behavior — idents
-   only key per-host reassembly tables). *)
-let ident_counter = Atomic.make 0
-
-let next_ident () = (Atomic.fetch_and_add ident_counter 1 + 1) land 0xffff
+(* Idents come from the per-engine id space installed on this domain
+   (Lrp_engine.Idspace): a cell's ident sequence is a function of its own
+   packet-creation order, never of what other simulations — or other
+   shards of the same simulation — are allocating.  The values only key
+   per-host reassembly tables, but they appear in recorder dumps, so
+   sharded runs need them byte-identical at any shard count. *)
+let next_ident () = Lrp_engine.Idspace.next_pkt_ident () land 0xffff
 
 let udp ~src ~dst ~src_port ~dst_port payload =
   let body = Udp ({ usrc_port = src_port; udst_port = dst_port }, payload) in

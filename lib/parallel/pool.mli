@@ -14,9 +14,15 @@
 type t
 
 val create : ?domains:int -> unit -> t
-(** [create ~domains:n ()] starts a pool of [n] worker domains (default
-    {!Domain.recommended_domain_count}).  [n <= 1] means no worker domains:
-    jobs run inline in the submitting domain. *)
+(** [create ~domains:n ()] makes a pool capped at [n]-way parallelism
+    (default {!Domain.recommended_domain_count}).  [n <= 1] means no worker
+    domains: jobs run inline in the submitting domain.
+
+    Worker domains are a process-wide shared set, spawned on demand and
+    parked between batches — creating pools repeatedly (one per sweep)
+    reuses the same domains instead of respawning them, so short sweeps no
+    longer pay spawn cost per batch.  [create] only grows the shared set
+    when the cap asks for more workers than have ever been spawned. *)
 
 val domains : t -> int
 (** Parallelism of the pool ([>= 1]; [1] means inline execution). *)
@@ -36,8 +42,34 @@ val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c ->
     non-commutative [reduce]. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent.  The pool must be idle
-    (no [map] in progress). *)
+(** A no-op, kept for API compatibility: workers are shared across pools
+    and parked between batches, not owned by any one pool.  The shared set
+    is joined by an [at_exit] hook. *)
 
 val with_pool : ?domains:int -> (t -> 'r) -> 'r
 (** [with_pool ~domains f] brackets [create] / [shutdown] around [f]. *)
+
+(** {2 Shared worker set}
+
+    Plumbing for long-lived cooperators such as {!Team}: raw access to the
+    process-wide worker set that [map] schedules onto. *)
+
+val submit : (unit -> unit) -> unit
+(** Enqueue a raw job on the shared worker set.  The job runs on some
+    worker domain (never inline); callers are responsible for making
+    enough workers free — see {!reserve_workers}. *)
+
+val ensure_free : int -> unit
+(** Grow the shared set until at least [n] workers are unreserved. *)
+
+val reserve_workers : int -> unit
+(** Pin [n] workers for long-running jobs (e.g. team members that park in
+    a barrier for a whole run): grows the set so transient [map] batches
+    keep their parallelism, and accounts the [n] as unavailable until
+    {!release_workers}. *)
+
+val release_workers : int -> unit
+
+val spawned_domains : unit -> int
+(** Worker domains alive in the shared set (never shrinks) — observable
+    evidence that pools reuse domains instead of respawning them. *)

@@ -1,0 +1,109 @@
+(* Reusable domain team with an epoch barrier, built on Pool's shared
+   worker set.
+
+   Pool.map is shaped for one-shot batches: per-batch queueing, one job
+   per element.  A sharded simulation (Shardsim) instead runs *thousands*
+   of tiny epochs against the same member set — each epoch every member
+   advances its shard to a common bound, then all meet at a barrier.  A
+   Team keeps its members parked on worker domains between epochs, so an
+   epoch costs one broadcast and one completion wait instead of per-job
+   queue traffic.
+
+   Members are pinned pool workers: [create] reserves size-1 workers from
+   the shared set (growing it if needed) and parks a member loop on each;
+   [shutdown] releases them back to the pool.  The caller is member 0 of
+   every [run], so a team of [size] gives [size]-way parallelism. *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  go : Condition.t;        (* a new epoch was published *)
+  finished : Condition.t;  (* the epoch's last member completed *)
+  mutable fn : int -> unit;
+  mutable epoch : int;
+  mutable pending : int;   (* members still working this epoch *)
+  mutable stopped : bool;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+let nop _ = ()
+
+let record_error t ex bt =
+  Mutex.lock t.lock;
+  (match t.error with None -> t.error <- Some (ex, bt) | Some _ -> ());
+  Mutex.unlock t.lock
+
+(* Parked on a pool worker for the team's lifetime: wake on [go], run the
+   epoch's function with this member's index, check in, park again. *)
+let member t idx =
+  let rec loop last =
+    Mutex.lock t.lock;
+    while t.epoch = last && not t.stopped do
+      Condition.wait t.go t.lock
+    done;
+    if t.stopped then Mutex.unlock t.lock (* back to the pool *)
+    else begin
+      let e = t.epoch in
+      let fn = t.fn in
+      Mutex.unlock t.lock;
+      (try fn idx
+       with ex -> record_error t ex (Printexc.get_raw_backtrace ()));
+      Mutex.lock t.lock;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.lock;
+      loop e
+    end
+  in
+  loop 0
+
+let create ~size =
+  let size = max 1 size in
+  let t =
+    { size; lock = Mutex.create (); go = Condition.create ();
+      finished = Condition.create (); fn = nop; epoch = 0; pending = 0;
+      stopped = false; error = None }
+  in
+  if size > 1 then begin
+    Pool.reserve_workers (size - 1);
+    for i = 1 to size - 1 do
+      Pool.submit (fun () -> member t i)
+    done
+  end;
+  t
+
+let size t = t.size
+
+let run t f =
+  if t.stopped then invalid_arg "Team.run: team is shut down";
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.lock;
+    t.fn <- f;
+    t.error <- None;
+    t.pending <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.go;
+    Mutex.unlock t.lock;
+    (try f 0 with ex -> record_error t ex (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.lock;
+    while t.pending > 0 do
+      Condition.wait t.finished t.lock
+    done;
+    t.fn <- nop;
+    let err = t.error in
+    t.error <- None;
+    Mutex.unlock t.lock;
+    match err with
+    | Some (ex, bt) -> Printexc.raise_with_backtrace ex bt
+    | None -> ()
+  end
+
+let shutdown t =
+  if not t.stopped then begin
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.go;
+    Mutex.unlock t.lock;
+    if t.size > 1 then Pool.release_workers (t.size - 1)
+  end

@@ -148,9 +148,9 @@ and conn = {
   mutable syn_drops_backlog : int;
 }
 
-(* Atomic: connection ids must stay unique when simulations run on
-   concurrent domains (they key per-kernel tables). *)
-let conn_counter = Atomic.make 0
+(* Connection ids come from the per-engine id space installed on this
+   domain (Lrp_engine.Idspace): per-cell sequences, independent of other
+   simulations or shards allocating concurrently. *)
 
 let make_timer () =
   { armed = false; tgen = 0; cookie = Lrp_engine.Engine.none;
@@ -159,7 +159,7 @@ let make_timer () =
 let make_conn env ~local_ip ~local_port ?(sndq_limit = 32 * 1024)
     ?(rcv_buf_limit = 32 * 1024) ?(backlog = 0) ~state () =
   let c =
-    { env; id = Atomic.fetch_and_add conn_counter 1 + 1; local_ip; local_port;
+    { env; id = Lrp_engine.Idspace.next_conn_id (); local_ip; local_port;
       remote = None; state;
       meta = -1;
       snd_una = 0; snd_nxt = 0; snd_wnd = 0; cwnd = float_of_int env.mss;

@@ -190,6 +190,27 @@ let events t =
           let e = t.buf.((start + i) mod t.cap) in
           (e.ts, e.seq, e.ev))
 
+(* Merge per-cell recorder streams into one timeline keyed by
+   (timestamp, stream id, sequence).  The key is a total order — (stream,
+   seq) is unique — and the comparator is explicit field-by-field, so the
+   merged dump is deterministic and identical however the streams were
+   produced (any shard count). *)
+let merged_events streams =
+  let all =
+    List.concat_map
+      (fun (stream, t) ->
+        List.map (fun (ts, seq, ev) -> (stream, ts, seq, ev)) (events t))
+      streams
+  in
+  List.sort
+    (fun (s1, ts1, q1, _) (s2, ts2, q2, _) ->
+      let c = Float.compare ts1 ts2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare s1 s2 in
+        if c <> 0 then c else Int.compare q1 q2)
+    all
+
 (* Emitters check [on] and the class filter before allocating the event, so
    a disabled tracer costs one branch and zero allocation per call site.
    With the packed backend installed, an *enabled* tracer also allocates

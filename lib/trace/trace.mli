@@ -105,6 +105,12 @@ val dropped : t -> int
 val events : t -> (float * int * event) list
 (** Buffer contents, oldest first, as [(virtual-time, seq, event)]. *)
 
+val merged_events : (int * t) list -> (int * float * int * event) list
+(** Merge labelled recorder streams into one timeline as
+    [(stream, virtual-time, seq, event)], ordered by (time, stream, seq)
+    with an explicit field-by-field comparator — a total order, so the
+    merged dump of a sharded run is byte-identical at any shard count. *)
+
 (* --- emitters (no-ops unless enabled and class passes the filter) ------ *)
 
 val nic_rx : t -> pkt:int -> bytes:int -> unit

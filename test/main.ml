@@ -18,6 +18,7 @@ let () =
       ("workload", Test_workload.suite);
       ("properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);
+      ("cluster", Test_cluster.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite);
       ("recorder", Test_recorder.suite);

@@ -33,6 +33,10 @@ let fixture_config =
     Config.d3_files =
       ("lint_fixtures/d3_polycompare.ml", [ "pt" ]) :: Config.default.Config.d3_files;
     Config.d4_dirs = "test/lint_fixtures" :: Config.default.Config.d4_dirs;
+    (* The C2 fixture sits in its own subdirectory: widening c2_dirs to the
+       whole fixture tree would re-flag the C1 fixture's sanctioned
+       [Atomic.make]. *)
+    Config.c2_dirs = "lint_fixtures/c2" :: Config.default.Config.c2_dirs;
   }
 
 let run_fixture ?(config = fixture_config) name =
@@ -85,6 +89,19 @@ let test_c1 () =
   Alcotest.(check (list int))
     "at the two unsuppressed bindings" [ 3; 5 ]
     (List.map (fun f -> f.Finding.line) fs)
+
+let test_c2 () =
+  let fs = run_fixture "c2/shared.ml" in
+  check_rules
+    "nested maker, array literal and Atomic fire; head-level maker stays C1"
+    [ "C2"; "C2"; "C2"; "C1" ] fs;
+  Alcotest.(check (list int))
+    "at the offending bindings" [ 5; 7; 9; 12 ]
+    (List.map (fun f -> f.Finding.line) fs);
+  (* Scope-driven: outside the cell-parallel directories neither C2 nor
+     C1 applies, so the shared-ok exemption is reported as stale. *)
+  let fs' = run_fixture ~config:Config.default "c2/shared.ml" in
+  check_rules "out of scope: only the now-stale suppression" [ "SUP" ] fs'
 
 let test_p1 () =
   let fs = run_fixture "p1_print.ml" in
@@ -176,6 +193,11 @@ let test_golden_json () =
   let findings = Finding.sort (List.map (relativize root) findings) in
   let got = Finding.to_json findings in
   let golden_path = fixture "golden.json" in
+  (* LINT_GOLDEN_REGEN=1 dune test rewrites the golden file in place;
+     review the diff before committing it. *)
+  if Sys.getenv_opt "LINT_GOLDEN_REGEN" <> None then
+    Out_channel.with_open_bin golden_path (fun oc ->
+        Out_channel.output_string oc got);
   let want = In_channel.with_open_bin golden_path In_channel.input_all in
   (* The report must also be well-formed JSON by the repo's own parser. *)
   (match Lrp_trace.Json.parse got with
@@ -243,6 +265,7 @@ let suite =
       test_d3_polycompare;
     Alcotest.test_case "D4 fires on structural Hashtbl keys" `Quick test_d4;
     Alcotest.test_case "C1 fires on module-level state" `Quick test_c1;
+    Alcotest.test_case "C2 fires on nested shard-shared state" `Quick test_c2;
     Alcotest.test_case "P1 fires on stdout writes in scope" `Quick test_p1;
     Alcotest.test_case "unused suppression is a finding" `Quick test_sup_unused;
     Alcotest.test_case "clean file has zero findings" `Quick test_clean;

@@ -200,6 +200,33 @@ let test_nic_ifq_overflow () =
   Alcotest.(check int) "five accepted (1 transmitting + 4 queued)" 5 !accepted;
   Alcotest.(check int) "drops counted" 5 (Nic.stats a).Nic.tx_drops
 
+(* The TX path is arena-backed: descriptors are held from transmit to
+   tx-done, recycled after, and never perturb the frames themselves. *)
+let test_tx_arena_recycles () =
+  let eng = Engine.create () in
+  let nic = Nic.create eng ~name:"a" ~ip:1 () in
+  let delivered = ref [] in
+  Nic.set_deliver nic (fun pkt -> delivered := pkt :: !delivered);
+  let pkts =
+    List.init 5 (fun i ->
+        Packet.udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2
+          (Payload.synthetic (100 * (i + 1))))
+  in
+  List.iter (fun p -> ignore (Nic.transmit nic p)) pkts;
+  let a = Nic.tx_arena nic in
+  Alcotest.(check int) "queued frames hold descriptors" 4 (Parena.live a);
+  Engine.drain eng;
+  Alcotest.(check int) "all descriptors recycled after drain" 0
+    (Parena.live a);
+  Alcotest.(check bool) "peak saw the burst" true (Parena.peak a >= 4);
+  Alcotest.(check int) "all frames delivered" 5 (List.length !delivered);
+  List.iter2
+    (fun p q ->
+      Alcotest.(check bool) "frames pass through physically unchanged" true
+        (p == q))
+    pkts
+    (List.rev !delivered)
+
 let test_fabric_no_route_drop () =
   let eng = Engine.create () in
   let fab = Fabric.create eng () in
@@ -440,6 +467,8 @@ let suite =
     Alcotest.test_case "mbuf over-free detected" `Quick test_mbuf_over_free;
     Alcotest.test_case "fabric delivery timing" `Quick test_fabric_delivery_time;
     Alcotest.test_case "interface queue overflow" `Quick test_nic_ifq_overflow;
+    Alcotest.test_case "tx arena recycles descriptors" `Quick
+      test_tx_arena_recycles;
     Alcotest.test_case "unroutable frames dropped" `Quick test_fabric_no_route_drop;
     Alcotest.test_case "loss injection" `Quick test_fabric_loss_injection;
     Alcotest.test_case "serialisation preserves order" `Quick

@@ -52,6 +52,56 @@ let test_pool_reuse_across_batches () =
           (Pool.map pool (fun x -> x + i) (List.init 20 Fun.id))
       done)
 
+(* Workers are a process-wide shared set: repeated pool brackets must
+   reuse the spawned domains, not respawn them. *)
+let test_workers_survive_pool_brackets () =
+  Pool.with_pool ~domains:3 (fun p -> ignore (Pool.map p succ [ 1; 2; 3 ]));
+  let spawned = Pool.spawned_domains () in
+  Alcotest.(check bool) "workers were spawned" true (spawned >= 2);
+  for _ = 1 to 3 do
+    Pool.with_pool ~domains:3 (fun p -> ignore (Pool.map p succ [ 1; 2; 3 ]))
+  done;
+  Alcotest.(check int) "no respawn across brackets" spawned
+    (Pool.spawned_domains ())
+
+(* --- team epoch barrier ------------------------------------------------ *)
+
+let test_team_runs_every_member () =
+  let team = Team.create ~size:3 in
+  Alcotest.(check int) "size" 3 (Team.size team);
+  let hits = Array.make 3 0 in
+  for _ = 1 to 50 do
+    Team.run team (fun i -> hits.(i) <- hits.(i) + 1)
+  done;
+  Team.shutdown team;
+  Alcotest.(check (array int)) "every member ran every epoch"
+    [| 50; 50; 50 |] hits
+
+let test_team_exception_and_shutdown () =
+  let team = Team.create ~size:2 in
+  Alcotest.check_raises "member exception reaches the caller"
+    (Failure "member-boom")
+    (fun () -> Team.run team (fun i -> if i = 1 then failwith "member-boom"));
+  let ok = Array.make 2 false in
+  Team.run team (fun i -> ok.(i) <- true);
+  Alcotest.(check (array bool)) "team survives a failed epoch"
+    [| true; true |] ok;
+  Team.shutdown team;
+  Team.shutdown team;
+  Alcotest.check_raises "run after shutdown is an error"
+    (Invalid_argument "Team.run: team is shut down")
+    (fun () -> Team.run team ignore)
+
+let test_team_size_one_inline () =
+  let team = Team.create ~size:0 in
+  Alcotest.(check int) "size clamps to 1" 1 (Team.size team);
+  let ran = ref false in
+  Team.run team (fun i ->
+      Alcotest.(check int) "caller is member 0" 0 i;
+      ran := true);
+  Alcotest.(check bool) "ran inline" true !ran;
+  Team.shutdown team
+
 (* The tentpole contract: a sweep's results do not depend on how many
    domains it ran on, because each simulation runs in its own engine
    seeded from (root seed, job index). *)
@@ -116,6 +166,14 @@ let suite =
       test_single_domain_inline;
     Alcotest.test_case "pool is reusable across batches" `Quick
       test_pool_reuse_across_batches;
+    Alcotest.test_case "pool brackets reuse spawned domains" `Quick
+      test_workers_survive_pool_brackets;
+    Alcotest.test_case "team barrier runs every member" `Quick
+      test_team_runs_every_member;
+    Alcotest.test_case "team exceptions and shutdown" `Quick
+      test_team_exception_and_shutdown;
+    Alcotest.test_case "size-one team runs inline" `Quick
+      test_team_size_one_inline;
     Alcotest.test_case "fig3 results independent of jobs" `Slow
       test_fig3_jobs_deterministic;
     Alcotest.test_case "table2 results independent of jobs" `Slow
