@@ -121,6 +121,41 @@ let bench_fig3 () =
                     r.Fig3.points) ) ])
        rows)
 
+let bench_modern () =
+  let rows = Modern.run ~quick:!quick ~jobs:!jobs ~seed () in
+  Modern.print rows;
+  let reorder = Modern.run_reorder ~quick:!quick ~jobs:!jobs ~seed () in
+  Modern.print_reorder reorder;
+  Obj
+    [ ( "throughput",
+        Arr
+          (List.map
+             (fun r ->
+               Obj
+                 [ ("system", Str (sysname r.Modern.system));
+                   ( "points",
+                     Arr
+                       (List.map
+                          (fun p ->
+                            Obj
+                              [ ("offered", Num p.Fig3.offered);
+                                ("delivered", Num p.Fig3.delivered);
+                                ("discards", Int p.Fig3.discards);
+                                ("ipq_drops", Int p.Fig3.ipq_drops) ])
+                          r.Modern.points) ) ])
+             rows) );
+      ( "coalesce_reorder",
+        Arr
+          (List.map
+             (fun p ->
+               Obj
+                 [ ("coalesce_us", Num p.Modern.coalesce_us);
+                   ("fabric_faults", Bool p.Modern.fabric_faults);
+                   ("observed", Int p.Modern.observed);
+                   ("inversions", Int p.Modern.inversions);
+                   ("per_kpkt", Num p.Modern.per_kpkt) ])
+             reorder) ) ]
+
 let bench_mlfrr () =
   let rows =
     Fig3.mlfrr_all ~quick:!quick ~jobs:!jobs ~seed
@@ -1010,7 +1045,8 @@ let bench_cluster () =
   Arr rows
 
 let all_benches =
-  [ ("table1", bench_table1); ("fig3", bench_fig3); ("mlfrr", bench_mlfrr);
+  [ ("table1", bench_table1); ("fig3", bench_fig3);
+    ("modern", bench_modern); ("mlfrr", bench_mlfrr);
     ("fig4", bench_fig4); ("table2", bench_table2); ("fig5", bench_fig5);
     ("accounting", bench_accounting);
     ("ablate-discard", bench_ablate_discard);

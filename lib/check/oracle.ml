@@ -19,6 +19,10 @@
     - {b provenance}: every sock-enqueue of [p] is preceded by a
       proto-deliver of [p], and — on architectures that demultiplex
       ([require_demux]) — by a demux of [p];
+    - {b GRO accounting}: every receive-offload merge absorbs a packet
+      that arrived, at most once per arrival, and into a head segment
+      that itself arrived — merged segments are terminal outcomes, so
+      they still satisfy conservation;
     - {b no ghosts}: every post-arrival event concerns a packet that has
       actually arrived.
 
@@ -69,6 +73,7 @@ let check ?(require_demux = false) events =
   let ipq = Hashtbl.create 256 in       (* enqueues + drops per pkt *)
   let mbuf = Hashtbl.create 64 in
   let proto = Hashtbl.create 256 in
+  let gro = Hashtbl.create 64 in        (* absorbed-by-merge per pkt *)
   let enq = Hashtbl.create 256 in       (* (pkt, sock) -> count *)
   let copied = Hashtbl.create 256 in    (* (pkt, sock) -> count *)
   let total_arrivals = ref 0 in
@@ -121,9 +126,17 @@ let check ?(require_demux = false) events =
               "copyout of packet %d on socket %d exceeds its %d enqueues"
               pkt sock
               (count enq (pkt, sock))
+      | Trace.Gro_merge { pkt; into } ->
+          ghost "gro-merge" pkt;
+          if not (seen into) then
+            violate "gro-merge of packet %d into head %d that never arrived"
+              pkt into;
+          bump gro pkt
+      | Trace.Gro_flush { pkt; _ } -> ghost "gro-flush" pkt
       | Trace.Softint_begin _ | Trace.Softint_end _ | Trace.Intr_enter _
       | Trace.Intr_exit _ | Trace.Ctx_switch _ | Trace.Thread_state _
-      | Trace.Note _ | Trace.Alarm _ -> ())
+      | Trace.Note _ | Trace.Alarm _ | Trace.Poll_begin _ | Trace.Poll_end _
+      | Trace.Coalesce_fire _ -> ())
     events;
   (* End-of-stream count bounds, in packet-id order so any violation list
      is reproducible. *)
@@ -151,6 +164,12 @@ let check ?(require_demux = false) events =
         violate "packet %d dropped (mbuf/csum) %d times but arrived %d times"
           pkt n (count arrivals pkt))
     mbuf;
+  Lrp_det.Det.iter_sorted
+    (fun pkt n ->
+      if n > count arrivals pkt then
+        violate "packet %d gro-merged %d times but arrived %d times" pkt n
+          (count arrivals pkt))
+    gro;
   let violations =
     let vs = List.rev !violations in
     if !reported > max_reported then

@@ -54,6 +54,14 @@ type report = {
   mutable worst_delivery : float;
       (* min delivered/offered across judged windows; 1. if none judged *)
   mutable peak_intr_share : float; (* max interrupt share across judged *)
+  mutable peak_poll_share : float;
+      (* max NAPI-poll share across judged windows.  The NAPI-vs-BSD
+         discriminator: a budgeted NAPI kernel under overload moves its
+         poll cycles into ksoftirqd (process context), so its interrupt
+         share stays below [livelock_share] while the poll share shows
+         where the cycles went; with a pathological budget the poll
+         cycles stay at softirq level and the livelock verdict fires,
+         exactly as it does for BSD's eager interrupt work. *)
   mutable ipq_hwm : int;
   mutable chan_hwm : int;          (* deepest NI channel occupancy *)
   mutable sock_hwm : int;          (* deepest socket-queue occupancy *)
@@ -70,6 +78,7 @@ type t = {
   mutable p_hard : float;
   mutable p_soft : float;
   mutable p_proc : float;  (* ledger App + Proto *)
+  mutable p_poll : float;  (* ledger Poll *)
 }
 
 let report t = t.rep
@@ -91,15 +100,18 @@ let sample t =
   let delivered = delivered_count s in
   let hard = Cpu.time_hard cpu and soft = Cpu.time_soft cpu in
   let proc = Ledger.total led Ledger.App +. Ledger.total led Ledger.Proto in
+  let poll = Ledger.total led Ledger.Poll in
   let d_off = offered - t.p_offered in
   let d_del = delivered - t.p_delivered in
   let d_intr = hard -. t.p_hard +. (soft -. t.p_soft) in
   let d_proc = proc -. t.p_proc in
+  let d_poll = poll -. t.p_poll in
   t.p_offered <- offered;
   t.p_delivered <- delivered;
   t.p_hard <- hard;
   t.p_soft <- soft;
   t.p_proc <- proc;
+  t.p_poll <- poll;
   rep.samples <- rep.samples + 1;
   if d_off > rep.peak_offered then rep.peak_offered <- d_off;
   (* Queue high-watermarks (new maxima recorded as alarm events). *)
@@ -130,7 +142,9 @@ let sample t =
     if ratio < rep.worst_delivery then rep.worst_delivery <- ratio;
     let intr_share = d_intr /. cfg.window in
     let proc_share = d_proc /. cfg.window in
+    let poll_share = d_poll /. cfg.window in
     if intr_share > rep.peak_intr_share then rep.peak_intr_share <- intr_share;
+    if poll_share > rep.peak_poll_share then rep.peak_poll_share <- poll_share;
     if ratio < cfg.collapse_frac then begin
       rep.overload_windows <- rep.overload_windows + 1;
       Trace.alarm tracer ~alarm:Trace.Overload ~a:d_off ~b:d_del;
@@ -154,9 +168,11 @@ let attach ?(config = default_config) k =
       rep =
         { samples = 0; judged = 0; overload_windows = 0; livelock_windows = 0;
           starved_windows = 0; peak_offered = 0; worst_delivery = 1.;
-          peak_intr_share = 0.; ipq_hwm = 0; chan_hwm = 0; sock_hwm = 0 };
+          peak_intr_share = 0.; peak_poll_share = 0.; ipq_hwm = 0;
+          chan_hwm = 0; sock_hwm = 0 };
       ev = Engine.none;
-      p_offered = 0; p_delivered = 0; p_hard = 0.; p_soft = 0.; p_proc = 0. }
+      p_offered = 0; p_delivered = 0; p_hard = 0.; p_soft = 0.; p_proc = 0.;
+      p_poll = 0. }
   in
   let engine = Kernel.engine k in
   t.ev <-
@@ -171,7 +187,7 @@ let pp_report fmt (r : report) =
   Fmt.pf fmt
     "windows=%d judged=%d overload=%d livelock=%d starved=%d \
      peak_offered=%d worst_delivery=%.2f peak_intr_share=%.2f \
-     hwm(ipq=%d chan=%d sock=%d)"
+     peak_poll_share=%.2f hwm(ipq=%d chan=%d sock=%d)"
     r.samples r.judged r.overload_windows r.livelock_windows
     r.starved_windows r.peak_offered r.worst_delivery r.peak_intr_share
-    r.ipq_hwm r.chan_hwm r.sock_hwm
+    r.peak_poll_share r.ipq_hwm r.chan_hwm r.sock_hwm

@@ -44,6 +44,13 @@ type report = {
   mutable worst_delivery : float;
       (** min delivered/offered over judged windows ([1.] if none) *)
   mutable peak_intr_share : float;
+  mutable peak_poll_share : float;
+      (** max NAPI-poll share (ledger [Poll]) over judged windows.  The
+          NAPI-vs-BSD discriminator: a budgeted NAPI kernel under
+          overload defers polling to ksoftirqd (process context), so its
+          interrupt share stays under [livelock_share] while this field
+          shows where the cycles went; a pathological budget keeps the
+          poll cycles at softirq level and livelock fires as for BSD. *)
   mutable ipq_hwm : int;
   mutable chan_hwm : int;
   mutable sock_hwm : int;

@@ -36,7 +36,11 @@ let discard ?(rate = 20_000.) ?(duration = Time.sec 2.) ?(jobs = 1)
   let run seed bounded =
     let cfg = Kernel.default_config Kernel.Ni_lrp in
     let cfg =
-      if bounded then cfg else { cfg with Kernel.channel_limit = max_int }
+      (* "Unbounded" has to stay finite: channels preallocate their ring,
+         so give the ablated kernel room for every frame the source can
+         offer rather than [max_int]. *)
+      if bounded then cfg
+      else { cfg with Kernel.channel_limit = 1 lsl 20 }
     in
     let w, client, server = World.pair ~seed ~cfg () in
     let sink = Blast.start_sink server ~port:9000 () in

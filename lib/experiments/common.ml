@@ -3,8 +3,18 @@
 open Lrp_kernel
 
 (* The systems the paper compares.  "SunOS + Fore driver" is the BSD
-   architecture with the vendor driver's (slower) cost profile. *)
-type system = Sunos_fore | Bsd | Ni_lrp | Soft_lrp | Early_demux
+   architecture with the vendor driver's (slower) cost profile.  The
+   Napi / Napi_gro / Rss entries are the post-paper receiver back-ends
+   the "modern" comparison adds to the grid. *)
+type system =
+  | Sunos_fore
+  | Bsd
+  | Ni_lrp
+  | Soft_lrp
+  | Early_demux
+  | Napi
+  | Napi_gro
+  | Rss
 
 let system_name = function
   | Sunos_fore -> "SunOS/Fore"
@@ -12,6 +22,9 @@ let system_name = function
   | Ni_lrp -> "NI-LRP"
   | Soft_lrp -> "SOFT-LRP"
   | Early_demux -> "Early-Demux"
+  | Napi -> "NAPI"
+  | Napi_gro -> "NAPI-GRO"
+  | Rss -> "RSS"
 
 let config_of_system ?(tune = fun (c : Kernel.config) -> c) sys =
   let cfg =
@@ -21,11 +34,17 @@ let config_of_system ?(tune = fun (c : Kernel.config) -> c) sys =
     | Ni_lrp -> Kernel.default_config Kernel.Ni_lrp
     | Soft_lrp -> Kernel.default_config Kernel.Soft_lrp
     | Early_demux -> Kernel.default_config Kernel.Early_demux
+    | Napi -> Kernel.default_config Kernel.Napi
+    | Napi_gro -> Kernel.default_config Kernel.Napi_gro
+    | Rss -> Kernel.default_config Kernel.Rss
   in
   tune cfg
 
 let table1_systems = [ Sunos_fore; Bsd; Ni_lrp; Soft_lrp ]
 let fig3_systems = [ Bsd; Ni_lrp; Soft_lrp; Early_demux ]
+
+let modern_systems =
+  [ Bsd; Ni_lrp; Soft_lrp; Early_demux; Napi; Napi_gro; Rss ]
 let fig4_systems = [ Bsd; Soft_lrp; Ni_lrp ]
 let table2_systems = [ Bsd; Soft_lrp; Ni_lrp ]
 let fig5_systems = [ Bsd; Soft_lrp ]

@@ -1,12 +1,26 @@
 (** Shared pieces of the experiment harnesses. *)
 
-type system = Sunos_fore | Bsd | Ni_lrp | Soft_lrp | Early_demux
+type system =
+  | Sunos_fore
+  | Bsd
+  | Ni_lrp
+  | Soft_lrp
+  | Early_demux
+  | Napi
+  | Napi_gro
+  | Rss
+
 val system_name : system -> string
 val config_of_system :
   ?tune:(Lrp_kernel.Kernel.config -> Lrp_kernel.Kernel.config) ->
   system -> Lrp_kernel.Kernel.config
 val table1_systems : system list
 val fig3_systems : system list
+
+val modern_systems : system list
+(** All seven receive architectures of the modern comparison: the four
+    paper systems plus NAPI, NAPI-GRO and RSS. *)
+
 val fig4_systems : system list
 val table2_systems : system list
 val fig5_systems : system list

@@ -59,6 +59,13 @@ type t = {
   (* locality model *)
   eager_penalty : float;  (* >= 1: protocol work in interrupt context *)
   lazy_locality : float;  (* <= 1: batched protocol work in process context *)
+  (* NAPI-era receive path *)
+  napi_irq : float;       (* mitigated interrupt: ack + mask + schedule poll;
+                             no per-packet work happens here *)
+  poll_dequeue : float;   (* pulling one packet off a NIC ring in the poll
+                             loop (descriptor read + mbuf setup) *)
+  poll_loop : float;      (* fixed overhead of one poll round *)
+  gro_merge : float;      (* absorbing one segment into a held GRO train *)
 }
 
 (* 4.4BSD / LRP kernels with the paper's custom ATM driver. *)
@@ -73,7 +80,8 @@ let default =
     mbuf_free = 8.; ipq_op = 2.;
     copy_per_byte = 0.085; wakeup = 8.;
     ctx_switch = 18.; fork = 900.;
-    eager_penalty = 1.2; lazy_locality = 0.9 }
+    eager_penalty = 1.2; lazy_locality = 0.9;
+    napi_irq = 6.; poll_dequeue = 9.; poll_loop = 2.; gro_merge = 2. }
 
 (* The vendor SunOS kernel with the Fore ATM driver: same architecture as
    BSD but a slower driver and copy path (Table 1 shows it well behind the

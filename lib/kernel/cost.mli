@@ -50,6 +50,10 @@ type t = {
   fork : float;
   eager_penalty : float;
   lazy_locality : float;
+  napi_irq : float;
+  poll_dequeue : float;
+  poll_loop : float;
+  gro_merge : float;
 }
 val default : t
 val sunos_fore : t

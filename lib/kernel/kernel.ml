@@ -20,6 +20,25 @@
       demultiplexing and early discard like SOFT-LRP, but protocol
       processing stays eager in software-interrupt context like BSD.
 
+    Three modern (post-paper) back-ends extend the comparison to the
+    receive architectures that eventually shipped in mainstream kernels:
+
+    - {b Napi}: interrupt mitigation with budgeted polling.  The first
+      frame raises a (cheap) interrupt that masks the queue and schedules
+      a softirq poll; the poll dequeues up to [napi_budget] frames per
+      round, re-enables the interrupt when the ring drains, and defers to
+      a fairly-scheduled ksoftirqd process when the budget is exhausted
+      with backlog remaining.  The NIC adds configurable interrupt
+      coalescing (packet-count threshold / hold-off timer).
+    - {b Napi_gro}: [Napi] plus receive-offload aggregation: consecutive
+      in-order same-flow TCP segments are merged at the poll loop into
+      one large segment before protocol processing (flushed on flow
+      change, PSH, out-of-order arrival or budget exhaustion); same-flow
+      UDP datagram trains share one protocol pass.
+    - {b Rss}: receive-side scaling — the NIC hashes flows over the
+      packed flow key onto [rx_queues] receive rings, each running its
+      own [Napi] poll context.
+
     All architectures share the same protocol code ({!Lrp_proto.Tcp},
     {!Lrp_proto.Ip}) and the same cost table, exactly as the paper's kernels
     shared the 4.4BSD networking code.  Syscall-level behaviour (the socket
@@ -33,15 +52,25 @@ open Lrp_core
 module Trace = Lrp_trace.Trace
 module Metrics = Lrp_trace.Metrics
 
-type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux
+type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux | Napi | Napi_gro | Rss
 
 let arch_name = function
   | Bsd -> "4.4BSD"
   | Soft_lrp -> "SOFT-LRP"
   | Ni_lrp -> "NI-LRP"
   | Early_demux -> "Early-Demux"
+  | Napi -> "NAPI"
+  | Napi_gro -> "NAPI-GRO"
+  | Rss -> "RSS"
 
-let is_lrp = function Soft_lrp | Ni_lrp -> true | Bsd | Early_demux -> false
+let is_lrp = function
+  | Soft_lrp | Ni_lrp -> true
+  | Bsd | Early_demux | Napi | Napi_gro | Rss -> false
+
+(* The NAPI-family back-ends run the NIC in queued-RX mode and poll. *)
+let is_napi = function
+  | Napi | Napi_gro | Rss -> true
+  | Bsd | Soft_lrp | Ni_lrp | Early_demux -> false
 
 type config = {
   arch : arch;
@@ -63,6 +92,15 @@ type config = {
       (* charge APP-thread CPU to the owning process (section 3.4); turning
          this off is the accounting ablation: the APP thread is scheduled
          and charged as an independent thread, BSD-style *)
+  (* --- NAPI-family knobs (Napi / Napi_gro / Rss only) --- *)
+  napi_budget : int;          (* frames per poll round before deferring to
+                                 ksoftirqd; a pathologically high budget
+                                 keeps all polling at softirq level and
+                                 reintroduces livelock *)
+  rx_queues : int;            (* NIC receive rings (RSS steers across >1) *)
+  rx_ring : int;              (* slots per receive ring *)
+  coalesce_pkts : int;        (* interrupt after this many buffered frames *)
+  coalesce_us : float;        (* ... or this long after the first one *)
 }
 
 let default_config ?(costs = Cost.default) arch =
@@ -71,7 +109,9 @@ let default_config ?(costs = Cost.default) arch =
     mss = 9140; sock_buf = 32 * 1024; time_wait = Lrp_engine.Time.sec 30.;
     initial_rto = Lrp_engine.Time.sec 1.5; max_syn_retries = 4;
     udp_helper = true; forwarding = false; fwd_nice = 0;
-    fair_app_accounting = true }
+    fair_app_accounting = true;
+    napi_budget = 64; rx_queues = (match arch with Rss -> 4 | _ -> 1);
+    rx_ring = 256; coalesce_pkts = 8; coalesce_us = 30. }
 
 type kstats = {
   mutable rx_frames : int;          (* frames seen by the receive path *)
@@ -99,6 +139,41 @@ type app = {
   mutable app_proc : Proc.t option;
   chan_pending : (int, unit) Hashtbl.t;  (* channel ids with a queued job *)
 }
+
+(* Per-receive-queue NAPI poll context (Napi / Napi_gro / Rss).  [poll_on]
+   is the NAPI "scheduled" bit: set from the mitigated interrupt until the
+   ring truly drains, so at most one poll chain runs per queue.  [episode]
+   counts packets served since the interrupt was masked; once a softirq
+   polling episode has served a whole budget with backlog remaining,
+   polling is handed to the queue's ksoftirqd process, which repolls under
+   the fair scheduler until the ring drains — the mechanism that keeps a
+   sane budget out of livelock (poll cycles compete with applications
+   instead of preempting them). *)
+type napi = {
+  nq : int;                              (* receive-queue index *)
+  mutable poll_on : bool;
+  mutable episode : int;                 (* packets served this episode *)
+  mutable last_poll : float;             (* when the last poll round ended *)
+  mutable in_ksoftirqd : bool;
+  ksoftirqd_wq : Proc.waitq;
+  mutable ksoftirqd : Proc.t option;
+}
+
+(* A kick arriving within this many microseconds of the previous poll
+   round's end continues the same polling {e episode} (the softirq level
+   never really went quiet — Linux's "softirq storm"); a longer gap
+   starts a fresh one.  Without this, a load whose per-packet softirq
+   cost sits just below the interarrival time drains the ring on every
+   round, resets the budget, and services the whole flood at interrupt
+   priority — exactly the starvation NAPI exists to stop. *)
+let napi_storm_gap = 60.
+
+(* How long ksoftirqd holds the interrupt masked and sleeps before a
+   grace poll when it finds the ring momentarily empty.  Longer than the
+   storm gap on purpose: each grace poll then gathers a few frames, so
+   the ksoftirqd/application alternation pays its context switches per
+   small batch instead of per packet. *)
+let napi_repoll = 500.
 
 type t = {
   kname : string;
@@ -137,6 +212,8 @@ type t = {
   fwd_wq : Proc.waitq;
   mutable fwd_proc : Proc.t option;
   mutable udp_channels : Channel.t list;   (* scanned by the helper *)
+  (* --- NAPI state --- *)
+  mutable napi : napi array;   (* one per RX queue; [||] unless NAPI-family *)
   (* --- shared protocol state --- *)
   reasm : Ip.Reasm.t;
   mutable tcp_env : Tcp.env option;
@@ -236,7 +313,7 @@ let seg_out_cost t = t.c.Cost.tcp_out +. t.c.Cost.ip_out +. t.c.Cost.driver_tx
    the architecture that allocated. *)
 let free_rx_mbufs t bytes =
   match t.cfg.arch with
-  | Bsd | Early_demux -> Mbuf.free t.mbufs ~bytes
+  | Bsd | Early_demux | Napi | Napi_gro | Rss -> Mbuf.free t.mbufs ~bytes
   | Soft_lrp | Ni_lrp -> ()
 
 (* Handle-aware variant: the mbuf kernels' non-fragment receive path
@@ -247,7 +324,7 @@ let free_rx_mbufs t bytes =
    on byte accounting with [mh = Mbuf.no_handle]. *)
 let free_rx_pkt t ~mh bytes =
   match t.cfg.arch with
-  | Bsd | Early_demux ->
+  | Bsd | Early_demux | Napi | Napi_gro | Rss ->
       if mh >= 0 then Mbuf.free_h t.mbufs mh else Mbuf.free t.mbufs ~bytes
   | Soft_lrp | Ni_lrp -> ()
 
@@ -324,7 +401,7 @@ and drain_tcp_channel t ch =
     Cpu.compute_proto t.cpu ~flow:(Channel.id ch)
       ((match t.cfg.arch with
         | Ni_lrp -> t.c.Cost.ni_channel_access
-        | Bsd | Soft_lrp | Early_demux -> 0.)
+        | Bsd | Soft_lrp | Early_demux | Napi | Napi_gro | Rss -> 0.)
        +. (t.c.Cost.lazy_locality *. (t.c.Cost.ip_in +. t.c.Cost.tcp_in)));
     (match Hashtbl.find_opt t.chan_conn (Channel.id ch) with
      | None -> () (* connection vanished: discard *)
@@ -482,7 +559,7 @@ let deregister_conn t conn =
 let fire_tcp_timer t tm =
   let gen = Tcp.timer_gen tm in
   match t.cfg.arch with
-  | Bsd | Early_demux ->
+  | Bsd | Early_demux | Napi | Napi_gro | Rss ->
       Cpu.post_soft t.cpu ~label:"tcp-timer"
         ~cost:(t.c.Cost.soft_dispatch
                +. (t.c.Cost.eager_penalty *. t.c.Cost.tcp_in))
@@ -656,13 +733,13 @@ let deliver_udp_ready ?(mh = Mbuf.no_handle) t (pkt : Packet.t) =
                 if peer_accepts t sock dg then begin
                   let dup_h =
                     match t.cfg.arch with
-                    | Bsd | Early_demux ->
+                    | Bsd | Early_demux | Napi | Napi_gro | Rss ->
                         Mbuf.alloc_h t.mbufs ~bytes:(Packet.wire_bytes pkt)
                     | Soft_lrp | Ni_lrp -> Mbuf.no_handle
                   in
                   let dup_ok =
                     match t.cfg.arch with
-                    | Bsd | Early_demux -> dup_h >= 0
+                    | Bsd | Early_demux | Napi | Napi_gro | Rss -> dup_h >= 0
                     | Soft_lrp | Ni_lrp -> true
                   in
                   if dup_ok then begin
@@ -842,6 +919,406 @@ let bsd_driver_rx t pkt () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* NAPI receive path (Napi / Napi_gro / Rss)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* RSS steering: hash the packed flow key — the same [hi]/[lo] integer
+   packing the Flowtab demux probe uses, so steering allocates nothing
+   and performs no structural hashing — onto a queue index.  A pure
+   function of packet fields, so queue placement is seed-stable and
+   shard-count independent.  Fragments (including the first) steer by IP
+   ident so every piece of one datagram lands on the same ring. *)
+let rss_steer pkt ~queues =
+  let sp, dp =
+    if Packet.is_fragment pkt then (pkt.Packet.ip.Packet.ident land 0xffff, 0)
+    else
+      match Packet.ports pkt with Some (s, d) -> (s, d) | None -> (0, 0)
+  in
+  let hi = (Packet.src pkt lsl 2) lxor Packet.dst pkt in
+  let lo = (sp lsl 16) lor (dp land 0xffff) in
+  let h = hi lxor (lo * 0x9E37_79B1) in
+  let h = h lxor (h lsr 16) in
+  (h land max_int) mod queues
+
+(* Protocol-processing cost of one polled packet: the BSD softint work
+   minus the parts the poll loop does not repeat per packet (softirq
+   dispatch, shared-IP-queue churn).  The per-packet ring dequeue is
+   charged separately ([poll_dequeue]). *)
+let napi_proto_cost t pkt =
+  bsd_soft_cost t pkt -. t.c.Cost.soft_dispatch -. t.c.Cost.ipq_op
+
+(* One entry of a poll batch: a packet ready for eager protocol
+   processing, its mbuf reservation (made at dequeue time, as the driver
+   would), and whether it is an IP fragment (fragments stay on byte
+   accounting; see [bsd_driver_rx]). *)
+type poll_item = { pi_pkt : Packet.t; pi_mh : Mbuf.handle; pi_frag : bool }
+
+(* GRO train cap, the analogue of the 64 kB aggregation limit. *)
+let gro_max_segs = 16
+
+(* Pull up to [napi_budget] frames off ring [qi], reserve their mbufs,
+   and — under [Napi_gro] — run receive-offload aggregation.  Returns the
+   batch in delivery order, the CPU cost of processing it, and the number
+   of frames served (the poll loop's "work done" that is compared against
+   the budget). *)
+let napi_collect t qi =
+  let budget = t.cfg.napi_budget in
+  let gro = t.cfg.arch = Napi_gro in
+  let items = ref [] (* reversed *) in
+  let cost = ref 0. in
+  let served = ref 0 in
+  let add_item pkt mh frag =
+    items := { pi_pkt = pkt; pi_mh = mh; pi_frag = frag } :: !items
+  in
+  (* Admit one packet the BSD way: reserve its mbufs (drop on pool
+     exhaustion) and charge full eager protocol processing. *)
+  let admit pkt =
+    let frag = Packet.is_fragment pkt in
+    let bytes = Packet.wire_bytes pkt in
+    let mh = if frag then Mbuf.no_handle else Mbuf.alloc_h t.mbufs ~bytes in
+    let ok = if frag then Mbuf.alloc t.mbufs ~bytes else mh >= 0 in
+    if not ok then begin
+      t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
+      Trace.mbuf_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+    end
+    else begin
+      cost := !cost +. napi_proto_cost t pkt;
+      add_item pkt mh frag
+    end
+  in
+  (* The held GRO train: [train_rev] newest-first, [train_head] the first
+     segment.  A train never survives the poll round. *)
+  let train_rev = ref [] in
+  let train_len = ref 0 in
+  let train_head = ref Packet.null in
+  let train_udp = ref false in
+  let train_next_seq = ref 0 in
+  (* A segment is TCP-mergeable when aggregation cannot change what the
+     shared protocol code would compute: local unicast, checksum already
+     verified (GRO runs after hardware checksum validation), carries
+     data, and no connection-state flags. *)
+  let tcp_mergeable pkt =
+    (not (Packet.is_fragment pkt))
+    && (not (Packet.is_multicast pkt))
+    && is_local_addr t (Packet.dst pkt)
+    && Packet.verify pkt
+    && (match pkt.Packet.body with
+        | Packet.Tcp (h, pl) ->
+            Payload.length pl > 0
+            && not
+                 (h.Packet.flags.Packet.syn || h.Packet.flags.Packet.fin
+                || h.Packet.flags.Packet.rst)
+        | Packet.Udp _ | Packet.Icmp _ | Packet.Fragment _ -> false)
+  in
+  let udp_mergeable pkt =
+    (not (Packet.is_fragment pkt))
+    && (not (Packet.is_multicast pkt))
+    && is_local_addr t (Packet.dst pkt)
+    && Packet.verify pkt
+    && (match pkt.Packet.body with
+        | Packet.Udp _ -> true
+        | Packet.Tcp _ | Packet.Icmp _ | Packet.Fragment _ -> false)
+  in
+  let same_flow a b =
+    Packet.src a = Packet.src b
+    && Packet.dst a = Packet.dst b
+    &&
+    match a.Packet.body, b.Packet.body with
+    | Packet.Tcp (x, _), Packet.Tcp (y, _) ->
+        x.Packet.tsrc_port = y.Packet.tsrc_port
+        && x.Packet.tdst_port = y.Packet.tdst_port
+    | Packet.Udp (x, _), Packet.Udp (y, _) ->
+        x.Packet.usrc_port = y.Packet.usrc_port
+        && x.Packet.udst_port = y.Packet.udst_port
+    | _ -> false
+  in
+  (* Merge a TCP train into one super-segment: head's ident and seq, last
+     segment's ack/window (and PSH), payloads glued, content checksum
+     recomputed so the merged segment still verifies. *)
+  let merge_train ps =
+    let head = List.hd ps in
+    let last = List.nth ps (List.length ps - 1) in
+    match head.Packet.body, last.Packet.body with
+    | Packet.Tcp (th, _), Packet.Tcp (tl, _) ->
+        let payload =
+          Payload.concat
+            (List.map
+               (fun p ->
+                 match p.Packet.body with
+                 | Packet.Tcp (_, pl) -> pl
+                 | _ -> assert false)
+               ps)
+        in
+        let hdr =
+          { th with
+            Packet.ack_no = tl.Packet.ack_no;
+            window = tl.Packet.window;
+            flags =
+              { th.Packet.flags with Packet.psh = tl.Packet.flags.Packet.psh } }
+        in
+        let merged =
+          { Packet.ip = head.Packet.ip; body = Packet.Tcp (hdr, payload) }
+        in
+        { merged with
+          Packet.ip =
+            { merged.Packet.ip with Packet.csum = Packet.checksum merged } }
+    | _ -> assert false
+  in
+  let flush () =
+    (match List.rev !train_rev with
+     | [] -> ()
+     | [ p ] -> admit p
+     | head :: rest as ps ->
+         let hid = head.Packet.ip.Packet.ident in
+         List.iter
+           (fun p ->
+             Trace.gro_merge t.tracer ~pkt:p.Packet.ip.Packet.ident ~into:hid)
+           rest;
+         if !train_udp then begin
+           (* UDP receive offload (fraglist-style): the train shares one
+              IP/UDP protocol pass; each datagram is still deposited
+              individually.  The head pays full cost; absorbed datagrams
+              pay merge + deposit. *)
+           admit head;
+           List.iter
+             (fun p ->
+               let bytes = Packet.wire_bytes p in
+               let mh = Mbuf.alloc_h t.mbufs ~bytes in
+               if mh < 0 then begin
+                 t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
+                 Trace.mbuf_drop t.tracer ~pkt:p.Packet.ip.Packet.ident
+               end
+               else begin
+                 cost :=
+                   !cost +. t.c.Cost.gro_merge +. t.c.Cost.sockbuf_append;
+                 add_item p mh false
+               end)
+             rest
+         end
+         else begin
+           (* TCP: one merged super-segment enters protocol processing;
+              its wire footprint differs from any single reservation, so
+              it stays on byte accounting. *)
+           let merged = merge_train ps in
+           let bytes = Packet.wire_bytes merged in
+           if not (Mbuf.alloc t.mbufs ~bytes) then begin
+             t.stats.mbuf_drops <- t.stats.mbuf_drops + 1;
+             Trace.mbuf_drop t.tracer ~pkt:hid
+           end
+           else begin
+             cost :=
+               !cost +. napi_proto_cost t merged
+               +. (float_of_int (List.length rest) *. t.c.Cost.gro_merge);
+             add_item merged Mbuf.no_handle false
+           end
+         end;
+         Trace.gro_flush t.tracer ~pkt:hid ~segs:!train_len);
+    train_rev := [];
+    train_len := 0;
+    train_head := Packet.null
+  in
+  let rec consider pkt =
+    if !train_len = 0 then begin
+      if tcp_mergeable pkt then begin
+        train_rev := [ pkt ];
+        train_len := 1;
+        train_head := pkt;
+        train_udp := false;
+        match pkt.Packet.body with
+        | Packet.Tcp (h, pl) ->
+            train_next_seq := h.Packet.seq + Payload.length pl;
+            if h.Packet.flags.Packet.psh then flush ()
+        | _ -> ()
+      end
+      else if udp_mergeable pkt then begin
+        train_rev := [ pkt ];
+        train_len := 1;
+        train_head := pkt;
+        train_udp := true
+      end
+      else admit pkt
+    end
+    else if !train_udp then begin
+      if udp_mergeable pkt && same_flow !train_head pkt then begin
+        train_rev := pkt :: !train_rev;
+        incr train_len;
+        if !train_len >= gro_max_segs then flush ()
+      end
+      else begin
+        flush ();
+        consider pkt
+      end
+    end
+    else if
+      tcp_mergeable pkt
+      && same_flow !train_head pkt
+      && (match pkt.Packet.body with
+          | Packet.Tcp (h, _) -> h.Packet.seq = !train_next_seq
+          | _ -> false)
+    then begin
+      train_rev := pkt :: !train_rev;
+      incr train_len;
+      match pkt.Packet.body with
+      | Packet.Tcp (h, pl) ->
+          train_next_seq := h.Packet.seq + Payload.length pl;
+          (* PSH marks an application-visible boundary: merge, then
+             flush, as Linux GRO does. *)
+          if h.Packet.flags.Packet.psh || !train_len >= gro_max_segs then
+            flush ()
+      | _ -> ()
+    end
+    else begin
+      flush ();
+      consider pkt
+    end
+  in
+  let rec loop k =
+    if k < budget then begin
+      let pkt = Nic.rxq_pop t.nic qi in
+      if pkt != Packet.null then begin
+        incr served;
+        cost := !cost +. t.c.Cost.poll_dequeue;
+        if gro then consider pkt else admit pkt;
+        loop (k + 1)
+      end
+    end
+  in
+  loop 0;
+  if gro then flush ();
+  (List.rev !items, !cost, !served)
+
+(* Deliver one polled item: the same terminal processing as the BSD
+   softint path, minus the shared IP queue. *)
+let napi_deliver t { pi_pkt = pkt; pi_mh = mh; pi_frag = frag } =
+  if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
+  then begin
+    free_rx_pkt t ~mh (Packet.wire_bytes pkt);
+    if t.cfg.forwarding then begin
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      ip_output t pkt
+    end
+    else t.stats.fwd_drops <- t.stats.fwd_drops + 1
+  end
+  else
+    match Ip.Reasm.insert t.reasm ~now:(now t) pkt with
+    | None -> () (* incomplete datagram; fragments wait in the reassembler *)
+    | Some whole ->
+        if frag then
+          (* Completion discovered while processing a fragment: transport
+             processing is a separate softint activation, as under BSD. *)
+          Cpu.post_soft t.cpu ~label:"ip-reasm-complete"
+            ~tpkt:whole.Packet.ip.Packet.ident
+            ~cost:(transport_cost t whole ~skip_pcb:false)
+            (fun () -> bsd_transport_input t whole)
+        else bsd_transport_input ~mh t whole
+
+(* The softirq poll chain.  Each round is two softirq work items: a fixed
+   [poll_loop] charge whose action dequeues the batch (so the batch
+   reflects the ring at dequeue time), then a batch-sized charge whose
+   action runs protocol processing and decides how to continue:
+
+   - ring empty -> this polling episode is over: unmask the interrupt
+     (frames that slipped in while masked re-raise it immediately; the
+     re-enable race is closed in the NIC);
+   - episode served >= budget with backlog -> the softirq level has done
+     its fair quantum of work: hand polling to ksoftirqd;
+   - otherwise -> another softirq round.
+
+   Unmasking only on a {e truly} empty ring is what prevents the
+   interrupt storm: a "served < budget" test would re-enable while
+   arrivals during delivery still sit in the ring, and sustained load
+   would then be serviced entirely at interrupt priority. *)
+let rec napi_post_poll t n =
+  Cpu.post_soft t.cpu ~label:"napi-poll" ~poll:true ~cost:t.c.Cost.poll_loop
+    (fun () -> napi_softirq_round t n)
+
+and napi_softirq_round t n =
+  Trace.poll_begin t.tracer ~q:n.nq ~pending:(Nic.rxq_len t.nic n.nq);
+  let batch, cost, served = napi_collect t n.nq in
+  Cpu.post_soft t.cpu ~label:"napi-poll" ~poll:true ~cost (fun () ->
+      List.iter (napi_deliver t) batch;
+      Trace.poll_end t.tracer ~q:n.nq ~served;
+      n.episode <- n.episode + served;
+      n.last_poll <- Engine.now t.engine;
+      if n.episode >= t.cfg.napi_budget then begin
+        n.in_ksoftirqd <- true;
+        wake_one t n.ksoftirqd_wq
+      end
+      else if Nic.rxq_len t.nic n.nq = 0 then begin
+        (* Ring drained with budget to spare: unmask.  [episode] is kept —
+           if the next kick lands within [napi_storm_gap] it continues
+           this episode, so a sustained flood still reaches the budget
+           and defers to ksoftirqd. *)
+        n.poll_on <- false;
+        Nic.rxq_enable_intr t.nic n.nq
+      end
+      else napi_post_poll t n)
+
+(* The mitigated interrupt: ack, mask the queue, schedule the poll —
+   constant cost, no per-packet work (the NAPI contract). *)
+let napi_kick t qi =
+  Cpu.post_hard t.cpu ~label:"napi-irq" ~cost:t.c.Cost.napi_irq (fun () ->
+      Nic.rxq_disable_intr t.nic qi;
+      let n = t.napi.(qi) in
+      if not n.poll_on then begin
+        n.poll_on <- true;
+        (* A quiet spell since the last poll round ends the episode; a
+           kick inside the storm gap continues it (and its budget). *)
+        if Engine.now t.engine -. n.last_poll > napi_storm_gap then
+          n.episode <- 0;
+        napi_post_poll t n
+      end)
+
+(* Process-context polling: once a softirq chain defers, the queue's
+   ksoftirqd repolls under the fair scheduler — poll cycles now compete
+   with application processes instead of preempting them, and the ledger
+   attributes them to {!Ledger.Poll} via {!Cpu.compute_poll}.
+
+   An empty ring does not immediately end the hand-off: the interrupt
+   stays masked and the next poll is deferred by half the storm gap
+   (Linux's [napi_defer_hard_irqs]/[gro_flush_timeout] IRQ deferral).
+   Without the grace poll, a flood whose interarrival time exceeds one
+   poll cycle would momentarily drain the ring, bounce straight back to
+   interrupt mode, and re-earn the deferral 64 packets later — spending
+   most of its life back at softirq priority. *)
+let ksoftirqd_loop t n =
+  let rec wait () =
+    if not n.in_ksoftirqd then begin
+      Proc.block n.ksoftirqd_wq;
+      wait ()
+    end
+    else poll 0
+
+  and poll quiet =
+    Trace.poll_begin t.tracer ~q:n.nq ~pending:(Nic.rxq_len t.nic n.nq);
+    Cpu.compute_poll t.cpu t.c.Cost.poll_loop;
+    let batch, cost, served = napi_collect t n.nq in
+    Cpu.compute_poll t.cpu cost;
+    List.iter (napi_deliver t) batch;
+    Trace.poll_end t.tracer ~q:n.nq ~served;
+    if served > 0 || Nic.rxq_len t.nic n.nq > 0 then poll 0
+    else if quiet >= 1 then begin
+      (* Two consecutive quiet polls: back to interrupt mode. *)
+      n.in_ksoftirqd <- false;
+      n.poll_on <- false;
+      n.episode <- 0;
+      Nic.rxq_enable_intr t.nic n.nq;
+      wait ()
+    end
+    else begin
+      (* IRQ deferral: hold the interrupt masked, sleep [napi_repoll],
+         grace poll.  Only this timer targets the waitq while
+         [in_ksoftirqd] is set, so the wake below cannot be stolen. *)
+      ignore
+        (Engine.schedule_after t.engine ~delay:napi_repoll (fun () ->
+             wake_one t n.ksoftirqd_wq));
+      Proc.block n.ksoftirqd_wq;
+      poll (quiet + 1)
+    end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
 (* LRP receive path (shared by SOFT-LRP and NI-LRP)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -851,7 +1328,7 @@ let bsd_driver_rx t pkt () =
 let ni_wake t f =
   match t.cfg.arch with
   | Ni_lrp -> Cpu.post_hard t.cpu ~label:"ni-intr" ~cost:t.c.Cost.ni_wakeup_intr f
-  | Soft_lrp | Bsd | Early_demux -> f ()
+  | Soft_lrp | Bsd | Early_demux | Napi | Napi_gro | Rss -> f ()
 
 let lrp_classify_rx t pkt =
   if not (is_local_addr t (Packet.dst pkt)) && not (Packet.is_multicast pkt)
@@ -1064,6 +1541,14 @@ let rx_dispatch t pkt =
       Cpu.post_hard t.cpu ~label:"rx-demux" ~tpkt:pkt.Packet.ip.Packet.ident
         ~cost:(t.c.Cost.hard_rx +. t.c.Cost.demux)
         (edemux_rx t pkt)
+  | Napi | Napi_gro | Rss ->
+      (* Only non-queued interfaces reach this handler (the primary NIC
+         runs in queued-RX mode and hands frames to the poll loop without
+         going through it); secondary interfaces of a multi-homed host
+         fall back to the eager BSD path. *)
+      Cpu.post_hard t.cpu ~label:"rx-intr" ~tpkt:pkt.Packet.ip.Packet.ident
+        ~cost:(t.c.Cost.hard_rx +. t.c.Cost.ipq_op)
+        (bsd_driver_rx t pkt)
 
 (* ------------------------------------------------------------------ *)
 (* Lazy UDP protocol processing (LRP receive path, section 3.3)         *)
@@ -1098,7 +1583,7 @@ let lrp_process_udp_raw t ~charge pkt =
     (t.c.Cost.sockq
      +. (match t.cfg.arch with
          | Ni_lrp -> t.c.Cost.ni_channel_access
-         | Bsd | Soft_lrp | Early_demux -> 0.));
+         | Bsd | Soft_lrp | Early_demux | Napi | Napi_gro | Rss -> 0.));
   charge
     (t.c.Cost.lazy_locality
      *. (t.c.Cost.ip_in
@@ -1243,7 +1728,7 @@ let create engine fabric ~name ~ip cfg =
       all_channels = []; apps = Hashtbl.create 16;
       helper_wq = Proc.waitq (name ^ ".udp-helper"); helper_proc = None;
       fwd_wq = Proc.waitq (name ^ ".ipfwdd"); fwd_proc = None;
-      udp_channels = []; reasm = Ip.Reasm.create ();
+      udp_channels = []; napi = [||]; reasm = Ip.Reasm.create ();
       tcp_env = None; timer_tgt = None; rcvto_tgt = None;
       eph_port = 20_000;
       stats =
@@ -1314,6 +1799,39 @@ let create engine fabric ~name ~ip cfg =
     Engine.schedule_after engine ~delay:(Time.sec 5.) (fun () ->
         ignore (Ip.Reasm.prune t.reasm ~now:(now t));
         Engine.reschedule_after engine !slowtimo_ev ~delay:(Time.sec 5.));
+  if is_napi cfg.arch then begin
+    let queues = max 1 cfg.rx_queues in
+    (* [rx_frames] (the overload detector's offered-load numerator) is
+       counted in the steer callback: under queued RX the NIC DMAs frames
+       straight into its rings and the kernel's dispatch handler never
+       sees them. *)
+    let steer =
+      if queues = 1 then (fun _pkt ->
+        t.stats.rx_frames <- t.stats.rx_frames + 1;
+        0)
+      else (fun pkt ->
+        t.stats.rx_frames <- t.stats.rx_frames + 1;
+        rss_steer pkt ~queues)
+    in
+    t.napi <-
+      Array.init queues (fun qi ->
+          { nq = qi; poll_on = false; episode = 0; last_poll = neg_infinity;
+            in_ksoftirqd = false;
+            ksoftirqd_wq =
+              Proc.waitq (Printf.sprintf "%s.ksoftirqd/%d" name qi);
+            ksoftirqd = None });
+    Nic.configure_rx_queues nic ~queues ~ring:cfg.rx_ring
+      ~coalesce_pkts:cfg.coalesce_pkts ~coalesce_us:cfg.coalesce_us ~steer
+      ~kick:(fun qi -> napi_kick t qi);
+    Array.iter
+      (fun n ->
+        let p =
+          Cpu.spawn cpu ~name:(Printf.sprintf "%s.ksoftirqd/%d" name n.nq)
+            (fun _self -> ksoftirqd_loop t n)
+        in
+        n.ksoftirqd <- Some p)
+      t.napi
+  end;
   if lrp_mode t && cfg.udp_helper then begin
     let p =
       Cpu.spawn cpu ~nice:20 ~name:(name ^ ".udp-helper") (fun _self ->

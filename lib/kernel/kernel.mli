@@ -20,16 +20,34 @@
       demultiplexing and early discard like SOFT-LRP, but protocol
       processing stays eager in software-interrupt context like BSD.
 
+    Three modern (post-paper) back-ends extend the comparison to the
+    receive architectures that eventually shipped in mainstream kernels:
+
+    - {b Napi}: interrupt mitigation with budgeted polling and NIC-level
+      interrupt coalescing; budget exhaustion defers polling to a
+      fairly-scheduled ksoftirqd process.
+    - {b Napi_gro}: [Napi] plus receive-offload aggregation of
+      consecutive in-order same-flow TCP segments (and same-flow UDP
+      datagram trains) at the poll loop.
+    - {b Rss}: receive-side scaling: flows hash over the packed flow key
+      onto several receive rings, each with its own NAPI poll context.
+
     All architectures share the same protocol code ({!Lrp_proto.Tcp},
     {!Lrp_proto.Ip}) and the same cost table, exactly as the paper's kernels
     shared the 4.4BSD networking code.  Syscall-level behaviour (the socket
     API) lives in {!Api}. *)
 
-type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux
-(** The four receive architectures of the paper's evaluation. *)
+type arch = Bsd | Soft_lrp | Ni_lrp | Early_demux | Napi | Napi_gro | Rss
+(** The four receive architectures of the paper's evaluation, plus the
+    three modern back-ends. *)
 
 val arch_name : arch -> string
 val is_lrp : arch -> bool
+
+val is_napi : arch -> bool
+(** The NAPI-family back-ends ([Napi], [Napi_gro], [Rss]): the NIC runs
+    in queued-RX mode and the host polls. *)
+
 type config = {
   arch : arch;
   costs : Cost.t;
@@ -47,10 +65,21 @@ type config = {
   forwarding : bool;
   fwd_nice : int;
   fair_app_accounting : bool;
+  napi_budget : int;
+      (** frames per poll round before deferring to ksoftirqd; a
+          pathologically high budget keeps all polling at softirq level
+          and reintroduces livelock *)
+  rx_queues : int;  (** NIC receive rings (RSS steers across more than 1) *)
+  rx_ring : int;  (** slots per receive ring *)
+  coalesce_pkts : int;
+      (** raise the interrupt after this many buffered frames... *)
+  coalesce_us : float;  (** ... or this long after the first one *)
 }
 val default_config : ?costs:Cost.t -> arch -> config
 (** The paper's testbed defaults: ATM MTU 9180, 32-packet channels,
-    32 kB socket buffers, the UDP helper on, forwarding off. *)
+    32 kB socket buffers, the UDP helper on, forwarding off.  NAPI-family
+    defaults: budget 64, 256-slot rings, 8-packet / 30 us coalescing, and
+    4 queues under [Rss] (1 otherwise). *)
 
 type kstats = {
   mutable rx_frames : int;
@@ -79,6 +108,20 @@ type app = {
   app_wq : Lrp_sim.Proc.waitq;
   mutable app_proc : Lrp_sim.Proc.t option;
   chan_pending : (int, unit) Hashtbl.t;
+}
+
+(** Per-receive-queue NAPI poll context: the "scheduled" bit, the
+    packets served since the interrupt was masked (a softirq polling
+    episode defers to ksoftirqd once this reaches the budget), the
+    ksoftirqd hand-off flag and the ksoftirqd process itself. *)
+type napi = {
+  nq : int;
+  mutable poll_on : bool;
+  mutable episode : int;
+  mutable last_poll : float;
+  mutable in_ksoftirqd : bool;
+  ksoftirqd_wq : Lrp_sim.Proc.waitq;
+  mutable ksoftirqd : Lrp_sim.Proc.t option;
 }
 type t = {
   kname : string;
@@ -110,6 +153,8 @@ type t = {
   fwd_wq : Lrp_sim.Proc.waitq;
   mutable fwd_proc : Lrp_sim.Proc.t option;
   mutable udp_channels : Lrp_core.Channel.t list;
+  mutable napi : napi array;
+      (** one per RX queue; [[||]] unless NAPI-family *)
   reasm : Lrp_proto.Ip.Reasm.t;
   mutable tcp_env : Lrp_proto.Tcp.env option;
   mutable timer_tgt : Lrp_proto.Tcp.timer Lrp_engine.Engine.target option;
@@ -207,6 +252,14 @@ val bsd_soft_cost : t -> Lrp_net.Packet.t -> float
 val bsd_softnet :
   ?mh:Lrp_net.Mbuf.handle -> t -> Lrp_net.Packet.t -> unit -> unit
 val bsd_driver_rx : t -> Lrp_net.Packet.t -> unit -> unit
+
+val rss_steer : Lrp_net.Packet.t -> queues:int -> int
+(** RSS queue placement: a deterministic integer mix over the packed
+    flow key ([hi]/[lo] as the Flowtab probe packs them) — no tuple
+    allocation, no structural hashing, stable across seeds and shard
+    counts.  Fragments steer by IP ident so one datagram's pieces share
+    a ring. *)
+
 val ni_wake : t -> (unit -> unit) -> unit
 val lrp_classify_rx : t -> Lrp_net.Packet.t -> unit
 val edemux_rx : t -> Lrp_net.Packet.t -> unit -> unit

@@ -25,6 +25,23 @@ type stats = {
   mutable tx_drops : int;  (* interface queue overflow *)
 }
 
+(* One receive queue of the (optional) queued-RX mode: a bounded ring the
+   NIC DMAs frames into at zero host cost, with a maskable interrupt and
+   packet-count/timer coalescing.  The host only pays CPU when the kernel's
+   [rx_kick] raises an interrupt and when its poll loop dequeues. *)
+type rxq = {
+  q_id : int;
+  ring : Packet.t array;        (* bounded; [Packet.null] marks empty slots *)
+  mutable q_head : int;
+  mutable q_count : int;
+  mutable intr_on : bool;       (* interrupt unmasked (NAPI masks it) *)
+  mutable timer : Lrp_engine.Engine.handle option;  (* armed coalesce timer *)
+  mutable q_rx : int;           (* frames DMAed into this ring *)
+  mutable q_drops : int;        (* ring-overflow drops (zero host cost) *)
+  mutable q_kicks : int;        (* interrupts raised *)
+  mutable q_hwm : int;          (* ring occupancy high-watermark *)
+}
+
 type t = {
   nic_name : string;
   engine : Engine.t;
@@ -49,6 +66,12 @@ type t = {
       (* closure-free tx-complete event; registered by [create] *)
   stats : stats;
   mutable tracer : Lrp_trace.Trace.t;  (* owning kernel's; disabled default *)
+  (* queued-RX mode (NAPI-era back-ends); [||] = classic immediate mode *)
+  mutable rxqs : rxq array;
+  mutable rx_steer : Packet.t -> int;  (* frame -> queue index (RSS hash) *)
+  mutable rx_kick : int -> unit;       (* raise the interrupt for a queue *)
+  mutable coalesce_pkts : int;
+  mutable coalesce_us : float;
 }
 
 let mbps_to_bytes_per_us mbps = mbps *. 1e6 /. 8. /. 1e6
@@ -64,7 +87,9 @@ let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
     deliver = (fun _ -> ());
     tx_done = None;
     stats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; tx_drops = 0 };
-    tracer = Lrp_trace.Trace.null () }
+    tracer = Lrp_trace.Trace.null ();
+    rxqs = [||]; rx_steer = (fun _ -> 0); rx_kick = (fun _ -> ());
+    coalesce_pkts = 1; coalesce_us = 0. }
 
 let name t = t.nic_name
 let ip t = t.ip
@@ -78,7 +103,12 @@ let register_metrics t m ~prefix =
   gauge ".tx_bytes" (fun () -> float_of_int t.stats.tx_bytes);
   gauge ".rx_packets" (fun () -> float_of_int t.stats.rx_packets);
   gauge ".tx_drops" (fun () -> float_of_int t.stats.tx_drops);
-  gauge ".ifq_len" (fun () -> float_of_int t.ifq_count)
+  gauge ".ifq_len" (fun () -> float_of_int t.ifq_count);
+  let sum_rxq f () =
+    float_of_int (Array.fold_left (fun acc q -> acc + f q) 0 t.rxqs)
+  in
+  gauge ".rxq_drops" (sum_rxq (fun q -> q.q_drops));
+  gauge ".rxq_kicks" (sum_rxq (fun q -> q.q_kicks))
 
 let set_rx_handler t f = t.rx_handler <- f
 
@@ -157,9 +187,104 @@ let ifq_length t = t.ifq_count
 
 let tx_arena t = t.txa
 
+(* --- queued RX (NAPI-era back-ends) ------------------------------------ *)
+
+let rx_queues t = Array.length t.rxqs
+
+let configure_rx_queues t ~queues ~ring ~coalesce_pkts ~coalesce_us ~steer
+    ~kick =
+  let queues = max 1 queues and ring = max 1 ring in
+  t.rxqs <-
+    Array.init queues (fun q_id ->
+        { q_id; ring = Array.make ring Packet.null; q_head = 0; q_count = 0;
+          intr_on = true; timer = None; q_rx = 0; q_drops = 0; q_kicks = 0;
+          q_hwm = 0 });
+  t.rx_steer <- steer;
+  t.rx_kick <- kick;
+  t.coalesce_pkts <- max 1 coalesce_pkts;
+  t.coalesce_us <- coalesce_us
+
+(* Raise the queue's interrupt: disarm any pending coalesce timer and hand
+   the queue id to the kernel.  The kernel's kick is expected to mask the
+   interrupt ([rxq_disable_intr]) and schedule a poll. *)
+let rxq_fire t (q : rxq) =
+  (match q.timer with
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      q.timer <- None
+  | None -> ());
+  Lrp_trace.Trace.coalesce_fire t.tracer ~q:q.q_id ~pending:q.q_count;
+  q.q_kicks <- q.q_kicks + 1;
+  t.rx_kick q.q_id
+
+(* Coalescing decision, taken whenever the ring is non-empty with the
+   interrupt unmasked: fire once [coalesce_pkts] frames are buffered (or
+   coalescing is off), otherwise make sure the hold-off timer is armed so
+   a sub-threshold train still gets delivered within [coalesce_us]. *)
+let rxq_consider t (q : rxq) =
+  if q.intr_on && q.q_count > 0 then begin
+    if q.q_count >= t.coalesce_pkts || t.coalesce_us <= 0. then rxq_fire t q
+    else if q.timer = None then
+      q.timer <-
+        Some
+          (Engine.schedule_after t.engine ~delay:t.coalesce_us (fun () ->
+               q.timer <- None;
+               if q.intr_on && q.q_count > 0 then rxq_fire t q))
+  end
+
+let rxq_enable_intr t qi =
+  let q = t.rxqs.(qi) in
+  q.intr_on <- true;
+  (* The NAPI race close: frames that arrived while the interrupt was
+     masked must still raise one. *)
+  rxq_consider t q
+
+let rxq_disable_intr t qi = t.rxqs.(qi).intr_on <- false
+
+let rxq_len t qi = t.rxqs.(qi).q_count
+
+let rxq_pop t qi =
+  let q = t.rxqs.(qi) in
+  if q.q_count = 0 then Packet.null
+  else begin
+    let pkt = q.ring.(q.q_head) in
+    q.ring.(q.q_head) <- Packet.null;
+    let head' = q.q_head + 1 in
+    q.q_head <- (if head' >= Array.length q.ring then 0 else head');
+    q.q_count <- q.q_count - 1;
+    pkt
+  end
+
+let rxq_stats t qi =
+  let q = t.rxqs.(qi) in
+  (q.q_rx, q.q_drops, q.q_kicks, q.q_hwm)
+
+let rxq_receive t pkt =
+  let nq = Array.length t.rxqs in
+  let qi = t.rx_steer pkt in
+  let qi = if qi < 0 || qi >= nq then 0 else qi in
+  let q = t.rxqs.(qi) in
+  let cap = Array.length q.ring in
+  if q.q_count >= cap then begin
+    (* Ring overflow: the NIC sheds the frame with zero host CPU — the
+       property that keeps NAPI out of livelock. *)
+    q.q_drops <- q.q_drops + 1;
+    Lrp_trace.Trace.ipq_drop t.tracer ~pkt:pkt.Packet.ip.Packet.ident
+      ~qlen:q.q_count
+  end
+  else begin
+    let tail = q.q_head + q.q_count in
+    let tail = if tail >= cap then tail - cap else tail in
+    q.ring.(tail) <- pkt;
+    q.q_count <- q.q_count + 1;
+    q.q_rx <- q.q_rx + 1;
+    if q.q_count > q.q_hwm then q.q_hwm <- q.q_count;
+    rxq_consider t q
+  end
+
 (* Called by the fabric when a frame reaches this NIC. *)
 let receive t pkt =
   t.stats.rx_packets <- t.stats.rx_packets + 1;
   Lrp_trace.Trace.nic_rx t.tracer ~pkt:pkt.Packet.ip.Packet.ident
     ~bytes:(Packet.wire_bytes pkt);
-  t.rx_handler pkt
+  if Array.length t.rxqs > 0 then rxq_receive t pkt else t.rx_handler pkt

@@ -22,6 +22,23 @@ type stats = {
   mutable rx_packets : int;
   mutable tx_drops : int;
 }
+
+(** One receive queue of the queued-RX mode: a bounded ring the NIC DMAs
+    frames into at zero host cost, with a maskable interrupt and
+    packet-count/timer coalescing. *)
+type rxq = {
+  q_id : int;
+  ring : Packet.t array;
+  mutable q_head : int;
+  mutable q_count : int;
+  mutable intr_on : bool;
+  mutable timer : Lrp_engine.Engine.handle option;
+  mutable q_rx : int;
+  mutable q_drops : int;
+  mutable q_kicks : int;
+  mutable q_hwm : int;
+}
+
 type t = {
   nic_name : string;
   engine : Lrp_engine.Engine.t;
@@ -43,6 +60,12 @@ type t = {
       (** closure-free tx-complete event; registered on first transmit *)
   stats : stats;
   mutable tracer : Lrp_trace.Trace.t;
+  mutable rxqs : rxq array;
+      (** queued-RX mode when non-empty; [[||]] = classic immediate mode *)
+  mutable rx_steer : Packet.t -> int;
+  mutable rx_kick : int -> unit;
+  mutable coalesce_pkts : int;
+  mutable coalesce_us : float;
 }
 val mbps_to_bytes_per_us : float -> float
 (** Unit helper: link rate in Mbit/s to bytes per microsecond. *)
@@ -88,5 +111,38 @@ val ifq_length : t -> int
 
 val tx_arena : t -> Parena.t
 (** The TX descriptor arena, for allocation accounting ([live]/[peak]). *)
+
+(** {1 Queued RX (NAPI-era back-ends)} *)
+
+val configure_rx_queues :
+  t -> queues:int -> ring:int -> coalesce_pkts:int -> coalesce_us:float ->
+  steer:(Packet.t -> int) -> kick:(int -> unit) -> unit
+(** Switch the NIC into queued-RX mode: received frames are steered by
+    [steer] into one of [queues] bounded rings of [ring] slots each (DMA,
+    zero host cost; overflow drops are free and traced as [Ipq_drop]).
+    An unmasked queue raises an interrupt — [kick q] — once
+    [coalesce_pkts] frames are buffered, or [coalesce_us] after the first
+    frame of a sub-threshold train (a [Coalesce_fire] trace event marks
+    each).  [kick] runs in NIC context and is expected to mask the queue
+    ({!rxq_disable_intr}) and schedule host-side polling. *)
+
+val rx_queues : t -> int
+(** Number of configured receive queues; [0] = classic immediate mode. *)
+
+val rxq_pop : t -> int -> Packet.t
+(** Dequeue the oldest frame of a queue, or {!Packet.null} when empty
+    (zero host cost here; the caller charges its own poll costs). *)
+
+val rxq_len : t -> int -> int
+
+val rxq_enable_intr : t -> int -> unit
+(** Unmask the queue's interrupt.  If frames arrived while it was masked
+    the coalescing decision re-runs immediately — the classic NAPI
+    re-enable race is closed inside the NIC. *)
+
+val rxq_disable_intr : t -> int -> unit
+
+val rxq_stats : t -> int -> int * int * int * int
+(** [(rx, drops, kicks, hwm)] counters of one queue. *)
 
 val receive : t -> Packet.t -> unit

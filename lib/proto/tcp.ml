@@ -341,8 +341,11 @@ and output c =
       c.bytes_sent <- c.bytes_sent + Payload.length payload;
       if c.timing = None then
         c.timing <- Some (seq + Payload.length payload, c.env.now ());
-      c.env.emit
-        (segment c ~payload ~seq (Packet.flags ~ack:true ~psh:true ()));
+      (* PSH only on the segment that drains the send queue (BSD's
+         TF_MORETOCOME sense): mid-buffer segments leave it clear, which
+         is what lets a receive-offload engine aggregate them. *)
+      let psh = c.unsent_bytes = 0 in
+      c.env.emit (segment c ~payload ~seq (Packet.flags ~ack:true ~psh ()));
       progress := true;
       send_more ()
     end

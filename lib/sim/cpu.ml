@@ -3,8 +3,11 @@ module Sched = Lrp_sched.Sched
 module Trace = Lrp_trace.Trace
 
 (* [tpkt] is the packet ident this work processes, or -1: it keys the
-   tracer's per-packet software-interrupt spans. *)
-type work = { label : string; mutable left : float; tpkt : int; action : unit -> unit }
+   tracer's per-packet software-interrupt spans.  [wpoll] marks NAPI
+   poll rounds: they run at softirq level but their cycles are ledgered
+   as [Poll], not [Soft]. *)
+type work = { label : string; mutable left : float; tpkt : int;
+              wpoll : bool; action : unit -> unit }
 
 type who = Whard of work | Wsoft of work | Wuser of Proc.t
 
@@ -38,6 +41,10 @@ type t = {
   mutable t_hard : float;
   mutable t_soft : float;
   mutable t_user : float;
+  (* informational slice: poll cycles inside t_soft/t_user, so the
+     time-conservation law (elapsed = hard + soft + user + idle) is
+     untouched *)
+  mutable t_poll : float;
   mutable n_ctx_switch : int;
   mutable n_soft_dispatch : int;
   mutable n_hard_dispatch : int;
@@ -45,8 +52,10 @@ type t = {
   mutable tracer : Trace.t;  (* owning kernel's tracer; disabled by default *)
   ledger : Ledger.t;
   (* class hints for the next [Proc.Compute] segment, set by
-     [compute_proto] and latched into the process by the effect handler *)
+     [compute_proto] / [compute_poll] and latched into the process by the
+     effect handler *)
   mutable hint_proto : bool;
+  mutable hint_poll : bool;
   mutable hint_flow : int;
 }
 
@@ -84,10 +93,16 @@ let charge t who elapsed =
         t.t_hard <- t.t_hard +. elapsed;
         Ledger.charge t.ledger Ledger.Intr ~pid:(victim_pid t) ~flow:(-1)
           elapsed
-    | Wsoft _ ->
+    | Wsoft w ->
         t.t_soft <- t.t_soft +. elapsed;
-        Ledger.charge t.ledger Ledger.Soft ~pid:(victim_pid t) ~flow:(-1)
-          elapsed
+        if w.wpoll then begin
+          t.t_poll <- t.t_poll +. elapsed;
+          Ledger.charge t.ledger Ledger.Poll ~pid:(victim_pid t) ~flow:(-1)
+            elapsed
+        end
+        else
+          Ledger.charge t.ledger Ledger.Soft ~pid:(victim_pid t) ~flow:(-1)
+            elapsed
     | Wuser p ->
         t.t_user <- t.t_user +. elapsed;
         p.Proc.cpu_time <- p.Proc.cpu_time +. elapsed;
@@ -95,6 +110,11 @@ let charge t who elapsed =
         if p.Proc.lcls = 1 then
           Ledger.charge t.ledger Ledger.Proto ~pid:p.Proc.pid
             ~flow:p.Proc.lflow elapsed
+        else if p.Proc.lcls = 2 then begin
+          t.t_poll <- t.t_poll +. elapsed;
+          Ledger.charge t.ledger Ledger.Poll ~pid:p.Proc.pid
+            ~flow:p.Proc.lflow elapsed
+        end
         else
           Ledger.charge t.ledger Ledger.App ~pid:p.Proc.pid ~flow:(-1) elapsed
 
@@ -215,9 +235,11 @@ and handler : type r. t -> Proc.t -> (r, unit) Effect.Deep.handler =
                 (* Latch the ledger class for this segment; it survives
                    preemption splits because [charge] reads it from the
                    process, not from the (consumed) hint. *)
-                p.Proc.lcls <- (if t.hint_proto then 1 else 0);
+                p.Proc.lcls <-
+                  (if t.hint_proto then 1 else if t.hint_poll then 2 else 0);
                 p.Proc.lflow <- t.hint_flow;
                 t.hint_proto <- false;
+                t.hint_poll <- false;
                 t.hint_flow <- -1;
                 p.Proc.pending <- Proc.Work)
         | Proc.Block wq ->
@@ -414,10 +436,11 @@ let create engine ?(ctx_switch_cost = 0.) ?(start_clock = true) ~name () =
       hardq = Deque.create (); softq = Deque.create ();
       procs = Hashtbl.create 17; next_pid = 1; running = None; cur = None;
       last_user = -1; in_dispatch = false; redo = false; force_resched = false;
-      t_hard = 0.; t_soft = 0.; t_user = 0.; n_ctx_switch = 0;
+      t_hard = 0.; t_soft = 0.; t_user = 0.; t_poll = 0.; n_ctx_switch = 0;
       n_soft_dispatch = 0; n_hard_dispatch = 0; created_at = Engine.now engine;
       tracer = Trace.null (); seg_tgt = None; wake_tgt = None;
-      ledger = Ledger.create (); hint_proto = false; hint_flow = -1 }
+      ledger = Ledger.create (); hint_proto = false; hint_poll = false;
+      hint_flow = -1 }
   in
   (* One dispatcher per work-item kind, registered once; [segment_done t]
      is hoisted so firing a segment allocates nothing either. *)
@@ -473,11 +496,13 @@ let proc_count t = Hashtbl.length t.procs
 
 let post_hard t ?(label = "hardintr") ?(tpkt = -1) ~cost action =
   guarded t (fun () ->
-      Deque.push_back t.hardq { label; left = cost; tpkt; action })
+      Deque.push_back t.hardq
+        { label; left = cost; tpkt; wpoll = false; action })
 
-let post_soft t ?(label = "softintr") ?(tpkt = -1) ~cost action =
+let post_soft t ?(label = "softintr") ?(tpkt = -1) ?(poll = false) ~cost action =
   guarded t (fun () ->
-      Deque.push_back t.softq { label; left = cost; tpkt; action })
+      Deque.push_back t.softq
+        { label; left = cost; tpkt; wpoll = poll; action })
 
 (* [compute_proto] is [Proc.compute] with ledger attribution: the segment
    is receiver-context protocol work serving [flow].  The hint is consumed
@@ -489,6 +514,16 @@ let compute_proto t ?(flow = -1) cost =
   t.hint_flow <- flow;
   Proc.compute cost;
   t.hint_proto <- false;
+  t.hint_flow <- -1
+
+(* [compute_poll] is the process-context analogue for ksoftirqd: the
+   segment is NAPI poll work, ledgered as [Poll] against the polling
+   process itself (Linux charges ksoftirqd, not the victim). *)
+let compute_poll t ?(flow = -1) cost =
+  t.hint_poll <- true;
+  t.hint_flow <- flow;
+  Proc.compute cost;
+  t.hint_poll <- false;
   t.hint_flow <- -1
 
 let ledger t = t.ledger
@@ -508,6 +543,7 @@ let soft_pending t = Deque.length t.softq
 let time_hard t = t.t_hard
 let time_soft t = t.t_soft
 let time_user t = t.t_user
+let time_poll t = t.t_poll
 
 let time_idle t =
   let elapsed = Engine.now t.engine -. t.created_at in

@@ -69,10 +69,14 @@ val post_hard :
     [-1] = none). *)
 
 val post_soft :
-  t -> ?label:string -> ?tpkt:int -> cost:float -> (unit -> unit) -> unit
+  t -> ?label:string -> ?tpkt:int -> ?poll:bool -> cost:float ->
+  (unit -> unit) -> unit
 (** Enqueue software-interrupt work (BSD's softnet level).  When [tpkt] is
     given, the tracer brackets the timed segment in
-    [Softint_begin]/[Softint_end] events keyed by that packet. *)
+    [Softint_begin]/[Softint_end] events keyed by that packet.  [poll]
+    (default false) marks the work as a NAPI poll round: it still runs
+    and preempts at softirq level, but its cycles are ledgered as
+    {!Ledger.Poll} instead of [Soft]. *)
 
 val set_account : t -> Proc.t -> owner:Proc.t option -> unit
 (** Redirect scheduler charging for a process (LRP's APP thread runs at its
@@ -86,6 +90,11 @@ val compute_proto : t -> ?flow:int -> float -> unit
     in the CPU's {!Ledger} (LRP's lazy protocol processing, the UDP
     helper, the forwarding daemon).  Plain [Proc.compute] segments are
     attributed as application work.  Process context only. *)
+
+val compute_poll : t -> ?flow:int -> float -> unit
+(** [compute_poll t d] is {!Proc.compute}[ d] with the segment attributed
+    to NAPI poll work in the CPU's {!Ledger} (ksoftirqd's process-context
+    polling).  Process context only. *)
 
 val ledger : t -> Ledger.t
 (** The CPU's always-on cycle-accounting ledger.  Interrupt-level cycles
@@ -110,6 +119,13 @@ val time_hard : t -> float
 
 val time_soft : t -> float
 val time_user : t -> float
+
+val time_poll : t -> float
+(** Microseconds of NAPI poll work so far.  Informational slice: poll
+    cycles are already included in {!time_soft} (softirq rounds) or
+    {!time_user} (ksoftirqd), so the conservation law
+    [elapsed = hard + soft + user + idle] is unchanged. *)
+
 val time_idle : t -> float
 val context_switches : t -> int
 val softirq_dispatches : t -> int

@@ -13,26 +13,31 @@
      - Proto: protocol processing performed in a process's own context
        (LRP's lazy receiver processing, the UDP helper, the forwarding
        daemon), attributed to the owning pid and the channel it drained.
+     - Poll: NAPI-style budgeted poll cycles — softirq poll rounds and
+       ksoftirqd process-context polling.  Kept distinct from Soft so the
+       overload detector can discriminate a NAPI kernel spending its CPU
+       in accountable poll work from a BSD kernel drowning in eager
+       interrupt-level processing.
      - App: everything else a process computes.
 
    Idle is derived by the caller (elapsed minus the grand total).  Rows
    are plain float arrays so the charge path allocates nothing beyond the
    first sighting of a pid/flow. *)
 
-type cls = Intr | Soft | Proto | App
+type cls = Intr | Soft | Proto | Poll | App
 
-let idx = function Intr -> 0 | Soft -> 1 | Proto -> 2 | App -> 3
+let idx = function Intr -> 0 | Soft -> 1 | Proto -> 2 | Poll -> 3 | App -> 4
 
 type prow = { mutable p_name : string; pcols : float array }
 
 type t = {
-  totals : float array;                  (* 4 class totals, us *)
+  totals : float array;                  (* 5 class totals, us *)
   pids : (int, prow) Hashtbl.t;          (* pid -> columns; -1 = idle ctx *)
   flows : (int, float array) Hashtbl.t;  (* flow/channel id -> columns *)
 }
 
 let create () =
-  { totals = Array.make 4 0.;
+  { totals = Array.make 5 0.;
     pids = Hashtbl.create 17;
     flows = Hashtbl.create 17 }
 
@@ -41,7 +46,7 @@ let prow t pid =
   | r -> r
   | exception Not_found ->
       let r =
-        { p_name = (if pid < 0 then "(idle)" else "?"); pcols = Array.make 4 0. }
+        { p_name = (if pid < 0 then "(idle)" else "?"); pcols = Array.make 5 0. }
       in
       Hashtbl.add t.pids pid r;
       r
@@ -50,7 +55,7 @@ let frow t flow =
   match Hashtbl.find t.flows flow with
   | c -> c
   | exception Not_found ->
-      let c = Array.make 4 0. in
+      let c = Array.make 5 0. in
       Hashtbl.add t.flows flow c;
       c
 
@@ -69,7 +74,9 @@ let charge t cls ~pid ~flow d =
   end
 
 let total t cls = t.totals.(idx cls)
-let grand_total t = t.totals.(0) +. t.totals.(1) +. t.totals.(2) +. t.totals.(3)
+
+let grand_total t =
+  t.totals.(0) +. t.totals.(1) +. t.totals.(2) +. t.totals.(3) +. t.totals.(4)
 
 type row = {
   pid : int;
@@ -77,12 +84,13 @@ type row = {
   intr_victim : float;
   soft_victim : float;
   proto : float;
+  poll : float;
   app : float;
 }
 
 let misaccounted r = r.intr_victim +. r.soft_victim
 
-type flow_row = { flow : int; f_soft : float; f_proto : float }
+type flow_row = { flow : int; f_soft : float; f_proto : float; f_poll : float }
 
 let rows t =
   let acc = ref [] in
@@ -90,7 +98,8 @@ let rows t =
     (fun pid (r : prow) ->
       acc :=
         { pid; name = r.p_name; intr_victim = r.pcols.(0);
-          soft_victim = r.pcols.(1); proto = r.pcols.(2); app = r.pcols.(3) }
+          soft_victim = r.pcols.(1); proto = r.pcols.(2);
+          poll = r.pcols.(3); app = r.pcols.(4) }
         :: !acc)
     t.pids;
   List.rev !acc
@@ -99,6 +108,6 @@ let flow_rows t =
   let acc = ref [] in
   Lrp_det.Det.iter_sorted
     (fun flow (c : float array) ->
-      acc := { flow; f_soft = c.(1); f_proto = c.(2) } :: !acc)
+      acc := { flow; f_soft = c.(1); f_proto = c.(2); f_poll = c.(3) } :: !acc)
     t.flows;
   List.rev !acc

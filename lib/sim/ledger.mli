@@ -17,9 +17,12 @@ type t
 
 (** Charge classes.  [Intr]/[Soft] cycles are recorded against the
     interrupted victim (BSD [curproc], or pid [-1] when the CPU was
-    idle); [Proto] is protocol work in a process's own context; [App] is
-    everything else. *)
-type cls = Intr | Soft | Proto | App
+    idle); [Proto] is protocol work in a process's own context; [Poll]
+    is NAPI-style budgeted poll work (softirq poll rounds and ksoftirqd
+    process-context polling — kept apart from [Soft] so the overload
+    detector can tell a polling kernel from an interrupt-drowned one);
+    [App] is everything else. *)
+type cls = Intr | Soft | Proto | Poll | App
 
 val create : unit -> t
 
@@ -40,6 +43,8 @@ type row = {
   intr_victim : float;  (** hard-interrupt cycles charged while this pid was curproc *)
   soft_victim : float;  (** soft-interrupt cycles charged while this pid was curproc *)
   proto : float;        (** receiver-context protocol cycles of this pid *)
+  poll : float;         (** NAPI poll cycles (softirq rounds against the
+                            victim pid, ksoftirqd rounds against its own) *)
   app : float;          (** this pid's own application cycles *)
 }
 
@@ -47,7 +52,7 @@ val misaccounted : row -> float
 (** Cycles charged to this process that belong to interrupt-level work —
     the paper's mis-accounting metric ([intr_victim + soft_victim]). *)
 
-type flow_row = { flow : int; f_soft : float; f_proto : float }
+type flow_row = { flow : int; f_soft : float; f_proto : float; f_poll : float }
 
 val rows : t -> row list
 (** Per-process rows, pid-sorted (pid [-1] is the idle context). *)

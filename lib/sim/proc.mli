@@ -42,7 +42,8 @@ type t = {
           model: eviction grows with absence) *)
   mutable lcls : int;
       (** ledger class of the current compute segment: 0 = app, 1 =
-          receiver-context protocol work (set by {!Cpu.compute_proto}) *)
+          receiver-context protocol work (set by {!Cpu.compute_proto}),
+          2 = NAPI poll work (set by {!Cpu.compute_poll}) *)
   mutable lflow : int;
       (** channel/flow id the current protocol segment serves, or [-1] *)
 }

@@ -26,15 +26,23 @@ type event =
   | Thread_state of { pid : int; state : thread_state }
   | Note of string
   | Alarm of { alarm : alarm; a : int; b : int }
+  | Poll_begin of { q : int; pending : int }
+  | Poll_end of { q : int; served : int }
+  | Coalesce_fire of { q : int; pending : int }
+  | Gro_merge of { pkt : int; into : int }
+  | Gro_flush of { pkt : int; segs : int }
 
 type cls = Packet_events | Sched_events | Note_events
 
 let class_of_event = function
   | Nic_rx _ | Demux _ | Ipq_enqueue _ | Ipq_drop _ | Early_discard _
   | Softint_begin _ | Softint_end _ | Proto_deliver _ | Sock_enqueue _
-  | Sock_drop _ | Syscall_copyout _ | Csum_drop _ | Mbuf_drop _ ->
+  | Sock_drop _ | Syscall_copyout _ | Csum_drop _ | Mbuf_drop _
+  | Gro_merge _ | Gro_flush _ ->
       Packet_events
-  | Intr_enter _ | Intr_exit _ | Ctx_switch _ | Thread_state _ -> Sched_events
+  | Intr_enter _ | Intr_exit _ | Ctx_switch _ | Thread_state _
+  | Poll_begin _ | Poll_end _ | Coalesce_fire _ ->
+      Sched_events
   | Note _ | Alarm _ -> Note_events
 
 let bit = function Packet_events -> 1 | Sched_events -> 2 | Note_events -> 4
@@ -121,6 +129,11 @@ let k_ctx_switch = 15
 let k_thread_state = 16
 let k_note = 17
 let k_alarm = 18
+let k_poll_begin = 19
+let k_poll_end = 20
+let k_coalesce_fire = 21
+let k_gro_merge = 22
+let k_gro_flush = 23
 
 let level_code = function Hard -> 0 | Soft -> 1
 let level_of_code c = if c = 0 then Hard else Soft
@@ -173,6 +186,11 @@ let event_of_packed p ~kind ~ident ~a ~b =
   | 16 -> Thread_state { pid = a; state = state_of_code b }
   | 17 -> Note (Precorder.get_string p a)
   | 18 -> Alarm { alarm = alarm_of_code ident; a; b }
+  | 19 -> Poll_begin { q = ident; pending = a }
+  | 20 -> Poll_end { q = ident; served = a }
+  | 21 -> Coalesce_fire { q = ident; pending = a }
+  | 22 -> Gro_merge { pkt = ident; into = a }
+  | 23 -> Gro_flush { pkt = ident; segs = a }
   | k -> Note (Printf.sprintf "unknown-kind-%d" k)
 
 let events_of_precorder p =
@@ -340,6 +358,37 @@ let alarm t ~alarm:al ~a ~b =
     | Some p -> Precorder.record p ~kind:k_alarm ~ident:(alarm_code al) ~a ~b
     | None -> record t (Alarm { alarm = al; a; b })
 
+let poll_begin t ~q ~pending =
+  if want t Sched_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_poll_begin ~ident:q ~a:pending ~b:(-1)
+    | None -> record t (Poll_begin { q; pending })
+
+let poll_end t ~q ~served =
+  if want t Sched_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_poll_end ~ident:q ~a:served ~b:(-1)
+    | None -> record t (Poll_end { q; served })
+
+let coalesce_fire t ~q ~pending =
+  if want t Sched_events then
+    match t.packed with
+    | Some p ->
+        Precorder.record p ~kind:k_coalesce_fire ~ident:q ~a:pending ~b:(-1)
+    | None -> record t (Coalesce_fire { q; pending })
+
+let gro_merge t ~pkt ~into =
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_gro_merge ~ident:pkt ~a:into ~b:(-1)
+    | None -> record t (Gro_merge { pkt; into })
+
+let gro_flush t ~pkt ~segs =
+  if want t Packet_events then
+    match t.packed with
+    | Some p -> Precorder.record p ~kind:k_gro_flush ~ident:pkt ~a:segs ~b:(-1)
+    | None -> record t (Gro_flush { pkt; segs })
+
 let note t s =
   if want t Note_events then
     match t.packed with
@@ -400,6 +449,16 @@ let pp_event fmt = function
   | Note s -> Format.fprintf fmt "note %s" s
   | Alarm { alarm; a; b } ->
       Format.fprintf fmt "alarm %s a=%d b=%d" (alarm_name alarm) a b
+  | Poll_begin { q; pending } ->
+      Format.fprintf fmt "poll-begin q=%d pending=%d" q pending
+  | Poll_end { q; served } ->
+      Format.fprintf fmt "poll-end q=%d served=%d" q served
+  | Coalesce_fire { q; pending } ->
+      Format.fprintf fmt "coalesce-fire q=%d pending=%d" q pending
+  | Gro_merge { pkt; into } ->
+      Format.fprintf fmt "gro-merge pkt=%d into=%d" pkt into
+  | Gro_flush { pkt; segs } ->
+      Format.fprintf fmt "gro-flush pkt=%d segs=%d" pkt segs
 
 let to_text buf t =
   let fmt = Format.formatter_of_buffer buf in
@@ -434,6 +493,11 @@ let csv_fields = function
   | Thread_state { pid; state } -> ("thread-state", -1, pid, -1, state_name state)
   | Note s -> ("note", -1, -1, -1, s)
   | Alarm { alarm; a; b } -> ("alarm", -1, a, b, alarm_name alarm)
+  | Poll_begin { q; pending } -> ("poll-begin", -1, q, pending, "")
+  | Poll_end { q; served } -> ("poll-end", -1, q, served, "")
+  | Coalesce_fire { q; pending } -> ("coalesce-fire", -1, q, pending, "")
+  | Gro_merge { pkt; into } -> ("gro-merge", pkt, into, -1, "")
+  | Gro_flush { pkt; segs } -> ("gro-flush", pkt, segs, -1, "")
 
 let cls_name = function
   | Packet_events -> "packet"
@@ -586,7 +650,25 @@ let chrome_json t =
       | Alarm { alarm; a; b } ->
           instant
             ~args:[ ("a", num a); ("b", num b) ]
-            ("alarm:" ^ alarm_name alarm) tid_proc ts)
+            ("alarm:" ^ alarm_name alarm) tid_proc ts
+      | Poll_begin { q; pending } ->
+          span_begin
+            (Printf.sprintf "poll q%d" q)
+            tid_soft ts
+            [ ("q", num q); ("pending", num pending) ]
+      | Poll_end { q; served } ->
+          ignore served;
+          span_end (Printf.sprintf "poll q%d" q) tid_soft ts
+      | Coalesce_fire { q; pending } ->
+          instant
+            ~args:[ ("q", num q); ("pending", num pending) ]
+            "coalesce-fire" tid_nic ts
+      | Gro_merge { pkt; into } ->
+          instant ~args:[ ("pkt", num pkt); ("into", num into) ] "gro-merge"
+            tid_soft ts
+      | Gro_flush { pkt; segs } ->
+          instant ~args:[ ("pkt", num pkt); ("segs", num segs) ] "gro-flush"
+            tid_soft ts)
     evs;
   (* Close spans still open at the end of the buffered window so every
      "B" has a matching "E" (a run can end mid-interrupt). *)
@@ -684,7 +766,8 @@ module Report = struct
             | None -> ())
         | Ipq_drop _ | Early_discard _ | Sock_drop _ | Csum_drop _
         | Mbuf_drop _ | Intr_enter _ | Intr_exit _ | Ctx_switch _
-        | Thread_state _ | Note _ | Alarm _ -> ())
+        | Thread_state _ | Note _ | Alarm _ | Poll_begin _ | Poll_end _
+        | Coalesce_fire _ | Gro_merge _ | Gro_flush _ -> ())
       evs;
     { stages; packets = !packets }
 

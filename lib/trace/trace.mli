@@ -57,6 +57,24 @@ type event =
           [a] = user CPU share in percent, [b] = interrupt share in
           percent.  For [Queue_watermark]: [a] = queue code (0 = shared IP
           queue, 1 = channel, 2 = socket), [b] = high-watermark. *)
+  | Poll_begin of { q : int; pending : int }
+      (** A NAPI poll round starts on NIC queue [q] with [pending] packets
+          waiting in its ring. *)
+  | Poll_end of { q : int; served : int }
+      (** The poll round on queue [q] ends having dequeued [served]
+          packets (served < budget means the ring drained and the queue's
+          interrupt was re-enabled). *)
+  | Coalesce_fire of { q : int; pending : int }
+      (** The NIC's interrupt-coalescing threshold (packet count or
+          timer) fired for queue [q] and raised an interrupt covering
+          [pending] buffered packets. *)
+  | Gro_merge of { pkt : int; into : int }
+      (** Receive-offload aggregation absorbed segment [pkt] into the
+          held super-segment whose ident is [into]; [pkt] terminates here
+          (its bytes travel on in [into]). *)
+  | Gro_flush of { pkt : int; segs : int }
+      (** The held super-segment [pkt], made of [segs] wire segments,
+          was handed to protocol processing. *)
 
 (** Event classes, for filtering at record time. *)
 type cls = Packet_events | Sched_events | Note_events
@@ -131,6 +149,11 @@ val intr_exit : t -> level:intr_level -> label:string -> unit
 val ctx_switch : t -> from_pid:int -> to_pid:int -> unit
 val thread_state : t -> pid:int -> state:thread_state -> unit
 val alarm : t -> alarm:alarm -> a:int -> b:int -> unit
+val poll_begin : t -> q:int -> pending:int -> unit
+val poll_end : t -> q:int -> served:int -> unit
+val coalesce_fire : t -> q:int -> pending:int -> unit
+val gro_merge : t -> pkt:int -> into:int -> unit
+val gro_flush : t -> pkt:int -> segs:int -> unit
 val note : t -> string -> unit
 
 val notef : t -> ('a, unit, string, unit) format4 -> 'a

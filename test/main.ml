@@ -23,4 +23,5 @@ let () =
       ("check", Test_check.suite);
       ("recorder", Test_recorder.suite);
       ("fuzz", Test_fuzz.suite);
+      ("modern", Test_modern.suite);
       ("lint", Test_lint.suite) ]

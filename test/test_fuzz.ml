@@ -1,5 +1,5 @@
 (* Differential fuzz harness: random fault scripts (deterministic in their
-   seed) replayed across all four kernel architectures under the same
+   seed) replayed across all seven kernel architectures under the same
    workload.  Every run must satisfy the trace oracle; TCP runs must also
    keep byte-stream integrity.  A failing run writes its script to
    [_fuzz_failures/] as a repro artifact — replay by re-running the seed.
@@ -16,11 +16,15 @@ open Lrp_check
 module Trace = Lrp_trace.Trace
 
 let archs =
-  [ Kernel.Bsd; Kernel.Soft_lrp; Kernel.Ni_lrp; Kernel.Early_demux ]
+  [ Kernel.Bsd; Kernel.Soft_lrp; Kernel.Ni_lrp; Kernel.Early_demux;
+    Kernel.Napi; Kernel.Napi_gro; Kernel.Rss ]
 
-(* BSD's receive path has no demux step; every other architecture must
-   demultiplex before any socket enqueue. *)
-let require_demux arch = arch <> Kernel.Bsd
+(* BSD and the NAPI-family back-ends run eager protocol processing with
+   no demux step; the LRP architectures must demultiplex before any
+   socket enqueue. *)
+let require_demux = function
+  | Kernel.Bsd | Kernel.Napi | Kernel.Napi_gro | Kernel.Rss -> false
+  | Kernel.Soft_lrp | Kernel.Ni_lrp | Kernel.Early_demux -> true
 
 let n_seeds =
   match int_of_string_opt (try Sys.getenv "LRP_FUZZ_SEEDS" with Not_found -> "") with
@@ -212,8 +216,13 @@ let canon_events evs =
             Trace.Syscall_copyout { e with pkt = c e.pkt; sock = sk e.sock }
         | Trace.Csum_drop e -> Trace.Csum_drop { pkt = c e.pkt }
         | Trace.Mbuf_drop e -> Trace.Mbuf_drop { pkt = c e.pkt }
+        | Trace.Gro_merge e ->
+            Trace.Gro_merge { pkt = c e.pkt; into = c e.into }
+        | Trace.Gro_flush e -> Trace.Gro_flush { e with pkt = c e.pkt }
         | (Trace.Intr_enter _ | Trace.Intr_exit _ | Trace.Ctx_switch _
-          | Trace.Thread_state _ | Trace.Note _ | Trace.Alarm _) as other -> other
+          | Trace.Thread_state _ | Trace.Note _ | Trace.Alarm _
+          | Trace.Poll_begin _ | Trace.Poll_end _ | Trace.Coalesce_fire _)
+          as other -> other
       in
       (t, seq, ev))
     evs
@@ -278,10 +287,10 @@ let test_fuzz_run_reproducible () =
 
 let suite =
   [ Alcotest.test_case
-      (Printf.sprintf "UDP fault scripts x 4 archs, oracle green (%d seeds)"
+      (Printf.sprintf "UDP fault scripts x 7 archs, oracle green (%d seeds)"
          n_seeds)
       `Slow test_udp_fuzz_matrix;
-    Alcotest.test_case "TCP fault scripts x 4 archs, stream prefix + oracle"
+    Alcotest.test_case "TCP fault scripts x 7 archs, stream prefix + oracle"
       `Slow test_tcp_fuzz_matrix;
     Alcotest.test_case "Faults.none is byte-identical to unconfigured" `Quick
       test_none_faults_byte_identical;
