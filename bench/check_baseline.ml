@@ -1,7 +1,7 @@
 (* CI regression gate: compare a fresh perf-baseline snapshot against the
-   committed BENCH_8.json.
+   committed BENCH_10.json.
 
-     dune exec bench/check_baseline.exe -- BENCH_8.json BENCH_run8.json
+     dune exec bench/check_baseline.exe -- BENCH_10.json BENCH_run.json
 
    Per-entry tolerances are deliberately generous — CI machines are noisy
    and shared — so only order-of-magnitude regressions fail the build:

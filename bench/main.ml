@@ -19,7 +19,7 @@ open Lrp_experiments
 let quick = ref false
 let jobs = ref (Domain.recommended_domain_count ())
 let json_path = ref None
-let baseline_out = ref "BENCH_8.json"
+let baseline_out = ref "BENCH_10.json"
 let seed = Common.default_seed
 
 (* ------------------------------------------------------------------ *)
@@ -702,7 +702,7 @@ let bench_demux () =
   in
   Arr rows
 
-(* Committed perf baseline (BENCH_6.json).  Measures the engine hot paths
+(* Committed perf baseline (BENCH_10.json).  Measures the engine hot paths
    that the two-tier scheduler is responsible for, plus one end-to-end
    wall-clock figure, and writes them to [!baseline_out] for the CI
    regression gate (bench/check_baseline.ml compares a fresh snapshot
@@ -861,6 +861,40 @@ let bench_baseline () =
           Engine.reschedule_after eng_rearm !rearm_handle ~delay:1.0)
   in
   let periodic_rearm () = Engine.step eng_rearm in
+  (* Staged re-arm: the grace-poll / coalesce-timer idiom — the deadline
+     staged through the engine's float cell, the (target, argument) pair
+     through the slot table.  The whole arm+fire cycle must stay at 0.0
+     words/event (the thunk form it replaced paid ~7 words per arm). *)
+  let eng_staged = Engine.create () in
+  let staged_sink = ref 0 in
+  let staged_tgt = Engine.target eng_staged (fun v -> staged_sink := v) in
+  let staged_rearm () =
+    (Engine.deadline_cell eng_staged).(0) <-
+      (Engine.clock_cell eng_staged).(0) +. 1.0;
+    ignore (Engine.schedule_to_staged eng_staged staged_tgt 7);
+    Engine.step eng_staged
+  in
+  (* RX coalescing: a sub-threshold train arming the NIC's hold-off
+     timer, the timer firing into the kernel's kick, and the poll
+     draining the ring — the cycle rebuilt on the staged path so a
+     sub-threshold train allocates nothing. *)
+  let eng_rxq = Engine.create () in
+  let rxq_nic =
+    Lrp_net.Nic.create eng_rxq ~name:"bench-rxq"
+      ~ip:(Lrp_net.Packet.ip_of_quad 10 0 0 8) ()
+  in
+  let () =
+    Lrp_net.Nic.configure_rx_queues rxq_nic ~queues:1 ~ring:64
+      ~coalesce_pkts:64 ~coalesce_us:5.
+      ~steer:(fun _ -> 0)
+      ~kick:(fun q -> Lrp_net.Nic.rxq_disable_intr rxq_nic q)
+  in
+  let rxq_coalesce () =
+    Lrp_net.Nic.receive rxq_nic demux_pkt;
+    ignore (Engine.step eng_rxq);
+    ignore (Lrp_net.Nic.rxq_pop rxq_nic 0);
+    Lrp_net.Nic.rxq_enable_intr rxq_nic 0
+  in
   (* Timer churn at depth: a cancel-heavy schedule stream (7 of 8 timers
      are cancelled before firing — the TCP retransmit pattern).  Under the
      wheel, dead entries are dropped in O(1) when their bucket pours and
@@ -936,6 +970,10 @@ let bench_baseline () =
         ~per:batch_n batch_dispatch;
       measure "periodic_rearm" "engine/periodic re-arm (reschedule_after)"
         periodic_rearm;
+      measure "staged_rearm" "engine/staged re-arm (schedule_to_staged)"
+        staged_rearm;
+      measure "rxq_coalesce" "nic/coalesce arm+fire+poll (staged timer)"
+        rxq_coalesce;
       (let ns = bulk_churn ~pure_heap:false () in
        Printf.printf "  %-44s %9.1f ns\n" "engine/bulk timer churn (wheel)" ns;
        ("timer_churn_wheel", ns, 0.));

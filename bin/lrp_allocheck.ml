@@ -1,0 +1,89 @@
+(* lrp_allocheck — the zero-allocation and domain-escape prover.
+
+     lrp_allocheck [--json] [--out FILE] [--conf FILE] [--root DIR]
+
+   Reads the .cmt files dune left under _build, walks the hot-path entry
+   points named in allocheck.conf (plus transitive callees inside the
+   followed directories) for allocation points, and checks the
+   cell-resident directories for stores that publish values across
+   domains.  Exits 0 on a clean tree, 1 when there are findings, 2 on
+   usage/configuration errors (including a build with no .cmt files).
+   --json switches stdout to the machine-readable report; --out
+   additionally writes the report to FILE (CI uploads it as an artifact
+   on failure).  The analysis is documented in DESIGN.md §16. *)
+
+let usage () =
+  prerr_endline
+    "usage: lrp_allocheck [--json] [--out FILE] [--conf FILE] [--root DIR]";
+  prerr_endline "  --conf defaults to allocheck.conf under the root";
+  prerr_endline "  --root defaults to the current directory";
+  exit 2
+
+let () =
+  let json = ref false in
+  let out = ref None in
+  let conf = ref None in
+  let root = ref "." in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse_args rest
+    | "--conf" :: file :: rest ->
+        conf := Some file;
+        parse_args rest
+    | "--root" :: dir :: rest ->
+        root := dir;
+        parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let root = !root in
+  let conf_path =
+    match !conf with Some f -> f | None -> Filename.concat root "allocheck.conf"
+  in
+  let cfg =
+    match Lrp_allocheck.Aconfig.load conf_path with
+    | Ok cfg -> cfg
+    | Error e ->
+        Printf.eprintf "lrp_allocheck: %s: %s\n" conf_path e;
+        exit 2
+  in
+  let findings, stats =
+    Lrp_allocheck.Adriver.run ~root ~conf_name:(Filename.basename conf_path) cfg
+  in
+  if stats.Lrp_allocheck.Adriver.cmt_files = 0 then begin
+    Printf.eprintf
+      "lrp_allocheck: no .cmt files under %s — run 'dune build' first\n"
+      (String.concat ", "
+         (List.map (Filename.concat root) cfg.Lrp_allocheck.Aconfig.cmt_dirs));
+    exit 2
+  end;
+  let report =
+    if !json then Lrp_report.Finding.to_json findings
+    else
+      String.concat ""
+        (List.map (fun f -> Lrp_report.Finding.to_text f ^ "\n") findings)
+  in
+  print_string report;
+  if not !json then
+    Printf.printf
+      "lrp_allocheck: %d finding%s (%d hot-path functions, %d escape-checked, \
+       %d files, %d cmt files)\n"
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      stats.Lrp_allocheck.Adriver.funcs_analyzed
+      stats.Lrp_allocheck.Adriver.escape_funcs
+      stats.Lrp_allocheck.Adriver.files_scanned
+      stats.Lrp_allocheck.Adriver.cmt_files;
+  (match !out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc
+        (if !json then report else Lrp_report.Finding.to_json findings);
+      close_out oc);
+  exit (if findings = [] then 0 else 1)

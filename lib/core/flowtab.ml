@@ -92,7 +92,7 @@ let rec insert t ~hi ~lo ~replace v =
       && Array.unsafe_get t.hi !i = !chi
       && Array.unsafe_get t.lo !i = !clo
     then begin
-      if not replace then invalid_arg "Flowtab.add: duplicate key";
+      if not replace then invalid_arg "Flowtab.add: duplicate key"; (* alloc: cold — error path *)
       t.vals.(!i) <- !cv;
       placed := true
     end
@@ -121,10 +121,10 @@ and grow t =
   let ohi = t.hi and olo = t.lo and ometa = t.meta and ovals = t.vals in
   let ocap = t.mask + 1 in
   let cap = 2 * ocap in
-  t.hi <- Array.make cap 0;
-  t.lo <- Array.make cap 0;
-  t.meta <- Array.make cap 0;
-  t.vals <- Array.make cap t.dummy;
+  t.hi <- Array.make cap 0; (* alloc: cold — amortized growth *)
+  t.lo <- Array.make cap 0; (* alloc: cold — amortized growth *)
+  t.meta <- Array.make cap 0; (* alloc: cold — amortized growth *)
+  t.vals <- Array.make cap t.dummy; (* alloc: cold — amortized growth *)
   t.mask <- cap - 1;
   t.limit <- cap - (cap lsr 3);
   t.count <- 0;

@@ -29,9 +29,9 @@ let reserve t =
   let cap = Array.length t.seqs in
   if t.size = cap then begin
     let cap' = max initial_capacity (2 * cap) in
-    let keys = Array.make cap' 0. in
-    let seqs = Array.make cap' 0 in
-    let vals = Array.make cap' 0 in
+    let keys = Array.make cap' 0. in (* alloc: cold — amortized growth *)
+    let seqs = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+    let vals = Array.make cap' 0 in (* alloc: cold — amortized growth *)
     Array.blit t.keys 0 keys 0 t.size;
     Array.blit t.seqs 0 seqs 0 t.size;
     Array.blit t.vals 0 vals 0 t.size;

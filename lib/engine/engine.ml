@@ -143,14 +143,18 @@ let ids t = t.ids
 
 (* Earliest pending key, [infinity] when idle — the per-cell deadline
    Shardsim folds into its global epoch bound. *)
-let next_key t = Twheel.min_key_or t.queue ~default:Float.infinity
+let next_key t =
+  (* alloc: cold — compat accessor; per-epoch folds use next_key_into *)
+  Twheel.min_key_or t.queue ~default:Float.infinity
+
+let next_key_into t ~cell = Twheel.min_key_into t.queue ~cell
 
 let target (type a) t (f : a -> unit) : a target =
   let id = t.n_dispatchers in
   let cap = Array.length t.dispatchers in
   if id = cap then begin
     let cap' = max 8 (2 * cap) in
-    let d = Array.make cap' (fun (_ : Obj.t) -> ()) in
+    let d = Array.make cap' (fun (_ : Obj.t) -> ()) in (* alloc: cold — one-time registration *)
     Array.blit t.dispatchers 0 d 0 cap;
     t.dispatchers <- d
   end;
@@ -164,13 +168,13 @@ let target (type a) t (f : a -> unit) : a target =
 let grow t =
   let cap = Array.length t.gens in
   let cap' = max 16 (2 * cap) in
-  if cap' > slot_mask then failwith "Engine: too many pending events";
-  let fns = Array.make cap' no_fn in
-  let disp = Array.make cap' (-1) in
-  let args = Array.make cap' no_arg in
-  let state = Bytes.make cap' st_free in
-  let gens = Array.make cap' 0 in
-  let free = Array.make cap' 0 in
+  if cap' > slot_mask then failwith "Engine: too many pending events"; (* alloc: cold — error path *)
+  let fns = Array.make cap' no_fn in (* alloc: cold — amortized growth *)
+  let disp = Array.make cap' (-1) in (* alloc: cold — amortized growth *)
+  let args = Array.make cap' no_arg in (* alloc: cold — amortized growth *)
+  let state = Bytes.make cap' st_free in (* alloc: cold — amortized growth *)
+  let gens = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+  let free = Array.make cap' 0 in (* alloc: cold — amortized growth *)
   Array.blit t.fns 0 fns 0 cap;
   Array.blit t.disp 0 disp 0 cap;
   Array.blit t.args 0 args 0 cap;
@@ -218,7 +222,7 @@ let[@inline] free_slot t slot =
    wrappers below); an [~at : float] parameter would be boxed at every
    call.  The error paths may allocate freely. *)
 let[@inline never] schedule_in_past name t =
-  invalid_arg
+  invalid_arg (* alloc: cold — error path *)
     (Printf.sprintf "Engine.%s: at=%.3f is before now=%.3f" name
        t.cell.(0) t.clock.(0))
 
@@ -291,7 +295,7 @@ let reschedule_cell t h =
   if t.cell.(0) < t.clock.(0) then schedule_in_past "reschedule" t;
   let slot = h land slot_mask in
   if not (valid t h) || Bytes.get t.state slot <> st_firing then
-    invalid_arg "Engine.reschedule: handle is not the currently-firing event";
+    invalid_arg "Engine.reschedule: handle is not the currently-firing event"; (* alloc: cold — error path *)
   Bytes.set t.state slot st_pending;
   t.cell.(1) <- t.clock.(0);
   Twheel.add_cell t.queue h;
@@ -351,21 +355,20 @@ let[@inline] step t =
 
 let run_while t pred ~until =
   (* [pop_leq_cell] fuses the bound check and the pop into one wheel sync
-     and one heap-root access per iteration. *)
-  let rec loop () =
-    if pred () then begin
-      let h = Twheel.pop_leq_cell t.queue ~bound:until in
-      if h >= 0 then begin
-        fire_popped t h;
-        loop ()
-      end
-      else if
-        (* Queue exhausted up to [until]: the virtual interval elapsed. *)
-        t.clock.(0) < until
-      then t.clock.(0) <- until
+     and one heap-root access per iteration.  A plain while over a
+     deref-only ref (no closure, the ref compiles to a mutable variable)
+     rather than a local [let rec loop], which would capture
+     [pred]/[until] in a heap-allocated closure per call. *)
+  let running = ref true in
+  while !running && pred () do
+    let h = Twheel.pop_leq_cell t.queue ~bound:until in
+    if h >= 0 then fire_popped t h
+    else begin
+      (* Queue exhausted up to [until]: the virtual interval elapsed. *)
+      if t.clock.(0) < until then t.clock.(0) <- until;
+      running := false
     end
-  in
-  loop ()
+  done
 
 (* Dispatch one batched handle: the body of [step] minus the pop and the
    clock write (the whole batch shares one key, written once). *)
@@ -433,7 +436,7 @@ let run_loop t ~until ~snap =
              if h < 0 then more := false
              else begin
                if !n = Array.length t.batch then begin
-                 let b = Array.make (2 * !n) 0 in
+                 let b = Array.make (2 * !n) 0 in (* alloc: cold — amortized growth *)
                  Array.blit t.batch 0 b 0 !n;
                  t.batch <- b
                end;

@@ -63,7 +63,14 @@ val ids : t -> Idspace.t
 val next_key : t -> float
 (** Virtual time of the earliest pending event, or [infinity] when the
     queue is empty — the per-cell deadline a sharded coordinator folds
-    into its global epoch bound.  Allocation-free. *)
+    into its global epoch bound.  The float return is boxed; per-epoch
+    folds use {!next_key_into}. *)
+
+val next_key_into : t -> cell:float array -> bool
+(** [next_key_into t ~cell] writes the earliest pending key into
+    [cell.(0)] and returns [true], or returns [false] (leaving [cell]
+    alone) when the queue is empty.  Allocation-free variant of
+    {!next_key}. *)
 
 val schedule : t -> at:Time.t -> (unit -> unit) -> handle
 (** [schedule t ~at f] runs [f] at virtual time [at].

@@ -56,6 +56,7 @@ type t = {
   shards : int;
   first_cell : int array;  (* shard s owns cells [first.(s), first.(s+1)) *)
   shard_events : int array;  (* per-shard events this epoch (scratch) *)
+  key_cell : float array;  (* scratch for the next_key_into fold *)
   mutable team : Lrp_parallel.Team.t option;
   mutable epochs : int;
   mutable messages : int;
@@ -73,8 +74,8 @@ let create ?(shards = 1) ~lookahead ~exchange cells =
      rack-by-rack keep their locality. *)
   let first_cell = Array.init (shards + 1) (fun s -> s * n / shards) in
   { cells; lookahead; exchange; shards; first_cell;
-    shard_events = Array.make shards 0; team = None; epochs = 0;
-    messages = 0; events_total = 0; events_critical = 0 }
+    shard_events = Array.make shards 0; key_cell = [| 0. |]; team = None;
+    epochs = 0; messages = 0; events_total = 0; events_critical = 0 }
 
 let shards t = t.shards
 let epochs t = t.epochs
@@ -83,10 +84,12 @@ let events_total t = t.events_total
 let events_critical t = t.events_critical
 
 let next_deadline t =
+  (* [next_key_into] keeps the fold allocation-free: [Engine.next_key]
+     would box one float per cell per epoch. *)
   let d = ref Float.infinity in
   for i = 0 to Array.length t.cells - 1 do
-    let k = Engine.next_key t.cells.(i) in
-    if k < !d then d := k
+    if Engine.next_key_into t.cells.(i) ~cell:t.key_cell && t.key_cell.(0) < !d
+    then d := t.key_cell.(0)
   done;
   !d
 

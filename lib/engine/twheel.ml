@@ -129,9 +129,9 @@ let bucket_push b ~key ~seq v =
   let cap = Array.length b.bseqs in
   if b.blen = cap then begin
     let cap' = max 8 (2 * cap) in
-    let bkeys = Array.make cap' 0. in
-    let bseqs = Array.make cap' 0 in
-    let bvals = Array.make cap' 0 in
+    let bkeys = Array.make cap' 0. in (* alloc: cold — amortized growth *)
+    let bseqs = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+    let bvals = Array.make cap' 0 in (* alloc: cold — amortized growth *)
     Array.blit b.bkeys 0 bkeys 0 b.blen;
     Array.blit b.bseqs 0 bseqs 0 b.blen;
     Array.blit b.bvals 0 bvals 0 b.blen;
@@ -269,7 +269,12 @@ let[@inline] sync t =
 
 let min_key_or t ~default =
   sync t;
+  (* alloc: cold — compat accessor (boxed float return); hot callers use min_key_into *)
   Eheap.min_key_or t.heap ~default
+
+let min_key_into t ~cell =
+  sync t;
+  Eheap.min_key_into t.heap ~cell
 
 (* [true] iff the queue is non-empty and its minimal key is <= [bound].
    Allocation-free replacement for [min_key_or t ~default:infinity <=
@@ -307,6 +312,6 @@ let[@inline] pop_boundcell t =
 
 let pop_min t ~key_ref =
   let v = pop_min_cell t in
-  if v < 0 then invalid_arg "Twheel.pop_min: empty queue";
+  if v < 0 then invalid_arg "Twheel.pop_min: empty queue"; (* alloc: cold — error path *)
   key_ref := t.cell.(0);
   v

@@ -64,6 +64,13 @@ val min_key_leq : t -> float -> bool
     minimal key is [<= bound].  Allocation-free replacement for comparing
     {!min_key_or} against a bound. *)
 
+val min_key_into : t -> cell:float array -> bool
+(** [min_key_into t ~cell] writes the minimal key into [cell.(0)] and
+    returns [true], or returns [false] (leaving [cell] alone) when the
+    queue is empty.  Allocation-free replacement for {!min_key_or} when
+    the key itself is needed (the float return of {!min_key_or} is
+    boxed). *)
+
 val pop_min_cell : t -> int
 (** Remove the globally-minimal entry and return its value, leaving its
     key in [cell.(0)]; returns [-1] when the queue is empty (cancelled

@@ -214,6 +214,8 @@ type t = {
   mutable udp_channels : Channel.t list;   (* scanned by the helper *)
   (* --- NAPI state --- *)
   mutable napi : napi array;   (* one per RX queue; [||] unless NAPI-family *)
+  mutable napi_grace_tgt : Proc.waitq Engine.target option;
+      (* closure-free grace-poll re-arm; registered on first IRQ deferral *)
   (* --- shared protocol state --- *)
   reasm : Ip.Reasm.t;
   mutable tcp_env : Tcp.env option;
@@ -351,6 +353,28 @@ let udp_send_cost t ~frags =
 
 let wake_all t wq = ignore (Cpu.wakeup_all t.cpu wq)
 let wake_one t wq = ignore (Cpu.wakeup_one t.cpu wq)
+
+(* Grace-poll re-arm of the NAPI IRQ-deferral window: wake the queue's
+   ksoftirqd waitq after [napi_repoll], through a registered dispatcher
+   and a staged deadline so a deferral cycle allocates nothing (the
+   inline [schedule_after ... (fun () -> ...)] form cost a thunk plus a
+   boxed delay per grace poll). *)
+let napi_grace_rearm t (n : napi) =
+  let g =
+    match t.napi_grace_tgt with
+    | Some g -> g
+    | None ->
+        let g =
+          (* alloc: cold — one-time dispatcher registration *)
+          Engine.target t.engine (fun wq -> wake_one t wq)
+        in
+        (* alloc: cold — one-time dispatcher registration *)
+        t.napi_grace_tgt <- Some g;
+        g
+  in
+  (Engine.deadline_cell t.engine).(0) <-
+    (Engine.clock_cell t.engine).(0) +. napi_repoll;
+  ignore (Engine.schedule_to_staged t.engine g n.ksoftirqd_wq)
 
 let sock_of_conn t conn = Hashtbl.find_opt t.conn_sock conn.Tcp.id
 
@@ -1309,9 +1333,7 @@ let ksoftirqd_loop t n =
       (* IRQ deferral: hold the interrupt masked, sleep [napi_repoll],
          grace poll.  Only this timer targets the waitq while
          [in_ksoftirqd] is set, so the wake below cannot be stolen. *)
-      ignore
-        (Engine.schedule_after t.engine ~delay:napi_repoll (fun () ->
-             wake_one t n.ksoftirqd_wq));
+      napi_grace_rearm t n;
       Proc.block n.ksoftirqd_wq;
       poll (quiet + 1)
     end
@@ -1728,7 +1750,8 @@ let create engine fabric ~name ~ip cfg =
       all_channels = []; apps = Hashtbl.create 16;
       helper_wq = Proc.waitq (name ^ ".udp-helper"); helper_proc = None;
       fwd_wq = Proc.waitq (name ^ ".ipfwdd"); fwd_proc = None;
-      udp_channels = []; napi = [||]; reasm = Ip.Reasm.create ();
+      udp_channels = []; napi = [||]; napi_grace_tgt = None;
+      reasm = Ip.Reasm.create ();
       tcp_env = None; timer_tgt = None; rcvto_tgt = None;
       eph_port = 20_000;
       stats =

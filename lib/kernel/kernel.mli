@@ -155,6 +155,9 @@ type t = {
   mutable udp_channels : Lrp_core.Channel.t list;
   mutable napi : napi array;
       (** one per RX queue; [[||]] unless NAPI-family *)
+  mutable napi_grace_tgt : Lrp_sim.Proc.waitq Lrp_engine.Engine.target option;
+      (** closure-free grace-poll re-arm; registered on first IRQ
+          deferral *)
   reasm : Lrp_proto.Ip.Reasm.t;
   mutable tcp_env : Lrp_proto.Tcp.env option;
   mutable timer_tgt : Lrp_proto.Tcp.timer Lrp_engine.Engine.target option;

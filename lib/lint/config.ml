@@ -1,10 +1,9 @@
 (* Per-rule configuration for lrp_lint.
 
-   Paths are matched by suffix after '/'-normalisation ("lib/core/det.ml"
-   matches "../lib/core/det.ml" and "/abs/repo/lib/core/det.ml"), and
-   scopes by path *component* ("lib" matches any file with a "lib"
-   directory component), so the linter gives identical answers whether it
-   is run from the repo root, from _build, or on absolute paths. *)
+   Path matching (suffix after '/'-normalisation, component scopes,
+   consecutive-component directory runs) is the shared
+   Lrp_report.Pathspec, re-exported below so rule modules and tests keep
+   their historical [Config.in_files]-style call sites. *)
 
 type t = {
   rng_files : string list;
@@ -75,7 +74,10 @@ let default =
         ("lrp_det", 0);
         ("lrp_stats", 0);
         ("lrp_parallel", 0);
-        ("lrp_lint", 0);
+        ("lrp_report", 0);
+        (* the analyzers share the report/suppression grammar *)
+        ("lrp_lint", 1);
+        ("lrp_allocheck", 1);
         (* the simulation core *)
         ("lrp_engine", 1);
         ("lrp_trace", 2);
@@ -92,42 +94,11 @@ let default =
       ];
   }
 
-(* '/'-normalise a path (Windows-proof and cheap). *)
-let normalize p = String.map (fun c -> if c = '\\' then '/' else c) p
-
-let has_suffix_path file entry =
-  let file = normalize file and entry = normalize entry in
-  file = entry
-  || String.length file > String.length entry
-     && String.sub file (String.length file - String.length entry - 1)
-          (String.length entry + 1)
-        = "/" ^ entry
-
-let in_files file entries = List.exists (has_suffix_path file) entries
-
-let in_scope file scopes =
-  let parts = String.split_on_char '/' (normalize file) in
-  List.exists (fun s -> List.mem s parts) scopes
-
-(* Directory matching for scoped rules: "lib/net" matches
-   "lib/net/nic.ml" and "/abs/repo/lib/net/nic.ml", but not
-   "otherlib/network/x.ml" — the entry must appear as a consecutive
-   run of path components. *)
-let in_dirs file entries =
-  let file = normalize file in
-  let lf = String.length file in
-  let matches entry =
-    let d = normalize entry ^ "/" in
-    let ld = String.length d in
-    let rec at i =
-      if i + ld > lf then false
-      else if (i = 0 || file.[i - 1] = '/') && String.sub file i ld = d then
-        true
-      else at (i + 1)
-    in
-    at 0
-  in
-  List.exists matches entries
+let normalize = Lrp_report.Pathspec.normalize
+let has_suffix_path = Lrp_report.Pathspec.has_suffix_path
+let in_files = Lrp_report.Pathspec.in_files
+let in_scope = Lrp_report.Pathspec.in_scope
+let in_dirs = Lrp_report.Pathspec.in_dirs
 
 let d3_types_of config file =
   List.find_map

@@ -1,18 +1,17 @@
-(* In-source lint suppressions.
+(* Lint-facing view of the shared suppression scanner
+   (Lrp_report.Suppress): the "(* lint:" marker, the lint tag set, and
+   the rule-id -> tag mapping.  The scanning / claiming / unused-sweep
+   mechanics are shared with lrp_allocheck's "(* alloc:" grammar. *)
 
-   Syntax: a comment of the form
+type entry = Lrp_report.Suppress.entry = {
+  tag : string;
+  line : int;
+  mutable used : bool;
+}
 
-     (* lint: <tag> — <reason> *)
+type t = Lrp_report.Suppress.t
 
-   where <tag> is one of the known tags below.  The comment suppresses a
-   matching finding on the same line or on the line immediately after it
-   (so it can sit above the offending binding or trail the expression).
-   A suppression that suppresses nothing is itself a finding (rule SUP):
-   stale exemptions must not accumulate. *)
-
-type entry = { tag : string; line : int; mutable used : bool }
-
-type t = entry list
+let marker = "(* lint:"
 
 let known_tags =
   [ "domain-local"; "unordered-ok"; "stdout-ok"; "wallclock-ok"; "shared-ok" ]
@@ -26,64 +25,13 @@ let tag_for_rule = function
   | "D1" -> Some "wallclock-ok"
   | _ -> None
 
-(* Scan raw source text for suppression comments.  A plain substring scan
-   is enough here: "(* lint:" inside a string literal would be a strange
-   thing to write, and the worst case is an unused-suppression finding
-   pointing at it. *)
-let scan text : t =
-  let n = String.length text in
-  let entries = ref [] in
-  let line = ref 1 in
-  let i = ref 0 in
-  let starts_with at s =
-    at + String.length s <= n && String.sub text at (String.length s) = s
-  in
-  while !i < n do
-    (match text.[!i] with
-    | '\n' -> incr line
-    | '(' when starts_with !i "(* lint:" ->
-        let j = ref (!i + String.length "(* lint:") in
-        while !j < n && text.[!j] = ' ' do
-          incr j
-        done;
-        let start = !j in
-        while
-          !j < n && text.[!j] <> ' ' && text.[!j] <> '\n' && text.[!j] <> '*'
-        do
-          incr j
-        done;
-        let tag = String.sub text start (!j - start) in
-        if List.mem tag known_tags then
-          entries := { tag; line = !line; used = false } :: !entries
-    | _ -> ());
-    incr i
-  done;
-  List.rev !entries
+let scan text : t = Lrp_report.Suppress.scan ~marker ~known:known_tags text
 
 (* [claim t ~rule ~line] returns true (and burns the suppression) when a
    matching tag covers [line]. *)
 let claim t ~rule ~line =
   match tag_for_rule rule with
   | None -> false
-  | Some tag ->
-      let matching e =
-        e.tag = tag && (e.line = line || e.line = line - 1)
-      in
-      (match List.find_opt matching t with
-      | Some e ->
-          e.used <- true;
-          true
-      | None -> false)
+  | Some tag -> Lrp_report.Suppress.claim t ~tag ~line
 
-let unused t ~file =
-  List.filter_map
-    (fun e ->
-      if e.used then None
-      else
-        Some
-          (Finding.v ~rule:"SUP" ~file ~line:e.line ~col:0
-             (Printf.sprintf
-                "unused lint suppression '%s': nothing on this or the next \
-                 line needs it"
-                e.tag)))
-    t
+let unused t ~file = Lrp_report.Suppress.unused t ~what:"lint" ~file

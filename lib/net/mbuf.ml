@@ -57,7 +57,7 @@ let alloc t ~bytes =
 
 let free t ~bytes =
   let n = mbufs_for t bytes in
-  if n > t.in_use then invalid_arg "Mbuf.free: more mbufs freed than in use";
+  if n > t.in_use then invalid_arg "Mbuf.free: more mbufs freed than in use"; (* alloc: cold — error path *)
   t.in_use <- t.in_use - n
 
 (* --- handle-based reservations ---------------------------------------- *)
@@ -65,10 +65,10 @@ let free t ~bytes =
 let grow_slots t =
   let cap = Array.length t.gens in
   let cap' = max 16 (2 * cap) in
-  if cap' > slot_mask then failwith "Mbuf: too many live handles";
-  let sizes = Array.make cap' 0 in
-  let gens = Array.make cap' 0 in
-  let free_slots = Array.make cap' 0 in
+  if cap' > slot_mask then failwith "Mbuf: too many live handles"; (* alloc: cold — error path *)
+  let sizes = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+  let gens = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+  let free_slots = Array.make cap' 0 in (* alloc: cold — amortized growth *)
   Array.blit t.sizes 0 sizes 0 cap;
   Array.blit t.gens 0 gens 0 cap;
   t.sizes <- sizes;
@@ -105,6 +105,7 @@ let[@inline] valid_h t h =
   slot < Array.length t.gens && t.gens.(slot) = h lsr slot_bits
 
 let[@inline never] stale name =
+  (* alloc: cold — error path *)
   invalid_arg (Printf.sprintf "Mbuf.%s: stale or invalid handle" name)
 
 let free_h t h =

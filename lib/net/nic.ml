@@ -35,7 +35,10 @@ type rxq = {
   mutable q_head : int;
   mutable q_count : int;
   mutable intr_on : bool;       (* interrupt unmasked (NAPI masks it) *)
-  mutable timer : Lrp_engine.Engine.handle option;  (* armed coalesce timer *)
+  mutable timer : Lrp_engine.Engine.handle;
+      (* armed coalesce timer; [Engine.none] when disarmed.  A bare
+         handle, not an option: arming a timer per sub-threshold train
+         must not allocate. *)
   mutable q_rx : int;           (* frames DMAed into this ring *)
   mutable q_drops : int;        (* ring-overflow drops (zero host cost) *)
   mutable q_kicks : int;        (* interrupts raised *)
@@ -64,6 +67,8 @@ type t = {
   mutable deliver : Packet.t -> unit;  (* wired to the fabric *)
   mutable tx_done : Packet.t Engine.target option;
       (* closure-free tx-complete event; registered by [create] *)
+  mutable rxq_timer_tgt : rxq Engine.target option;
+      (* closure-free coalesce-timer expiry; registered on first arm *)
   stats : stats;
   mutable tracer : Lrp_trace.Trace.t;  (* owning kernel's; disabled default *)
   (* queued-RX mode (NAPI-era back-ends); [||] = classic immediate mode *)
@@ -86,6 +91,7 @@ let create engine ~name ~ip ?(bandwidth_mbps = 155.) ?(cellify = true)
     rx_handler = (fun _ -> ());
     deliver = (fun _ -> ());
     tx_done = None;
+    rxq_timer_tgt = None;
     stats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; tx_drops = 0 };
     tracer = Lrp_trace.Trace.null ();
     rxqs = [||]; rx_steer = (fun _ -> 0); rx_kick = (fun _ -> ());
@@ -157,10 +163,12 @@ and tx_target t =
   | Some g -> g
   | None ->
       let g =
+        (* alloc: cold — one-time dispatcher registration *)
         Engine.target t.engine (fun pkt ->
             t.deliver pkt;
             drain t)
       in
+      (* alloc: cold — one-time dispatcher registration *)
       t.tx_done <- Some g;
       g
 
@@ -197,8 +205,8 @@ let configure_rx_queues t ~queues ~ring ~coalesce_pkts ~coalesce_us ~steer
   t.rxqs <-
     Array.init queues (fun q_id ->
         { q_id; ring = Array.make ring Packet.null; q_head = 0; q_count = 0;
-          intr_on = true; timer = None; q_rx = 0; q_drops = 0; q_kicks = 0;
-          q_hwm = 0 });
+          intr_on = true; timer = Engine.none; q_rx = 0; q_drops = 0;
+          q_kicks = 0; q_hwm = 0 });
   t.rx_steer <- steer;
   t.rx_kick <- kick;
   t.coalesce_pkts <- max 1 coalesce_pkts;
@@ -208,14 +216,29 @@ let configure_rx_queues t ~queues ~ring ~coalesce_pkts ~coalesce_us ~steer
    the queue id to the kernel.  The kernel's kick is expected to mask the
    interrupt ([rxq_disable_intr]) and schedule a poll. *)
 let rxq_fire t (q : rxq) =
-  (match q.timer with
-  | Some ev ->
-      Engine.cancel t.engine ev;
-      q.timer <- None
-  | None -> ());
+  if q.timer != Engine.none then begin
+    Engine.cancel t.engine q.timer;
+    q.timer <- Engine.none
+  end;
   Lrp_trace.Trace.coalesce_fire t.tracer ~q:q.q_id ~pending:q.q_count;
   q.q_kicks <- q.q_kicks + 1;
   t.rx_kick q.q_id
+
+(* The coalesce timer's expiry, as a registered dispatcher so arming a
+   timer passes the queue itself instead of building a thunk. *)
+let rxq_timer_target t =
+  match t.rxq_timer_tgt with
+  | Some g -> g
+  | None ->
+      let g =
+        (* alloc: cold — one-time dispatcher registration *)
+        Engine.target t.engine (fun (q : rxq) ->
+            q.timer <- Engine.none;
+            if q.intr_on && q.q_count > 0 then rxq_fire t q)
+      in
+      (* alloc: cold — one-time dispatcher registration *)
+      t.rxq_timer_tgt <- Some g;
+      g
 
 (* Coalescing decision, taken whenever the ring is non-empty with the
    interrupt unmasked: fire once [coalesce_pkts] frames are buffered (or
@@ -224,12 +247,15 @@ let rxq_fire t (q : rxq) =
 let rxq_consider t (q : rxq) =
   if q.intr_on && q.q_count > 0 then begin
     if q.q_count >= t.coalesce_pkts || t.coalesce_us <= 0. then rxq_fire t q
-    else if q.timer = None then
-      q.timer <-
-        Some
-          (Engine.schedule_after t.engine ~delay:t.coalesce_us (fun () ->
-               q.timer <- None;
-               if q.intr_on && q.q_count > 0 then rxq_fire t q))
+    else if q.timer == Engine.none then begin
+      (* Stage the deadline through the engine's float cell and pass the
+         queue to the registered expiry dispatcher: arming the hold-off
+         timer allocates nothing (the old thunk + handle option cost 7
+         words per sub-threshold train). *)
+      (Engine.deadline_cell t.engine).(0) <-
+        (Engine.clock_cell t.engine).(0) +. t.coalesce_us;
+      q.timer <- Engine.schedule_to_staged t.engine (rxq_timer_target t) q
+    end
   end
 
 let rxq_enable_intr t qi =

@@ -32,7 +32,8 @@ type rxq = {
   mutable q_head : int;
   mutable q_count : int;
   mutable intr_on : bool;
-  mutable timer : Lrp_engine.Engine.handle option;
+  mutable timer : Lrp_engine.Engine.handle;
+      (** armed coalesce timer; [Engine.none] when disarmed *)
   mutable q_rx : int;
   mutable q_drops : int;
   mutable q_kicks : int;
@@ -58,6 +59,8 @@ type t = {
   mutable deliver : Packet.t -> unit;
   mutable tx_done : Packet.t Lrp_engine.Engine.target option;
       (** closure-free tx-complete event; registered on first transmit *)
+  mutable rxq_timer_tgt : rxq Lrp_engine.Engine.target option;
+      (** closure-free coalesce-timer expiry; registered on first arm *)
   stats : stats;
   mutable tracer : Lrp_trace.Trace.t;
   mutable rxqs : rxq array;

@@ -41,11 +41,11 @@ let create () =
 let grow t =
   let cap = Array.length t.gens in
   let cap' = max 16 (2 * cap) in
-  if cap' > slot_mask then failwith "Parena: too many live frames";
-  let pkts = Array.make cap' Packet.null in
-  let bytes = Array.make cap' 0 in
-  let gens = Array.make cap' 0 in
-  let free = Array.make cap' 0 in
+  if cap' > slot_mask then failwith "Parena: too many live frames"; (* alloc: cold — error path *)
+  let pkts = Array.make cap' Packet.null in (* alloc: cold — amortized growth *)
+  let bytes = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+  let gens = Array.make cap' 0 in (* alloc: cold — amortized growth *)
+  let free = Array.make cap' 0 in (* alloc: cold — amortized growth *)
   Array.blit t.pkts 0 pkts 0 cap;
   Array.blit t.bytes 0 bytes 0 cap;
   Array.blit t.gens 0 gens 0 cap;
@@ -76,6 +76,7 @@ let[@inline] valid t h =
   slot < Array.length t.gens && Array.unsafe_get t.gens slot = h lsr slot_bits
 
 let[@inline never] stale name =
+  (* alloc: cold — error path *)
   invalid_arg (Printf.sprintf "Parena.%s: stale or invalid handle" name)
 
 let[@inline] pkt t h =

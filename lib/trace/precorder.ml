@@ -65,10 +65,10 @@ let unpack_b arg = (arg land 0x7FFF_FFFF) - 1
 (* --- record path -------------------------------------------------------- *)
 
 let grow t =
-  t.kcol <- Array.make t.cap 0;
-  t.tcol <- Array.make t.cap 0.;
-  t.icol <- Array.make t.cap 0;
-  t.acol <- Array.make t.cap 0
+  t.kcol <- Array.make t.cap 0; (* alloc: cold — lazy first-use sizing *)
+  t.tcol <- Array.make t.cap 0.; (* alloc: cold — lazy first-use sizing *)
+  t.icol <- Array.make t.cap 0; (* alloc: cold — lazy first-use sizing *)
+  t.acol <- Array.make t.cap 0 (* alloc: cold — lazy first-use sizing *)
 
 let record t ~kind ~ident ~a ~b =
   if Array.length t.kcol = 0 then grow t;

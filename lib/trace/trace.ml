@@ -99,8 +99,10 @@ let clear t =
   t.lost <- 0
 
 let record t ev =
+  (* alloc: cold — lazy first-use sizing *)
   if Array.length t.buf = 0 then t.buf <- Array.make t.cap dummy_entry;
   if t.count = t.cap then t.lost <- t.lost + 1 else t.count <- t.count + 1;
+  (* alloc: cold — untyped ring entry; the packed recorder is the hot sink *)
   t.buf.(t.head) <- { ts = t.now (); seq = t.seq; ev };
   t.seq <- t.seq + 1;
   t.head <- (t.head + 1) mod t.cap
@@ -242,7 +244,7 @@ let nic_rx t ~pkt ~bytes =
   if want t Packet_events then
     match t.packed with
     | Some p -> Precorder.record p ~kind:k_nic_rx ~ident:pkt ~a:bytes ~b:(-1)
-    | None -> record t (Nic_rx { pkt; bytes })
+    | None -> record t (Nic_rx { pkt; bytes }) (* alloc: cold — untyped tracing fallback; packed sink is the hot path *)
 
 let demux t ~pkt ~chan ~flow =
   if want t Packet_events then
@@ -260,7 +262,7 @@ let ipq_drop t ~pkt ~qlen =
   if want t Packet_events then
     match t.packed with
     | Some p -> Precorder.record p ~kind:k_ipq_drop ~ident:pkt ~a:qlen ~b:(-1)
-    | None -> record t (Ipq_drop { pkt; qlen })
+    | None -> record t (Ipq_drop { pkt; qlen }) (* alloc: cold — untyped tracing fallback; packed sink is the hot path *)
 
 let early_discard t ~pkt ~chan =
   if want t Packet_events then
@@ -375,7 +377,7 @@ let coalesce_fire t ~q ~pending =
     match t.packed with
     | Some p ->
         Precorder.record p ~kind:k_coalesce_fire ~ident:q ~a:pending ~b:(-1)
-    | None -> record t (Coalesce_fire { q; pending })
+    | None -> record t (Coalesce_fire { q; pending }) (* alloc: cold — untyped tracing fallback; packed sink is the hot path *)
 
 let gro_merge t ~pkt ~into =
   if want t Packet_events then

@@ -1,0 +1,19 @@
+(* Block-construction fixtures: tuples, records, variants, arrays. *)
+
+type r = { a : int; b : int }
+
+let pair x y = (x, y)
+
+let mk x = { a = x; b = 0 }
+
+let update r = { r with b = 1 }
+
+let some x = Some x
+
+let cons x xs = x :: xs
+
+let lit x = [| x; x |]
+
+let empty_arr () = ([||] : int array)
+
+let none () = None

@@ -1,0 +1,11 @@
+(* Transitive-reach, assume-boundary and call-table fixtures. *)
+
+let helper n = Array.make n 0
+
+let trusted n = helper n
+
+let fmt_path n = Printf.sprintf "drop %d" n
+
+let boxed x = Int64.add x 1L
+
+let unboxed x y = Int64.compare x y

@@ -1,0 +1,15 @@
+(* CLO fixtures: capture vs static closures, partial application. *)
+
+let base = 10
+
+let capture n =
+  let f = fun x -> x + n in
+  f 1
+
+let static_fn () =
+  let g = fun x -> x + 1 in
+  g base
+
+let add3 a b c = a + b + c
+
+let partial () = add3 1 2

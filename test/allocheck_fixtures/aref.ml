@@ -1,0 +1,16 @@
+(* REF fixtures: an escaping ref cell vs an eliminate_ref'd scan loop. *)
+
+let escaping () =
+  let r = ref 0 in
+  r
+
+let eliminated n =
+  let i = ref 0 in
+  let s = ref 0 in
+  while !i < n do
+    s := !s + !i;
+    incr i
+  done;
+  !s
+
+let buffer n = Bytes.create n

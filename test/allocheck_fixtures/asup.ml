@@ -1,0 +1,11 @@
+(* Suppression fixtures: claimed cold comments, and a stale one. *)
+
+let cold_path x =
+  (* alloc: cold — one-time registration fixture *)
+  Some x
+
+let trailing x = Some x (* alloc: cold — same-line fixture *)
+
+let stale () =
+  (* alloc: cold — suppresses nothing *)
+  ()

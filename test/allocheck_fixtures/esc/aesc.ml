@@ -1,0 +1,36 @@
+(* Escape fixtures: module-level publication, cross-cell fields, DLS. *)
+
+type cell = { mutable ob_ready : bool; mutable priv : int }
+
+type box = { mutable cells : int array }
+
+let shared : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let slots = [| 0 |]
+
+let gbox = { cells = [| 0 |] }
+
+let dkey = Domain.DLS.new_key (fun () -> 0)
+
+let publish k v = Hashtbl.replace shared k v
+
+let bump () = slots.(0) <- slots.(0) + 1
+
+let through () = gbox.cells.(0) <- 1
+
+let mark c = c.ob_ready <- true
+
+let local_ok c = c.priv <- 1
+
+let fresh_ok () =
+  let t = Hashtbl.create 4 in
+  Hashtbl.replace t 1 2;
+  t
+
+let outbox c = c.ob_ready <- true
+
+let noted c =
+  (* alloc: escape-ok — coordinator-side writer fixture *)
+  c.ob_ready <- true
+
+let dls () = Domain.DLS.set dkey 1

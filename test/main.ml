@@ -24,4 +24,5 @@ let () =
       ("recorder", Test_recorder.suite);
       ("fuzz", Test_fuzz.suite);
       ("modern", Test_modern.suite);
-      ("lint", Test_lint.suite) ]
+      ("lint", Test_lint.suite);
+      ("allocheck", Test_allocheck.suite) ]
